@@ -1,0 +1,207 @@
+//! Block matrices: `n × n` arrays of `r × r` blocks of `f64`.
+//!
+//! "Each element in A, B, and C is a square r×r block and the unit of
+//! computation is the updating of one block, i.e., a matrix multiplication
+//! of size r."
+
+/// A dense square matrix stored as `n × n` blocks of `r × r` elements,
+//  block-major (block `(i, j)` is contiguous).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockMatrix {
+    /// Matrix size in blocks per side.
+    pub n: usize,
+    /// Block size in elements per side.
+    pub r: usize,
+    data: Vec<f64>,
+}
+
+impl BlockMatrix {
+    /// A zero matrix.
+    pub fn zeros(n: usize, r: usize) -> Self {
+        assert!(n >= 1 && r >= 1);
+        BlockMatrix {
+            n,
+            r,
+            data: vec![0.0; n * n * r * r],
+        }
+    }
+
+    /// A deterministic test matrix: element `(gi, gj)` (global element
+    /// coordinates) gets a small value derived from its position and `seed`.
+    pub fn deterministic(n: usize, r: usize, seed: u64) -> Self {
+        let mut m = BlockMatrix::zeros(n, r);
+        for bi in 0..n {
+            for bj in 0..n {
+                for i in 0..r {
+                    for j in 0..r {
+                        let gi = bi * r + i;
+                        let gj = bj * r + j;
+                        let v = ((gi
+                            .wrapping_mul(31)
+                            .wrapping_add(gj.wrapping_mul(17))
+                            .wrapping_add(seed as usize))
+                            % 1000) as f64
+                            / 1000.0
+                            - 0.5;
+                        *m.at_mut(bi, bj, i, j) = v;
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    fn block_offset(&self, bi: usize, bj: usize) -> usize {
+        debug_assert!(bi < self.n && bj < self.n);
+        (bi * self.n + bj) * self.r * self.r
+    }
+
+    /// A block as a slice of `r * r` elements, row-major.
+    pub fn block(&self, bi: usize, bj: usize) -> &[f64] {
+        let off = self.block_offset(bi, bj);
+        &self.data[off..off + self.r * self.r]
+    }
+
+    /// A mutable block.
+    pub fn block_mut(&mut self, bi: usize, bj: usize) -> &mut [f64] {
+        let off = self.block_offset(bi, bj);
+        &mut self.data[off..off + self.r * self.r]
+    }
+
+    /// Element access by block and intra-block coordinates.
+    pub fn at(&self, bi: usize, bj: usize, i: usize, j: usize) -> f64 {
+        self.block(bi, bj)[i * self.r + j]
+    }
+
+    /// Mutable element access.
+    pub fn at_mut(&mut self, bi: usize, bj: usize, i: usize, j: usize) -> &mut f64 {
+        let r = self.r;
+        &mut self.block_mut(bi, bj)[i * r + j]
+    }
+
+    /// The whole backing store (tests).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// The unit of computation: `c += a × b` on `r × r` row-major blocks — the
+/// paper's `rMxM` benchmark kernel.
+///
+/// # Panics
+/// Panics (debug) on mismatched slice lengths.
+pub fn block_multiply_add(c: &mut [f64], a: &[f64], b: &[f64], r: usize) {
+    debug_assert_eq!(a.len(), r * r);
+    debug_assert_eq!(b.len(), r * r);
+    debug_assert_eq!(c.len(), r * r);
+    for i in 0..r {
+        for k in 0..r {
+            let aik = a[i * r + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[k * r..(k + 1) * r];
+            let crow = &mut c[i * r..(i + 1) * r];
+            for j in 0..r {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+}
+
+/// Serial blocked reference: `C = A × B`.
+///
+/// # Panics
+/// Panics if shapes disagree.
+pub fn serial_matmul(a: &BlockMatrix, b: &BlockMatrix) -> BlockMatrix {
+    assert_eq!(a.n, b.n);
+    assert_eq!(a.r, b.r);
+    let (n, r) = (a.n, a.r);
+    let mut c = BlockMatrix::zeros(n, r);
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let mut tmp = c.block(i, j).to_vec();
+                block_multiply_add(&mut tmp, a.block(i, k), b.block(k, j), r);
+                c.block_mut(i, j).copy_from_slice(&tmp);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_layout_roundtrip() {
+        let mut m = BlockMatrix::zeros(3, 2);
+        *m.at_mut(1, 2, 0, 1) = 7.5;
+        assert_eq!(m.at(1, 2, 0, 1), 7.5);
+        assert_eq!(m.block(1, 2)[1], 7.5);
+        assert_eq!(m.at(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn block_multiply_add_matches_manual() {
+        // 2x2: a = [[1,2],[3,4]], b = [[5,6],[7,8]], c starts at identity.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [1.0, 0.0, 0.0, 1.0];
+        block_multiply_add(&mut c, &a, &b, 2);
+        assert_eq!(c, [20.0, 22.0, 43.0, 51.0]);
+    }
+
+    #[test]
+    fn serial_matmul_identity() {
+        let n = 3;
+        let r = 4;
+        let a = BlockMatrix::deterministic(n, r, 1);
+        let mut id = BlockMatrix::zeros(n, r);
+        for bi in 0..n {
+            for i in 0..r {
+                *id.at_mut(bi, bi, i, i) = 1.0;
+            }
+        }
+        let c = serial_matmul(&a, &id);
+        for (x, y) in c.data().iter().zip(a.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn serial_matmul_matches_elementwise_reference() {
+        let n = 2;
+        let r = 3;
+        let a = BlockMatrix::deterministic(n, r, 3);
+        let b = BlockMatrix::deterministic(n, r, 9);
+        let c = serial_matmul(&a, &b);
+        let size = n * r;
+        let get = |m: &BlockMatrix, gi: usize, gj: usize| m.at(gi / r, gj / r, gi % r, gj % r);
+        for gi in 0..size {
+            for gj in 0..size {
+                let mut want = 0.0;
+                for gk in 0..size {
+                    want += get(&a, gi, gk) * get(&b, gk, gj);
+                }
+                assert!(
+                    (get(&c, gi, gj) - want).abs() < 1e-9,
+                    "element ({gi},{gj})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_is_deterministic() {
+        assert_eq!(
+            BlockMatrix::deterministic(3, 3, 5),
+            BlockMatrix::deterministic(3, 3, 5)
+        );
+        assert_ne!(
+            BlockMatrix::deterministic(3, 3, 5),
+            BlockMatrix::deterministic(3, 3, 6)
+        );
+    }
+}

@@ -1,0 +1,328 @@
+//! Matrix-multiplication drivers: homogeneous MPI baseline vs the paper's
+//! Figure 8 HMPI program.
+//!
+//! The HMPI driver follows Figure 8 step by step: `HMPI_Recon` with the
+//! `rMxM` benchmark, a `HMPI_Timeof` sweep choosing the optimal generalised
+//! block size `l`, `HMPI_Group_create` with the Figure 7 model, then the
+//! block-cyclic computation over the group communicator. The MPI baseline
+//! uses the homogeneous distribution on the first `m²` processes of
+//! `MPI_COMM_WORLD` — the paper's "pure chance" group.
+
+use crate::matmul::block::BlockMatrix;
+use crate::matmul::dist::GeneralizedBlockDist;
+use crate::matmul::model::matmul_model;
+use crate::matmul::parallel::DistributedMatmul;
+use hetsim::Cluster;
+use hmpi::{HmpiRuntime, MappingAlgorithm};
+use mpisim::Universe;
+use std::sync::Arc;
+
+/// Seeds for the deterministic input matrices (shared by every driver so
+/// results are comparable).
+pub const SEED_A: u64 = 101;
+/// Seed for matrix B.
+pub const SEED_B: u64 = 202;
+
+/// Outcome of one matrix-multiplication execution.
+#[derive(Debug, Clone)]
+pub struct MatmulRun {
+    /// Virtual execution time of the parallel algorithm, seconds.
+    pub time: f64,
+    /// `members[grid linear index] = world rank`.
+    pub members: Vec<usize>,
+    /// The gathered result matrix (from the grid root), for verification.
+    pub c: Option<BlockMatrix>,
+    /// `HMPI_Group_create`'s predicted time (HMPI runs only).
+    pub predicted: Option<f64>,
+    /// The generalised block size used.
+    pub l: usize,
+}
+
+/// The MPI baseline: homogeneous 2D block-cyclic distribution on the first
+/// `m²` world ranks. `l` must be a multiple of `m` (default the paper-style
+/// fully cyclic `l = m` when `None`).
+///
+/// # Panics
+/// Panics if the cluster hosts fewer than `m²` processes or `m` does not
+/// divide `l`.
+pub fn run_mpi(
+    cluster: Arc<Cluster>,
+    m: usize,
+    n: usize,
+    r: usize,
+    l: Option<usize>,
+) -> MatmulRun {
+    let l = l.unwrap_or(m);
+    let universe = Universe::new(cluster);
+    assert!(m * m <= universe.size());
+    let report = universe.run(|proc| {
+        let world = proc.world();
+        let me = world.rank();
+        let grid_comm = world
+            .split((me < m * m).then_some(1), 1)
+            .expect("split cannot fail");
+        let grid_comm = grid_comm?;
+        let dist = GeneralizedBlockDist::homogeneous(m, l);
+        let mut mm = DistributedMatmul::new(dist, n, r, grid_comm.rank(), SEED_A, SEED_B);
+        let t0 = grid_comm.clock().now();
+        mm.run(&grid_comm).expect("MM kernel");
+        grid_comm.barrier().expect("closing barrier");
+        let dur = (grid_comm.clock().now() - t0).as_secs();
+        let c = mm.gather_c(&grid_comm).expect("gather C");
+        Some((dur, c))
+    });
+    let mut time = 0.0f64;
+    let mut c = None;
+    for outcome in report.results.iter().flatten() {
+        time = time.max(outcome.0);
+        if outcome.1.is_some() {
+            c = outcome.1.clone();
+        }
+    }
+    MatmulRun {
+        time,
+        members: (0..m * m).collect(),
+        c,
+        predicted: None,
+        l,
+    }
+}
+
+/// The Figure 8 HMPI program. With `l = None`, the host selects the optimal
+/// generalised block size by an `HMPI_Timeof` sweep over `m..=n`.
+///
+/// # Panics
+/// Panics if the cluster hosts fewer than `m²` processes.
+pub fn run_hmpi(
+    cluster: Arc<Cluster>,
+    m: usize,
+    n: usize,
+    r: usize,
+    l: Option<usize>,
+) -> MatmulRun {
+    run_hmpi_with(cluster, m, n, r, l, MappingAlgorithm::default())
+}
+
+/// [`run_hmpi`] with an explicit selection algorithm (for ablations).
+///
+/// # Panics
+/// As [`run_hmpi`].
+pub fn run_hmpi_with(
+    cluster: Arc<Cluster>,
+    m: usize,
+    n: usize,
+    r: usize,
+    l: Option<usize>,
+    algo: MappingAlgorithm,
+) -> MatmulRun {
+    let runtime = HmpiRuntime::new(cluster).with_algorithm(algo);
+    assert!(m * m <= runtime.universe().size());
+
+    type Out = (Option<(f64, Option<BlockMatrix>)>, Option<(Vec<usize>, f64, usize)>);
+    let report = runtime.run(|h| -> Out {
+        // HMPI_Recon with the rMxM benchmark: one r x r block update.
+        h.recon_with(1.0, |hh| hh.compute(1.0)).expect("recon");
+
+        // The host arranges the m^2 best processors on the grid (its own
+        // speed at the parent position (0,0)) and picks l by Timeof sweep.
+        let chosen = if h.is_host() {
+            let placement = h.process().placement();
+            let est = h.estimates();
+            let mut others: Vec<f64> = (1..h.size())
+                .map(|rank| est.speed(placement[rank]))
+                .collect();
+            others.sort_by(|a, b| b.total_cmp(a));
+            let mut grid_speeds = Vec::with_capacity(m * m);
+            grid_speeds.push(est.speed(placement[0]));
+            grid_speeds.extend(others.into_iter().take(m * m - 1));
+
+            let l = match l {
+                Some(l) => l,
+                None => {
+                    // Figure 8: sweep bsize, keep the predicted minimum.
+                    let mut best = (m, f64::INFINITY);
+                    for cand in m..=n {
+                        let dist = GeneralizedBlockDist::heterogeneous(m, cand, &grid_speeds);
+                        let model = matmul_model(&dist, r, n).expect("Figure 7 model");
+                        let t = h.timeof(&model).expect("timeof");
+                        if t < best.1 {
+                            best = (cand, t);
+                        }
+                    }
+                    best.0
+                }
+            };
+            let mut msg = vec![l as f64];
+            msg.extend_from_slice(&grid_speeds);
+            msg
+        } else {
+            Vec::new()
+        };
+        let mut msg = chosen;
+        h.world().bcast(&mut msg, 0).expect("bcast l + speeds");
+        let l = msg[0] as usize;
+        let grid_speeds = msg[1..].to_vec();
+
+        let dist = GeneralizedBlockDist::heterogeneous(m, l, &grid_speeds);
+        let model = matmul_model(&dist, r, n).expect("Figure 7 model");
+        let group = h.group_create(&model).expect("group_create");
+        let meta = if h.is_host() {
+            Some((group.members().to_vec(), group.predicted_time(), l))
+        } else {
+            None
+        };
+
+        let outcome = if let Some(comm) = group.comm() {
+            let mut mm = DistributedMatmul::new(dist, n, r, comm.rank(), SEED_A, SEED_B);
+            let t0 = comm.clock().now();
+            mm.run(comm).expect("MM kernel");
+            comm.barrier().expect("closing barrier");
+            let dur = (comm.clock().now() - t0).as_secs();
+            let c = mm.gather_c(comm).expect("gather C");
+            Some((dur, c))
+        } else {
+            None
+        };
+        if group.is_member() {
+            h.group_free(group).expect("group_free");
+        }
+        h.finalize().expect("finalize");
+        (outcome, meta)
+    });
+
+    let mut time = 0.0f64;
+    let mut c = None;
+    let mut meta = None;
+    for (outcome, m_) in report.results {
+        if let Some((dur, cm)) = outcome {
+            time = time.max(dur);
+            if cm.is_some() {
+                c = cm;
+            }
+        }
+        if m_.is_some() {
+            meta = m_;
+        }
+    }
+    let (members, predicted, l) = meta.expect("host reported the selection");
+    MatmulRun {
+        time,
+        members,
+        c,
+        predicted: Some(predicted),
+        l,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::block::{serial_matmul, BlockMatrix};
+
+    fn paper_cluster() -> Arc<Cluster> {
+        Arc::new(Cluster::paper_lan_matmul())
+    }
+
+    fn reference(n: usize, r: usize) -> BlockMatrix {
+        serial_matmul(
+            &BlockMatrix::deterministic(n, r, SEED_A),
+            &BlockMatrix::deterministic(n, r, SEED_B),
+        )
+    }
+
+    fn assert_matches(c: &BlockMatrix, want: &BlockMatrix) {
+        for (x, y) in c.data().iter().zip(want.data()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mpi_baseline_is_correct() {
+        let n = 9;
+        let r = 4;
+        let run = run_mpi(paper_cluster(), 3, n, r, None);
+        assert_matches(run.c.as_ref().unwrap(), &reference(n, r));
+    }
+
+    #[test]
+    fn hmpi_is_correct_with_fixed_l() {
+        let n = 9;
+        let r = 4;
+        let run = run_hmpi(paper_cluster(), 3, n, r, Some(9));
+        assert_matches(run.c.as_ref().unwrap(), &reference(n, r));
+        assert_eq!(run.l, 9);
+    }
+
+    #[test]
+    fn hmpi_beats_homogeneous_mpi_on_paper_lan() {
+        // The paper's headline MM result: ~3x on the 9-machine LAN.
+        let n = 9;
+        let r = 8;
+        let mpi = run_mpi(paper_cluster(), 3, n, r, None);
+        let hmpi = run_hmpi(paper_cluster(), 3, n, r, Some(9));
+        assert!(
+            hmpi.time < mpi.time,
+            "HMPI ({}) must beat MPI ({})",
+            hmpi.time,
+            mpi.time
+        );
+        let speedup = mpi.time / hmpi.time;
+        assert!(speedup > 1.5, "expected a large speedup, got {speedup:.2}");
+    }
+
+    #[test]
+    fn timeof_sweep_chooses_a_valid_l() {
+        let n = 9;
+        let r = 4;
+        let run = run_hmpi(paper_cluster(), 3, n, r, None);
+        assert!((3..=9).contains(&run.l), "chosen l = {}", run.l);
+        assert_matches(run.c.as_ref().unwrap(), &reference(n, r));
+    }
+
+    #[test]
+    fn members_are_distinct_and_parent_hosted() {
+        let run = run_hmpi(paper_cluster(), 3, 9, 4, Some(9));
+        assert_eq!(run.members.len(), 9);
+        let mut sorted = run.members.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 9);
+        assert_eq!(run.members[0], 0, "grid (0,0) is the parent/host");
+    }
+}
+
+#[cfg(test)]
+mod grid_size_tests {
+    use super::*;
+    use crate::matmul::block::{serial_matmul, BlockMatrix};
+    use hetsim::{ClusterBuilder, Link, Protocol};
+
+    #[test]
+    fn two_by_two_grid_on_a_five_node_cluster() {
+        // m = 2 uses 4 of 5 machines; the speed-5 node must be left out and
+        // the result must still be exact.
+        let cluster = Arc::new(
+            ClusterBuilder::new()
+                .node("host", 60.0)
+                .node("big", 150.0)
+                .node("mid", 90.0)
+                .node("ok", 70.0)
+                .node("tiny", 5.0)
+                .all_to_all(Link::with_defaults(Protocol::Tcp))
+                .build(),
+        );
+        let n = 8;
+        let r = 3;
+        let run = run_hmpi(cluster, 2, n, r, None);
+        assert_eq!(run.members.len(), 4);
+        assert!(!run.members.contains(&4), "speed-5 node must be excluded");
+        let want = serial_matmul(
+            &BlockMatrix::deterministic(n, r, SEED_A),
+            &BlockMatrix::deterministic(n, r, SEED_B),
+        );
+        let got = run.c.unwrap();
+        for (x, y) in got.data().iter().zip(want.data()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+}

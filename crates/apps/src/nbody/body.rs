@@ -1,0 +1,213 @@
+//! Body groups and deterministic initial conditions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Gravitational constant of the simulation (arbitrary units).
+pub const G: f64 = 6.674e-3;
+
+/// Softening length avoiding singular forces.
+pub const SOFTENING: f64 = 1e-2;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct NbodyConfig {
+    /// Bodies per group; length determines the number of groups `p`.
+    pub bodies_per_group: Vec<usize>,
+    /// Integration time step.
+    pub dt: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl NbodyConfig {
+    /// `p` groups ramping from `base` to `base * spread` bodies.
+    pub fn ramp(p: usize, base: usize, spread: f64, seed: u64) -> Self {
+        assert!(p >= 1 && base >= 1);
+        let bodies_per_group = (0..p)
+            .map(|i| {
+                let f = if p == 1 {
+                    1.0
+                } else {
+                    1.0 + (spread - 1.0) * i as f64 / (p - 1) as f64
+                };
+                ((base as f64 * f) as usize).max(1)
+            })
+            .collect();
+        NbodyConfig {
+            bodies_per_group,
+            dt: 1e-3,
+            seed,
+        }
+    }
+
+    /// Number of groups.
+    pub fn p(&self) -> usize {
+        self.bodies_per_group.len()
+    }
+
+    /// Total body count.
+    pub fn total(&self) -> usize {
+        self.bodies_per_group.iter().sum()
+    }
+}
+
+/// A flat, structure-of-arrays body store (3D positions, velocities,
+/// masses).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Bodies {
+    /// Positions, `[x0, y0, z0, x1, ...]`.
+    pub pos: Vec<f64>,
+    /// Velocities, same layout.
+    pub vel: Vec<f64>,
+    /// Masses.
+    pub mass: Vec<f64>,
+}
+
+impl Bodies {
+    /// Number of bodies.
+    pub fn len(&self) -> usize {
+        self.mass.len()
+    }
+
+    /// True if there are no bodies.
+    pub fn is_empty(&self) -> bool {
+        self.mass.is_empty()
+    }
+
+    /// Deterministically generates one group's bodies. Group `g` is centred
+    /// on a point of a ring so groups are spatially clustered (forces within
+    /// a group dominate, like the paper's sub-bodies).
+    pub fn generate_group(cfg: &NbodyConfig, g: usize) -> Bodies {
+        let n = cfg.bodies_per_group[g];
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(g as u64 * 0x9E37_79B9));
+        let angle = 2.0 * std::f64::consts::PI * g as f64 / cfg.p() as f64;
+        let (cx, cy) = (10.0 * angle.cos(), 10.0 * angle.sin());
+        let mut b = Bodies::default();
+        for _ in 0..n {
+            b.pos.push(cx + rng.random_range(-1.0..1.0));
+            b.pos.push(cy + rng.random_range(-1.0..1.0));
+            b.pos.push(rng.random_range(-1.0..1.0));
+            b.vel.push(rng.random_range(-0.1..0.1));
+            b.vel.push(rng.random_range(-0.1..0.1));
+            b.vel.push(rng.random_range(-0.1..0.1));
+            b.mass.push(rng.random_range(0.5..2.0));
+        }
+        b
+    }
+
+    /// Concatenates groups into one store (serial reference layout).
+    pub fn concat(groups: &[Bodies]) -> Bodies {
+        let mut out = Bodies::default();
+        for g in groups {
+            out.pos.extend_from_slice(&g.pos);
+            out.vel.extend_from_slice(&g.vel);
+            out.mass.extend_from_slice(&g.mass);
+        }
+        out
+    }
+}
+
+/// Accelerations on `targets` due to `sources` (all-pairs, softened
+/// Newtonian gravity). Returns a flat `[ax0, ay0, az0, ...]` vector.
+pub fn accelerations(
+    target_pos: &[f64],
+    source_pos: &[f64],
+    source_mass: &[f64],
+) -> Vec<f64> {
+    let nt = target_pos.len() / 3;
+    let ns = source_mass.len();
+    let mut acc = vec![0.0; nt * 3];
+    for t in 0..nt {
+        let (tx, ty, tz) = (
+            target_pos[3 * t],
+            target_pos[3 * t + 1],
+            target_pos[3 * t + 2],
+        );
+        let (mut ax, mut ay, mut az) = (0.0, 0.0, 0.0);
+        for s in 0..ns {
+            let dx = source_pos[3 * s] - tx;
+            let dy = source_pos[3 * s + 1] - ty;
+            let dz = source_pos[3 * s + 2] - tz;
+            let d2 = dx * dx + dy * dy + dz * dz + SOFTENING * SOFTENING;
+            let inv = 1.0 / (d2 * d2.sqrt());
+            let f = G * source_mass[s] * inv;
+            ax += f * dx;
+            ay += f * dy;
+            az += f * dz;
+        }
+        acc[3 * t] = ax;
+        acc[3 * t + 1] = ay;
+        acc[3 * t + 2] = az;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_group() {
+        let cfg = NbodyConfig::ramp(3, 10, 2.0, 42);
+        assert_eq!(
+            Bodies::generate_group(&cfg, 1),
+            Bodies::generate_group(&cfg, 1)
+        );
+        assert_ne!(
+            Bodies::generate_group(&cfg, 0),
+            Bodies::generate_group(&cfg, 1)
+        );
+    }
+
+    #[test]
+    fn ramp_sizes() {
+        let cfg = NbodyConfig::ramp(4, 10, 3.0, 1);
+        assert_eq!(cfg.bodies_per_group, vec![10, 16, 23, 30]);
+        assert_eq!(cfg.total(), 79);
+    }
+
+    #[test]
+    fn acceleration_points_towards_source() {
+        // One target at origin, one heavy source at +x.
+        let acc = accelerations(&[0.0, 0.0, 0.0], &[1.0, 0.0, 0.0], &[10.0]);
+        assert!(acc[0] > 0.0);
+        assert!(acc[1].abs() < 1e-15);
+        assert!(acc[2].abs() < 1e-15);
+    }
+
+    #[test]
+    fn self_interaction_is_softened_to_zero_force() {
+        // A body acting on itself: zero displacement, softened denominator,
+        // so zero force (dx = 0) — no NaN.
+        let acc = accelerations(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0], &[5.0]);
+        assert_eq!(acc, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn superposition_holds() {
+        // Acceleration from two sources equals the sum from each alone.
+        let t = [0.0, 0.0, 0.0];
+        let s1 = [1.0, 0.0, 0.0];
+        let s2 = [0.0, 2.0, 0.0];
+        let both: Vec<f64> = accelerations(
+            &t,
+            &[s1[0], s1[1], s1[2], s2[0], s2[1], s2[2]],
+            &[3.0, 4.0],
+        );
+        let a1 = accelerations(&t, &s1, &[3.0]);
+        let a2 = accelerations(&t, &s2, &[4.0]);
+        for i in 0..3 {
+            assert!((both[i] - (a1[i] + a2[i])).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn concat_preserves_order_and_counts() {
+        let cfg = NbodyConfig::ramp(3, 5, 2.0, 9);
+        let groups: Vec<Bodies> = (0..3).map(|g| Bodies::generate_group(&cfg, g)).collect();
+        let all = Bodies::concat(&groups);
+        assert_eq!(all.len(), cfg.total());
+        assert_eq!(&all.mass[..groups[0].len()], &groups[0].mass[..]);
+    }
+}

@@ -1,0 +1,24 @@
+//! N-body simulation with irregular body groups.
+//!
+//! A third application beyond the paper's two, from the same research
+//! lineage (the mpC papers use a "galaxy of star groups" example): `p`
+//! groups of bodies of different sizes, one group per process. Every step,
+//! each process needs the positions and masses of *all* bodies (gravity is
+//! all-pairs), so groups are exchanged with an allgather; each process then
+//! computes forces for its own bodies only — `d[i] × total` interactions —
+//! which makes computation volumes irregular and communication all-to-all:
+//! a different shape from both EM3D (sparse neighbour exchange) and MM
+//! (row/column broadcasts), exercising the collective path of the
+//! substrate.
+
+pub mod body;
+pub mod driver;
+pub mod model;
+pub mod parallel;
+pub mod serial;
+
+pub use body::{Bodies, NbodyConfig};
+pub use driver::{run_hmpi, run_mpi, NbodyRun};
+pub use model::{nbody_model, nbody_params, NBODY_MODEL_SOURCE};
+pub use parallel::ParallelGroup;
+pub use serial::{serial_run, serial_step};

@@ -1,0 +1,37 @@
+//! Ablation benches: selection algorithm, contention model and recon
+//! freshness (the design choices DESIGN.md calls out).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmpi_bench::ablation;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    println!("\n# Ablation: selection algorithm (EM3D, paper LAN)");
+    for p in ablation::mapping_algorithms(60) {
+        println!(
+            "  {:>10}: measured {:.4}s predicted {:.4}s",
+            p.algo, p.time, p.predicted
+        );
+    }
+    println!("# Ablation: network contention (MM, l = 9)");
+    for p in ablation::contention_models(9) {
+        println!("  {:>16}: {:.4}s", p.model, p.hmpi);
+    }
+    println!("# Ablation: recon freshness (EM3D, loaded cluster)");
+    for p in ablation::recon_staleness(60) {
+        println!("  {:>18}: {:.4}s", p.scenario, p.time);
+    }
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("mapping_algorithms", |b| {
+        b.iter(|| black_box(ablation::mapping_algorithms(black_box(60))))
+    });
+    g.bench_function("contention_models", |b| {
+        b.iter(|| black_box(ablation::contention_models(black_box(9))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

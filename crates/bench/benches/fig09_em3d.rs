@@ -1,0 +1,41 @@
+//! Figure 9 bench: regenerates the EM3D HMPI-vs-MPI series (printed once)
+//! and Criterion-measures the harness cost of one representative point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmpi_bench::{fig9, render_table};
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    // Regenerate and print the figure series once, so `cargo bench`
+    // reproduces the paper's rows alongside the timing statistics.
+    let points = fig9::series(&[60, 150, 300]);
+    println!(
+        "\n{}",
+        render_table(
+            "Figure 9(a): EM3D execution time, HMPI vs MPI",
+            "total nodes",
+            &points
+        )
+    );
+    println!("# Figure 9(b): speedups");
+    for p in &points {
+        println!("  total nodes {:>6}: speedup {:.2}", p.x, p.speedup());
+    }
+    for p in &points {
+        assert!(
+            p.speedup() > 1.0,
+            "reproduction regression: HMPI must win at size {}",
+            p.x
+        );
+    }
+
+    let mut g = c.benchmark_group("fig9_em3d");
+    g.sample_size(10);
+    g.bench_function("point_base60", |b| {
+        b.iter(|| black_box(fig9::point(black_box(60))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 10 bench: MM execution time vs generalised block size `l`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmpi_bench::{fig10, render_table};
+use std::hint::black_box;
+
+fn bench_fig10(c: &mut Criterion) {
+    let n = 9;
+    let ls = [3usize, 4, 6, 9];
+    let points = fig10::series(&ls, n);
+    println!(
+        "\n{}",
+        render_table(
+            &format!("Figure 10: MM time vs generalised block size (r = 8, n = {n} blocks)"),
+            "l",
+            &points
+        )
+    );
+    let choice = fig10::timeof_choice(n);
+    println!("HMPI_Timeof chooses l = {choice}");
+    for p in &points {
+        assert!(
+            p.speedup() > 1.0,
+            "reproduction regression: HMPI must win at l = {}",
+            p.x
+        );
+    }
+
+    let mut g = c.benchmark_group("fig10_blocksize");
+    g.sample_size(10);
+    g.bench_function("point_l9", |b| {
+        b.iter(|| black_box(fig10::point(black_box(9), black_box(9))))
+    });
+    g.bench_function("timeof_choice", |b| {
+        b.iter(|| black_box(fig10::timeof_choice(black_box(9))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

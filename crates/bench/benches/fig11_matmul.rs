@@ -1,0 +1,38 @@
+//! Figure 11 bench: MM execution time and speedup across matrix sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmpi_bench::{fig11, render_table};
+use std::hint::black_box;
+
+fn bench_fig11(c: &mut Criterion) {
+    let points = fig11::series(&[9, 12, 18]);
+    println!(
+        "\n{}",
+        render_table(
+            "Figure 11(a): MM execution time, HMPI vs homogeneous MPI",
+            "matrix size",
+            &points
+        )
+    );
+    println!("# Figure 11(b): speedups");
+    for p in &points {
+        println!("  matrix size {:>6}: speedup {:.2}", p.x, p.speedup());
+    }
+    for p in &points {
+        assert!(
+            p.speedup() > 1.5,
+            "reproduction regression: expected a large MM speedup at {}",
+            p.x
+        );
+    }
+
+    let mut g = c.benchmark_group("fig11_matmul");
+    g.sample_size(10);
+    g.bench_function("point_n9", |b| {
+        b.iter(|| black_box(fig11::point(black_box(9))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

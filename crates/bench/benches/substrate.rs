@@ -1,0 +1,84 @@
+//! Microbenchmarks of the substrates the reproduction is built on: the
+//! model-language pipeline (parse → instantiate → scheme interpretation)
+//! and the mapping search — the pieces whose real CPU cost gates how fast
+//! `HMPI_Timeof` sweeps and `HMPI_Group_create` selections run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim::{Cluster, SpeedEstimates};
+use hmpi::{select_mapping, MappingAlgorithm, SelectionCtx};
+use hmpi_apps::em3d::{em3d_model, Em3dConfig, Em3dSystem, EM3D_MODEL_SOURCE};
+use hmpi_apps::matmul::{matmul_model, GeneralizedBlockDist, MATMUL_MODEL_SOURCE};
+use perfmodel::{CompiledModel, CostModel, PerformanceModel};
+use std::hint::black_box;
+
+fn bench_perfmodel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perfmodel");
+
+    g.bench_function("parse_figure4", |b| {
+        b.iter(|| black_box(CompiledModel::compile(black_box(EM3D_MODEL_SOURCE)).unwrap()))
+    });
+    g.bench_function("parse_figure7", |b| {
+        b.iter(|| black_box(CompiledModel::compile(black_box(MATMUL_MODEL_SOURCE)).unwrap()))
+    });
+
+    let system = Em3dSystem::generate(&Em3dConfig::ramp(9, 200, 4.0, 1));
+    g.bench_function("instantiate_em3d_p9", |b| {
+        b.iter(|| black_box(em3d_model(black_box(&system), 10).unwrap()))
+    });
+
+    let speeds = [46.0, 46.0, 46.0, 46.0, 46.0, 46.0, 176.0, 106.0, 9.0];
+    let dist = GeneralizedBlockDist::heterogeneous(3, 9, &speeds);
+    let inst = matmul_model(&dist, 8, 18).unwrap();
+    let cost = CostModel::homogeneous(9, 50.0, 150e-6, 11e6);
+    g.bench_function("scheme_figure7_n18", |b| {
+        b.iter(|| black_box(inst.predict_time(black_box(&cost)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let cluster = Cluster::paper_lan_em3d();
+    let placement: Vec<_> = cluster.node_ids().collect();
+    let estimates = SpeedEstimates::from_base_speeds(&cluster);
+    let system = Em3dSystem::generate(&Em3dConfig::ramp(9, 200, 4.0, 1));
+    let model = em3d_model(&system, 10).unwrap();
+    let ctx = SelectionCtx {
+        cluster: &cluster,
+        placement: &placement,
+        estimates: &estimates,
+        candidates: (0..9).collect(),
+        pinned_parent: Some(0),
+    };
+
+    let mut g = c.benchmark_group("mapping");
+    g.bench_function("greedy_p9", |b| {
+        b.iter(|| black_box(select_mapping(MappingAlgorithm::Greedy, &model, &ctx).unwrap()))
+    });
+    g.bench_function("greedy_refined_p9", |b| {
+        b.iter(|| {
+            black_box(
+                select_mapping(MappingAlgorithm::GreedyRefined { max_rounds: 64 }, &model, &ctx)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("annealing_p9_400", |b| {
+        b.iter(|| {
+            black_box(
+                select_mapping(
+                    MappingAlgorithm::Annealing {
+                        seed: 7,
+                        iters: 400,
+                    },
+                    &model,
+                    &ctx,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_perfmodel, bench_mapping);
+criterion_main!(benches);

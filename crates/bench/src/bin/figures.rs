@@ -1,0 +1,177 @@
+//! Regenerates the paper's evaluation figures as text tables (or CSV).
+//!
+//! ```text
+//! cargo run --release -p hmpi-bench --bin figures -- all
+//! cargo run --release -p hmpi-bench --bin figures -- fig9a fig9b
+//! cargo run --release -p hmpi-bench --bin figures -- --csv fig10
+//! cargo run --release -p hmpi-bench --bin figures -- --quick all
+//! ```
+
+use hmpi_bench::{ablation, extension, fig10, fig11, fig9, render_csv, render_table, ComparisonPoint};
+
+struct Options {
+    csv: bool,
+    quick: bool,
+}
+
+fn emit(opts: &Options, title: &str, x_label: &str, pts: &[ComparisonPoint]) {
+    if opts.csv {
+        print!("{}", render_csv(x_label, pts));
+    } else {
+        print!("{}", render_table(title, x_label, pts));
+    }
+    println!();
+}
+
+fn fig9_points(opts: &Options) -> Vec<ComparisonPoint> {
+    let sizes: &[usize] = if opts.quick { &[60, 150] } else { fig9::DEFAULT_SIZES };
+    fig9::series(sizes)
+}
+
+fn fig10_points(opts: &Options) -> (Vec<ComparisonPoint>, usize, usize) {
+    let n = if opts.quick { 9 } else { fig10::N };
+    let ls: Vec<usize> = if opts.quick {
+        vec![3, 4, 6, 9]
+    } else {
+        fig10::DEFAULT_LS.to_vec()
+    };
+    (fig10::series(&ls, n), fig10::timeof_choice(n), n)
+}
+
+fn fig11_points(opts: &Options) -> Vec<ComparisonPoint> {
+    let ns: &[usize] = if opts.quick { &[9, 12] } else { fig11::DEFAULT_NS };
+    fig11::series(ns)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = Options {
+        csv: args.iter().any(|a| a == "--csv"),
+        quick: args.iter().any(|a| a == "--quick"),
+    };
+    let mut wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if wanted.is_empty() || wanted.contains(&"all") {
+        wanted = vec![
+            "fig9a", "fig9b", "fig10", "fig11a", "fig11b", "ablations", "ext-nbody",
+        ];
+    }
+
+    let fig9_cache = if wanted.iter().any(|w| w.starts_with("fig9")) {
+        Some(fig9_points(&opts))
+    } else {
+        None
+    };
+    let fig11_cache = if wanted.iter().any(|w| w.starts_with("fig11")) {
+        Some(fig11_points(&opts))
+    } else {
+        None
+    };
+
+    for w in wanted {
+        match w {
+            "fig9a" => {
+                let pts = fig9_cache.as_ref().expect("cached");
+                emit(
+                    &opts,
+                    "Figure 9(a): EM3D execution time, HMPI vs MPI (9-machine paper LAN)",
+                    "total nodes",
+                    pts,
+                );
+            }
+            "fig9b" => {
+                let pts = fig9_cache.as_ref().expect("cached");
+                if opts.csv {
+                    println!("total_nodes,speedup");
+                    for p in pts {
+                        println!("{},{}", p.x, p.speedup());
+                    }
+                } else {
+                    println!("# Figure 9(b): EM3D speedup of HMPI over MPI");
+                    println!("{:>12}  {:>8}", "total nodes", "speedup");
+                    for p in pts {
+                        println!("{:>12}  {:>8.2}", p.x, p.speedup());
+                    }
+                }
+                println!();
+            }
+            "fig10" => {
+                let (pts, choice, n) = fig10_points(&opts);
+                emit(
+                    &opts,
+                    &format!(
+                        "Figure 10: MM execution time vs generalised block size l (r = {}, n = {n} blocks)",
+                        fig10::R
+                    ),
+                    "l",
+                    &pts,
+                );
+                if !opts.csv {
+                    println!("HMPI_Timeof would choose l = {choice}\n");
+                }
+            }
+            "fig11a" => {
+                let pts = fig11_cache.as_ref().expect("cached");
+                emit(
+                    &opts,
+                    "Figure 11(a): MM execution time, HMPI (hetero dist, Timeof l) vs MPI (homogeneous)",
+                    "matrix size",
+                    pts,
+                );
+            }
+            "fig11b" => {
+                let pts = fig11_cache.as_ref().expect("cached");
+                if opts.csv {
+                    println!("matrix_size,speedup");
+                    for p in pts {
+                        println!("{},{}", p.x, p.speedup());
+                    }
+                } else {
+                    println!("# Figure 11(b): MM speedup of HMPI over MPI");
+                    println!("{:>12}  {:>8}", "matrix size", "speedup");
+                    for p in pts {
+                        println!("{:>12}  {:>8.2}", p.x, p.speedup());
+                    }
+                }
+                println!();
+            }
+            "ablations" => {
+                println!("# Ablation: selection algorithm (EM3D, paper LAN)");
+                println!("{:>12}  {:>14}  {:>14}", "algorithm", "measured [s]", "predicted [s]");
+                for p in ablation::mapping_algorithms(if opts.quick { 60 } else { 150 }) {
+                    println!("{:>12}  {:>14.4}  {:>14.4}", p.algo, p.time, p.predicted);
+                }
+                println!();
+                println!("# Ablation: network contention model (MM, l = 9)");
+                println!("{:>16}  {:>14}", "model", "HMPI [s]");
+                for p in ablation::contention_models(9) {
+                    println!("{:>16}  {:>14.4}", p.model, p.hmpi);
+                }
+                println!();
+                println!("# Ablation: recon freshness (EM3D, loaded cluster)");
+                println!("{:>18}  {:>14}", "scenario", "time [s]");
+                for p in ablation::recon_staleness(if opts.quick { 60 } else { 120 }) {
+                    println!("{:>18}  {:>14.4}", p.scenario, p.time);
+                }
+                println!();
+            }
+            "ext-nbody" => {
+                let sizes: &[usize] = if opts.quick { &[10] } else { extension::DEFAULT_SIZES };
+                let pts = extension::series(sizes);
+                emit(
+                    &opts,
+                    "Extension: N-body execution time, HMPI vs MPI (beyond the paper)",
+                    "total bodies",
+                    &pts,
+                );
+            }
+            other => {
+                eprintln!("unknown figure `{other}`; known: fig9a fig9b fig10 fig11a fig11b ablations ext-nbody all");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Extension experiment beyond the paper: the N-body application.
+//!
+//! Demonstrates that the selection machinery generalises to a third
+//! communication shape (all-to-all via allgather) the paper never
+//! evaluated. See EXPERIMENTS.md §Extension.
+
+use crate::{em3d_cluster, ComparisonPoint};
+use hmpi_apps::nbody::{run_hmpi, run_mpi, NbodyConfig};
+
+/// Number of body groups (one per machine of the paper LAN).
+pub const P: usize = 9;
+
+/// Group-size spread (largest / smallest).
+pub const SPREAD: f64 = 3.0;
+
+/// Integration steps per run.
+pub const NITER: usize = 3;
+
+/// Recon benchmark size in body-body interactions.
+pub const K: usize = 10;
+
+/// Default x-axis: bodies in the smallest group.
+pub const DEFAULT_SIZES: &[usize] = &[10, 20, 40];
+
+/// Runs one problem size.
+pub fn point(base: usize) -> ComparisonPoint {
+    let cfg = NbodyConfig::ramp(P, base, SPREAD, 0xB0D1 + base as u64);
+    let total = cfg.total();
+    let mpi = run_mpi(em3d_cluster(), &cfg, NITER, K);
+    let hmpi = run_hmpi(em3d_cluster(), &cfg, NITER, K);
+    ComparisonPoint {
+        x: total,
+        mpi: mpi.time,
+        hmpi: hmpi.time,
+    }
+}
+
+/// The full extension series.
+pub fn series(sizes: &[usize]) -> Vec<ComparisonPoint> {
+    sizes.iter().map(|&b| point(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hmpi_wins_on_the_extension_workload() {
+        let p = point(10);
+        assert!(
+            p.speedup() > 1.3,
+            "N-body speedup {:.2} unexpectedly small",
+            p.speedup()
+        );
+    }
+
+    #[test]
+    fn x_axis_is_the_true_total() {
+        let p = point(10);
+        let cfg = NbodyConfig::ramp(P, 10, SPREAD, 0xB0D1 + 10);
+        assert_eq!(p.x, cfg.total());
+    }
+}

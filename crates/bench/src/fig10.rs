@@ -1,0 +1,86 @@
+//! Figure 10: MM execution time against the generalised block size `l`,
+//! for `r = 8`.
+//!
+//! The paper shows the HMPI execution time across generalised block sizes
+//! (its optimum appeared at `r = l = 9`), against the flat MPI baseline.
+//! Small `l` limits how finely areas can track speeds (integer rectangle
+//! sides); large `l` makes the distribution coarse across the matrix. The
+//! `HMPI_Timeof` sweep of the Figure 8 program automates exactly this
+//! choice.
+
+use crate::{matmul_cluster, ComparisonPoint};
+use hmpi_apps::matmul::{run_hmpi, run_mpi};
+
+/// Grid side (3 × 3 over the 9-machine LAN).
+pub const M: usize = 3;
+
+/// Block size in elements (the paper's Figure 10 uses r = 8).
+pub const R: usize = 8;
+
+/// Default matrix size in blocks.
+pub const N: usize = 18;
+
+/// Default `l` sweep.
+pub const DEFAULT_LS: &[usize] = &[3, 4, 6, 9, 12, 18];
+
+/// Runs one block-size point: HMPI with the given `l` vs the homogeneous
+/// MPI baseline (which does not depend on `l`; its time is recomputed per
+/// point for a self-contained row).
+pub fn point(l: usize, n: usize) -> ComparisonPoint {
+    let mpi = run_mpi(matmul_cluster(), M, n, R, Some(M));
+    let hmpi = run_hmpi(matmul_cluster(), M, n, R, Some(l));
+    ComparisonPoint {
+        x: l,
+        mpi: mpi.time,
+        hmpi: hmpi.time,
+    }
+}
+
+/// The full Figure 10 series.
+pub fn series(ls: &[usize], n: usize) -> Vec<ComparisonPoint> {
+    ls.iter().map(|&l| point(l, n)).collect()
+}
+
+/// The `l` the `HMPI_Timeof` sweep would choose for this configuration.
+pub fn timeof_choice(n: usize) -> usize {
+    run_hmpi(matmul_cluster(), M, n, R, None).l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hmpi_beats_mpi_across_block_sizes() {
+        for p in series(&[3, 9], 9) {
+            assert!(p.speedup() > 1.0, "l = {}: speedup {:.2}", p.x, p.speedup());
+        }
+    }
+
+    #[test]
+    fn timeof_choice_is_within_sweep_range() {
+        let l = timeof_choice(9);
+        assert!((3..=9).contains(&l));
+    }
+
+    #[test]
+    fn timeof_choice_is_near_the_measured_optimum() {
+        let n = 9;
+        let ls = [3usize, 4, 6, 9];
+        let series = series(&ls, n);
+        let measured_best = series
+            .iter()
+            .min_by(|a, b| a.hmpi.total_cmp(&b.hmpi))
+            .unwrap();
+        let chosen = timeof_choice(n);
+        let chosen_time = series.iter().find(|p| p.x == chosen).map(|p| p.hmpi);
+        if let Some(t) = chosen_time {
+            assert!(
+                t <= measured_best.hmpi * 1.25,
+                "Timeof's l={chosen} at {t:.3}s vs best l={} at {:.3}s",
+                measured_best.x,
+                measured_best.hmpi
+            );
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! `HMPI_Recon`-style speed measurement.
+//!
+//! The HMPI runtime never plans with the *true* speeds (on real hardware it
+//! could not know them); it plans with **estimates** obtained by running a
+//! benchmark code on every processor and timing it — that is what
+//! `HMPI_Recon` does. [`SpeedEstimates`] stores the estimates and
+//! [`ReconRunner`] refreshes them against the simulated cluster: running a
+//! benchmark of `v` units on node `i` at virtual time `t` takes
+//! `v / true_speed_i(t)` seconds, so the derived estimate is exactly the
+//! speed delivered at `t`. If the external load later changes, the estimate
+//! goes stale until the next recon — reproducing the dynamics the paper's
+//! `HMPI_Recon` is designed for.
+
+use crate::clock::SimTime;
+use crate::node::NodeId;
+use crate::topology::Cluster;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Shared, refreshable estimates of processor speeds (benchmark units per
+/// second), as observed by the most recent recon.
+#[derive(Debug, Clone)]
+pub struct SpeedEstimates {
+    inner: Arc<RwLock<Inner>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    speeds: Vec<f64>,
+    measured_at: SimTime,
+    generation: u64,
+}
+
+impl SpeedEstimates {
+    /// Estimates initialised from the cluster's *base* speeds (what a
+    /// freshly started runtime would assume before any recon).
+    pub fn from_base_speeds(cluster: &Cluster) -> Self {
+        let speeds = cluster.nodes().iter().map(|n| n.base_speed).collect();
+        SpeedEstimates {
+            inner: Arc::new(RwLock::new(Inner {
+                speeds,
+                measured_at: SimTime::ZERO,
+                generation: 0,
+            })),
+        }
+    }
+
+    /// Estimates with explicit per-node speeds.
+    ///
+    /// # Panics
+    /// Panics if any speed is not positive.
+    pub fn from_speeds(speeds: Vec<f64>) -> Self {
+        assert!(
+            speeds.iter().all(|&s| s > 0.0),
+            "estimated speeds must be positive"
+        );
+        SpeedEstimates {
+            inner: Arc::new(RwLock::new(Inner {
+                speeds,
+                measured_at: SimTime::ZERO,
+                generation: 0,
+            })),
+        }
+    }
+
+    /// The estimated speed of a node.
+    pub fn speed(&self, id: NodeId) -> f64 {
+        self.inner.read().speeds[id.0]
+    }
+
+    /// A snapshot of all estimated speeds, in node order.
+    pub fn snapshot(&self) -> Vec<f64> {
+        self.inner.read().speeds.clone()
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.inner.read().speeds.len()
+    }
+
+    /// True if no nodes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Virtual time of the most recent refresh.
+    pub fn measured_at(&self) -> SimTime {
+        self.inner.read().measured_at
+    }
+
+    /// Monotonically increasing refresh counter (0 before any recon).
+    pub fn generation(&self) -> u64 {
+        self.inner.read().generation
+    }
+
+    /// Replaces all estimates at once (a completed recon).
+    ///
+    /// # Panics
+    /// Panics if the length differs from the current estimate vector or any
+    /// speed is not positive.
+    pub fn refresh(&self, speeds: Vec<f64>, measured_at: SimTime) {
+        let mut g = self.inner.write();
+        assert_eq!(
+            speeds.len(),
+            g.speeds.len(),
+            "refresh must cover every node"
+        );
+        assert!(
+            speeds.iter().all(|&s| s > 0.0),
+            "estimated speeds must be positive"
+        );
+        g.speeds = speeds;
+        g.measured_at = measured_at;
+        g.generation += 1;
+    }
+}
+
+/// Runs recon benchmarks against a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ReconRunner {
+    cluster: Arc<Cluster>,
+}
+
+/// The result of benchmarking one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconSample {
+    /// The node measured.
+    pub node: NodeId,
+    /// Virtual time the benchmark took on that node.
+    pub elapsed: SimTime,
+    /// Derived speed estimate: `units / elapsed`.
+    pub speed: f64,
+}
+
+impl ReconRunner {
+    /// A runner measuring the given cluster.
+    pub fn new(cluster: Arc<Cluster>) -> Self {
+        ReconRunner { cluster }
+    }
+
+    /// Benchmarks a single node: executes `units` benchmark units starting at
+    /// virtual time `now` and derives the speed estimate.
+    pub fn measure_node(&self, node: NodeId, units: f64, now: SimTime) -> ReconSample {
+        assert!(units > 0.0, "benchmark volume must be positive");
+        let elapsed = self.cluster.compute_time(node, units, now);
+        ReconSample {
+            node,
+            elapsed,
+            speed: units / elapsed.as_secs(),
+        }
+    }
+
+    /// Benchmarks every node "in parallel" (all start at `now`, as
+    /// `HMPI_Recon` runs the benchmark function on all processors at once)
+    /// and refreshes the estimates. Returns the per-node samples.
+    pub fn recon_all(
+        &self,
+        estimates: &SpeedEstimates,
+        units: f64,
+        now: SimTime,
+    ) -> Vec<ReconSample> {
+        let samples: Vec<ReconSample> = (0..self.cluster.len())
+            .map(|i| self.measure_node(NodeId(i), units, now))
+            .collect();
+        estimates.refresh(samples.iter().map(|s| s.speed).collect(), now);
+        samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::LoadModel;
+    use crate::node::Processor;
+    use crate::topology::ClusterBuilder;
+
+    fn loaded_cluster() -> Arc<Cluster> {
+        Arc::new(
+            ClusterBuilder::new()
+                .node("steady", 100.0)
+                .processor(Processor::new("busy", 100.0).with_load(LoadModel::Step {
+                    start: SimTime::from_secs(10.0),
+                    end: SimTime::from_secs(20.0),
+                    fraction: 0.5,
+                }))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn estimates_start_at_base_speeds() {
+        let c = Cluster::paper_lan_em3d();
+        let e = SpeedEstimates::from_base_speeds(&c);
+        assert_eq!(e.snapshot(), c.nodes().iter().map(|n| n.base_speed).collect::<Vec<_>>());
+        assert_eq!(e.generation(), 0);
+    }
+
+    #[test]
+    fn measure_node_matches_true_speed_when_idle() {
+        let c = loaded_cluster();
+        let r = ReconRunner::new(c);
+        let s = r.measure_node(NodeId(0), 50.0, SimTime::ZERO);
+        assert!((s.speed - 100.0).abs() < 1e-9);
+        assert!((s.elapsed.as_secs() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recon_sees_load_when_it_is_active() {
+        let c = loaded_cluster();
+        let r = ReconRunner::new(c.clone());
+        let e = SpeedEstimates::from_base_speeds(&c);
+
+        // Before the external job: both nodes look like 100.
+        r.recon_all(&e, 10.0, SimTime::ZERO);
+        assert_eq!(e.snapshot(), vec![100.0, 100.0]);
+        assert_eq!(e.generation(), 1);
+
+        // During the external job: the busy node looks like 50.
+        r.recon_all(&e, 10.0, SimTime::from_secs(15.0));
+        let snap = e.snapshot();
+        assert!((snap[0] - 100.0).abs() < 1e-9);
+        assert!((snap[1] - 50.0).abs() < 1e-9);
+        assert_eq!(e.generation(), 2);
+        assert_eq!(e.measured_at(), SimTime::from_secs(15.0));
+    }
+
+    #[test]
+    fn stale_estimates_do_not_track_load() {
+        let c = loaded_cluster();
+        let r = ReconRunner::new(c.clone());
+        let e = SpeedEstimates::from_base_speeds(&c);
+        r.recon_all(&e, 10.0, SimTime::ZERO);
+        // The load turns on at t=10, but without a new recon the estimate
+        // still claims 100 — exactly the staleness HMPI_Recon fights.
+        assert_eq!(e.speed(NodeId(1)), 100.0);
+        assert_eq!(c.speed_at(NodeId(1), SimTime::from_secs(15.0)), 50.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn refresh_with_wrong_length_panics() {
+        let c = Cluster::paper_lan_em3d();
+        let e = SpeedEstimates::from_base_speeds(&c);
+        e.refresh(vec![1.0], SimTime::ZERO);
+    }
+
+    #[test]
+    fn estimates_are_shared_between_clones() {
+        let c = Cluster::paper_lan_em3d();
+        let e = SpeedEstimates::from_base_speeds(&c);
+        let e2 = e.clone();
+        e.refresh(vec![1.0; 9], SimTime::from_secs(1.0));
+        assert_eq!(e2.speed(NodeId(0)), 1.0);
+        assert_eq!(e2.generation(), 1);
+    }
+}

@@ -1,0 +1,332 @@
+//! A small plain-text cluster description format.
+//!
+//! The serde derives on [`crate::Cluster`] serve programmatic users; this
+//! module gives humans (and the benchmark harnesses) a flat file format for
+//! testbeds, so experiment configurations can live next to the code:
+//!
+//! ```text
+//! # the paper's 9-workstation LAN
+//! contention parallel
+//! node ws00 46
+//! node ws06 176 load-constant 0.25      # 25% stolen by other users
+//! node smp0 100 slots 4
+//! default-link tcp 150e-6 11e6
+//! link ws00 ws06 myrinet 2e-6 1e9
+//! ```
+//!
+//! Lines: `node <name> <speed> [slots <n>] [load-constant <frac>]`,
+//! `default-link <protocol> <latency> <bandwidth>`,
+//! `link <a> <b> <protocol> <latency> <bandwidth>` (symmetric),
+//! `contention parallel|nic|bus`, `#` comments.
+
+use crate::link::Link;
+use crate::load::LoadModel;
+use crate::node::Processor;
+use crate::protocol::Protocol;
+use crate::topology::{Cluster, ClusterBuilder, ContentionModel};
+use std::fmt;
+
+/// A parse failure, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cluster config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn protocol_of(name: &str) -> Option<Protocol> {
+    match name {
+        "tcp" => Some(Protocol::Tcp),
+        "shm" => Some(Protocol::SharedMemory),
+        "loopback" => Some(Protocol::Loopback),
+        other => Some(Protocol::Custom(other.to_string())),
+    }
+}
+
+/// Parses a cluster from the text format.
+///
+/// # Errors
+/// [`ConfigError`] with a line number on any malformed directive.
+pub fn parse_cluster(src: &str) -> Result<Cluster, ConfigError> {
+    let mut names: Vec<String> = Vec::new();
+    let mut builder = ClusterBuilder::new();
+    let mut pending_links: Vec<(String, String, Link, usize)> = Vec::new();
+
+    let err = |line: usize, msg: String| ConfigError { line, message: msg };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks[0] {
+            "node" => {
+                if toks.len() < 3 {
+                    return Err(err(lineno, "node needs: node <name> <speed>".into()));
+                }
+                let name = toks[1].to_string();
+                if names.contains(&name) {
+                    return Err(err(lineno, format!("duplicate node `{name}`")));
+                }
+                let speed: f64 = toks[2]
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad speed `{}`", toks[2])))?;
+                if speed <= 0.0 {
+                    return Err(err(lineno, "speed must be positive".into()));
+                }
+                let mut proc = Processor::new(name.clone(), speed);
+                let mut i = 3;
+                while i < toks.len() {
+                    match toks[i] {
+                        "slots" => {
+                            let n: usize = toks
+                                .get(i + 1)
+                                .and_then(|t| t.parse().ok())
+                                .ok_or_else(|| err(lineno, "slots needs a count".into()))?;
+                            proc = proc.with_slots(n);
+                            i += 2;
+                        }
+                        "load-constant" => {
+                            let f: f64 = toks
+                                .get(i + 1)
+                                .and_then(|t| t.parse().ok())
+                                .ok_or_else(|| err(lineno, "load-constant needs a fraction".into()))?;
+                            proc = proc.with_load(LoadModel::Constant { fraction: f });
+                            i += 2;
+                        }
+                        other => {
+                            return Err(err(lineno, format!("unknown node option `{other}`")))
+                        }
+                    }
+                }
+                names.push(name);
+                builder = builder.processor(proc);
+            }
+            "default-link" => {
+                if toks.len() != 4 {
+                    return Err(err(
+                        lineno,
+                        "default-link needs: default-link <protocol> <latency> <bandwidth>".into(),
+                    ));
+                }
+                let link = parse_link(&toks[1..4], lineno)?;
+                builder = builder.all_to_all(link);
+            }
+            "link" => {
+                if toks.len() != 6 {
+                    return Err(err(
+                        lineno,
+                        "link needs: link <a> <b> <protocol> <latency> <bandwidth>".into(),
+                    ));
+                }
+                let link = parse_link(&toks[3..6], lineno)?;
+                pending_links.push((toks[1].to_string(), toks[2].to_string(), link, lineno));
+            }
+            "contention" => {
+                let model = match toks.get(1).copied() {
+                    Some("parallel") => ContentionModel::ParallelLinks,
+                    Some("nic") => ContentionModel::SerializedNic,
+                    Some("bus") => ContentionModel::SharedBus,
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!("unknown contention `{}` (parallel|nic|bus)", other.unwrap_or("")),
+                        ))
+                    }
+                };
+                builder = builder.contention(model);
+            }
+            other => return Err(err(lineno, format!("unknown directive `{other}`"))),
+        }
+    }
+
+    if names.is_empty() {
+        return Err(err(0, "config defines no nodes".into()));
+    }
+    for (a, b, link, lineno) in pending_links {
+        let ia = names
+            .iter()
+            .position(|n| *n == a)
+            .ok_or_else(|| err(lineno, format!("unknown node `{a}` in link")))?;
+        let ib = names
+            .iter()
+            .position(|n| *n == b)
+            .ok_or_else(|| err(lineno, format!("unknown node `{b}` in link")))?;
+        builder = builder.link_between(ia, ib, link);
+    }
+    Ok(builder.build())
+}
+
+fn parse_link(toks: &[&str], lineno: usize) -> Result<Link, ConfigError> {
+    let proto = protocol_of(toks[0]).expect("protocol_of is total");
+    let latency: f64 = toks[1].parse().map_err(|_| ConfigError {
+        line: lineno,
+        message: format!("bad latency `{}`", toks[1]),
+    })?;
+    let bandwidth: f64 = toks[2].parse().map_err(|_| ConfigError {
+        line: lineno,
+        message: format!("bad bandwidth `{}`", toks[2]),
+    })?;
+    if latency < 0.0 || bandwidth <= 0.0 {
+        return Err(ConfigError {
+            line: lineno,
+            message: "latency must be >= 0, bandwidth > 0".into(),
+        });
+    }
+    Ok(Link::new(latency, bandwidth, proto))
+}
+
+/// Renders a cluster back into the text format. Lossy in two documented
+/// ways: exotic load models (anything but `None`/`Constant`) are dropped,
+/// and asymmetric link matrices are symmetrised — only the `a -> b`
+/// direction of each pair is emitted, since the text format's `link`
+/// directive is symmetric.
+pub fn render_cluster(cluster: &Cluster) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let contention = match cluster.contention() {
+        ContentionModel::ParallelLinks => "parallel",
+        ContentionModel::SerializedNic => "nic",
+        ContentionModel::SharedBus => "bus",
+    };
+    let _ = writeln!(out, "contention {contention}");
+    for node in cluster.nodes() {
+        let _ = write!(out, "node {} {}", node.name, node.base_speed);
+        if node.slots != 1 {
+            let _ = write!(out, " slots {}", node.slots);
+        }
+        if let LoadModel::Constant { fraction } = node.load {
+            let _ = write!(out, " load-constant {fraction}");
+        }
+        let _ = writeln!(out);
+    }
+    // Emit the most common off-diagonal link as the default, overrides for
+    // the rest.
+    if cluster.len() >= 2 {
+        let default = cluster.link(crate::NodeId(0), crate::NodeId(1)).clone();
+        let _ = writeln!(
+            out,
+            "default-link {} {} {}",
+            default.protocol, default.latency, default.bandwidth
+        );
+        for i in 0..cluster.len() {
+            for j in (i + 1)..cluster.len() {
+                let l = cluster.link(crate::NodeId(i), crate::NodeId(j));
+                if *l != default {
+                    let _ = writeln!(
+                        out,
+                        "link {} {} {} {} {}",
+                        cluster.nodes()[i].name,
+                        cluster.nodes()[j].name,
+                        l.protocol,
+                        l.latency,
+                        l.bandwidth
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    const SAMPLE: &str = r"
+        # the paper's LAN, abridged
+        contention parallel
+        node ws00 46
+        node ws06 176
+        node ws08 9 load-constant 0.5
+        node smp0 100 slots 4
+        default-link tcp 150e-6 11e6
+        link ws00 ws06 myrinet 2e-6 1e9
+    ";
+
+    #[test]
+    fn parses_sample() {
+        let c = parse_cluster(SAMPLE).unwrap();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.nodes()[0].name, "ws00");
+        assert_eq!(c.nodes()[1].base_speed, 176.0);
+        assert_eq!(c.nodes()[3].slots, 4);
+        // The loaded node delivers half speed.
+        assert_eq!(c.speed_at(NodeId(2), crate::SimTime::ZERO), 4.5);
+        // Link override is symmetric and custom-protocol.
+        let l = c.link(NodeId(0), NodeId(1));
+        assert_eq!(l.protocol, Protocol::Custom("myrinet".into()));
+        assert_eq!(c.link(NodeId(1), NodeId(0)).bandwidth, 1e9);
+        // Default link elsewhere.
+        assert_eq!(c.link(NodeId(0), NodeId(2)).protocol, Protocol::Tcp);
+        assert_eq!(c.contention(), ContentionModel::ParallelLinks);
+    }
+
+    #[test]
+    fn roundtrip_through_render() {
+        let c1 = parse_cluster(SAMPLE).unwrap();
+        let text = render_cluster(&c1);
+        let c2 = parse_cluster(&text).unwrap();
+        assert_eq!(c1.len(), c2.len());
+        for i in 0..c1.len() {
+            assert_eq!(c1.nodes()[i].name, c2.nodes()[i].name);
+            assert_eq!(c1.nodes()[i].base_speed, c2.nodes()[i].base_speed);
+            for j in 0..c1.len() {
+                assert_eq!(c1.link(NodeId(i), NodeId(j)), c2.link(NodeId(i), NodeId(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_cluster("node a 46\nnode b nope\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("nope"));
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let err = parse_cluster("node a 1\nnode a 2\n").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        assert!(parse_cluster("frobnicate\n").is_err());
+    }
+
+    #[test]
+    fn link_with_unknown_node_rejected() {
+        let err = parse_cluster("node a 1\nlink a b tcp 1e-3 1e6\n").unwrap_err();
+        assert!(err.message.contains("unknown node `b`"));
+    }
+
+    #[test]
+    fn empty_config_rejected() {
+        assert!(parse_cluster("# nothing\n").is_err());
+    }
+
+    #[test]
+    fn contention_variants() {
+        for (word, want) in [
+            ("parallel", ContentionModel::ParallelLinks),
+            ("nic", ContentionModel::SerializedNic),
+            ("bus", ContentionModel::SharedBus),
+        ] {
+            let c = parse_cluster(&format!("contention {word}\nnode a 1\n")).unwrap();
+            assert_eq!(c.contention(), want);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Assembling cost models from the runtime's view of the network.
+//!
+//! "The solution to the problem is based on: the performance model of the
+//! parallel algorithm ... and the model of the executing network of
+//! computers, which reflects the state of this network just before the
+//! execution of the parallel algorithm." — this module is where the two
+//! meet: given a candidate *mapping* of abstract processors onto world
+//! ranks, it builds the [`CostModel`] (estimated speeds from the latest
+//! `HMPI_Recon`, link latency/bandwidth from the cluster model) that the
+//! scheme interpreter prices the algorithm against.
+
+use hetsim::{Cluster, NodeId, SpeedEstimates};
+use perfmodel::{CostModel, PerformanceModel};
+
+/// Builds the cost model for `model`'s abstract processors under a mapping
+/// `assignment[abstract] = world rank`, where `placement[world] = node`.
+///
+/// # Panics
+/// Panics if the assignment's length differs from the model's processor
+/// count or references ranks outside the placement.
+pub fn build_cost_model(
+    model: &dyn PerformanceModel,
+    assignment: &[usize],
+    cluster: &Cluster,
+    placement: &[NodeId],
+    estimates: &SpeedEstimates,
+) -> CostModel {
+    let p = model.num_processors();
+    assert_eq!(
+        assignment.len(),
+        p,
+        "assignment must cover every abstract processor"
+    );
+    let nodes: Vec<NodeId> = assignment
+        .iter()
+        .map(|&w| {
+            assert!(w < placement.len(), "world rank {w} outside the universe");
+            placement[w]
+        })
+        .collect();
+    let speeds: Vec<f64> = nodes.iter().map(|&n| estimates.speed(n)).collect();
+    let mut latency = vec![vec![0.0; p]; p];
+    let mut bandwidth = vec![vec![f64::INFINITY; p]; p];
+    for i in 0..p {
+        for j in 0..p {
+            let link = cluster.link(nodes[i], nodes[j]);
+            latency[i][j] = link.latency;
+            bandwidth[i][j] = link.bandwidth;
+        }
+    }
+    CostModel {
+        speeds,
+        latency,
+        bandwidth,
+    }
+}
+
+/// Predicted execution time of `model` under `assignment` — the objective
+/// function of the group-selection search and the value `HMPI_Timeof`
+/// reports.
+///
+/// # Panics
+/// As [`build_cost_model`]; scheme evaluation errors also panic here (they
+/// indicate a malformed model, which `instantiate` should have rejected —
+/// the search loop cannot meaningfully continue past them).
+pub fn predicted_time(
+    model: &dyn PerformanceModel,
+    assignment: &[usize],
+    cluster: &Cluster,
+    placement: &[NodeId],
+    estimates: &SpeedEstimates,
+) -> f64 {
+    let cost = build_cost_model(model, assignment, cluster, placement, estimates);
+    model
+        .predict_time(&cost)
+        .unwrap_or_else(|e| panic!("scheme evaluation failed during estimation: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::{ClusterBuilder, Link, Protocol};
+    use perfmodel::ModelBuilder;
+
+    fn cluster() -> Cluster {
+        ClusterBuilder::new()
+            .node("fast", 100.0)
+            .node("slow", 10.0)
+            .node("mid", 50.0)
+            .all_to_all(Link::new(1e-3, 1e6, Protocol::Tcp))
+            .build()
+    }
+
+    #[test]
+    fn cost_model_reflects_mapping() {
+        let c = cluster();
+        let placement: Vec<NodeId> = c.node_ids().collect();
+        let est = SpeedEstimates::from_base_speeds(&c);
+        let model = ModelBuilder::new("t")
+            .processors(2)
+            .volumes(vec![100.0, 100.0])
+            .build()
+            .unwrap();
+        let cost = build_cost_model(&model, &[1, 0], &c, &placement, &est);
+        assert_eq!(cost.speeds, vec![10.0, 100.0]);
+        assert_eq!(cost.latency[0][1], 1e-3);
+        assert_eq!(cost.bandwidth[1][0], 1e6);
+    }
+
+    #[test]
+    fn same_node_pairs_get_loopback() {
+        let c = ClusterBuilder::new()
+            .processor(hetsim::Processor::new("smp", 50.0).with_slots(2))
+            .build();
+        let placement = vec![NodeId(0), NodeId(0)];
+        let est = SpeedEstimates::from_base_speeds(&c);
+        let model = ModelBuilder::new("t").processors(2).build().unwrap();
+        let cost = build_cost_model(&model, &[0, 1], &c, &placement, &est);
+        assert_eq!(cost.latency[0][1], 0.0);
+        assert!(cost.bandwidth[0][1].is_infinite());
+    }
+
+    #[test]
+    fn predicted_time_prefers_faster_nodes() {
+        let c = cluster();
+        let placement: Vec<NodeId> = c.node_ids().collect();
+        let est = SpeedEstimates::from_base_speeds(&c);
+        let model = ModelBuilder::new("t")
+            .processors(1)
+            .volumes(vec![100.0])
+            .build()
+            .unwrap();
+        let on_fast = predicted_time(&model, &[0], &c, &placement, &est);
+        let on_slow = predicted_time(&model, &[1], &c, &placement, &est);
+        assert!((on_fast - 1.0).abs() < 1e-9);
+        assert!((on_slow - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicted_time_uses_estimates_not_truth() {
+        let c = cluster();
+        let placement: Vec<NodeId> = c.node_ids().collect();
+        let est = SpeedEstimates::from_speeds(vec![1.0, 1000.0, 1.0]);
+        let model = ModelBuilder::new("t")
+            .processors(1)
+            .volumes(vec![100.0])
+            .build()
+            .unwrap();
+        // Under (wrong) estimates the "slow" node looks fastest.
+        let t = predicted_time(&model, &[1], &c, &placement, &est);
+        assert!((t - 0.1).abs() < 1e-9);
+    }
+}

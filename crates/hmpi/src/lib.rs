@@ -1,0 +1,44 @@
+//! # hmpi — Heterogeneous MPI (Lastovetsky & Reddy, IPPS 2003)
+//!
+//! The paper's contribution: "a small set of extensions to MPI aimed at
+//! efficient parallel computing on heterogeneous networks of computers".
+//! The application programmer describes a performance model of the
+//! implemented algorithm (see the [`perfmodel`] crate); given that model,
+//! the HMPI runtime "creates a group of processes executing the algorithm
+//! faster than any other group of processes".
+//!
+//! API correspondence with the paper:
+//!
+//! | Paper                       | This crate                                   |
+//! |-----------------------------|----------------------------------------------|
+//! | `HMPI_Init` / `HMPI_Finalize` | [`HmpiRuntime::run`] wraps each rank; [`Hmpi::finalize`] |
+//! | `HMPI_COMM_WORLD`           | [`Hmpi::world`]                              |
+//! | `HMPI_Is_host`              | [`Hmpi::is_host`]                            |
+//! | `HMPI_Is_free`              | [`Hmpi::is_free`]                            |
+//! | `HMPI_Is_member`            | [`HmpiGroup::is_member`]                     |
+//! | `HMPI_Recon`                | [`Hmpi::recon`] / [`Hmpi::recon_with`]       |
+//! | `HMPI_Timeof`               | [`Hmpi::timeof`] / [`Hmpi::timeof_mapping`]  |
+//! | `HMPI_Group_create`         | [`Hmpi::group_create`]                       |
+//! | `HMPI_Group_free`           | [`Hmpi::group_free`]                         |
+//! | `HMPI_Group_rank` / `_size` | [`HmpiGroup::rank`] / [`HmpiGroup::size`]    |
+//! | `HMPI_Get_comm`             | [`HmpiGroup::comm`]                          |
+//!
+//! The group-selection problem — map each *abstract processor* of the model
+//! onto a physical process so the predicted execution time is minimal — is
+//! solved in [`mapping`] (exhaustive search for small models, greedy
+//! load-balancing plus pairwise-swap local search in general, optional
+//! simulated annealing), against the cost model assembled in [`estimate`]
+//! from the current speed estimates (refreshed by `HMPI_Recon`) and the
+//! cluster's link parameters.
+
+#![warn(missing_docs)]
+
+pub mod estimate;
+pub mod group;
+pub mod mapping;
+pub mod runtime;
+
+pub use estimate::{build_cost_model, predicted_time};
+pub use group::HmpiGroup;
+pub use mapping::{select_mapping, Mapping, MappingAlgorithm, SelectionCtx};
+pub use runtime::{Hmpi, HmpiError, HmpiResult, HmpiRuntime};

@@ -1,0 +1,616 @@
+//! Group selection: mapping abstract processors onto physical processes.
+//!
+//! "During the creation of this group of processes, HMPI runtime system
+//! solves the problem of selection of the optimal set of processes running
+//! on different computers of the heterogeneous network." The objective is
+//! the predicted execution time ([`crate::estimate::predicted_time`]); this
+//! module provides the search strategies:
+//!
+//! * [`MappingAlgorithm::Exhaustive`] — enumerate every injective mapping
+//!   (exact, for small instances; falls back to the refined greedy beyond a
+//!   work cap);
+//! * [`MappingAlgorithm::Greedy`] — sort abstract processors by volume and
+//!   candidates by estimated speed and pair them off (the optimal pairing
+//!   for pure computation by the rearrangement inequality), no search;
+//! * [`MappingAlgorithm::GreedyRefined`] — greedy start, then
+//!   first-improvement local search over pairwise swaps and replacements
+//!   with unused candidates (the default);
+//! * [`MappingAlgorithm::Annealing`] — seeded simulated annealing for
+//!   rugged objective landscapes (heavy communication terms).
+//!
+//! The model's *parent* processor is pinned to the parent process ("every
+//! newly created group has exactly one process shared with already existing
+//! groups ... the connecting link, through which results of computations are
+//! passed").
+
+use crate::estimate::predicted_time;
+use hetsim::{Cluster, NodeId, SpeedEstimates};
+use perfmodel::PerformanceModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Everything the search needs to price a candidate mapping.
+#[derive(Debug, Clone)]
+pub struct SelectionCtx<'a> {
+    /// The cluster model.
+    pub cluster: &'a Cluster,
+    /// `placement[world_rank] = node`.
+    pub placement: &'a [NodeId],
+    /// Current speed estimates (from the latest `HMPI_Recon`).
+    pub estimates: &'a SpeedEstimates,
+    /// World ranks eligible for membership (the parent plus all free
+    /// processes).
+    pub candidates: Vec<usize>,
+    /// World rank that must host the model's parent processor.
+    pub pinned_parent: Option<usize>,
+}
+
+/// A selection result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    /// `assignment[abstract processor] = world rank`.
+    pub assignment: Vec<usize>,
+    /// Predicted execution time in seconds under the current estimates.
+    pub predicted: f64,
+}
+
+/// Search strategy for [`select_mapping`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingAlgorithm {
+    /// Exact enumeration (small instances; falls back to `GreedyRefined`
+    /// above [`EXHAUSTIVE_CAP`] candidate mappings).
+    Exhaustive,
+    /// Volume/speed sorted pairing only.
+    Greedy,
+    /// Greedy start plus swap/replace local search. The default.
+    GreedyRefined {
+        /// Maximum improvement rounds.
+        max_rounds: usize,
+    },
+    /// Seeded simulated annealing.
+    Annealing {
+        /// RNG seed (results are deterministic per seed).
+        seed: u64,
+        /// Number of proposal steps.
+        iters: usize,
+    },
+}
+
+impl Default for MappingAlgorithm {
+    fn default() -> Self {
+        MappingAlgorithm::GreedyRefined { max_rounds: 64 }
+    }
+}
+
+/// Work cap for exhaustive enumeration (number of mappings).
+pub const EXHAUSTIVE_CAP: u64 = 2_000_000;
+
+/// Errors from the selection search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectError {
+    /// The model needs more processes than there are candidates.
+    NotEnoughProcesses {
+        /// Abstract processors required.
+        required: usize,
+        /// Candidates available.
+        available: usize,
+    },
+    /// The pinned parent is not among the candidates.
+    ParentNotCandidate {
+        /// The offending world rank.
+        world_rank: usize,
+    },
+}
+
+impl fmt::Display for SelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectError::NotEnoughProcesses {
+                required,
+                available,
+            } => write!(
+                f,
+                "model needs {required} processes but only {available} are free"
+            ),
+            SelectError::ParentNotCandidate { world_rank } => {
+                write!(f, "pinned parent rank {world_rank} is not a candidate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
+
+/// Selects the mapping minimising predicted execution time.
+///
+/// # Errors
+/// [`SelectError`] on infeasible instances.
+pub fn select_mapping(
+    algo: MappingAlgorithm,
+    model: &dyn PerformanceModel,
+    ctx: &SelectionCtx<'_>,
+) -> Result<Mapping, SelectError> {
+    let p = model.num_processors();
+    if p > ctx.candidates.len() {
+        return Err(SelectError::NotEnoughProcesses {
+            required: p,
+            available: ctx.candidates.len(),
+        });
+    }
+    if let Some(parent) = ctx.pinned_parent {
+        if !ctx.candidates.contains(&parent) {
+            return Err(SelectError::ParentNotCandidate { world_rank: parent });
+        }
+    }
+    let objective = |assignment: &[usize]| {
+        predicted_time(model, assignment, ctx.cluster, ctx.placement, ctx.estimates)
+    };
+
+    let mapping = match algo {
+        MappingAlgorithm::Greedy => {
+            let a = greedy(model, ctx);
+            Mapping {
+                predicted: objective(&a),
+                assignment: a,
+            }
+        }
+        MappingAlgorithm::GreedyRefined { max_rounds } => {
+            let a = greedy(model, ctx);
+            let refined = local_search(a, model, ctx, &objective, max_rounds);
+            Mapping {
+                predicted: objective(&refined),
+                assignment: refined,
+            }
+        }
+        MappingAlgorithm::Exhaustive => {
+            if exhaustive_count(ctx.candidates.len(), p) > EXHAUSTIVE_CAP {
+                return select_mapping(
+                    MappingAlgorithm::GreedyRefined { max_rounds: 64 },
+                    model,
+                    ctx,
+                );
+            }
+            exhaustive(model, ctx, &objective)
+        }
+        MappingAlgorithm::Annealing { seed, iters } => {
+            let start = greedy(model, ctx);
+            anneal(start, model, ctx, &objective, seed, iters)
+        }
+    };
+    Ok(mapping)
+}
+
+/// Number of injective mappings of `p` processors onto `c` candidates.
+fn exhaustive_count(c: usize, p: usize) -> u64 {
+    let mut n: u64 = 1;
+    for i in 0..p {
+        n = n.saturating_mul((c - i) as u64);
+        if n > EXHAUSTIVE_CAP {
+            return n;
+        }
+    }
+    n
+}
+
+/// Volume-descending / speed-descending pairing, with the parent pinned.
+fn greedy(model: &dyn PerformanceModel, ctx: &SelectionCtx<'_>) -> Vec<usize> {
+    let p = model.num_processors();
+    let volumes = model.volumes();
+    let parent_abs = model.parent();
+
+    let mut abs_order: Vec<usize> = (0..p).collect();
+    abs_order.sort_by(|&a, &b| volumes[b].total_cmp(&volumes[a]));
+
+    let speed_of = |w: usize| ctx.estimates.speed(ctx.placement[w]);
+    let mut cand = ctx.candidates.clone();
+    cand.sort_by(|&a, &b| speed_of(b).total_cmp(&speed_of(a)));
+
+    let mut assignment = vec![usize::MAX; p];
+    let mut used = vec![false; cand.len()];
+
+    if let Some(parent_w) = ctx.pinned_parent {
+        assignment[parent_abs] = parent_w;
+        if let Some(pos) = cand.iter().position(|&w| w == parent_w) {
+            used[pos] = true;
+        }
+    }
+
+    for &abs in &abs_order {
+        if assignment[abs] != usize::MAX {
+            continue;
+        }
+        let pos = used
+            .iter()
+            .position(|&u| !u)
+            .expect("feasibility checked by caller");
+        assignment[abs] = cand[pos];
+        used[pos] = true;
+    }
+    assignment
+}
+
+/// First-improvement local search over swaps and replace-with-unused moves.
+fn local_search(
+    mut assignment: Vec<usize>,
+    model: &dyn PerformanceModel,
+    ctx: &SelectionCtx<'_>,
+    objective: &dyn Fn(&[usize]) -> f64,
+    max_rounds: usize,
+) -> Vec<usize> {
+    let p = model.num_processors();
+    let parent_abs = model.parent();
+    let mut best = objective(&assignment);
+    for _ in 0..max_rounds {
+        let mut improved = false;
+
+        // Pairwise swaps.
+        'swap: for i in 0..p {
+            for j in (i + 1)..p {
+                assignment.swap(i, j);
+                let pin_ok = ctx
+                    .pinned_parent
+                    .is_none_or(|w| assignment[parent_abs] == w);
+                if pin_ok {
+                    let t = objective(&assignment);
+                    if t < best {
+                        best = t;
+                        improved = true;
+                        continue 'swap;
+                    }
+                }
+                assignment.swap(i, j); // revert
+            }
+        }
+
+        // Replace an assignment with an unused candidate. Candidates
+        // displaced by an accepted move become available immediately, so a
+        // chain of replacements can complete within one round.
+        for i in 0..p {
+            if ctx.pinned_parent.is_some() && i == parent_abs {
+                continue;
+            }
+            for wi in 0..ctx.candidates.len() {
+                let w = ctx.candidates[wi];
+                if assignment.contains(&w) {
+                    continue;
+                }
+                let old = assignment[i];
+                assignment[i] = w;
+                let t = objective(&assignment);
+                if t < best {
+                    best = t;
+                    improved = true;
+                } else {
+                    assignment[i] = old;
+                }
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+    assignment
+}
+
+/// Exact enumeration.
+fn exhaustive(
+    model: &dyn PerformanceModel,
+    ctx: &SelectionCtx<'_>,
+    objective: &dyn Fn(&[usize]) -> f64,
+) -> Mapping {
+    let p = model.num_processors();
+    let parent_abs = model.parent();
+    let mut assignment = vec![usize::MAX; p];
+    let mut used = vec![false; ctx.candidates.len()];
+    let mut best: Option<Mapping> = None;
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        abs: usize,
+        p: usize,
+        parent_abs: usize,
+        ctx: &SelectionCtx<'_>,
+        assignment: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        objective: &dyn Fn(&[usize]) -> f64,
+        best: &mut Option<Mapping>,
+    ) {
+        if abs == p {
+            let t = objective(assignment);
+            if best.as_ref().is_none_or(|b| t < b.predicted) {
+                *best = Some(Mapping {
+                    assignment: assignment.clone(),
+                    predicted: t,
+                });
+            }
+            return;
+        }
+        for ci in 0..ctx.candidates.len() {
+            if used[ci] {
+                continue;
+            }
+            let w = ctx.candidates[ci];
+            if abs == parent_abs {
+                if let Some(pin) = ctx.pinned_parent {
+                    if w != pin {
+                        continue;
+                    }
+                }
+            }
+            used[ci] = true;
+            assignment[abs] = w;
+            rec(abs + 1, p, parent_abs, ctx, assignment, used, objective, best);
+            used[ci] = false;
+        }
+        assignment[abs] = usize::MAX;
+    }
+
+    rec(
+        0,
+        p,
+        parent_abs,
+        ctx,
+        &mut assignment,
+        &mut used,
+        objective,
+        &mut best,
+    );
+    best.expect("feasibility checked by caller")
+}
+
+/// Simulated annealing from a greedy start.
+fn anneal(
+    start: Vec<usize>,
+    model: &dyn PerformanceModel,
+    ctx: &SelectionCtx<'_>,
+    objective: &dyn Fn(&[usize]) -> f64,
+    seed: u64,
+    iters: usize,
+) -> Mapping {
+    let p = model.num_processors();
+    let parent_abs = model.parent();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current = start;
+    let mut current_t = objective(&current);
+    let mut best = Mapping {
+        assignment: current.clone(),
+        predicted: current_t,
+    };
+
+    let t0 = (current_t * 0.25).max(1e-9);
+    for step in 0..iters {
+        let temp = t0 * (1.0 - step as f64 / iters as f64).max(1e-3);
+        let mut proposal = current.clone();
+
+        let unused: Vec<usize> = ctx
+            .candidates
+            .iter()
+            .copied()
+            .filter(|w| !proposal.contains(w))
+            .collect();
+        let do_replace = !unused.is_empty() && rng.random_range(0..2) == 0;
+        if do_replace {
+            let mut i = rng.random_range(0..p);
+            if ctx.pinned_parent.is_some() && i == parent_abs {
+                if p == 1 {
+                    continue;
+                }
+                i = (i + 1) % p;
+                if i == parent_abs {
+                    continue;
+                }
+            }
+            proposal[i] = unused[rng.random_range(0..unused.len())];
+        } else {
+            if p < 2 {
+                continue;
+            }
+            let i = rng.random_range(0..p);
+            let j = rng.random_range(0..p);
+            if i == j {
+                continue;
+            }
+            proposal.swap(i, j);
+            if let Some(pin) = ctx.pinned_parent {
+                if proposal[parent_abs] != pin {
+                    continue;
+                }
+            }
+        }
+
+        let t = objective(&proposal);
+        let accept = t < current_t || {
+            let delta = t - current_t;
+            rng.random_range(0.0..1.0) < (-delta / temp).exp()
+        };
+        if accept {
+            current = proposal;
+            current_t = t;
+            if t < best.predicted {
+                best = Mapping {
+                    assignment: current.clone(),
+                    predicted: t,
+                };
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::{ClusterBuilder, Link, Protocol};
+    use perfmodel::ModelBuilder;
+
+    fn paper_like_ctx<'a>(cluster: &'a Cluster, placement: &'a [NodeId]) -> SelectionCtx<'a> {
+        // Leaked estimates keep lifetimes simple inside tests.
+        let est = Box::leak(Box::new(SpeedEstimates::from_base_speeds(cluster)));
+        SelectionCtx {
+            cluster,
+            placement,
+            estimates: est,
+            candidates: (0..placement.len()).collect(),
+            pinned_parent: Some(0),
+        }
+    }
+
+    fn hetero_cluster() -> Cluster {
+        ClusterBuilder::new()
+            .node("a", 46.0)
+            .node("b", 46.0)
+            .node("c", 176.0)
+            .node("d", 106.0)
+            .node("e", 9.0)
+            .all_to_all(Link::new(150e-6, 11e6, Protocol::Tcp))
+            .build()
+    }
+
+    #[test]
+    fn greedy_pairs_big_volume_with_fast_node() {
+        let c = hetero_cluster();
+        let placement: Vec<NodeId> = c.node_ids().collect();
+        let mut ctx = paper_like_ctx(&c, &placement);
+        ctx.pinned_parent = None;
+        let model = ModelBuilder::new("t")
+            .processors(3)
+            .volumes(vec![10.0, 1000.0, 100.0])
+            .build()
+            .unwrap();
+        let m = select_mapping(MappingAlgorithm::Greedy, &model, &ctx).unwrap();
+        // Volumes sorted: abs1 (1000) -> node 2 (176), abs2 (100) -> node 3
+        // (106), abs0 (10) -> node 0/1 (46).
+        assert_eq!(m.assignment[1], 2);
+        assert_eq!(m.assignment[2], 3);
+        assert!(m.assignment[0] == 0 || m.assignment[0] == 1);
+    }
+
+    #[test]
+    fn exhaustive_matches_or_beats_greedy() {
+        let c = hetero_cluster();
+        let placement: Vec<NodeId> = c.node_ids().collect();
+        let ctx = paper_like_ctx(&c, &placement);
+        let model = ModelBuilder::new("t")
+            .processors(3)
+            .volumes(vec![50.0, 500.0, 200.0])
+            .comm_fn(|_, _| 1e6)
+            .build()
+            .unwrap();
+        let g = select_mapping(MappingAlgorithm::Greedy, &model, &ctx).unwrap();
+        let e = select_mapping(MappingAlgorithm::Exhaustive, &model, &ctx).unwrap();
+        assert!(e.predicted <= g.predicted + 1e-12);
+    }
+
+    #[test]
+    fn refined_matches_or_beats_greedy() {
+        let c = hetero_cluster();
+        let placement: Vec<NodeId> = c.node_ids().collect();
+        let ctx = paper_like_ctx(&c, &placement);
+        let model = ModelBuilder::new("t")
+            .processors(4)
+            .volumes(vec![300.0, 50.0, 500.0, 200.0])
+            .comm_fn(|s, d| if s.abs_diff(d) == 1 { 5e6 } else { 0.0 })
+            .build()
+            .unwrap();
+        let g = select_mapping(MappingAlgorithm::Greedy, &model, &ctx).unwrap();
+        let r = select_mapping(MappingAlgorithm::default(), &model, &ctx).unwrap();
+        let e = select_mapping(MappingAlgorithm::Exhaustive, &model, &ctx).unwrap();
+        assert!(r.predicted <= g.predicted + 1e-12);
+        assert!(e.predicted <= r.predicted + 1e-12);
+        // On this instance local search should reach the optimum.
+        assert!((r.predicted - e.predicted).abs() < 0.05 * e.predicted);
+    }
+
+    #[test]
+    fn parent_stays_pinned() {
+        let c = hetero_cluster();
+        let placement: Vec<NodeId> = c.node_ids().collect();
+        let ctx = paper_like_ctx(&c, &placement); // parent pinned to world 0
+        let model = ModelBuilder::new("t")
+            .processors(3)
+            .volumes(vec![1000.0, 10.0, 10.0])
+            .build()
+            .unwrap();
+        for algo in [
+            MappingAlgorithm::Greedy,
+            MappingAlgorithm::default(),
+            MappingAlgorithm::Exhaustive,
+            MappingAlgorithm::Annealing {
+                seed: 42,
+                iters: 200,
+            },
+        ] {
+            let m = select_mapping(algo, &model, &ctx).unwrap();
+            assert_eq!(m.assignment[0], 0, "{algo:?} must keep the parent pinned");
+            let mut sorted = m.assignment.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "{algo:?} produced a non-injective mapping");
+        }
+    }
+
+    #[test]
+    fn infeasible_instances_error() {
+        let c = hetero_cluster();
+        let placement: Vec<NodeId> = c.node_ids().collect();
+        let mut ctx = paper_like_ctx(&c, &placement);
+        let model = ModelBuilder::new("t").processors(6).build().unwrap();
+        assert!(matches!(
+            select_mapping(MappingAlgorithm::Greedy, &model, &ctx),
+            Err(SelectError::NotEnoughProcesses { required: 6, .. })
+        ));
+        ctx.candidates = vec![1, 2];
+        ctx.pinned_parent = Some(0);
+        let small = ModelBuilder::new("t").processors(2).build().unwrap();
+        assert!(matches!(
+            select_mapping(MappingAlgorithm::Greedy, &small, &ctx),
+            Err(SelectError::ParentNotCandidate { world_rank: 0 })
+        ));
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let c = hetero_cluster();
+        let placement: Vec<NodeId> = c.node_ids().collect();
+        let ctx = paper_like_ctx(&c, &placement);
+        let model = ModelBuilder::new("t")
+            .processors(4)
+            .volumes(vec![100.0, 200.0, 300.0, 400.0])
+            .comm_fn(|_, _| 1e5)
+            .build()
+            .unwrap();
+        let algo = MappingAlgorithm::Annealing {
+            seed: 7,
+            iters: 300,
+        };
+        let a = select_mapping(algo, &model, &ctx).unwrap();
+        let b = select_mapping(algo, &model, &ctx).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exhaustive_count_respects_cap() {
+        assert_eq!(exhaustive_count(5, 3), 60);
+        assert!(exhaustive_count(30, 15) > EXHAUSTIVE_CAP);
+    }
+
+    #[test]
+    fn uses_fewer_processes_than_available_when_beneficial() {
+        // One big task, five nodes: only the fastest should matter; the
+        // mapping uses exactly p=1 process even though 5 are free.
+        let c = hetero_cluster();
+        let placement: Vec<NodeId> = c.node_ids().collect();
+        let mut ctx = paper_like_ctx(&c, &placement);
+        ctx.pinned_parent = None;
+        let model = ModelBuilder::new("t")
+            .processors(1)
+            .volumes(vec![176.0])
+            .build()
+            .unwrap();
+        let m = select_mapping(MappingAlgorithm::Exhaustive, &model, &ctx).unwrap();
+        assert_eq!(m.assignment, vec![2]);
+        assert!((m.predicted - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,530 @@
+//! The HMPI runtime system.
+//!
+//! [`HmpiRuntime`] owns the simulated cluster and the shared speed
+//! estimates; [`HmpiRuntime::run`] executes an SPMD closure with one
+//! [`Hmpi`] handle per rank (the per-process face of the runtime, created by
+//! `HMPI_Init` in the paper). Group creation follows the paper's protocol:
+//! it is "a collective operation and must be called by the parent and all
+//! the processes, which are not members of any HMPI group"; the host
+//! process solves the selection problem and distributes the result.
+
+use crate::group::HmpiGroup;
+use crate::mapping::{select_mapping, Mapping, MappingAlgorithm, SelectError, SelectionCtx};
+use hetsim::{Cluster, NodeId, SimTime, SpeedEstimates};
+use mpisim::{Comm, MpiError, Process, RunReport, Universe};
+use parking_lot::RwLock;
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tag used on the control communicator for group-creation messages.
+const TAG_GROUP_CREATE: i32 = 1_000_001;
+
+/// Errors surfaced by the HMPI layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HmpiError {
+    /// The group-selection search failed.
+    Select(SelectError),
+    /// An underlying message-passing operation failed.
+    Mpi(MpiError),
+    /// The calling process is neither the host nor free, so it may not take
+    /// part in `group_create`.
+    NotEligible,
+    /// `group_free` was called by a process that is not a member.
+    NotMember,
+}
+
+impl fmt::Display for HmpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HmpiError::Select(e) => write!(f, "selection failed: {e}"),
+            HmpiError::Mpi(e) => write!(f, "MPI error: {e}"),
+            HmpiError::NotEligible => write!(
+                f,
+                "group_create may only be called by the host and free processes"
+            ),
+            HmpiError::NotMember => write!(f, "calling process is not a member of the group"),
+        }
+    }
+}
+
+impl std::error::Error for HmpiError {}
+
+impl From<MpiError> for HmpiError {
+    fn from(e: MpiError) -> Self {
+        HmpiError::Mpi(e)
+    }
+}
+
+impl From<SelectError> for HmpiError {
+    fn from(e: SelectError) -> Self {
+        HmpiError::Select(e)
+    }
+}
+
+/// Result alias for HMPI operations.
+pub type HmpiResult<T> = Result<T, HmpiError>;
+
+/// Global (cross-rank) state of a running HMPI universe.
+#[derive(Debug)]
+struct HmpiShared {
+    /// `free[world_rank]`: not currently a member of any HMPI group.
+    free: RwLock<Vec<bool>>,
+    next_group_id: AtomicU64,
+}
+
+/// The HMPI runtime: a simulated heterogeneous cluster plus the shared,
+/// `HMPI_Recon`-refreshable speed estimates.
+///
+/// ```
+/// use hetsim::{ClusterBuilder, Link, Protocol};
+/// use hmpi::HmpiRuntime;
+/// use perfmodel::ModelBuilder;
+/// use std::sync::Arc;
+///
+/// let cluster = Arc::new(
+///     ClusterBuilder::new()
+///         .node("host", 50.0)
+///         .node("fast", 200.0)
+///         .node("slow", 10.0)
+///         .all_to_all(Link::with_defaults(Protocol::Tcp))
+///         .build(),
+/// );
+/// let runtime = HmpiRuntime::new(cluster);
+/// let report = runtime.run(|h| {
+///     h.recon(10.0).unwrap();
+///     let model = ModelBuilder::new("two-tasks")
+///         .processors(2)
+///         .volumes(vec![10.0, 400.0])
+///         .build()
+///         .unwrap();
+///     let group = h.group_create(&model).unwrap();
+///     let members = group.members().to_vec();
+///     if group.is_member() {
+///         h.group_free(group).unwrap();
+///     }
+///     members
+/// });
+/// // The heavy abstract processor lands on the fast machine; the parent
+/// // stays on the host.
+/// assert_eq!(report.results[0], vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HmpiRuntime {
+    universe: Universe,
+    estimates: SpeedEstimates,
+    default_algo: MappingAlgorithm,
+}
+
+impl HmpiRuntime {
+    /// A runtime with one process per cluster node (the paper's standard
+    /// configuration).
+    pub fn new(cluster: Arc<Cluster>) -> Self {
+        let estimates = SpeedEstimates::from_base_speeds(&cluster);
+        HmpiRuntime {
+            universe: Universe::new(cluster),
+            estimates,
+            default_algo: MappingAlgorithm::default(),
+        }
+    }
+
+    /// A runtime with explicit rank placement.
+    pub fn with_placement(cluster: Arc<Cluster>, placement: Vec<NodeId>) -> Self {
+        let estimates = SpeedEstimates::from_base_speeds(&cluster);
+        HmpiRuntime {
+            universe: Universe::with_placement(cluster, placement),
+            estimates,
+            default_algo: MappingAlgorithm::default(),
+        }
+    }
+
+    /// Overrides the default group-selection algorithm.
+    pub fn with_algorithm(mut self, algo: MappingAlgorithm) -> Self {
+        self.default_algo = algo;
+        self
+    }
+
+    /// The shared speed estimates (initially the cluster's base speeds;
+    /// refreshed by [`Hmpi::recon`]).
+    pub fn estimates(&self) -> &SpeedEstimates {
+        &self.estimates
+    }
+
+    /// The underlying universe.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// Runs an SPMD closure on every rank, giving each its [`Hmpi`] handle.
+    /// Corresponds to launching the application and having every process
+    /// call `HMPI_Init`.
+    pub fn run<R, F>(&self, f: F) -> RunReport<R>
+    where
+        R: Send,
+        F: Fn(&Hmpi) -> R + Sync,
+    {
+        let n = self.universe.size();
+        let shared = Arc::new(HmpiShared {
+            free: RwLock::new(vec![true; n]),
+            next_group_id: AtomicU64::new(1),
+        });
+        let estimates = self.estimates.clone();
+        let algo = self.default_algo;
+        self.universe.run(move |proc| {
+            let world = proc.world();
+            // The control communicator is created collectively at init time
+            // and carries the group-creation protocol, so it can never
+            // collide with application traffic on HMPI_COMM_WORLD.
+            let control = world.dup().expect("control dup at init cannot fail");
+            let hmpi = Hmpi {
+                proc,
+                world,
+                control,
+                estimates: estimates.clone(),
+                shared: shared.clone(),
+                memberships: Cell::new(0),
+                default_algo: algo,
+            };
+            f(&hmpi)
+        })
+    }
+}
+
+/// A rank's handle to the HMPI runtime (what the paper's per-process
+/// `HMPI_Init` sets up). Not `Send` — it belongs to its rank thread.
+#[derive(Debug)]
+pub struct Hmpi<'a> {
+    proc: &'a Process,
+    world: Comm,
+    control: Comm,
+    estimates: SpeedEstimates,
+    shared: Arc<HmpiShared>,
+    memberships: Cell<usize>,
+    default_algo: MappingAlgorithm,
+}
+
+impl Hmpi<'_> {
+    /// `HMPI_COMM_WORLD`: the predefined communication universe.
+    pub fn world(&self) -> &Comm {
+        &self.world
+    }
+
+    /// The underlying process handle.
+    pub fn process(&self) -> &Process {
+        self.proc
+    }
+
+    /// This process's rank in `HMPI_COMM_WORLD`.
+    pub fn rank(&self) -> usize {
+        self.world.rank()
+    }
+
+    /// Number of processes in the universe.
+    pub fn size(&self) -> usize {
+        self.world.size()
+    }
+
+    /// `HMPI_Is_host`: the host is the process with world rank 0 (the mpC
+    /// host-process notion).
+    pub fn is_host(&self) -> bool {
+        self.world.rank() == 0
+    }
+
+    /// `HMPI_Is_free`: not the host and not currently a member of any HMPI
+    /// group.
+    pub fn is_free(&self) -> bool {
+        !self.is_host() && self.memberships.get() == 0
+    }
+
+    /// The cluster node hosting this rank.
+    pub fn node(&self) -> NodeId {
+        self.proc.node()
+    }
+
+    /// Current virtual time on this rank.
+    pub fn now(&self) -> SimTime {
+        self.proc.clock().now()
+    }
+
+    /// Performs `units` benchmark units of computation (advances virtual
+    /// time by `units / true_speed(node, now)`).
+    pub fn compute(&self, units: f64) {
+        self.proc.compute(units);
+    }
+
+    /// The runtime's current speed estimates.
+    pub fn estimates(&self) -> &SpeedEstimates {
+        &self.estimates
+    }
+
+    /// `HMPI_Recon`: every process runs a benchmark of `units` benchmark
+    /// units in parallel; the elapsed virtual times refresh the shared speed
+    /// estimates. Collective over `HMPI_COMM_WORLD`.
+    ///
+    /// # Errors
+    /// Propagates transport errors from the internal allgather.
+    pub fn recon(&self, units: f64) -> HmpiResult<()> {
+        self.recon_with(units, |h| h.compute(units))
+    }
+
+    /// `HMPI_Recon` with a caller-supplied benchmark body: `bench` should
+    /// perform work equivalent to `nominal_units` benchmark units (e.g. call
+    /// the application's serial kernel); its elapsed virtual time yields the
+    /// speed estimate `nominal_units / elapsed`. Collective over
+    /// `HMPI_COMM_WORLD`.
+    ///
+    /// # Errors
+    /// Propagates transport errors from the internal allgather.
+    pub fn recon_with(&self, nominal_units: f64, bench: impl FnOnce(&Self)) -> HmpiResult<()> {
+        assert!(nominal_units > 0.0, "benchmark volume must be positive");
+        let t0 = self.now();
+        bench(self);
+        let elapsed = (self.now() - t0).as_secs();
+        let my_speed = if elapsed > 0.0 {
+            nominal_units / elapsed
+        } else {
+            // A zero-cost benchmark measures nothing; keep the old estimate.
+            self.estimates.speed(self.node())
+        };
+        let all = self.world.allgather(&[my_speed])?;
+        // Synchronise before refreshing so every rank sees the update.
+        self.world.barrier()?;
+        if self.is_host() {
+            let mut per_node = self.estimates.snapshot();
+            for (rank, speeds) in all.iter().enumerate() {
+                per_node[self.proc.node_of(rank).index()] = speeds[0];
+            }
+            self.estimates.refresh(per_node, self.now());
+        }
+        self.world.barrier()?;
+        Ok(())
+    }
+
+    fn selection_ctx(&self) -> SelectionCtx<'_> {
+        self.selection_ctx_for(0)
+    }
+
+    fn selection_ctx_for(&self, parent_world: usize) -> SelectionCtx<'_> {
+        let free = self.shared.free.read();
+        let mut candidates: Vec<usize> = vec![parent_world];
+        candidates.extend((0..self.size()).filter(|&r| r != parent_world && free[r]));
+        SelectionCtx {
+            cluster: self.proc.cluster(),
+            placement: self.placement(),
+            estimates: &self.estimates,
+            candidates,
+            pinned_parent: Some(parent_world),
+        }
+    }
+
+    fn placement(&self) -> &[NodeId] {
+        // Reconstruct placement from the process: node_of is O(1) per rank.
+        // The universe placement is immutable, so caching is unnecessary.
+        self.proc.placement()
+    }
+
+    /// `HMPI_Timeof`: predicts the execution time of the algorithm described
+    /// by `model` on the best group the runtime could currently select,
+    /// without executing it. Local operation.
+    ///
+    /// # Errors
+    /// [`HmpiError::Select`] if the model needs more processes than are
+    /// available.
+    pub fn timeof(&self, model: &dyn perfmodel::PerformanceModel) -> HmpiResult<f64> {
+        Ok(self.timeof_mapping(model)?.predicted)
+    }
+
+    /// Like [`Hmpi::timeof`] but also reports the mapping the prediction is
+    /// for.
+    ///
+    /// # Errors
+    /// As [`Hmpi::timeof`].
+    pub fn timeof_mapping(
+        &self,
+        model: &dyn perfmodel::PerformanceModel,
+    ) -> HmpiResult<Mapping> {
+        let ctx = self.selection_ctx();
+        Ok(select_mapping(self.default_algo, model, &ctx)?)
+    }
+
+    /// Chooses among algorithm variants by predicted execution time — the
+    /// paper's motivation for `HMPI_Timeof`: "write such a parallel
+    /// application that can follow different parallel algorithms to solve
+    /// the same problem, making choice at runtime depending on the
+    /// particular executing network and its actual performance."
+    ///
+    /// Returns `(index, predicted_time)` of the fastest variant, or `None`
+    /// if the iterator is empty or no variant is feasible. Local operation.
+    pub fn choose_best<'m>(
+        &self,
+        variants: impl IntoIterator<Item = &'m dyn perfmodel::PerformanceModel>,
+    ) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, model) in variants.into_iter().enumerate() {
+            if let Ok(t) = self.timeof(model) {
+                if best.is_none_or(|(_, bt)| t < bt) {
+                    best = Some((i, t));
+                }
+            }
+        }
+        best
+    }
+
+    /// `HMPI_Group_create` with the runtime's default selection algorithm.
+    ///
+    /// # Errors
+    /// As [`Hmpi::group_create_with`].
+    pub fn group_create(
+        &self,
+        model: &dyn perfmodel::PerformanceModel,
+    ) -> HmpiResult<HmpiGroup> {
+        self.group_create_with(self.default_algo, model)
+    }
+
+    /// `HMPI_Group_create`: collectively creates a group of processes that
+    /// executes the modelled algorithm faster than any other group. Must be
+    /// called by the host (the parent) and by every free process.
+    ///
+    /// The host solves the selection problem against the current speed
+    /// estimates and distributes `(group id, context, member list)` to every
+    /// participant; selected processes construct the group communicator,
+    /// unselected ones receive a non-member handle and stay free.
+    ///
+    /// # Errors
+    /// [`HmpiError::NotEligible`] if called by a busy process;
+    /// [`HmpiError::Select`] on infeasible models; transport errors
+    /// otherwise.
+    pub fn group_create_with(
+        &self,
+        algo: MappingAlgorithm,
+        model: &dyn perfmodel::PerformanceModel,
+    ) -> HmpiResult<HmpiGroup> {
+        self.group_create_as(0, algo, model)
+    }
+
+    /// `HMPI_Group_create` with an arbitrary *parent* process — the paper's
+    /// general form: "every newly created group has exactly one process
+    /// shared with already existing groups. That process is called a
+    /// parent". The parent coordinates the selection (it may itself be a
+    /// member of an existing group); all free processes must call this with
+    /// the same `parent_world`. The model's `parent` processor is pinned to
+    /// that rank.
+    ///
+    /// Concurrent creations by *different* parents are not serialised by the
+    /// runtime; the program must order them (as the paper's collective
+    /// calling convention implies).
+    ///
+    /// # Errors
+    /// [`HmpiError::NotEligible`] if the caller is neither the parent nor
+    /// free; [`HmpiError::Select`] on infeasible models; transport errors
+    /// otherwise.
+    pub fn group_create_as(
+        &self,
+        parent_world: usize,
+        algo: MappingAlgorithm,
+        model: &dyn perfmodel::PerformanceModel,
+    ) -> HmpiResult<HmpiGroup> {
+        let me = self.rank();
+        let i_am_parent = me == parent_world;
+        // Eligibility is judged from rank-local state: the coordinator may
+        // already have flipped this rank's shared flag for the in-flight
+        // creation before the rank reaches this call.
+        if !i_am_parent && self.memberships.get() > 0 {
+            return Err(HmpiError::NotEligible);
+        }
+
+        let (group_id, members, predicted, ctx_id) = if i_am_parent {
+            let sel_ctx = self.selection_ctx_for(parent_world);
+            let participants = sel_ctx.candidates.clone();
+            let mapping = select_mapping(algo, model, &sel_ctx)?;
+            // The host marks the selected members busy immediately, so a
+            // subsequent group_create on the host cannot re-select a member
+            // that has not yet processed its payload.
+            {
+                let mut free = self.shared.free.write();
+                for &w in &mapping.assignment {
+                    free[w] = false;
+                }
+            }
+            let group_id = self.shared.next_group_id.fetch_add(1, Ordering::Relaxed);
+            let ctx_id = self.control.alloc_ctx();
+
+            let mut payload: Vec<i64> = Vec::with_capacity(3 + mapping.assignment.len());
+            payload.push(group_id as i64);
+            payload.push(ctx_id as i64);
+            payload.push(mapping.predicted.to_bits() as i64);
+            payload.extend(mapping.assignment.iter().map(|&w| w as i64));
+            for &r in &participants {
+                if r != me {
+                    self.control.send(&payload, r, TAG_GROUP_CREATE)?;
+                }
+            }
+            (group_id, mapping.assignment, mapping.predicted, ctx_id)
+        } else {
+            let (payload, _) = self.control.recv::<i64>(parent_world, TAG_GROUP_CREATE)?;
+            let group_id = payload[0] as u64;
+            let ctx_id = payload[1] as u64;
+            let predicted = f64::from_bits(payload[2] as u64);
+            let members: Vec<usize> = payload[3..].iter().map(|&w| w as usize).collect();
+            (group_id, members, predicted, ctx_id)
+        };
+
+        let group = mpisim::Group::from_world_ranks(members.clone())?;
+        let comm = self.control.subset_with_ctx(&group, ctx_id)?;
+
+        if comm.is_some() {
+            self.memberships.set(self.memberships.get() + 1);
+        }
+        let _ = me;
+
+        Ok(HmpiGroup {
+            id: group_id,
+            members,
+            comm,
+            parent_abs: model.parent(),
+            predicted,
+        })
+    }
+
+    /// `HMPI_Group_free`: collectively releases a group. Must be called by
+    /// all members; member processes become free again. Calling it with a
+    /// non-member handle is a no-op for the process state and returns
+    /// [`HmpiError::NotMember`].
+    ///
+    /// # Errors
+    /// [`HmpiError::NotMember`] when the caller was not selected into the
+    /// group; transport errors from the closing barrier.
+    pub fn group_free(&self, group: HmpiGroup) -> HmpiResult<()> {
+        let comm = match group.comm {
+            Some(c) => c,
+            None => return Err(HmpiError::NotMember),
+        };
+        // Two-phase release. The free flags must flip at a moment the host
+        // can reason about: (a) a rank must not look free while the program
+        // may still route around it (the host could select it into a new
+        // group it will never join), and (b) once any member has finished
+        // group_free, every member must look free (a create immediately
+        // after a collective free must see them all).
+        //
+        // Both hold because the parent (host) is a member of every group:
+        // no member passes the first barrier before the host itself enters
+        // group_free, so flags cannot flip while the host is elsewhere; and
+        // every member flips its flag before its second-barrier message, so
+        // when anyone exits the second barrier all flags are set.
+        comm.barrier()?;
+        self.memberships.set(self.memberships.get() - 1);
+        self.shared.free.write()[self.rank()] = true;
+        comm.barrier()?;
+        Ok(())
+    }
+
+    /// `HMPI_Finalize`: a final synchronisation over `HMPI_COMM_WORLD`.
+    ///
+    /// # Errors
+    /// Propagates transport errors from the barrier.
+    pub fn finalize(&self) -> HmpiResult<()> {
+        self.world.barrier()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,86 @@
+//! `Hmpi::choose_best` — runtime algorithm selection via `HMPI_Timeof`.
+
+use hetsim::{ClusterBuilder, Link, Protocol};
+use hmpi::HmpiRuntime;
+use perfmodel::{ModelBuilder, PerformanceModel};
+use std::sync::Arc;
+
+fn cluster(speeds: &[f64], latency: f64, bandwidth: f64) -> Arc<hetsim::Cluster> {
+    let mut b = ClusterBuilder::new();
+    for (i, &s) in speeds.iter().enumerate() {
+        b = b.node(format!("h{i}"), s);
+    }
+    Arc::new(
+        b.all_to_all(Link::new(latency, bandwidth, Protocol::Tcp))
+            .build(),
+    )
+}
+
+/// Two formulations of the same job: fully parallel with heavy
+/// communication, or sequential on one machine with none. On a fast
+/// network the parallel variant wins; on a slow network the sequential one
+/// does — `choose_best` must flip with the network.
+fn variants(total_work: f64, comm_bytes: f64, p: usize) -> Vec<perfmodel::builder::BuiltModel> {
+    let parallel = ModelBuilder::new("parallel")
+        .processors(p)
+        .volumes(vec![total_work / p as f64; p])
+        .comm_fn(move |_, _| comm_bytes)
+        .build()
+        .unwrap();
+    let sequential = ModelBuilder::new("sequential")
+        .processors(1)
+        .volumes(vec![total_work])
+        .build()
+        .unwrap();
+    vec![parallel, sequential]
+}
+
+#[test]
+fn fast_network_prefers_the_parallel_variant() {
+    let rt = HmpiRuntime::new(cluster(&[100.0; 4], 1e-6, 1e9));
+    let report = rt.run(|h| {
+        let vs = variants(4000.0, 1e6, 4);
+        let refs: Vec<&dyn PerformanceModel> =
+            vs.iter().map(|m| m as &dyn PerformanceModel).collect();
+        h.choose_best(refs)
+    });
+    let (idx, t) = report.results[0].unwrap();
+    assert_eq!(idx, 0, "parallel wins on a fast network");
+    assert!(t < 40.0 * 1.5);
+}
+
+#[test]
+fn slow_network_prefers_the_sequential_variant() {
+    // 1 MB per pair over a 10 kB/s link dwarfs the compute saving.
+    let rt = HmpiRuntime::new(cluster(&[100.0; 4], 0.5, 1e4));
+    let report = rt.run(|h| {
+        let vs = variants(4000.0, 1e6, 4);
+        let refs: Vec<&dyn PerformanceModel> =
+            vs.iter().map(|m| m as &dyn PerformanceModel).collect();
+        h.choose_best(refs)
+    });
+    let (idx, _) = report.results[0].unwrap();
+    assert_eq!(idx, 1, "sequential wins when the network is terrible");
+}
+
+#[test]
+fn infeasible_variants_are_skipped() {
+    // The 8-processor variant cannot run on 3 machines; choose_best must
+    // fall through to the feasible one.
+    let rt = HmpiRuntime::new(cluster(&[100.0; 3], 1e-4, 1e7));
+    let report = rt.run(|h| {
+        let big = ModelBuilder::new("too-big").processors(8).build().unwrap();
+        let ok = ModelBuilder::new("fits").processors(2).build().unwrap();
+        let vs: Vec<&dyn PerformanceModel> = vec![&big, &ok];
+        h.choose_best(vs)
+    });
+    let (idx, _) = report.results[0].unwrap();
+    assert_eq!(idx, 1);
+}
+
+#[test]
+fn empty_iterator_yields_none() {
+    let rt = HmpiRuntime::new(cluster(&[100.0; 2], 1e-4, 1e7));
+    let report = rt.run(|h| h.choose_best(Vec::<&dyn PerformanceModel>::new()));
+    assert!(report.results[0].is_none());
+}

@@ -1,0 +1,121 @@
+//! Stress tests: hammer the group lifecycle and recon machinery to shake
+//! out protocol races the scenario tests might miss.
+
+use hetsim::Cluster;
+use hmpi::HmpiRuntime;
+use mpisim::ReduceOp;
+use perfmodel::ModelBuilder;
+use std::sync::Arc;
+
+fn paper_lan() -> Arc<Cluster> {
+    Arc::new(Cluster::paper_lan_em3d())
+}
+
+#[test]
+fn fifty_create_free_cycles() {
+    let rt = HmpiRuntime::new(paper_lan());
+    let report = rt.run(|h| {
+        let model = ModelBuilder::new("cycle")
+            .processors(5)
+            .volumes(vec![10.0, 20.0, 30.0, 40.0, 50.0])
+            .build()
+            .unwrap();
+        let mut memberships = 0usize;
+        let mut last_id = 0;
+        for _ in 0..50 {
+            let g = h.group_create(&model).unwrap();
+            assert!(g.id() > last_id, "group ids are strictly increasing");
+            last_id = g.id();
+            if let Some(comm) = g.comm() {
+                memberships += 1;
+                let s = comm.allreduce_one_i64(1, ReduceOp::Sum).unwrap();
+                assert_eq!(s, 5);
+            }
+            if g.is_member() {
+                h.group_free(g).unwrap();
+            }
+        }
+        memberships
+    });
+    // The selection is deterministic, so the same 5 ranks are members every
+    // round: 5 ranks saw 50 memberships, 4 saw none.
+    let mut counts = report.results.clone();
+    counts.sort_unstable();
+    assert_eq!(&counts[..4], &[0, 0, 0, 0]);
+    assert_eq!(&counts[4..], &[50, 50, 50, 50, 50]);
+}
+
+#[test]
+fn alternating_group_sizes() {
+    // Alternate between a wide group (all 9) and a narrow one (2) so the
+    // free set flips between empty and nearly full every round.
+    let rt = HmpiRuntime::new(paper_lan());
+    rt.run(|h| {
+        let wide = ModelBuilder::new("wide").processors(9).build().unwrap();
+        let narrow = ModelBuilder::new("narrow").processors(2).build().unwrap();
+        for round in 0..20 {
+            let model: &dyn perfmodel::PerformanceModel =
+                if round % 2 == 0 { &wide } else { &narrow };
+            let g = h.group_create(model).unwrap();
+            if let Some(comm) = g.comm() {
+                comm.barrier().unwrap();
+            }
+            if g.is_member() {
+                h.group_free(g).unwrap();
+            }
+            // Everyone resynchronises before the next round so the
+            // participant set is unambiguous (the paper's collective calling
+            // convention).
+            h.finalize().unwrap();
+        }
+    });
+}
+
+#[test]
+fn interleaved_recon_and_groups() {
+    let rt = HmpiRuntime::new(paper_lan());
+    rt.run(|h| {
+        let model = ModelBuilder::new("m")
+            .processors(3)
+            .volumes(vec![5.0, 10.0, 15.0])
+            .build()
+            .unwrap();
+        for i in 0..10 {
+            h.recon(1.0 + i as f64).unwrap();
+            let g = h.group_create(&model).unwrap();
+            if g.is_member() {
+                h.group_free(g).unwrap();
+            }
+            h.finalize().unwrap();
+        }
+        assert_eq!(h.estimates().generation(), 10);
+    });
+}
+
+#[test]
+fn heavy_p2p_traffic_under_groups() {
+    // Members exchange a burst of tagged messages every round; ordering and
+    // isolation must hold across group generations.
+    let rt = HmpiRuntime::new(paper_lan());
+    rt.run(|h| {
+        let model = ModelBuilder::new("pairs").processors(4).build().unwrap();
+        for round in 0..10i64 {
+            let g = h.group_create(&model).unwrap();
+            if let Some(comm) = g.comm() {
+                let me = comm.rank();
+                let peer = me ^ 1; // 0<->1, 2<->3
+                for k in 0..20i64 {
+                    comm.send(&[round * 100 + k], peer, k as i32).unwrap();
+                }
+                for k in 0..20i64 {
+                    let (v, _) = comm.recv::<i64>(peer, k as i32).unwrap();
+                    assert_eq!(v[0], round * 100 + k);
+                }
+            }
+            if g.is_member() {
+                h.group_free(g).unwrap();
+            }
+            h.finalize().unwrap();
+        }
+    });
+}

@@ -1,0 +1,110 @@
+//! The paper's model sources (Figures 4 and 7) through the full language
+//! toolchain: parse → pretty-print → re-parse round-trip, and the model
+//! linter must report both clean.
+
+use hmpi_apps::em3d::{self, Em3dConfig, Em3dSystem, EM3D_MODEL_SOURCE};
+use hmpi_apps::matmul::{matmul_model, GeneralizedBlockDist, MATMUL_MODEL_SOURCE};
+use perfmodel::{analyze, parse_program, pretty, CompiledModel, PerformanceModel};
+
+#[test]
+fn figure4_round_trips_through_the_pretty_printer() {
+    let ast1 = parse_program(EM3D_MODEL_SOURCE).unwrap();
+    let printed = pretty::print_program(&ast1);
+    let ast2 = parse_program(&printed).unwrap();
+    assert_eq!(ast1, ast2, "printed:\n{printed}");
+}
+
+#[test]
+fn figure7_round_trips_through_the_pretty_printer() {
+    let ast1 = parse_program(MATMUL_MODEL_SOURCE).unwrap();
+    let printed = pretty::print_program(&ast1);
+    let ast2 = parse_program(&printed).unwrap();
+    assert_eq!(ast1, ast2, "printed:\n{printed}");
+}
+
+#[test]
+fn reparsed_figure4_behaves_identically() {
+    // Semantics preserved, not just syntax: volumes, comm and parent agree
+    // between the original and the round-tripped model.
+    let system = Em3dSystem::generate(&Em3dConfig::ramp(5, 60, 2.0, 3));
+    let params = em3d::em3d_params(&system, 10);
+
+    let original = CompiledModel::compile(EM3D_MODEL_SOURCE)
+        .unwrap()
+        .instantiate(&params)
+        .unwrap();
+    let printed = pretty::print_program(&parse_program(EM3D_MODEL_SOURCE).unwrap());
+    let roundtrip = CompiledModel::compile(&printed)
+        .unwrap()
+        .instantiate(&params)
+        .unwrap();
+
+    assert_eq!(original.volumes(), roundtrip.volumes());
+    assert_eq!(original.comm_bytes(), roundtrip.comm_bytes());
+    assert_eq!(original.parent(), roundtrip.parent());
+}
+
+#[test]
+fn figure4_model_lints_clean() {
+    let system = Em3dSystem::generate(&Em3dConfig::ramp(6, 60, 3.0, 11));
+    let model = em3d::em3d_model(&system, 10).unwrap();
+    let report = analyze(&model).unwrap();
+    assert!(
+        report.is_clean(),
+        "Figure 4 should fully cover its volumes: {:?}",
+        report.findings
+    );
+    // The scheme has nested par blocks (transfers inside a 2-level par).
+    assert!(report.coverage.max_par_depth >= 2);
+}
+
+#[test]
+fn figure7_model_lints_clean_when_l_divides_n() {
+    // The paper's own percentage algebra is exact when n/l is integral.
+    let speeds = [46.0, 46.0, 46.0, 46.0, 46.0, 46.0, 176.0, 106.0, 9.0];
+    let dist = GeneralizedBlockDist::heterogeneous(3, 9, &speeds);
+    let model = matmul_model(&dist, 8, 18).unwrap();
+    let report = analyze(&model).unwrap();
+    assert!(
+        report.is_clean(),
+        "Figure 7 should fully cover its volumes: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn figure7_coverage_totals_are_exactly_100() {
+    let speeds = [46.0, 46.0, 46.0, 46.0, 46.0, 46.0, 176.0, 106.0, 9.0];
+    let dist = GeneralizedBlockDist::heterogeneous(3, 9, &speeds);
+    let model = matmul_model(&dist, 8, 9).unwrap();
+    let report = analyze(&model).unwrap();
+    for (p, &total) in report.coverage.compute.iter().enumerate() {
+        assert!(
+            (total - 100.0).abs() < 1e-6,
+            "proc {p} computes {total:.4}%"
+        );
+    }
+}
+
+#[test]
+fn lint_catches_a_deliberately_broken_scheme() {
+    // Mutate Figure 4's scheme to perform only half the computation; the
+    // linter must notice.
+    let broken = EM3D_MODEL_SOURCE.replace(
+        "par (current = 0; current < p; current++) 100%%[current];",
+        "par (current = 0; current < p; current++) 50%%[current];",
+    );
+    assert_ne!(broken, EM3D_MODEL_SOURCE);
+    let system = Em3dSystem::generate(&Em3dConfig::ramp(4, 60, 2.0, 3));
+    let model = CompiledModel::compile(&broken)
+        .unwrap()
+        .instantiate(&em3d::em3d_params(&system, 10))
+        .unwrap();
+    let report = analyze(&model).unwrap();
+    let flagged = report
+        .findings
+        .iter()
+        .filter(|f| matches!(f, perfmodel::Finding::ComputeCoverage { .. }))
+        .count();
+    assert_eq!(flagged, 4, "all four processors are undercovered");
+}

@@ -1,0 +1,355 @@
+//! Cartesian process topologies (`MPI_Cart_*`).
+//!
+//! The paper's matrix-multiplication application lives on an `m × m`
+//! processor grid; this module provides the standard MPI machinery for such
+//! grids: [`CartComm`] wraps a communicator with dimensions, translates
+//! between ranks and coordinates (`MPI_Cart_rank` / `MPI_Cart_coords`),
+//! computes shift partners (`MPI_Cart_shift`) and extracts row/column
+//! subcommunicators (`MPI_Cart_sub`).
+
+use crate::comm::Comm;
+use crate::error::{MpiError, MpiResult};
+
+/// A communicator with an attached cartesian topology.
+#[derive(Debug, Clone)]
+pub struct CartComm {
+    comm: Comm,
+    dims: Vec<usize>,
+    periodic: Vec<bool>,
+}
+
+impl CartComm {
+    /// Attaches a cartesian topology to a communicator
+    /// (`MPI_Cart_create` with `reorder = false`). Collective in MPI; here
+    /// it is purely local because no ranks are reordered.
+    ///
+    /// # Errors
+    /// [`MpiError::InvalidCounts`] if the dimension product does not equal
+    /// the communicator size or arities mismatch.
+    pub fn new(comm: Comm, dims: &[usize], periodic: &[bool]) -> MpiResult<CartComm> {
+        if dims.is_empty() || dims.iter().product::<usize>() != comm.size() {
+            return Err(MpiError::InvalidCounts(format!(
+                "dims {dims:?} do not tile a communicator of size {}",
+                comm.size()
+            )));
+        }
+        if periodic.len() != dims.len() {
+            return Err(MpiError::InvalidCounts(
+                "periodic flags must match dims".into(),
+            ));
+        }
+        Ok(CartComm {
+            comm,
+            dims: dims.to_vec(),
+            periodic: periodic.to_vec(),
+        })
+    }
+
+    /// The underlying communicator.
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of grid dimensions (`MPI_Cartdim_get`).
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// This process's coordinates (`MPI_Cart_coords` of own rank).
+    pub fn coords(&self) -> Vec<usize> {
+        self.coords_of(self.comm.rank())
+    }
+
+    /// Coordinates of an arbitrary rank (`MPI_Cart_coords`).
+    ///
+    /// # Panics
+    /// Panics if `rank` is out of range.
+    pub fn coords_of(&self, rank: usize) -> Vec<usize> {
+        assert!(rank < self.comm.size());
+        let mut rem = rank;
+        let mut out = vec![0; self.dims.len()];
+        for i in (0..self.dims.len()).rev() {
+            out[i] = rem % self.dims[i];
+            rem /= self.dims[i];
+        }
+        out
+    }
+
+    /// Rank of the process at `coords` (`MPI_Cart_rank`).
+    ///
+    /// # Errors
+    /// [`MpiError::InvalidRank`] if a non-periodic coordinate is out of
+    /// range; periodic dimensions wrap.
+    pub fn rank_of(&self, coords: &[isize]) -> MpiResult<usize> {
+        if coords.len() != self.dims.len() {
+            return Err(MpiError::InvalidCounts(format!(
+                "{} coordinates for {} dimensions",
+                coords.len(),
+                self.dims.len()
+            )));
+        }
+        let mut rank = 0usize;
+        for (i, (&c, &extent)) in coords.iter().zip(&self.dims).enumerate() {
+            let wrapped = if self.periodic[i] {
+                c.rem_euclid(extent as isize) as usize
+            } else {
+                if c < 0 || c as usize >= extent {
+                    return Err(MpiError::InvalidRank {
+                        rank: c,
+                        comm_size: extent,
+                    });
+                }
+                c as usize
+            };
+            rank = rank * extent + wrapped;
+        }
+        Ok(rank)
+    }
+
+    /// Shift partners along a dimension (`MPI_Cart_shift`): returns
+    /// `(source, destination)` for a displacement `disp` — the ranks one
+    /// would receive from and send to in `MPI_Sendrecv`. `None` marks the
+    /// edge of a non-periodic dimension (`MPI_PROC_NULL`).
+    ///
+    /// # Panics
+    /// Panics if `dim` is out of range.
+    pub fn shift(&self, dim: usize, disp: isize) -> (Option<usize>, Option<usize>) {
+        assert!(dim < self.dims.len());
+        let mut dst_coords: Vec<isize> =
+            self.coords().iter().map(|&c| c as isize).collect();
+        let mut src_coords = dst_coords.clone();
+        dst_coords[dim] += disp;
+        src_coords[dim] -= disp;
+        (self.rank_of(&src_coords).ok(), self.rank_of(&dst_coords).ok())
+    }
+
+    /// Extracts the subcommunicator of the grid slice through this process
+    /// in which `keep[d]` dimensions vary (`MPI_Cart_sub`). For a 2D grid,
+    /// `keep = [false, true]` yields this process's row communicator and
+    /// `keep = [true, false]` its column communicator. Collective.
+    ///
+    /// # Errors
+    /// [`MpiError::InvalidCounts`] on arity mismatch; transport errors from
+    /// the underlying split.
+    pub fn sub(&self, keep: &[bool]) -> MpiResult<CartComm> {
+        if keep.len() != self.dims.len() {
+            return Err(MpiError::InvalidCounts(
+                "keep flags must match dims".into(),
+            ));
+        }
+        // Color = the fixed (dropped) coordinates; key = position within the
+        // kept slice, preserving grid order.
+        let coords = self.coords();
+        let mut color = 0i32;
+        let mut key = 0i32;
+        for ((&c, &extent), &k) in coords.iter().zip(&self.dims).zip(keep) {
+            if k {
+                key = key * extent as i32 + c as i32;
+            } else {
+                color = color * extent as i32 + c as i32;
+            }
+        }
+        let sub = self
+            .comm
+            .split(Some(color), key)?
+            .expect("every rank supplied a color");
+        let dims: Vec<usize> = self
+            .dims
+            .iter()
+            .zip(keep)
+            .filter(|(_, &k)| k)
+            .map(|(&d, _)| d)
+            .collect();
+        let periodic: Vec<bool> = self
+            .periodic
+            .iter()
+            .zip(keep)
+            .filter(|(_, &k)| k)
+            .map(|(&p, _)| p)
+            .collect();
+        let dims = if dims.is_empty() { vec![1] } else { dims };
+        let periodic = if periodic.is_empty() {
+            vec![false]
+        } else {
+            periodic
+        };
+        CartComm::new(sub, &dims, &periodic)
+    }
+}
+
+/// Balanced dimension factorisation (`MPI_Dims_create`): factors `nnodes`
+/// into `ndims` dimensions as squarely as possible, in non-increasing order.
+///
+/// # Panics
+/// Panics if `ndims` is zero.
+pub fn dims_create(nnodes: usize, ndims: usize) -> Vec<usize> {
+    assert!(ndims >= 1);
+    let mut dims = vec![1usize; ndims];
+    let mut remaining = nnodes;
+    // Peel prime factors largest-first onto the currently smallest dim.
+    let mut factors = Vec::new();
+    let mut n = remaining;
+    let mut f = 2;
+    while f * f <= n {
+        while n.is_multiple_of(f) {
+            factors.push(f);
+            n /= f;
+        }
+        f += 1;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    for f in factors {
+        let i = dims
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &d)| d)
+            .map(|(i, _)| i)
+            .expect("ndims >= 1");
+        dims[i] *= f;
+        remaining /= f;
+    }
+    debug_assert_eq!(remaining, 1);
+    dims.sort_unstable_by(|a, b| b.cmp(a));
+    dims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Universe;
+    use crate::ReduceOp;
+    use hetsim::{ClusterBuilder, Link, Protocol};
+    use std::sync::Arc;
+
+    fn cluster(n: usize) -> Arc<hetsim::Cluster> {
+        let mut b = ClusterBuilder::new();
+        for i in 0..n {
+            b = b.node(format!("h{i}"), 100.0);
+        }
+        Arc::new(b.all_to_all(Link::new(1e-4, 1e7, Protocol::Tcp)).build())
+    }
+
+    #[test]
+    fn dims_create_is_balanced() {
+        assert_eq!(dims_create(9, 2), vec![3, 3]);
+        assert_eq!(dims_create(12, 2), vec![4, 3]);
+        assert_eq!(dims_create(8, 3), vec![2, 2, 2]);
+        assert_eq!(dims_create(7, 2), vec![7, 1]);
+        assert_eq!(dims_create(1, 2), vec![1, 1]);
+    }
+
+    #[test]
+    fn coords_and_rank_are_inverse() {
+        let u = Universe::new(cluster(6));
+        u.run(|p| {
+            let cart = CartComm::new(p.world(), &[2, 3], &[false, false]).unwrap();
+            for r in 0..6 {
+                let c = cart.coords_of(r);
+                let signed: Vec<isize> = c.iter().map(|&x| x as isize).collect();
+                assert_eq!(cart.rank_of(&signed).unwrap(), r);
+            }
+            assert_eq!(cart.coords_of(5), vec![1, 2]);
+        });
+    }
+
+    #[test]
+    fn bad_dims_rejected() {
+        let u = Universe::new(cluster(6));
+        u.run(|p| {
+            assert!(CartComm::new(p.world(), &[2, 2], &[false, false]).is_err());
+            assert!(CartComm::new(p.world(), &[2, 3], &[false]).is_err());
+        });
+    }
+
+    #[test]
+    fn shift_non_periodic_has_edges() {
+        let u = Universe::new(cluster(4));
+        u.run(|p| {
+            let cart = CartComm::new(p.world(), &[4], &[false]).unwrap();
+            let (src, dst) = cart.shift(0, 1);
+            match p.world_rank() {
+                0 => {
+                    assert_eq!(src, None);
+                    assert_eq!(dst, Some(1));
+                }
+                3 => {
+                    assert_eq!(src, Some(2));
+                    assert_eq!(dst, None);
+                }
+                r => {
+                    assert_eq!(src, Some(r - 1));
+                    assert_eq!(dst, Some(r + 1));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn shift_periodic_wraps() {
+        let u = Universe::new(cluster(4));
+        u.run(|p| {
+            let cart = CartComm::new(p.world(), &[4], &[true]).unwrap();
+            let (src, dst) = cart.shift(0, 1);
+            let me = p.world_rank();
+            assert_eq!(src, Some((me + 3) % 4));
+            assert_eq!(dst, Some((me + 1) % 4));
+        });
+    }
+
+    #[test]
+    fn cart_sub_gives_row_and_column_comms() {
+        let u = Universe::new(cluster(6));
+        let report = u.run(|p| {
+            let cart = CartComm::new(p.world(), &[2, 3], &[false, false]).unwrap();
+            let row = cart.sub(&[false, true]).unwrap();
+            let col = cart.sub(&[true, false]).unwrap();
+            let row_sum = row
+                .comm()
+                .allreduce_one_i64(p.world_rank() as i64, ReduceOp::Sum)
+                .unwrap();
+            let col_sum = col
+                .comm()
+                .allreduce_one_i64(p.world_rank() as i64, ReduceOp::Sum)
+                .unwrap();
+            (row.comm().size(), col.comm().size(), row_sum, col_sum)
+        });
+        // Grid: ranks 0..6 as 2x3. Row of rank 0: {0,1,2} sum 3; column of
+        // rank 0: {0,3} sum 3.
+        assert_eq!(report.results[0], (3, 2, 3, 3));
+        // Rank 4 = (1,1): row {3,4,5} sum 12, column {1,4} sum 5.
+        assert_eq!(report.results[4], (3, 2, 12, 5));
+    }
+
+    #[test]
+    fn ring_exchange_over_periodic_cart() {
+        // A classic halo exchange: everyone sendrecv's with its +1 neighbour.
+        let n = 5;
+        let u = Universe::new(cluster(n));
+        let report = u.run(move |p| {
+            let cart = CartComm::new(p.world(), &[n], &[true]).unwrap();
+            let (src, dst) = cart.shift(0, 1);
+            let (got, _) = cart
+                .comm()
+                .sendrecv::<i64, i64>(
+                    &[p.world_rank() as i64],
+                    dst.unwrap(),
+                    0,
+                    src.unwrap(),
+                    0,
+                )
+                .unwrap();
+            got[0]
+        });
+        for (me, got) in report.results.iter().enumerate() {
+            assert_eq!(*got as usize, (me + n - 1) % n);
+        }
+    }
+}

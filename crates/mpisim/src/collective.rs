@@ -1,0 +1,438 @@
+//! Collective operations, built on point-to-point.
+//!
+//! Every collective here is implemented in terms of [`Comm`]'s transport
+//! primitives on the communicator's *collective context plane*, so (a)
+//! collectives can never intercept application point-to-point traffic, and
+//! (b) their virtual-time cost emerges from the link model rather than being
+//! postulated: a binomial-tree broadcast over 9 hosts takes ⌈log₂ 9⌉ = 4
+//! link traversals of critical path, a linear gather takes `p − 1` messages
+//! into the root's NIC, and so on.
+
+use crate::comm::Comm;
+use crate::datatype::{decode, encode, MpiType};
+use crate::error::{MpiError, MpiResult};
+use crate::op::ReduceOp;
+
+// Collective opcodes, used as tags on the collective plane. Two successive
+// collectives of the same kind pair up correctly thanks to the per-(source,
+// context) non-overtaking guarantee.
+const TAG_BARRIER_UP: i32 = 1;
+const TAG_BARRIER_DOWN: i32 = 2;
+const TAG_BCAST: i32 = 3;
+const TAG_GATHER: i32 = 4;
+const TAG_SCATTER: i32 = 5;
+const TAG_ALLTOALL: i32 = 6;
+const TAG_REDUCE: i32 = 7;
+const TAG_SCAN: i32 = 8;
+
+impl Comm {
+    fn check_root(&self, root: usize) -> MpiResult<()> {
+        if root >= self.size() {
+            return Err(MpiError::InvalidRank {
+                rank: root as isize,
+                comm_size: self.size(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Broadcast raw bytes along a binomial tree rooted at `root`.
+    fn bcast_bytes(&self, mut bytes: Vec<u8>, root: usize, tag: i32) -> Vec<u8> {
+        let size = self.size();
+        let rank = self.rank();
+        if size == 1 {
+            return bytes;
+        }
+        let rel = (rank + size - root) % size;
+
+        // Receive phase: wait for the subtree parent.
+        let mut mask = 1usize;
+        while mask < size {
+            if rel & mask != 0 {
+                let src = (rel - mask + root) % size;
+                let (data, _) = self.recv_bytes(self.coll_plane(), Some(src), Some(tag));
+                bytes = data;
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: fan out to children.
+        mask >>= 1;
+        while mask > 0 {
+            if rel + mask < size {
+                let dst = (rel + mask + root) % size;
+                self.post_bytes(self.coll_plane(), bytes.clone(), dst, tag);
+            }
+            mask >>= 1;
+        }
+        bytes
+    }
+
+    /// Broadcast (`MPI_Bcast`): `data` is the payload at `root` and is
+    /// replaced with the broadcast value everywhere else.
+    ///
+    /// # Errors
+    /// [`MpiError::InvalidRank`] for a bad root; [`MpiError::TypeMismatch`]
+    /// on decode (cannot happen for matched types).
+    pub fn bcast<T: MpiType>(&self, data: &mut Vec<T>, root: usize) -> MpiResult<()> {
+        self.check_root(root)?;
+        let bytes = if self.rank() == root {
+            encode(&*data)
+        } else {
+            Vec::new()
+        };
+        let out = self.bcast_bytes(bytes, root, TAG_BCAST);
+        *data = decode(&out)?;
+        Ok(())
+    }
+
+    /// Broadcasts a single value from `root`.
+    ///
+    /// # Errors
+    /// As [`Comm::bcast`].
+    pub fn bcast_one<T: MpiType + Default>(&self, value: T, root: usize) -> MpiResult<T> {
+        let mut v = if self.rank() == root {
+            vec![value]
+        } else {
+            Vec::new()
+        };
+        self.bcast(&mut v, root)?;
+        Ok(v[0])
+    }
+
+    /// Barrier (`MPI_Barrier`): an empty-payload binomial reduce to rank 0
+    /// followed by an empty broadcast. On return, every rank's clock is at
+    /// least the time at which the last rank entered the barrier plus the
+    /// tree traversal cost.
+    ///
+    /// # Errors
+    /// Propagates transport errors (none under normal operation).
+    pub fn barrier(&self) -> MpiResult<()> {
+        let size = self.size();
+        let rank = self.rank();
+        if size == 1 {
+            return Ok(());
+        }
+        // Up phase: binomial reduce of nothing.
+        let mut mask = 1usize;
+        while mask < size {
+            if rank & mask == 0 {
+                let src = rank | mask;
+                if src < size {
+                    let _ = self.recv_bytes(self.coll_plane(), Some(src), Some(TAG_BARRIER_UP));
+                }
+            } else {
+                let dst = rank & !mask;
+                self.post_bytes(self.coll_plane(), Vec::new(), dst, TAG_BARRIER_UP);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Down phase: empty bcast from 0.
+        self.bcast_bytes(Vec::new(), 0, TAG_BARRIER_DOWN);
+        Ok(())
+    }
+
+    /// Gather (`MPI_Gatherv`-style): every rank contributes a slice (lengths
+    /// may differ); `root` receives `Some(vec_of_contributions)` in rank
+    /// order, everyone else `None`.
+    ///
+    /// # Errors
+    /// [`MpiError::InvalidRank`] for a bad root.
+    pub fn gather<T: MpiType>(&self, contrib: &[T], root: usize) -> MpiResult<Option<Vec<Vec<T>>>> {
+        self.check_root(root)?;
+        if self.rank() != root {
+            self.post_bytes(self.coll_plane(), encode(contrib), root, TAG_GATHER);
+            return Ok(None);
+        }
+        let mut out = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            if src == root {
+                out.push(contrib.to_vec());
+            } else {
+                let (bytes, _) = self.recv_bytes(self.coll_plane(), Some(src), Some(TAG_GATHER));
+                out.push(decode(&bytes)?);
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// Gather with equal contribution lengths, flattened in rank order
+    /// (`MPI_Gather`).
+    ///
+    /// # Errors
+    /// [`MpiError::InvalidCounts`] if contributions differ in length.
+    pub fn gather_flat<T: MpiType>(
+        &self,
+        contrib: &[T],
+        root: usize,
+    ) -> MpiResult<Option<Vec<T>>> {
+        let per = contrib.len();
+        match self.gather(contrib, root)? {
+            None => Ok(None),
+            Some(parts) => {
+                if parts.iter().any(|p| p.len() != per) {
+                    return Err(MpiError::InvalidCounts(
+                        "gather_flat requires equal contribution lengths".into(),
+                    ));
+                }
+                Ok(Some(parts.into_iter().flatten().collect()))
+            }
+        }
+    }
+
+    /// Scatter (`MPI_Scatterv`-style): `root` supplies one vector per rank
+    /// (`parts.len() == size`); each rank receives its part.
+    ///
+    /// # Errors
+    /// [`MpiError::InvalidCounts`] if root's `parts` has the wrong arity;
+    /// [`MpiError::InvalidRank`] for a bad root.
+    pub fn scatter<T: MpiType>(
+        &self,
+        parts: Option<&[Vec<T>]>,
+        root: usize,
+    ) -> MpiResult<Vec<T>> {
+        self.check_root(root)?;
+        if self.rank() == root {
+            let parts = parts.ok_or_else(|| {
+                MpiError::InvalidCounts("root must supply scatter parts".into())
+            })?;
+            if parts.len() != self.size() {
+                return Err(MpiError::InvalidCounts(format!(
+                    "scatter needs {} parts, got {}",
+                    self.size(),
+                    parts.len()
+                )));
+            }
+            for (dst, part) in parts.iter().enumerate() {
+                if dst != root {
+                    self.post_bytes(self.coll_plane(), encode(part), dst, TAG_SCATTER);
+                }
+            }
+            Ok(parts[root].clone())
+        } else {
+            let (bytes, _) = self.recv_bytes(self.coll_plane(), Some(root), Some(TAG_SCATTER));
+            decode(&bytes)
+        }
+    }
+
+    /// Allgather (`MPI_Allgatherv`-style): every rank receives every rank's
+    /// contribution, in rank order. Implemented as gather-to-0 plus two
+    /// broadcasts (lengths, then the flattened payload).
+    ///
+    /// # Errors
+    /// Propagates transport errors.
+    pub fn allgather<T: MpiType>(&self, contrib: &[T]) -> MpiResult<Vec<Vec<T>>> {
+        let gathered = self.gather(contrib, 0)?;
+        let (mut lens, mut flat): (Vec<usize>, Vec<T>) = match gathered {
+            Some(parts) => (
+                parts.iter().map(Vec::len).collect(),
+                parts.into_iter().flatten().collect(),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
+        self.bcast(&mut lens, 0)?;
+        self.bcast(&mut flat, 0)?;
+        let mut out = Vec::with_capacity(lens.len());
+        let mut off = 0;
+        for len in lens {
+            out.push(flat[off..off + len].to_vec());
+            off += len;
+        }
+        Ok(out)
+    }
+
+    /// All-to-all personalised exchange (`MPI_Alltoallv`-style): rank `i`'s
+    /// `sends[j]` is delivered as rank `j`'s result `[i]`.
+    ///
+    /// # Errors
+    /// [`MpiError::InvalidCounts`] if `sends.len() != size`.
+    pub fn alltoall<T: MpiType>(&self, sends: &[Vec<T>]) -> MpiResult<Vec<Vec<T>>> {
+        if sends.len() != self.size() {
+            return Err(MpiError::InvalidCounts(format!(
+                "alltoall needs {} send vectors, got {}",
+                self.size(),
+                sends.len()
+            )));
+        }
+        let rank = self.rank();
+        for (dst, payload) in sends.iter().enumerate() {
+            if dst != rank {
+                self.post_bytes(self.coll_plane(), encode(payload), dst, TAG_ALLTOALL);
+            }
+        }
+        let mut out = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            if src == rank {
+                out.push(sends[rank].clone());
+            } else {
+                let (bytes, _) = self.recv_bytes(self.coll_plane(), Some(src), Some(TAG_ALLTOALL));
+                out.push(decode(&bytes)?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_typed_reductions {
+    ($t:ty, $fold:ident, $identity:ident, $reduce:ident, $allreduce:ident,
+     $scan:ident, $exscan:ident, $reduce_scatter_block:ident,
+     $reduce_one:ident, $allreduce_one:ident) => {
+        impl Comm {
+            /// Binomial-tree reduction to `root` (`MPI_Reduce`); `Some` at
+            /// root, `None` elsewhere.
+            ///
+            /// # Errors
+            /// [`MpiError::InvalidRank`] for a bad root.
+            pub fn $reduce(
+                &self,
+                contrib: &[$t],
+                op: ReduceOp,
+                root: usize,
+            ) -> MpiResult<Option<Vec<$t>>> {
+                self.check_root(root)?;
+                let size = self.size();
+                let rel = (self.rank() + size - root) % size;
+                let mut acc = contrib.to_vec();
+                let mut mask = 1usize;
+                while mask < size {
+                    if rel & mask == 0 {
+                        let src_rel = rel | mask;
+                        if src_rel < size {
+                            let src = (src_rel + root) % size;
+                            let (bytes, _) =
+                                self.recv_bytes(self.coll_plane(), Some(src), Some(TAG_REDUCE));
+                            let rhs: Vec<$t> = decode(&bytes)?;
+                            op.$fold(&mut acc, &rhs);
+                        }
+                    } else {
+                        let dst = ((rel & !mask) + root) % size;
+                        self.post_bytes(self.coll_plane(), encode(&acc), dst, TAG_REDUCE);
+                        return Ok(None);
+                    }
+                    mask <<= 1;
+                }
+                Ok(Some(acc))
+            }
+
+            /// Reduce + broadcast (`MPI_Allreduce`).
+            ///
+            /// # Errors
+            /// Propagates transport errors.
+            pub fn $allreduce(&self, contrib: &[$t], op: ReduceOp) -> MpiResult<Vec<$t>> {
+                let reduced = self.$reduce(contrib, op, 0)?;
+                let mut data = reduced.unwrap_or_default();
+                self.bcast(&mut data, 0)?;
+                Ok(data)
+            }
+
+            /// Inclusive prefix reduction (`MPI_Scan`): rank `i` receives the
+            /// reduction of contributions from ranks `0..=i`. Implemented as
+            /// a linear chain.
+            ///
+            /// # Errors
+            /// Propagates transport errors.
+            pub fn $scan(&self, contrib: &[$t], op: ReduceOp) -> MpiResult<Vec<$t>> {
+                let rank = self.rank();
+                let mut acc = contrib.to_vec();
+                if rank > 0 {
+                    let (bytes, _) =
+                        self.recv_bytes(self.coll_plane(), Some(rank - 1), Some(TAG_SCAN));
+                    let prefix: Vec<$t> = decode(&bytes)?;
+                    let mut merged = prefix;
+                    op.$fold(&mut merged, &acc);
+                    acc = merged;
+                }
+                if rank + 1 < self.size() {
+                    self.post_bytes(self.coll_plane(), encode(&acc), rank + 1, TAG_SCAN);
+                }
+                Ok(acc)
+            }
+
+            /// Exclusive prefix reduction (`MPI_Exscan`): rank `i` receives
+            /// the reduction of contributions from ranks `0..i`; rank 0
+            /// receives the identity.
+            ///
+            /// # Errors
+            /// Propagates transport errors.
+            pub fn $exscan(&self, contrib: &[$t], op: ReduceOp) -> MpiResult<Vec<$t>> {
+                let rank = self.rank();
+                let prefix: Vec<$t> = if rank == 0 {
+                    vec![op.$identity(); contrib.len()]
+                } else {
+                    let (bytes, _) =
+                        self.recv_bytes(self.coll_plane(), Some(rank - 1), Some(TAG_SCAN));
+                    decode(&bytes)?
+                };
+                if rank + 1 < self.size() {
+                    let mut inclusive = prefix.clone();
+                    op.$fold(&mut inclusive, contrib);
+                    self.post_bytes(
+                        self.coll_plane(),
+                        encode(&inclusive),
+                        rank + 1,
+                        TAG_SCAN,
+                    );
+                }
+                Ok(prefix)
+            }
+
+            /// Reduce-scatter with equal block sizes
+            /// (`MPI_Reduce_scatter_block`): the elementwise reduction of
+            /// every rank's `contrib` (length `size * block`) is computed and
+            /// rank `i` receives elements `i*block .. (i+1)*block`.
+            ///
+            /// # Errors
+            /// [`MpiError::InvalidCounts`] if the contribution length is not
+            /// `size * block`.
+            pub fn $reduce_scatter_block(
+                &self,
+                contrib: &[$t],
+                block: usize,
+                op: ReduceOp,
+            ) -> MpiResult<Vec<$t>> {
+                if contrib.len() != self.size() * block {
+                    return Err(MpiError::InvalidCounts(format!(
+                        "reduce_scatter_block needs {} elements, got {}",
+                        self.size() * block,
+                        contrib.len()
+                    )));
+                }
+                let reduced = self.$reduce(contrib, op, 0)?;
+                let parts: Option<Vec<Vec<$t>>> = reduced
+                    .map(|full| full.chunks(block).map(<[$t]>::to_vec).collect());
+                self.scatter(parts.as_deref(), 0)
+            }
+
+            /// Scalar reduce convenience.
+            ///
+            /// # Errors
+            /// As the vector form.
+            pub fn $reduce_one(
+                &self,
+                value: $t,
+                op: ReduceOp,
+                root: usize,
+            ) -> MpiResult<Option<$t>> {
+                Ok(self.$reduce(&[value], op, root)?.map(|v| v[0]))
+            }
+
+            /// Scalar allreduce convenience.
+            ///
+            /// # Errors
+            /// As the vector form.
+            pub fn $allreduce_one(&self, value: $t, op: ReduceOp) -> MpiResult<$t> {
+                Ok(self.$allreduce(&[value], op)?[0])
+            }
+        }
+    };
+}
+
+impl_typed_reductions!(
+    f64, fold_f64, identity_f64, reduce_f64, allreduce_f64, scan_f64, exscan_f64,
+    reduce_scatter_block_f64, reduce_one_f64, allreduce_one_f64
+);
+impl_typed_reductions!(
+    i64, fold_i64, identity_i64, reduce_i64, allreduce_i64, scan_i64, exscan_i64,
+    reduce_scatter_block_i64, reduce_one_i64, allreduce_one_i64
+);

@@ -1,0 +1,574 @@
+//! Communicators.
+//!
+//! A [`Comm`] binds a [`Group`] to a pair of context ids (one for
+//! point-to-point traffic, one for collectives, so a collective can never
+//! intercept an application message) and carries the calling rank's virtual
+//! clock. Constructors mirror MPI: [`Comm::dup`], [`Comm::split`],
+//! [`Comm::create`].
+
+use crate::datatype::{decode, decode_into, encode, MpiType};
+use crate::error::{MpiError, MpiResult};
+use crate::group::Group;
+use crate::p2p::{Envelope, Pattern, Status};
+use crate::runtime::SharedState;
+use crate::vtime::{message_costs, LocalClock};
+use hetsim::NodeId;
+use std::sync::Arc;
+
+/// A communicator: an isolated communication context over a group of ranks.
+///
+/// `Comm` is rank-local (not `Send`): each rank holds its own handle, all
+/// handles of one rank share that rank's clock.
+#[derive(Debug, Clone)]
+pub struct Comm {
+    pub(crate) shared: Arc<SharedState>,
+    group: Arc<Group>,
+    /// Base context id; `ctx` is the p2p plane, `ctx + 1` the collective one.
+    ctx: u64,
+    /// Calling process's rank within this communicator.
+    rank: usize,
+    pub(crate) clock: LocalClock,
+}
+
+impl Comm {
+    pub(crate) fn world(world_rank: usize, shared: Arc<SharedState>, clock: LocalClock) -> Comm {
+        let n = shared.placement.len();
+        Comm {
+            shared,
+            group: Arc::new(Group::world(n)),
+            ctx: 0,
+            rank: world_rank,
+            clock,
+        }
+    }
+
+    /// This process's rank in the communicator (`MPI_Comm_rank`).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator (`MPI_Comm_size`).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.group.size()
+    }
+
+    /// The communicator's group (`MPI_Comm_group`).
+    #[inline]
+    pub fn group(&self) -> &Group {
+        &self.group
+    }
+
+    /// The world rank behind a communicator rank.
+    ///
+    /// # Panics
+    /// Panics if `rank` is out of range.
+    #[inline]
+    pub fn world_rank_of(&self, rank: usize) -> usize {
+        self.group.world_rank_of(rank)
+    }
+
+    /// The calling process's world rank.
+    #[inline]
+    pub fn my_world_rank(&self) -> usize {
+        self.group.world_rank_of(self.rank)
+    }
+
+    /// The cluster node hosting a communicator rank.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> NodeId {
+        self.shared.placement[self.world_rank_of(rank)]
+    }
+
+    /// This rank's virtual clock.
+    #[inline]
+    pub fn clock(&self) -> &LocalClock {
+        &self.clock
+    }
+
+    /// Performs `units` benchmark units of computation on the calling rank's
+    /// processor, advancing its clock.
+    pub fn compute(&self, units: f64) {
+        let node = self.node_of(self.rank);
+        let dt = self
+            .shared
+            .cluster
+            .compute_time(node, units, self.clock.now());
+        self.clock.advance(dt);
+    }
+
+    fn check_rank(&self, rank: usize) -> MpiResult<()> {
+        if rank >= self.size() {
+            return Err(MpiError::InvalidRank {
+                rank: rank as isize,
+                comm_size: self.size(),
+            });
+        }
+        Ok(())
+    }
+
+    // ----- point-to-point ---------------------------------------------------
+
+    /// Internal transport: posts `bytes` to `dest` (a comm rank) on the given
+    /// context plane, advancing the sender clock by the injection overhead
+    /// and stamping the envelope with its arrival time.
+    pub(crate) fn post_bytes(&self, plane: u64, bytes: Vec<u8>, dest: usize, tag: i32) {
+        let src_world = self.my_world_rank();
+        let dst_world = self.world_rank_of(dest);
+        let src_node = self.shared.placement[src_world];
+        let dst_node = self.shared.placement[dst_world];
+        let now = self.clock.now();
+        let (overhead, cost) = message_costs(&self.shared.cluster, src_node, dst_node, bytes.len());
+        let arrival = self.shared.network.reserve(src_node, dst_node, now, cost);
+        self.clock.advance(overhead);
+        self.shared.mailboxes[dst_world].post(Envelope {
+            ctx: plane,
+            src_world,
+            tag,
+            data: bytes,
+            sent_at: now,
+            arrival,
+        });
+    }
+
+    /// Internal transport: blocking matched receive on a context plane.
+    pub(crate) fn recv_bytes(
+        &self,
+        plane: u64,
+        src: Option<usize>,
+        tag: Option<i32>,
+    ) -> (Vec<u8>, Status) {
+        let my_world = self.my_world_rank();
+        let pat = Pattern {
+            ctx: plane,
+            src_world: src.map(|r| self.world_rank_of(r)),
+            tag,
+        };
+        let env = self.shared.mailboxes[my_world].recv_match(pat);
+        self.clock.merge(env.arrival);
+        let source = self
+            .group
+            .rank_of_world(env.src_world)
+            .expect("sender is in this communicator by construction");
+        let status = Status {
+            source,
+            tag: env.tag,
+            bytes: env.data.len(),
+        };
+        (env.data, status)
+    }
+
+    /// Standard-mode send (`MPI_Send`; eager/buffered, never blocks).
+    ///
+    /// # Errors
+    /// [`MpiError::InvalidRank`] if `dest` is outside the communicator.
+    pub fn send<T: MpiType>(&self, data: &[T], dest: usize, tag: i32) -> MpiResult<()> {
+        self.check_rank(dest)?;
+        self.post_bytes(self.ctx, encode(data), dest, tag);
+        Ok(())
+    }
+
+    /// Blocking receive of a whole message from a specific source and tag.
+    ///
+    /// # Errors
+    /// [`MpiError::InvalidRank`] for a bad source;
+    /// [`MpiError::TypeMismatch`] if the payload is not a whole number of
+    /// `T` elements.
+    pub fn recv<T: MpiType>(&self, src: usize, tag: i32) -> MpiResult<(Vec<T>, Status)> {
+        self.check_rank(src)?;
+        let (bytes, status) = self.recv_bytes(self.ctx, Some(src), Some(tag));
+        Ok((decode(&bytes)?, status))
+    }
+
+    /// Blocking receive with optional wildcards (`None` = `MPI_ANY_SOURCE` /
+    /// `MPI_ANY_TAG`).
+    ///
+    /// # Errors
+    /// As [`Comm::recv`].
+    pub fn recv_any<T: MpiType>(
+        &self,
+        src: Option<usize>,
+        tag: Option<i32>,
+    ) -> MpiResult<(Vec<T>, Status)> {
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        let (bytes, status) = self.recv_bytes(self.ctx, src, tag);
+        Ok((decode(&bytes)?, status))
+    }
+
+    /// Blocking receive into a caller-supplied buffer, with truncation
+    /// checking (`MPI_Recv` proper). Returns the element count received.
+    ///
+    /// # Errors
+    /// [`MpiError::Truncated`] if the message exceeds the buffer.
+    pub fn recv_into<T: MpiType>(
+        &self,
+        buf: &mut [T],
+        src: usize,
+        tag: i32,
+    ) -> MpiResult<(usize, Status)> {
+        self.check_rank(src)?;
+        let (bytes, status) = self.recv_bytes(self.ctx, Some(src), Some(tag));
+        let n = decode_into(&bytes, buf)?;
+        Ok((n, status))
+    }
+
+    /// Combined send and receive (`MPI_Sendrecv`). Never deadlocks because
+    /// sends are eager.
+    ///
+    /// # Errors
+    /// As [`Comm::send`] / [`Comm::recv`].
+    pub fn sendrecv<T: MpiType, U: MpiType>(
+        &self,
+        send_data: &[T],
+        dest: usize,
+        send_tag: i32,
+        src: usize,
+        recv_tag: i32,
+    ) -> MpiResult<(Vec<U>, Status)> {
+        self.send(send_data, dest, send_tag)?;
+        self.recv(src, recv_tag)
+    }
+
+    /// Nonblocking send (`MPI_Isend`). Under the eager model the send is
+    /// already complete when this returns; the request exists for API parity.
+    ///
+    /// # Errors
+    /// As [`Comm::send`].
+    pub fn isend<T: MpiType>(&self, data: &[T], dest: usize, tag: i32) -> MpiResult<SendRequest> {
+        self.send(data, dest, tag)?;
+        Ok(SendRequest { _priv: () })
+    }
+
+    /// Nonblocking receive (`MPI_Irecv`): returns a request to be completed
+    /// with [`RecvRequest::wait`] or polled with [`RecvRequest::test`].
+    ///
+    /// # Errors
+    /// [`MpiError::InvalidRank`] for a bad explicit source.
+    pub fn irecv(&self, src: Option<usize>, tag: Option<i32>) -> MpiResult<RecvRequest> {
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        Ok(RecvRequest {
+            src,
+            tag,
+            done: None,
+        })
+    }
+
+    /// Blocking probe (`MPI_Probe`): metadata of the next matching message
+    /// without receiving it. Advances the clock to the message arrival.
+    pub fn probe(&self, src: Option<usize>, tag: Option<i32>) -> MpiResult<Status> {
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        let my_world = self.my_world_rank();
+        let pat = Pattern {
+            ctx: self.ctx,
+            src_world: src.map(|r| self.world_rank_of(r)),
+            tag,
+        };
+        let (src_world, tag, bytes, arrival) = self.shared.mailboxes[my_world].probe_match(pat);
+        self.clock.merge(arrival);
+        Ok(Status {
+            source: self
+                .group
+                .rank_of_world(src_world)
+                .expect("sender is a member"),
+            tag,
+            bytes,
+        })
+    }
+
+    /// Nonblocking probe (`MPI_Iprobe`).
+    pub fn iprobe(&self, src: Option<usize>, tag: Option<i32>) -> MpiResult<Option<Status>> {
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        let my_world = self.my_world_rank();
+        let pat = Pattern {
+            ctx: self.ctx,
+            src_world: src.map(|r| self.world_rank_of(r)),
+            tag,
+        };
+        Ok(self.shared.mailboxes[my_world].try_probe(pat).map(
+            |(src_world, tag, bytes, _)| Status {
+                source: self
+                    .group
+                    .rank_of_world(src_world)
+                    .expect("sender is a member"),
+                tag,
+                bytes,
+            },
+        ))
+    }
+
+    // ----- communicator constructors ---------------------------------------
+
+    /// The collective context plane.
+    #[inline]
+    pub(crate) fn coll_plane(&self) -> u64 {
+        self.ctx + 1
+    }
+
+    /// Duplicates the communicator with a fresh context (`MPI_Comm_dup`).
+    /// Collective over all members.
+    ///
+    /// # Errors
+    /// Propagates transport errors from the internal broadcast.
+    pub fn dup(&self) -> MpiResult<Comm> {
+        let ctx = self.agree_ctx()?;
+        Ok(Comm {
+            shared: self.shared.clone(),
+            group: self.group.clone(),
+            ctx,
+            rank: self.rank,
+            clock: self.clock.clone(),
+        })
+    }
+
+    /// Rank 0 allocates a context-id pair and broadcasts it.
+    fn agree_ctx(&self) -> MpiResult<u64> {
+        let mut v = if self.rank == 0 {
+            vec![self.shared.alloc_ctx_pair() as i64]
+        } else {
+            Vec::new()
+        };
+        self.bcast(&mut v, 0)?;
+        Ok(v[0] as u64)
+    }
+
+    /// Creates a communicator over a subgroup (`MPI_Comm_create`).
+    /// Collective over **all** members of `self`; members of `group` receive
+    /// `Some(comm)`, others `None`.
+    ///
+    /// # Errors
+    /// [`MpiError::InvalidGroup`] if `group` is not a subset of this
+    /// communicator's group.
+    pub fn create(&self, group: &Group) -> MpiResult<Option<Comm>> {
+        for &w in group.world_ranks() {
+            if !self.group.contains_world(w) {
+                return Err(MpiError::InvalidGroup(format!(
+                    "world rank {w} is not in the parent communicator"
+                )));
+            }
+        }
+        let ctx = self.agree_ctx()?;
+        Ok(group.rank_of_world(self.my_world_rank()).map(|rank| Comm {
+            shared: self.shared.clone(),
+            group: Arc::new(group.clone()),
+            ctx,
+            rank,
+            clock: self.clock.clone(),
+        }))
+    }
+
+    /// Allocates a fresh context-id pair from the universe's allocator
+    /// *without* any communication. Building block for runtimes layered on
+    /// mpisim (HMPI's group-create protocol has one coordinator allocate the
+    /// context and distribute it point-to-point).
+    pub fn alloc_ctx(&self) -> u64 {
+        self.shared.alloc_ctx_pair()
+    }
+
+    /// Constructs a communicator over `group` with an externally agreed
+    /// context id (from [`Comm::alloc_ctx`] on some coordinator), without
+    /// collective communication. Returns `None` if the caller is not in
+    /// `group`. All members must use the same `ctx` or their messages will
+    /// never match — that agreement is the caller's protocol's business.
+    ///
+    /// # Errors
+    /// [`MpiError::InvalidGroup`] if `group` is not a subset of this
+    /// communicator's group.
+    pub fn subset_with_ctx(&self, group: &Group, ctx: u64) -> MpiResult<Option<Comm>> {
+        for &w in group.world_ranks() {
+            if !self.group.contains_world(w) {
+                return Err(MpiError::InvalidGroup(format!(
+                    "world rank {w} is not in the parent communicator"
+                )));
+            }
+        }
+        Ok(group.rank_of_world(self.my_world_rank()).map(|rank| Comm {
+            shared: self.shared.clone(),
+            group: Arc::new(group.clone()),
+            ctx,
+            rank,
+            clock: self.clock.clone(),
+        }))
+    }
+
+    /// Partitions the communicator by color (`MPI_Comm_split`). `None` color
+    /// (`MPI_UNDEFINED`) yields `Ok(None)`. Within a color, ranks are ordered
+    /// by `(key, rank in parent)`.
+    ///
+    /// # Errors
+    /// Propagates transport errors from the internal gather/scatter.
+    pub fn split(&self, color: Option<i32>, key: i32) -> MpiResult<Option<Comm>> {
+        const UNDEF: i64 = i64::MIN;
+        let contrib = [
+            color.map_or(UNDEF, |c| c as i64),
+            key as i64,
+        ];
+        let gathered = self.gather(&contrib, 0)?;
+
+        // Root computes each color's member list (world ranks, ordered by
+        // (key, parent rank)) and allocates a context pair per color.
+        let mut parts: Vec<Vec<i64>> = vec![Vec::new(); self.size()];
+        if let Some(rows) = gathered {
+            let mut colors: Vec<i32> = rows
+                .iter()
+                .filter(|r| r[0] != UNDEF)
+                .map(|r| r[0] as i32)
+                .collect();
+            colors.sort_unstable();
+            colors.dedup();
+            for color in colors {
+                let mut members: Vec<(i64, usize)> = rows
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r[0] != UNDEF && r[0] as i32 == color)
+                    .map(|(parent_rank, r)| (r[1], parent_rank))
+                    .collect();
+                members.sort_unstable();
+                let ctx = self.shared.alloc_ctx_pair() as i64;
+                let world_members: Vec<i64> = members
+                    .iter()
+                    .map(|&(_, pr)| self.world_rank_of(pr) as i64)
+                    .collect();
+                for &(_, parent_rank) in &members {
+                    let mut msg = vec![ctx];
+                    msg.extend_from_slice(&world_members);
+                    parts[parent_rank] = msg;
+                }
+            }
+        }
+
+        let mine = self.scatter(if self.rank == 0 { Some(&parts) } else { None }, 0)?;
+        if mine.is_empty() {
+            return Ok(None);
+        }
+        let ctx = mine[0] as u64;
+        let members: Vec<usize> = mine[1..].iter().map(|&w| w as usize).collect();
+        let group = Group::from_world_ranks(members)?;
+        let rank = group
+            .rank_of_world(self.my_world_rank())
+            .expect("split member lists include the contributing rank");
+        Ok(Some(Comm {
+            shared: self.shared.clone(),
+            group: Arc::new(group),
+            ctx,
+            rank,
+            clock: self.clock.clone(),
+        }))
+    }
+}
+
+/// Completes a set of outstanding receives in order (`MPI_Waitall`).
+///
+/// # Errors
+/// Propagates the first decode error.
+pub fn wait_all<T: MpiType>(
+    reqs: Vec<RecvRequest>,
+    comm: &Comm,
+) -> MpiResult<Vec<(Vec<T>, Status)>> {
+    reqs.into_iter().map(|r| r.wait(comm)).collect()
+}
+
+/// Completes exactly one of the outstanding receives (`MPI_Waitany`),
+/// returning its index, payload and status plus the still-pending requests.
+/// Polls fairly across the requests, yielding between sweeps.
+///
+/// # Errors
+/// Propagates decode errors.
+///
+/// # Panics
+/// Panics if `reqs` is empty.
+pub fn wait_any<T: MpiType>(
+    mut reqs: Vec<RecvRequest>,
+    comm: &Comm,
+) -> MpiResult<(usize, Vec<T>, Status, Vec<RecvRequest>)> {
+    assert!(!reqs.is_empty(), "wait_any needs at least one request");
+    loop {
+        for i in 0..reqs.len() {
+            if reqs[i].test(comm) {
+                let req = reqs.remove(i);
+                let (data, status) = req.wait(comm)?;
+                return Ok((i, data, status, reqs));
+            }
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Completed-at-creation send request (eager model). Exists for API parity
+/// with `MPI_Isend`.
+#[derive(Debug)]
+pub struct SendRequest {
+    _priv: (),
+}
+
+impl SendRequest {
+    /// Completes immediately.
+    pub fn wait(self) {}
+
+    /// Always true.
+    pub fn test(&self) -> bool {
+        true
+    }
+}
+
+/// An outstanding nonblocking receive.
+#[derive(Debug)]
+pub struct RecvRequest {
+    src: Option<usize>,
+    tag: Option<i32>,
+    done: Option<(Vec<u8>, Status)>,
+}
+
+impl RecvRequest {
+    /// Completes the receive, blocking if necessary.
+    ///
+    /// # Errors
+    /// [`MpiError::TypeMismatch`] if the payload is not whole elements of `T`.
+    pub fn wait<T: MpiType>(mut self, comm: &Comm) -> MpiResult<(Vec<T>, Status)> {
+        if let Some((bytes, status)) = self.done.take() {
+            return Ok((decode(&bytes)?, status));
+        }
+        let (bytes, status) = comm.recv_bytes(comm.ctx, self.src, self.tag);
+        Ok((decode(&bytes)?, status))
+    }
+
+    /// Polls for completion without blocking; after `test` returns true,
+    /// `wait` returns instantly.
+    pub fn test(&mut self, comm: &Comm) -> bool {
+        if self.done.is_some() {
+            return true;
+        }
+        let my_world = comm.my_world_rank();
+        let pat = Pattern {
+            ctx: comm.ctx,
+            src_world: self.src.map(|r| comm.world_rank_of(r)),
+            tag: self.tag,
+        };
+        if let Some(env) = comm.shared.mailboxes[my_world].try_recv_match(pat) {
+            comm.clock.merge(env.arrival);
+            let source = comm
+                .group
+                .rank_of_world(env.src_world)
+                .expect("sender is a member");
+            self.done = Some((
+                env.data.clone(),
+                Status {
+                    source,
+                    tag: env.tag,
+                    bytes: env.data.len(),
+                },
+            ));
+            true
+        } else {
+            false
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Error types for the message-passing layer.
+
+use std::fmt;
+
+/// Result alias used throughout `mpisim`.
+pub type MpiResult<T> = Result<T, MpiError>;
+
+/// Errors the message-passing layer can report. Where real MPI would call
+/// the error handler and usually abort, we return these so tests can assert
+/// on misuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// A rank argument was outside the communicator's group.
+    InvalidRank {
+        /// The offending rank.
+        rank: isize,
+        /// The size of the communicator it was used with.
+        comm_size: usize,
+    },
+    /// A receive buffer was too small for the matched message
+    /// (`MPI_ERR_TRUNCATE`).
+    Truncated {
+        /// Bytes in the matched message.
+        message_bytes: usize,
+        /// Bytes available in the receive buffer.
+        buffer_bytes: usize,
+    },
+    /// The payload length is not a multiple of the element size, so it cannot
+    /// be reinterpreted as the requested type.
+    TypeMismatch {
+        /// Bytes in the message.
+        message_bytes: usize,
+        /// Size of the requested element type.
+        elem_bytes: usize,
+    },
+    /// A group constructor was handed a rank list with duplicates or
+    /// out-of-range entries.
+    InvalidGroup(String),
+    /// `Comm::create` was called by a process outside the new group, or a
+    /// collective was invoked on a communicator the caller is not part of.
+    NotInCommunicator,
+    /// A `split` produced no group for this process (undefined color) and the
+    /// caller asked for the communicator anyway.
+    UndefinedColor,
+    /// Counts passed to a v-collective are inconsistent with the data.
+    InvalidCounts(String),
+    /// A peer rank terminated (its mailbox is gone) while we were waiting.
+    PeerTerminated {
+        /// World rank of the vanished peer.
+        world_rank: usize,
+    },
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::InvalidRank { rank, comm_size } => {
+                write!(f, "rank {rank} invalid for communicator of size {comm_size}")
+            }
+            MpiError::Truncated {
+                message_bytes,
+                buffer_bytes,
+            } => write!(
+                f,
+                "message of {message_bytes} bytes truncated: buffer holds {buffer_bytes}"
+            ),
+            MpiError::TypeMismatch {
+                message_bytes,
+                elem_bytes,
+            } => write!(
+                f,
+                "message of {message_bytes} bytes is not a whole number of {elem_bytes}-byte elements"
+            ),
+            MpiError::InvalidGroup(msg) => write!(f, "invalid group: {msg}"),
+            MpiError::NotInCommunicator => write!(f, "calling process is not in the communicator"),
+            MpiError::UndefinedColor => {
+                write!(f, "process supplied an undefined color to split")
+            }
+            MpiError::InvalidCounts(msg) => write!(f, "invalid counts: {msg}"),
+            MpiError::PeerTerminated { world_rank } => {
+                write!(f, "peer world rank {world_rank} terminated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = MpiError::InvalidRank {
+            rank: 7,
+            comm_size: 4,
+        };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('4'));
+
+        let e = MpiError::Truncated {
+            message_bytes: 100,
+            buffer_bytes: 50,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("50"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(MpiError::NotInCommunicator, MpiError::NotInCommunicator);
+        assert_ne!(
+            MpiError::NotInCommunicator,
+            MpiError::UndefinedColor
+        );
+    }
+}

@@ -1,0 +1,283 @@
+//! Point-to-point matching engine.
+//!
+//! Each rank owns one [`Mailbox`]. Senders post [`Envelope`]s directly into
+//! the destination's mailbox (eager/buffered semantics — sends never block);
+//! receivers scan their queue front-to-back for the first envelope matching
+//! `(context, source, tag)` and block on a condition variable when nothing
+//! matches yet. Front-to-back scanning preserves MPI's non-overtaking
+//! guarantee: two messages from the same sender on the same communicator
+//! that both match a receive are matched in the order they were sent.
+
+use hetsim::SimTime;
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Wildcard source (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: isize = -1;
+/// Wildcard tag (`MPI_ANY_TAG`).
+pub const ANY_TAG: i32 = -1;
+
+/// How long a blocked receive waits (in real time) before concluding the
+/// program has deadlocked and panicking with diagnostics. Virtual time is
+/// unaffected; this is purely a developer-experience safety net.
+pub const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A message in flight or queued at the receiver.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Context id (communicator + p2p/collective plane).
+    pub ctx: u64,
+    /// Sender's world rank.
+    pub src_world: usize,
+    /// Message tag.
+    pub tag: i32,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+    /// Virtual time the sender posted the message.
+    pub sent_at: SimTime,
+    /// Virtual time the message reaches the receiver.
+    pub arrival: SimTime,
+}
+
+/// Completion information for a receive or probe (`MPI_Status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Source rank *within the communicator the operation was issued on*.
+    pub source: usize,
+    /// Tag of the matched message.
+    pub tag: i32,
+    /// Payload size in bytes (`MPI_Get_count` precursor).
+    pub bytes: usize,
+}
+
+/// A receive-side matching pattern.
+#[derive(Debug, Clone, Copy)]
+pub struct Pattern {
+    /// Context id the receive is posted on.
+    pub ctx: u64,
+    /// Required sender world rank, or `None` for `ANY_SOURCE`.
+    pub src_world: Option<usize>,
+    /// Required tag, or `None` for `ANY_TAG`.
+    pub tag: Option<i32>,
+}
+
+impl Pattern {
+    fn matches(&self, env: &Envelope) -> bool {
+        env.ctx == self.ctx
+            && self.src_world.is_none_or(|s| s == env.src_world)
+            && self.tag.is_none_or(|t| t == env.tag)
+    }
+}
+
+/// One rank's incoming-message queue.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    inner: Mutex<Vec<Envelope>>,
+    cond: Condvar,
+}
+
+impl Mailbox {
+    /// An empty mailbox.
+    pub fn new() -> Self {
+        Mailbox::default()
+    }
+
+    /// Posts a message (called from the sender's thread).
+    pub fn post(&self, env: Envelope) {
+        self.inner.lock().push(env);
+        self.cond.notify_all();
+    }
+
+    /// Removes and returns the first queued envelope matching `pat`,
+    /// blocking until one arrives.
+    ///
+    /// # Panics
+    /// Panics after [`DEADLOCK_TIMEOUT`] of real time with no match — the
+    /// surrounding SPMD program has deadlocked.
+    pub fn recv_match(&self, pat: Pattern) -> Envelope {
+        let mut q = self.inner.lock();
+        loop {
+            if let Some(i) = q.iter().position(|e| pat.matches(e)) {
+                return q.remove(i);
+            }
+            let timed_out = self.cond.wait_for(&mut q, DEADLOCK_TIMEOUT).timed_out();
+            if timed_out {
+                panic!(
+                    "mpisim deadlock: receive {pat:?} matched nothing for {DEADLOCK_TIMEOUT:?}; \
+                     {} unmatched message(s) queued: {:?}",
+                    q.len(),
+                    q.iter()
+                        .map(|e| (e.ctx, e.src_world, e.tag, e.data.len()))
+                        .collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    /// Like [`Mailbox::recv_match`] but leaves the message queued
+    /// (`MPI_Probe`). Returns the matched envelope's metadata.
+    pub fn probe_match(&self, pat: Pattern) -> (usize, i32, usize, SimTime) {
+        let mut q = self.inner.lock();
+        loop {
+            if let Some(e) = q.iter().find(|e| pat.matches(e)) {
+                return (e.src_world, e.tag, e.data.len(), e.arrival);
+            }
+            let timed_out = self.cond.wait_for(&mut q, DEADLOCK_TIMEOUT).timed_out();
+            if timed_out {
+                panic!("mpisim deadlock: probe {pat:?} matched nothing for {DEADLOCK_TIMEOUT:?}");
+            }
+        }
+    }
+
+    /// Non-blocking probe (`MPI_Iprobe`): metadata of the first match, if any.
+    pub fn try_probe(&self, pat: Pattern) -> Option<(usize, i32, usize, SimTime)> {
+        let q = self.inner.lock();
+        q.iter()
+            .find(|e| pat.matches(e))
+            .map(|e| (e.src_world, e.tag, e.data.len(), e.arrival))
+    }
+
+    /// Non-blocking matched receive (`MPI_Irecv` + immediate test).
+    pub fn try_recv_match(&self, pat: Pattern) -> Option<Envelope> {
+        let mut q = self.inner.lock();
+        let i = q.iter().position(|e| pat.matches(e))?;
+        Some(q.remove(i))
+    }
+
+    /// Number of queued (unmatched) messages — used by shutdown diagnostics.
+    pub fn pending(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn env(ctx: u64, src: usize, tag: i32, data: &[u8]) -> Envelope {
+        Envelope {
+            ctx,
+            src_world: src,
+            tag,
+            data: data.to_vec(),
+            sent_at: SimTime::ZERO,
+            arrival: SimTime::from_secs(1.0),
+        }
+    }
+
+    #[test]
+    fn exact_match_removes_message() {
+        let mb = Mailbox::new();
+        mb.post(env(1, 0, 7, b"hi"));
+        let got = mb.recv_match(Pattern {
+            ctx: 1,
+            src_world: Some(0),
+            tag: Some(7),
+        });
+        assert_eq!(got.data, b"hi");
+        assert_eq!(mb.pending(), 0);
+    }
+
+    #[test]
+    fn wildcards_match_anything_in_context() {
+        let mb = Mailbox::new();
+        mb.post(env(1, 3, 9, b"x"));
+        let got = mb.recv_match(Pattern {
+            ctx: 1,
+            src_world: None,
+            tag: None,
+        });
+        assert_eq!(got.src_world, 3);
+        assert_eq!(got.tag, 9);
+    }
+
+    #[test]
+    fn context_isolates_messages() {
+        let mb = Mailbox::new();
+        mb.post(env(1, 0, 7, b"ctx1"));
+        mb.post(env(2, 0, 7, b"ctx2"));
+        let got = mb.recv_match(Pattern {
+            ctx: 2,
+            src_world: Some(0),
+            tag: Some(7),
+        });
+        assert_eq!(got.data, b"ctx2");
+        assert_eq!(mb.pending(), 1);
+    }
+
+    #[test]
+    fn non_overtaking_same_source_same_tag() {
+        let mb = Mailbox::new();
+        mb.post(env(1, 0, 7, b"first"));
+        mb.post(env(1, 0, 7, b"second"));
+        let a = mb.recv_match(Pattern {
+            ctx: 1,
+            src_world: Some(0),
+            tag: Some(7),
+        });
+        let b = mb.recv_match(Pattern {
+            ctx: 1,
+            src_world: Some(0),
+            tag: Some(7),
+        });
+        assert_eq!(a.data, b"first");
+        assert_eq!(b.data, b"second");
+    }
+
+    #[test]
+    fn selective_tag_skips_earlier_nonmatching() {
+        let mb = Mailbox::new();
+        mb.post(env(1, 0, 1, b"tag1"));
+        mb.post(env(1, 0, 2, b"tag2"));
+        let got = mb.recv_match(Pattern {
+            ctx: 1,
+            src_world: Some(0),
+            tag: Some(2),
+        });
+        assert_eq!(got.data, b"tag2");
+        assert_eq!(mb.pending(), 1);
+    }
+
+    #[test]
+    fn probe_leaves_message_queued() {
+        let mb = Mailbox::new();
+        mb.post(env(1, 4, 5, b"abc"));
+        let (src, tag, len, _) = mb.probe_match(Pattern {
+            ctx: 1,
+            src_world: None,
+            tag: None,
+        });
+        assert_eq!((src, tag, len), (4, 5, 3));
+        assert_eq!(mb.pending(), 1);
+    }
+
+    #[test]
+    fn try_probe_returns_none_when_empty() {
+        let mb = Mailbox::new();
+        assert!(mb
+            .try_probe(Pattern {
+                ctx: 1,
+                src_world: None,
+                tag: None
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn blocked_recv_wakes_on_post() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || {
+            mb2.recv_match(Pattern {
+                ctx: 1,
+                src_world: Some(0),
+                tag: Some(0),
+            })
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.post(env(1, 0, 0, b"late"));
+        let got = h.join().unwrap();
+        assert_eq!(got.data, b"late");
+    }
+}

@@ -1,0 +1,327 @@
+//! The SPMD runtime: launching ranks as threads over a simulated cluster.
+
+use crate::comm::Comm;
+use crate::p2p::Mailbox;
+use crate::vtime::{LocalClock, NetworkState};
+use hetsim::{Cluster, NodeId, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// State shared by every rank of a running universe.
+#[derive(Debug)]
+pub(crate) struct SharedState {
+    pub(crate) cluster: Arc<Cluster>,
+    /// `placement[world_rank]` = the cluster node hosting that rank.
+    pub(crate) placement: Vec<NodeId>,
+    pub(crate) mailboxes: Vec<Arc<Mailbox>>,
+    pub(crate) network: NetworkState,
+    /// Allocator for communicator context ids. Each communicator takes two
+    /// consecutive ids (point-to-point plane and collective plane); the world
+    /// communicator owns ids 0 and 1.
+    next_ctx: AtomicU64,
+}
+
+impl SharedState {
+    /// Allocates a fresh context-id pair, returning the base id.
+    pub(crate) fn alloc_ctx_pair(&self) -> u64 {
+        self.next_ctx.fetch_add(2, Ordering::Relaxed)
+    }
+}
+
+/// A universe describes how many ranks run and where they are placed on the
+/// cluster; [`Universe::run`] executes an SPMD closure across them.
+///
+/// ```
+/// use hetsim::{ClusterBuilder, Link, Protocol};
+/// use mpisim::{ReduceOp, Universe};
+/// use std::sync::Arc;
+///
+/// let cluster = Arc::new(
+///     ClusterBuilder::new()
+///         .node("a", 100.0)
+///         .node("b", 50.0)
+///         .all_to_all(Link::with_defaults(Protocol::Tcp))
+///         .build(),
+/// );
+/// let report = Universe::new(cluster).run(|proc| {
+///     let world = proc.world();
+///     proc.compute(100.0); // 1 s on "a", 2 s on "b" (virtual time)
+///     world.allreduce_one_i64(world.rank() as i64, ReduceOp::Sum).unwrap()
+/// });
+/// assert_eq!(report.results, vec![1, 1]);
+/// assert!(report.makespan.as_secs() >= 2.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Universe {
+    cluster: Arc<Cluster>,
+    placement: Vec<NodeId>,
+}
+
+impl Universe {
+    /// One rank per cluster node, rank `i` on node `i` — the paper's
+    /// "one process per processor" configuration.
+    pub fn new(cluster: Arc<Cluster>) -> Self {
+        let placement = cluster.node_ids().collect();
+        Universe { cluster, placement }
+    }
+
+    /// Explicit placement: `placement[world_rank]` is the hosting node.
+    ///
+    /// # Panics
+    /// Panics if any node id is out of range or a node's slot count is
+    /// exceeded.
+    pub fn with_placement(cluster: Arc<Cluster>, placement: Vec<NodeId>) -> Self {
+        assert!(!placement.is_empty(), "universe needs at least one rank");
+        let mut used = vec![0usize; cluster.len()];
+        for &n in &placement {
+            assert!(
+                n.index() < cluster.len(),
+                "placement references node {n:?} outside cluster of {} nodes",
+                cluster.len()
+            );
+            used[n.index()] += 1;
+        }
+        for (i, &u) in used.iter().enumerate() {
+            let slots = cluster.node(NodeId(i)).slots;
+            assert!(
+                u <= slots,
+                "node {i} hosts {u} ranks but has only {slots} slot(s)"
+            );
+        }
+        Universe { cluster, placement }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// The cluster the ranks run on.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// The placement vector.
+    pub fn placement(&self) -> &[NodeId] {
+        &self.placement
+    }
+
+    /// Runs `f` on every rank concurrently (one OS thread per rank) and
+    /// collects the per-rank results and final virtual clocks.
+    ///
+    /// # Panics
+    /// Propagates the first rank panic (with its rank number) after all
+    /// other ranks have been joined or abandoned.
+    pub fn run<R, F>(&self, f: F) -> RunReport<R>
+    where
+        R: Send,
+        F: Fn(&Process) -> R + Sync,
+    {
+        let n = self.size();
+        let shared = Arc::new(SharedState {
+            cluster: self.cluster.clone(),
+            placement: self.placement.clone(),
+            mailboxes: (0..n).map(|_| Arc::new(Mailbox::new())).collect(),
+            network: NetworkState::new(self.cluster.contention(), self.cluster.len()),
+            next_ctx: AtomicU64::new(2),
+        });
+
+        let mut slots: Vec<Option<(R, SimTime)>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|rank| {
+                    let shared = shared.clone();
+                    let f = &f;
+                    scope.spawn(move || {
+                        let proc = Process::new(rank, shared);
+                        let out = f(&proc);
+                        (out, proc.clock().now())
+                    })
+                })
+                .collect();
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(pair) => slots[rank] = Some(pair),
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| payload.downcast_ref::<&str>().copied())
+                            .unwrap_or("<non-string panic>");
+                        panic!("rank {rank} panicked: {msg}");
+                    }
+                }
+            }
+        });
+
+        let mut results = Vec::with_capacity(n);
+        let mut clocks = Vec::with_capacity(n);
+        for s in slots {
+            let (r, c) = s.expect("all ranks joined successfully");
+            results.push(r);
+            clocks.push(c);
+        }
+        let makespan = clocks.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        RunReport {
+            results,
+            rank_times: clocks,
+            makespan,
+        }
+    }
+}
+
+/// What a completed universe run produced.
+#[derive(Debug)]
+pub struct RunReport<R> {
+    /// Per-rank return values, in world-rank order.
+    pub results: Vec<R>,
+    /// Per-rank final virtual clocks.
+    pub rank_times: Vec<SimTime>,
+    /// The program's virtual execution time: the maximum final clock.
+    pub makespan: SimTime,
+}
+
+/// A rank's handle to the running universe. Not `Send`: it lives on its
+/// rank's thread.
+#[derive(Debug)]
+pub struct Process {
+    world_rank: usize,
+    shared: Arc<SharedState>,
+    clock: LocalClock,
+}
+
+impl Process {
+    pub(crate) fn new(world_rank: usize, shared: Arc<SharedState>) -> Self {
+        Process {
+            world_rank,
+            shared,
+            clock: LocalClock::new(),
+        }
+    }
+
+    /// This rank's world rank.
+    #[inline]
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// Total number of ranks in the universe.
+    #[inline]
+    pub fn world_size(&self) -> usize {
+        self.shared.placement.len()
+    }
+
+    /// The cluster node hosting this rank.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.shared.placement[self.world_rank]
+    }
+
+    /// The cluster node hosting an arbitrary world rank.
+    #[inline]
+    pub fn node_of(&self, world_rank: usize) -> NodeId {
+        self.shared.placement[world_rank]
+    }
+
+    /// The full placement vector: `placement[world_rank] = node`.
+    #[inline]
+    pub fn placement(&self) -> &[NodeId] {
+        &self.shared.placement
+    }
+
+    /// The cluster model.
+    #[inline]
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.shared.cluster
+    }
+
+    /// This rank's virtual clock.
+    #[inline]
+    pub fn clock(&self) -> &LocalClock {
+        &self.clock
+    }
+
+    /// Performs `units` benchmark units of computation: advances the clock by
+    /// `units / speed(node, now)`.
+    pub fn compute(&self, units: f64) {
+        let dt = self
+            .shared
+            .cluster
+            .compute_time(self.node(), units, self.clock.now());
+        self.clock.advance(dt);
+    }
+
+    /// The world communicator (`MPI_COMM_WORLD`). Context ids 0/1.
+    pub fn world(&self) -> Comm {
+        Comm::world(self.world_rank, self.shared.clone(), self.clock.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::ClusterBuilder;
+
+    fn tiny_cluster() -> Arc<Cluster> {
+        Arc::new(
+            ClusterBuilder::new()
+                .node("a", 100.0)
+                .node("b", 50.0)
+                .node("c", 25.0)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn ranks_see_their_identity() {
+        let u = Universe::new(tiny_cluster());
+        let report = u.run(|p| (p.world_rank(), p.world_size(), p.node().index()));
+        assert_eq!(report.results, vec![(0, 3, 0), (1, 3, 1), (2, 3, 2)]);
+    }
+
+    #[test]
+    fn compute_advances_clock_by_speed() {
+        let u = Universe::new(tiny_cluster());
+        let report = u.run(|p| {
+            p.compute(100.0);
+            p.clock().now().as_secs()
+        });
+        // speeds 100, 50, 25 -> times 1, 2, 4
+        assert_eq!(report.results, vec![1.0, 2.0, 4.0]);
+        assert_eq!(report.makespan.as_secs(), 4.0);
+        assert_eq!(report.rank_times[1].as_secs(), 2.0);
+    }
+
+    #[test]
+    fn custom_placement_reuses_nodes() {
+        let cluster = Arc::new(
+            ClusterBuilder::new()
+                .processor(hetsim::Processor::new("smp", 100.0).with_slots(2))
+                .node("b", 50.0)
+                .build(),
+        );
+        let u = Universe::with_placement(cluster, vec![NodeId(0), NodeId(0), NodeId(1)]);
+        let report = u.run(|p| p.node().index());
+        assert_eq!(report.results, vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn placement_overflowing_slots_rejected() {
+        let cluster = tiny_cluster();
+        let _ = Universe::with_placement(cluster, vec![NodeId(0), NodeId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 panicked")]
+    fn rank_panics_propagate_with_rank() {
+        let u = Universe::new(tiny_cluster());
+        u.run(|p| {
+            if p.world_rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,232 @@
+//! Virtual time: per-rank logical clocks and network contention state.
+//!
+//! Timing model (documented here once; everything else derives from it):
+//!
+//! * Each rank owns a [`LocalClock`]. Computation of `v` benchmark units on
+//!   the rank's processor advances it by `v / speed(node, now)`.
+//! * A message of `b` bytes from node `s` to node `d` costs
+//!   `latency(s,d) + b / bandwidth(s,d)` on the wire. The *sender* is an
+//!   eager, buffered sender (MPI `Bsend` semantics): its clock advances only
+//!   by the link latency (the CPU-side injection overhead); the message is
+//!   stamped with its **arrival time** `start + cost`, where `start` is the
+//!   sender's clock possibly delayed by contention (see below). The
+//!   *receiver's* clock becomes `max(own clock, arrival)` when the message is
+//!   matched.
+//! * Contention ([`hetsim::ContentionModel`]): with `ParallelLinks` (the
+//!   paper's switched Ethernet) every transfer proceeds at full link speed;
+//!   with `SerializedNic` the transfer must additionally wait for both
+//!   endpoints' NICs to be free; with `SharedBus` for the single shared
+//!   medium. [`NetworkState::reserve`] implements the reservation.
+//!
+//! The model is deliberately first-order — it is the same
+//! latency/bandwidth/speed abstraction the HMPI runtime itself plans with,
+//! which is the fidelity level the paper's experiments exercise.
+
+use hetsim::{Cluster, ContentionModel, NodeId, SimTime};
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// A rank-local virtual clock. Cheap to clone; clones share the same
+/// underlying instant (the rank's communicators all tick one clock).
+///
+/// Not `Send`: a clock belongs to exactly one rank thread.
+#[derive(Clone, Debug)]
+pub struct LocalClock {
+    now: Rc<Cell<SimTime>>,
+}
+
+impl LocalClock {
+    /// A clock starting at time zero.
+    pub fn new() -> Self {
+        LocalClock {
+            now: Rc::new(Cell::new(SimTime::ZERO)),
+        }
+    }
+
+    /// The current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now.get()
+    }
+
+    /// Advances the clock by a duration.
+    #[inline]
+    pub fn advance(&self, dt: SimTime) {
+        self.now.set(self.now.get() + dt);
+    }
+
+    /// Moves the clock forward to `t` if `t` is later (receiving a message
+    /// stamped with its arrival time).
+    #[inline]
+    pub fn merge(&self, t: SimTime) {
+        if t > self.now.get() {
+            self.now.set(t);
+        }
+    }
+
+    /// Sets the clock to an absolute time (used by the runtime when starting
+    /// a rank at a non-zero epoch).
+    #[inline]
+    pub fn set(&self, t: SimTime) {
+        self.now.set(t);
+    }
+}
+
+impl Default for LocalClock {
+    fn default() -> Self {
+        LocalClock::new()
+    }
+}
+
+/// Shared contention state for a running universe.
+#[derive(Debug)]
+pub struct NetworkState {
+    contention: ContentionModel,
+    /// Per-node NIC busy-until times (used by `SerializedNic`).
+    nic_busy: Mutex<Vec<SimTime>>,
+    /// Shared-medium busy-until time (used by `SharedBus`).
+    bus_busy: Mutex<SimTime>,
+}
+
+impl NetworkState {
+    /// Fresh state for a cluster of `n_nodes` computers.
+    pub fn new(contention: ContentionModel, n_nodes: usize) -> Self {
+        NetworkState {
+            contention,
+            nic_busy: Mutex::new(vec![SimTime::ZERO; n_nodes]),
+            bus_busy: Mutex::new(SimTime::ZERO),
+        }
+    }
+
+    /// Reserves network capacity for a transfer that is ready to start at
+    /// `ready` and occupies the medium for `cost`. Returns the arrival time.
+    ///
+    /// Same-node transfers (`src == dst`) never contend.
+    pub fn reserve(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        ready: SimTime,
+        cost: SimTime,
+    ) -> SimTime {
+        if src == dst || cost.is_zero() {
+            return ready + cost;
+        }
+        match self.contention {
+            ContentionModel::ParallelLinks => ready + cost,
+            ContentionModel::SerializedNic => {
+                let mut busy = self.nic_busy.lock();
+                let start = ready.max(busy[src.index()]).max(busy[dst.index()]);
+                let arrival = start + cost;
+                busy[src.index()] = arrival;
+                busy[dst.index()] = arrival;
+                arrival
+            }
+            ContentionModel::SharedBus => {
+                let mut busy = self.bus_busy.lock();
+                let start = ready.max(*busy);
+                let arrival = start + cost;
+                *busy = arrival;
+                arrival
+            }
+        }
+    }
+}
+
+/// Computes the wire cost and sender overhead for a message, independent of
+/// contention.
+///
+/// Returns `(sender_overhead, wire_cost)`: the sender's clock advances by the
+/// overhead (the link latency — injection cost), and the message occupies the
+/// medium for the wire cost.
+pub fn message_costs(
+    cluster: &Cluster,
+    src: NodeId,
+    dst: NodeId,
+    bytes: usize,
+) -> (SimTime, SimTime) {
+    let link = cluster.link(src, dst);
+    let overhead = SimTime::from_secs(link.latency);
+    let cost = link.transfer_time(bytes);
+    (overhead, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn clock_advance_and_merge() {
+        let c = LocalClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance(t(2.0));
+        assert_eq!(c.now(), t(2.0));
+        c.merge(t(1.0)); // earlier: no effect
+        assert_eq!(c.now(), t(2.0));
+        c.merge(t(5.0));
+        assert_eq!(c.now(), t(5.0));
+    }
+
+    #[test]
+    fn clock_clones_share_time() {
+        let a = LocalClock::new();
+        let b = a.clone();
+        a.advance(t(3.0));
+        assert_eq!(b.now(), t(3.0));
+    }
+
+    #[test]
+    fn parallel_links_do_not_contend() {
+        let net = NetworkState::new(ContentionModel::ParallelLinks, 4);
+        let a1 = net.reserve(NodeId(0), NodeId(1), t(0.0), t(1.0));
+        let a2 = net.reserve(NodeId(2), NodeId(3), t(0.0), t(1.0));
+        let a3 = net.reserve(NodeId(0), NodeId(1), t(0.0), t(1.0));
+        assert_eq!(a1, t(1.0));
+        assert_eq!(a2, t(1.0));
+        assert_eq!(a3, t(1.0)); // even the same pair: switch model
+    }
+
+    #[test]
+    fn serialized_nic_queues_transfers_sharing_an_endpoint() {
+        let net = NetworkState::new(ContentionModel::SerializedNic, 4);
+        let a1 = net.reserve(NodeId(0), NodeId(1), t(0.0), t(1.0));
+        assert_eq!(a1, t(1.0));
+        // Shares node 0's NIC: must wait.
+        let a2 = net.reserve(NodeId(0), NodeId(2), t(0.0), t(1.0));
+        assert_eq!(a2, t(2.0));
+        // Disjoint pair: proceeds immediately.
+        let a3 = net.reserve(NodeId(3), NodeId(3), t(0.0), t(1.0));
+        assert_eq!(a3, t(1.0));
+    }
+
+    #[test]
+    fn shared_bus_serialises_everything() {
+        let net = NetworkState::new(ContentionModel::SharedBus, 4);
+        let a1 = net.reserve(NodeId(0), NodeId(1), t(0.0), t(1.0));
+        let a2 = net.reserve(NodeId(2), NodeId(3), t(0.0), t(1.0));
+        assert_eq!(a1, t(1.0));
+        assert_eq!(a2, t(2.0));
+    }
+
+    #[test]
+    fn same_node_transfers_never_contend() {
+        let net = NetworkState::new(ContentionModel::SharedBus, 2);
+        let a1 = net.reserve(NodeId(0), NodeId(0), t(0.0), t(1.0));
+        let a2 = net.reserve(NodeId(0), NodeId(0), t(0.0), t(1.0));
+        assert_eq!(a1, t(1.0));
+        assert_eq!(a2, t(1.0));
+    }
+
+    #[test]
+    fn message_costs_follow_link_model() {
+        let cluster = Cluster::paper_lan_em3d();
+        let (overhead, cost) = message_costs(&cluster, NodeId(0), NodeId(1), 11_000_000);
+        assert!((overhead.as_secs() - 150e-6).abs() < 1e-9);
+        assert!((cost.as_secs() - (150e-6 + 1.0)).abs() < 0.01);
+    }
+}

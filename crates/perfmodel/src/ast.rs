@@ -1,0 +1,252 @@
+//! Abstract syntax of the model-definition language.
+
+/// A parsed source file: struct typedefs plus algorithm definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// `typedef struct { int I; int J; } Processor;` declarations.
+    pub typedefs: Vec<StructDef>,
+    /// `algorithm Name(...) { ... }` definitions.
+    pub algorithms: Vec<AlgorithmDef>,
+}
+
+/// A struct typedef (all fields are `int`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// The typedef'd name.
+    pub name: String,
+    /// Field names in declaration order.
+    pub fields: Vec<String>,
+}
+
+/// An `algorithm` (mpC "network type") definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgorithmDef {
+    /// Algorithm name, e.g. `Em3d` or `ParallelAxB`.
+    pub name: String,
+    /// Formal parameters in order.
+    pub params: Vec<ParamDecl>,
+    /// `coord I=p, J=m;` — coordinate variables and their extents.
+    pub coords: Vec<(String, Expr)>,
+    /// `node { guard : bench*(expr); ... };`
+    pub node_rules: Vec<NodeRule>,
+    /// Binder variables of the `link (L=p, ...)` clause.
+    pub link_binders: Vec<(String, Expr)>,
+    /// `link { guard : length*(expr) [src]->[dst]; ... };`
+    pub link_rules: Vec<LinkRule>,
+    /// `parent [coords];`
+    pub parent: Vec<Expr>,
+    /// `scheme { ... };`
+    pub scheme: Vec<Stmt>,
+}
+
+/// A formal parameter: `int p`, `int d[p]`, `int h[m][m][m][m]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter name.
+    pub name: String,
+    /// Dimension extents (empty for scalars); evaluated left-to-right with
+    /// earlier parameters in scope.
+    pub dims: Vec<Expr>,
+}
+
+/// One rule of the `node` declaration: processors whose coordinates satisfy
+/// `guard` perform `volume` benchmark units of computation in total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRule {
+    /// Guard over the coordinate variables.
+    pub guard: Expr,
+    /// Total computation volume, in benchmark units (`bench*(volume)`).
+    pub volume: Expr,
+}
+
+/// One rule of the `link` declaration: for every assignment of coordinate
+/// and binder variables satisfying `guard`, `volume` bytes flow from the
+/// processor at `src` to the processor at `dst`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkRule {
+    /// Guard over coordinate and binder variables.
+    pub guard: Expr,
+    /// Bytes transferred in total (`length*(volume)`).
+    pub volume: Expr,
+    /// Source processor coordinates.
+    pub src: Vec<Expr>,
+    /// Destination processor coordinates.
+    pub dst: Vec<Expr>,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable reference.
+    Var(String),
+    /// Struct member access, e.g. `Root.I`.
+    Member(Box<Expr>, String),
+    /// Array subscript chain, e.g. `h[I][J][K][L]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `sizeof(type)` — resolved to the C byte size of the named type.
+    SizeOf(String),
+    /// Call to an extern/builtin function inside an expression
+    /// (value-returning form; out-parameter calls are statements).
+    Call(String, Vec<Expr>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating over ints in index context, true division in volume
+    /// context)
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// Assignable places.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Plain variable.
+    Var(String),
+    /// Struct member, e.g. `Root.I`.
+    Member(String, String),
+}
+
+/// Statements of the `scheme` body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `int a, b = e;` or `Processor Root, Receiver;`
+    Decl {
+        /// Type name (`int` or a struct typedef).
+        ty: String,
+        /// `(name, optional initialiser)` pairs.
+        vars: Vec<(String, Option<Expr>)>,
+    },
+    /// `lv = e;`, `lv += e;`, `lv -= e;`, `lv *= e;`, `lv++;`, `lv--;`
+    Assign {
+        /// Target place.
+        lv: LValue,
+        /// Assignment operator.
+        op: AssignOp,
+        /// Right-hand side (for `++`/`--` this is the literal 1).
+        rhs: Expr,
+    },
+    /// Sequential `for (init; cond; step) body`.
+    For {
+        /// Optional init assignment.
+        init: Option<Box<Stmt>>,
+        /// Optional condition (absent = infinite, rejected at eval).
+        cond: Option<Expr>,
+        /// Optional step assignment.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// Parallel `par (init; cond; step) body`: iterations' *activities*
+    /// overlap in time; variable bindings still evolve sequentially.
+    Par {
+        /// Optional init assignment.
+        init: Option<Box<Stmt>>,
+        /// Optional condition.
+        cond: Option<Expr>,
+        /// Optional step assignment (Figure 7 steps some loops inside the
+        /// body instead).
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `if (cond) then [else]`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Box<Stmt>,
+        /// Optional else branch.
+        els: Option<Box<Stmt>>,
+    },
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// `e %% [coords];` — the processor at `coords` performs `e` percent of
+    /// its total computation volume.
+    Compute {
+        /// Percentage expression.
+        percent: Expr,
+        /// Processor coordinates.
+        proc: Vec<Expr>,
+    },
+    /// `e %% [src] -> [dst];` — `e` percent of the total `src`→`dst`
+    /// communication volume is transferred.
+    Transfer {
+        /// Percentage expression.
+        percent: Expr,
+        /// Source coordinates.
+        src: Vec<Expr>,
+        /// Destination coordinates.
+        dst: Vec<Expr>,
+    },
+    /// `Fn(args...);` — extern call; `&lvalue` arguments receive outputs.
+    CallStmt {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<CallArg>,
+    },
+    /// `;`
+    Empty,
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=` (also `++`)
+    Add,
+    /// `-=` (also `--`)
+    Sub,
+    /// `*=`
+    Mul,
+}
+
+/// An argument of an extern call statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallArg {
+    /// Pass-by-value expression.
+    Value(Expr),
+    /// `&lvalue` out-parameter.
+    OutRef(LValue),
+}

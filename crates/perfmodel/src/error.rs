@@ -1,0 +1,118 @@
+//! Errors of the model-language pipeline.
+
+use std::fmt;
+
+/// A lexing or parsing failure, with 1-based line/column of the offending
+/// token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+impl ParseError {
+    /// Creates an error pinned to a source position.
+    pub fn new(message: impl Into<String>, line: usize, col: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A runtime failure while evaluating model expressions or interpreting a
+/// scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Reference to a name not in scope.
+    Undefined(String),
+    /// A value was used with the wrong shape (indexing a scalar, calling an
+    /// array, ...).
+    TypeError(String),
+    /// Array subscript out of bounds.
+    IndexOutOfBounds {
+        /// The array or parameter name.
+        name: String,
+        /// The offending flat index.
+        index: i64,
+        /// The dimension's extent.
+        extent: usize,
+    },
+    /// Division or modulo by zero in an integer context.
+    DivisionByZero,
+    /// Wrong number or shape of model parameters at instantiation.
+    BadParameters(String),
+    /// An extern function rejected its arguments.
+    ExternError {
+        /// Function name.
+        name: String,
+        /// Its complaint.
+        message: String,
+    },
+    /// An activity referenced an abstract processor outside the coordinate
+    /// space.
+    BadProcessor(String),
+    /// A scheme loop exceeded the iteration safety cap (runaway model).
+    IterationLimit(u64),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Undefined(n) => write!(f, "undefined name `{n}`"),
+            EvalError::TypeError(m) => write!(f, "type error: {m}"),
+            EvalError::IndexOutOfBounds {
+                name,
+                index,
+                extent,
+            } => write!(f, "index {index} out of bounds for `{name}` (extent {extent})"),
+            EvalError::DivisionByZero => write!(f, "integer division by zero"),
+            EvalError::BadParameters(m) => write!(f, "bad model parameters: {m}"),
+            EvalError::ExternError { name, message } => {
+                write!(f, "extern function `{name}`: {message}")
+            }
+            EvalError::BadProcessor(m) => write!(f, "bad abstract processor: {m}"),
+            EvalError::IterationLimit(n) => {
+                write!(f, "scheme exceeded the {n}-iteration safety cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_position() {
+        let e = ParseError::new("unexpected `}`", 3, 14);
+        assert!(e.to_string().contains("3:14"));
+    }
+
+    #[test]
+    fn eval_errors_display() {
+        assert!(EvalError::Undefined("x".into()).to_string().contains("`x`"));
+        assert!(EvalError::IndexOutOfBounds {
+            name: "d".into(),
+            index: 9,
+            extent: 4
+        }
+        .to_string()
+        .contains("extent 4"));
+    }
+}

@@ -1,0 +1,406 @@
+//! Tokenizer for the model-definition language.
+
+use crate::error::ParseError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are recognised by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// `%%`
+    PercentPercent,
+    /// `%`
+    Percent,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `++`
+    Incr,
+    /// `--`
+    Decr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `&` (address-of in extern calls)
+    Amp,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(n) => write!(f, "`{n}`"),
+            other => {
+                let s = match other {
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::Semi => ";",
+                    Tok::Comma => ",",
+                    Tok::Colon => ":",
+                    Tok::Dot => ".",
+                    Tok::Arrow => "->",
+                    Tok::PercentPercent => "%%",
+                    Tok::Percent => "%",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Assign => "=",
+                    Tok::PlusAssign => "+=",
+                    Tok::MinusAssign => "-=",
+                    Tok::StarAssign => "*=",
+                    Tok::Incr => "++",
+                    Tok::Decr => "--",
+                    Tok::Eq => "==",
+                    Tok::Ne => "!=",
+                    Tok::Lt => "<",
+                    Tok::Gt => ">",
+                    Tok::Le => "<=",
+                    Tok::Ge => ">=",
+                    Tok::AndAnd => "&&",
+                    Tok::OrOr => "||",
+                    Tok::Not => "!",
+                    Tok::Amp => "&",
+                    Tok::Eof => "<eof>",
+                    Tok::Ident(_) | Tok::Int(_) => unreachable!(),
+                };
+                write!(f, "`{s}`")
+            }
+        }
+    }
+}
+
+/// A token plus its source position (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Tokenizes model source. Supports `//` line and `/* */` block comments.
+///
+/// # Errors
+/// [`ParseError`] on unknown characters or malformed literals.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            out.push(Spanned {
+                tok: $tok,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            '/' if next == Some('/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if next == Some('*') => {
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(ParseError::new("unterminated block comment", line, col));
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(format!("bad integer `{text}`"), line, col))?;
+                out.push(Spanned {
+                    tok: Tok::Int(n),
+                    line,
+                    col,
+                });
+                col += i - start;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                out.push(Spanned {
+                    tok: Tok::Ident(text),
+                    line,
+                    col,
+                });
+                col += i - start;
+            }
+            '-' if next == Some('>') => push!(Tok::Arrow, 2),
+            '-' if next == Some('-') => push!(Tok::Decr, 2),
+            '-' if next == Some('=') => push!(Tok::MinusAssign, 2),
+            '-' => push!(Tok::Minus, 1),
+            '+' if next == Some('+') => push!(Tok::Incr, 2),
+            '+' if next == Some('=') => push!(Tok::PlusAssign, 2),
+            '+' => push!(Tok::Plus, 1),
+            '*' if next == Some('=') => push!(Tok::StarAssign, 2),
+            '*' => push!(Tok::Star, 1),
+            '/' => push!(Tok::Slash, 1),
+            '%' if next == Some('%') => push!(Tok::PercentPercent, 2),
+            '%' => push!(Tok::Percent, 1),
+            '=' if next == Some('=') => push!(Tok::Eq, 2),
+            '=' => push!(Tok::Assign, 1),
+            '!' if next == Some('=') => push!(Tok::Ne, 2),
+            '!' => push!(Tok::Not, 1),
+            '<' if next == Some('=') => push!(Tok::Le, 2),
+            '<' => push!(Tok::Lt, 1),
+            '>' if next == Some('=') => push!(Tok::Ge, 2),
+            '>' => push!(Tok::Gt, 1),
+            '&' if next == Some('&') => push!(Tok::AndAnd, 2),
+            '&' => push!(Tok::Amp, 1),
+            '|' if next == Some('|') => push!(Tok::OrOr, 2),
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            '{' => push!(Tok::LBrace, 1),
+            '}' => push!(Tok::RBrace, 1),
+            '[' => push!(Tok::LBracket, 1),
+            ']' => push!(Tok::RBracket, 1),
+            ';' => push!(Tok::Semi, 1),
+            ',' => push!(Tok::Comma, 1),
+            ':' => push!(Tok::Colon, 1),
+            '.' => push!(Tok::Dot, 1),
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{other}`"),
+                    line,
+                    col,
+                ))
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn percent_percent_wins_over_percent() {
+        assert_eq!(
+            toks("100%%[I] k%l"),
+            vec![
+                Tok::Int(100),
+                Tok::PercentPercent,
+                Tok::LBracket,
+                Tok::Ident("I".into()),
+                Tok::RBracket,
+                Tok::Ident("k".into()),
+                Tok::Percent,
+                Tok::Ident("l".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_and_minus() {
+        assert_eq!(
+            toks("[L]->[I] a-b a-- a-=1"),
+            vec![
+                Tok::LBracket,
+                Tok::Ident("L".into()),
+                Tok::RBracket,
+                Tok::Arrow,
+                Tok::LBracket,
+                Tok::Ident("I".into()),
+                Tok::RBracket,
+                Tok::Ident("a".into()),
+                Tok::Minus,
+                Tok::Ident("b".into()),
+                Tok::Ident("a".into()),
+                Tok::Decr,
+                Tok::Ident("a".into()),
+                Tok::MinusAssign,
+                Tok::Int(1),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // line comment\n /* block\n comment */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn compound_comparisons() {
+        assert_eq!(
+            toks("a>=0 && b!=c || d<=e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ge,
+                Tok::Int(0),
+                Tok::AndAnd,
+                Tok::Ident("b".into()),
+                Tok::Ne,
+                Tok::Ident("c".into()),
+                Tok::OrOr,
+                Tok::Ident("d".into()),
+                Tok::Le,
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let spanned = lex("ab\n  cd").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[0].col, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[1].col, 3);
+    }
+
+    #[test]
+    fn bad_character_is_rejected() {
+        assert!(lex("a @ b").is_err());
+    }
+
+    #[test]
+    fn unterminated_block_comment_rejected() {
+        assert!(lex("a /* never closed").is_err());
+    }
+
+    #[test]
+    fn member_access_and_calls() {
+        assert_eq!(
+            toks("GetProcessor(Arow, m, &Root); Root.I++"),
+            vec![
+                Tok::Ident("GetProcessor".into()),
+                Tok::LParen,
+                Tok::Ident("Arow".into()),
+                Tok::Comma,
+                Tok::Ident("m".into()),
+                Tok::Comma,
+                Tok::Amp,
+                Tok::Ident("Root".into()),
+                Tok::RParen,
+                Tok::Semi,
+                Tok::Ident("Root".into()),
+                Tok::Dot,
+                Tok::Ident("I".into()),
+                Tok::Incr,
+                Tok::Eof
+            ]
+        );
+    }
+}

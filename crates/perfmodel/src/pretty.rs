@@ -1,0 +1,316 @@
+//! Pretty-printer: AST back to model source.
+//!
+//! Useful for tooling (dumping a programmatically assembled model, error
+//! reporting) and for testing the parser: `parse(print(parse(src)))` must
+//! equal `parse(src)` for every model we ship (round-trip tests live in
+//! `tests/paper_models.rs`).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for td in &p.typedefs {
+        let _ = write!(out, "typedef struct {{");
+        for f in &td.fields {
+            let _ = write!(out, "int {f}; ");
+        }
+        let _ = writeln!(out, "}} {};", td.name);
+    }
+    for a in &p.algorithms {
+        out.push_str(&print_algorithm(a));
+    }
+    out
+}
+
+/// Renders one algorithm definition.
+pub fn print_algorithm(a: &AlgorithmDef) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = a
+        .params
+        .iter()
+        .map(|p| {
+            let dims: String = p.dims.iter().map(|d| format!("[{}]", print_expr(d))).collect();
+            format!("int {}{dims}", p.name)
+        })
+        .collect();
+    let _ = writeln!(out, "algorithm {}({}) {{", a.name, params.join(", "));
+
+    let coords: Vec<String> = a
+        .coords
+        .iter()
+        .map(|(n, e)| format!("{n}={}", print_expr(e)))
+        .collect();
+    let _ = writeln!(out, "  coord {};", coords.join(", "));
+
+    if !a.node_rules.is_empty() {
+        let _ = writeln!(out, "  node {{");
+        for r in &a.node_rules {
+            let _ = writeln!(
+                out,
+                "    {}: bench*({});",
+                print_expr(&r.guard),
+                print_expr(&r.volume)
+            );
+        }
+        let _ = writeln!(out, "  }};");
+    }
+
+    if !a.link_rules.is_empty() {
+        let binders: Vec<String> = a
+            .link_binders
+            .iter()
+            .map(|(n, e)| format!("{n}={}", print_expr(e)))
+            .collect();
+        if binders.is_empty() {
+            let _ = writeln!(out, "  link {{");
+        } else {
+            let _ = writeln!(out, "  link ({}) {{", binders.join(", "));
+        }
+        for r in &a.link_rules {
+            let _ = writeln!(
+                out,
+                "    {}: length*({}) [{}] -> [{}];",
+                print_expr(&r.guard),
+                print_expr(&r.volume),
+                print_exprs(&r.src),
+                print_exprs(&r.dst)
+            );
+        }
+        let _ = writeln!(out, "  }};");
+    }
+
+    if !a.parent.is_empty() {
+        let _ = writeln!(out, "  parent[{}];", print_exprs(&a.parent));
+    }
+
+    let _ = writeln!(out, "  scheme {{");
+    for s in &a.scheme {
+        out.push_str(&print_stmt(s, 2));
+    }
+    let _ = writeln!(out, "  }};");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn print_exprs(es: &[Expr]) -> String {
+    es.iter().map(print_expr).collect::<Vec<_>>().join(", ")
+}
+
+fn indent(depth: usize) -> String {
+    "  ".repeat(depth)
+}
+
+/// Renders a statement at the given indentation depth.
+pub fn print_stmt(s: &Stmt, depth: usize) -> String {
+    let pad = indent(depth);
+    match s {
+        Stmt::Empty => format!("{pad};\n"),
+        Stmt::Block(body) => {
+            let mut out = format!("{pad}{{\n");
+            for st in body {
+                out.push_str(&print_stmt(st, depth + 1));
+            }
+            out.push_str(&format!("{pad}}}\n"));
+            out
+        }
+        Stmt::Decl { ty, vars } => {
+            let vs: Vec<String> = vars
+                .iter()
+                .map(|(n, init)| match init {
+                    Some(e) => format!("{n} = {}", print_expr(e)),
+                    None => n.clone(),
+                })
+                .collect();
+            format!("{pad}{ty} {};\n", vs.join(", "))
+        }
+        Stmt::Assign { lv, op, rhs } => {
+            let op_str = match op {
+                AssignOp::Set => "=",
+                AssignOp::Add => "+=",
+                AssignOp::Sub => "-=",
+                AssignOp::Mul => "*=",
+            };
+            format!("{pad}{} {op_str} {};\n", print_lvalue(lv), print_expr(rhs))
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        }
+        | Stmt::Par {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            let kw = if matches!(s, Stmt::For { .. }) { "for" } else { "par" };
+            let init_s = init.as_ref().map_or(String::new(), |i| print_header_stmt(i));
+            let cond_s = cond.as_ref().map_or(String::new(), print_expr);
+            let step_s = step.as_ref().map_or(String::new(), |i| print_header_stmt(i));
+            let mut out = format!("{pad}{kw} ({init_s}; {cond_s}; {step_s})\n");
+            out.push_str(&print_stmt(body, depth + 1));
+            out
+        }
+        Stmt::If { cond, then, els } => {
+            let mut out = format!("{pad}if ({})\n", print_expr(cond));
+            out.push_str(&print_stmt(then, depth + 1));
+            if let Some(e) = els {
+                out.push_str(&format!("{pad}else\n"));
+                out.push_str(&print_stmt(e, depth + 1));
+            }
+            out
+        }
+        Stmt::Compute { percent, proc } => {
+            format!("{pad}({}) %% [{}];\n", print_expr(percent), print_exprs(proc))
+        }
+        Stmt::Transfer { percent, src, dst } => format!(
+            "{pad}({}) %% [{}] -> [{}];\n",
+            print_expr(percent),
+            print_exprs(src),
+            print_exprs(dst)
+        ),
+        Stmt::CallStmt { name, args } => {
+            let rendered: Vec<String> = args
+                .iter()
+                .map(|a| match a {
+                    CallArg::Value(e) => print_expr(e),
+                    CallArg::OutRef(lv) => format!("&{}", print_lvalue(lv)),
+                })
+                .collect();
+            format!("{pad}{name}({});\n", rendered.join(", "))
+        }
+    }
+}
+
+/// Renders the assignment inside a `for`/`par` header (no semicolon).
+fn print_header_stmt(s: &Stmt) -> String {
+    match s {
+        Stmt::Assign { lv, op, rhs } => {
+            let op_str = match op {
+                AssignOp::Set => "=",
+                AssignOp::Add => "+=",
+                AssignOp::Sub => "-=",
+                AssignOp::Mul => "*=",
+            };
+            format!("{} {op_str} {}", print_lvalue(lv), print_expr(rhs))
+        }
+        other => print_stmt(other, 0).trim_end().trim_end_matches(';').to_string(),
+    }
+}
+
+fn print_lvalue(lv: &LValue) -> String {
+    match lv {
+        LValue::Var(n) => n.clone(),
+        LValue::Member(n, f) => format!("{n}.{f}"),
+    }
+}
+
+/// Renders an expression (fully parenthesised where precedence matters).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(n) => n.to_string(),
+        Expr::Var(n) => n.clone(),
+        Expr::Member(base, f) => format!("{}.{f}", print_expr(base)),
+        Expr::Index(base, idx) => format!("{}[{}]", print_expr(base), print_expr(idx)),
+        Expr::Unary(UnOp::Neg, x) => format!("(-{})", print_expr(x)),
+        Expr::Unary(UnOp::Not, x) => format!("(!{})", print_expr(x)),
+        Expr::Binary(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Gt => ">",
+                BinOp::Le => "<=",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            format!("({} {sym} {})", print_expr(a), print_expr(b))
+        }
+        Expr::SizeOf(ty) => format!("sizeof({ty})"),
+        Expr::Call(name, args) => format!("{name}({})", print_exprs(args)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn simple_roundtrip() {
+        let src = r"
+            algorithm T(int p, int d[p]) {
+                coord I=p;
+                node {I>=0: bench*(d[I]);};
+                link (L=p) { I!=L: length*(d[I]*8) [I]->[L]; };
+                parent[0];
+                scheme {
+                    int i;
+                    par (i = 0; i < p; i++) 100%%[i];
+                };
+            }
+        ";
+        let ast1 = parse_program(src).unwrap();
+        let printed = print_program(&ast1);
+        let ast2 = parse_program(&printed).unwrap();
+        assert_eq!(ast1, ast2, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn expr_precedence_is_preserved_by_parens() {
+        let src = r"
+            algorithm T(int a, int b, int c) {
+                coord I=1;
+                node {I>=0: bench*(a+b*c);};
+                parent[0];
+                scheme {;};
+            }
+        ";
+        let ast1 = parse_program(src).unwrap();
+        let printed = print_program(&ast1);
+        let ast2 = parse_program(&printed).unwrap();
+        assert_eq!(
+            ast1.algorithms[0].node_rules[0].volume,
+            ast2.algorithms[0].node_rules[0].volume
+        );
+    }
+
+    #[test]
+    fn statements_roundtrip() {
+        let src = r"
+            typedef struct {int I; int J;} Processor;
+            algorithm T(int m, int w[m], int h[m][m][m][m]) {
+                coord I=m, J=m;
+                node {I>=0 && J>=0: bench*(1);};
+                parent[0,0];
+                scheme {
+                    int k;
+                    Processor Root;
+                    for (k = 0; k < m; k++) {
+                        int a = k%2, b;
+                        GetProcessor(0, a, m, h, w, &Root);
+                        if (Root.I != 0)
+                            (100/m)%%[Root.I, Root.J];
+                        else
+                            b = 1;
+                        b += a;
+                        Root.J++;
+                    }
+                };
+            }
+        ";
+        let ast1 = parse_program(src).unwrap();
+        let printed = print_program(&ast1);
+        let ast2 = parse_program(&printed).unwrap();
+        assert_eq!(ast1, ast2, "printed:\n{printed}");
+    }
+}

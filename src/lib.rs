@@ -1,0 +1,20 @@
+//! Umbrella crate for the HMPI reproduction workspace.
+//!
+//! Re-exports the member crates so the root examples and end-to-end tests
+//! (and downstream users who want a single dependency) can reach everything:
+//!
+//! * [`hetsim`] — the heterogeneous network-of-computers model;
+//! * [`mpisim`] — the in-process MPI subset with virtual time;
+//! * [`perfmodel`] — the performance-model definition language;
+//! * [`hmpi`] — the paper's contribution: `Recon`, `Timeof`, `Group_create`;
+//! * [`apps`] — the paper's two applications (EM3D and matrix
+//!   multiplication) with plain-MPI baselines.
+//!
+//! See `README.md` for the tour and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+pub use hetsim;
+pub use hmpi;
+pub use hmpi_apps as apps;
+pub use mpisim;
+pub use perfmodel;
