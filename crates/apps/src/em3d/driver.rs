@@ -12,9 +12,9 @@
 use crate::em3d::body::{Em3dConfig, Em3dSystem};
 use crate::em3d::model::em3d_model;
 use crate::em3d::parallel::ParallelBody;
-use hetsim::Cluster;
-use hmpi::{HmpiRuntime, MappingAlgorithm};
-use mpisim::Universe;
+use hetsim::{Cluster, SimTime};
+use hmpi::{HmpiError, HmpiRuntime, MappingAlgorithm};
+use mpisim::{MpiError, Universe};
 use std::sync::Arc;
 
 /// Outcome of one EM3D execution.
@@ -159,6 +159,187 @@ pub fn run_hmpi_with(
     assemble(outcomes, members, Some(predicted))
 }
 
+/// Outcome of one fault-tolerant EM3D execution ([`run_hmpi_ft`]).
+#[derive(Debug, Clone)]
+pub struct Em3dFtRun {
+    /// The group `HMPI_Group_create` originally selected.
+    pub initial_members: Vec<usize>,
+    /// Predicted per-iteration time of the initial group, seconds.
+    pub initial_predicted: f64,
+    /// The group that completed the run (== initial when nothing failed).
+    pub final_members: Vec<usize>,
+    /// Predicted per-iteration time of the final group, seconds.
+    pub final_predicted: f64,
+    /// How many times the group was shrunk with `rebuild_group`.
+    pub rebuilds: usize,
+    /// Virtual time of the *final, successful* attempt (max over its
+    /// members), seconds.
+    pub time: f64,
+    /// Virtual time of the whole run including failed attempts and
+    /// recovery, seconds.
+    pub makespan: f64,
+    /// Final `(e_values, h_values)` per body of the shrunk system.
+    pub fields: Vec<(Vec<f64>, Vec<f64>)>,
+}
+
+/// What the host learned over the run; `None` on every other rank.
+#[derive(Debug, Clone)]
+struct FtMeta {
+    initial: (Vec<usize>, f64),
+    fin: Option<(Vec<usize>, f64)>,
+    rebuilds: usize,
+}
+
+/// `cfg` restricted to its first `p` sub-bodies — the work the survivors
+/// redistribute after a shrink.
+fn shrunk(cfg: &Em3dConfig, p: usize) -> Em3dConfig {
+    let mut c = cfg.clone();
+    c.nodes_per_body.truncate(p);
+    c
+}
+
+/// The fault-tolerant HMPI program: FT recon, `group_create`, run — and on
+/// any failure, `rebuild_group` over the survivors and restart the
+/// (shrunk) computation from scratch.
+///
+/// Each attempt regenerates the system for the current group size, so the
+/// result after a mid-run crash equals a clean run of the shrunk problem.
+/// Boundary receives carry a per-iteration deadline derived from the
+/// group's own predicted time, so even a silent failure surfaces as an
+/// error instead of a hang.
+///
+/// Returns `None` when the run could not complete at all: the host's node
+/// died (host failure is unrecoverable, exactly like losing rank 0 of
+/// `MPI_COMM_WORLD`), or so many nodes died that no feasible group
+/// remained.
+///
+/// # Panics
+/// Panics if the cluster hosts fewer processes than sub-bodies.
+pub fn run_hmpi_ft(
+    cluster: Arc<Cluster>,
+    cfg: &Em3dConfig,
+    niter: usize,
+    k: usize,
+) -> Option<Em3dFtRun> {
+    let p = cfg.nodes_per_body.len();
+    let runtime = HmpiRuntime::new(cluster);
+    assert!(
+        p <= runtime.universe().size(),
+        "EM3D needs {p} processes, universe has {}",
+        runtime.universe().size()
+    );
+    let report = runtime.run(|h| -> (RankOutcome, Option<FtMeta>) {
+        let my_world = h.rank();
+        let faulty = !h.process().cluster().faults().is_empty();
+        let recon = if faulty {
+            // The FT recon doubles as the failure detector; scale the
+            // benchmark like the plain driver's `recon_with` bench.
+            h.recon_ft_scaled(1.0, k as f64)
+        } else {
+            h.recon_with(1.0, |hh| hh.compute(k as f64))
+        };
+        if recon.is_err() {
+            return (None, None); // this rank's own node died during recon
+        }
+
+        // Size the problem to what survived the recon: a node that died
+        // before the application even started simply shrinks the system.
+        let p_eff = p.min(h.estimates().available_len());
+        let system = Em3dSystem::generate(&shrunk(cfg, p_eff));
+        let model = match em3d_model(&system, k) {
+            Ok(m) => m,
+            Err(_) => return (None, None),
+        };
+        let mut group = match h.group_create(&model) {
+            Ok(g) => g,
+            Err(_) => return (None, None), // infeasible from the start
+        };
+        let mut meta = h.is_host().then(|| FtMeta {
+            initial: (group.members().to_vec(), group.predicted_time()),
+            fin: None,
+            rebuilds: 0,
+        });
+
+        let mut outcome: RankOutcome = None;
+        loop {
+            if !group.is_member() {
+                break; // never selected; free processes just stand by
+            }
+            let comm = group.comm().expect("member has a comm").clone();
+            let sys = Em3dSystem::generate(&shrunk(cfg, group.size()));
+            let mut pb = ParallelBody::new(&sys, comm.rank());
+            // Per-iteration deadline: generous versus the prediction, tiny
+            // versus the deadlock timeout.
+            let budget = (group.predicted_time() * 10.0).max(1.0);
+            let t0 = comm.clock().now();
+            let attempt = (0..niter)
+                .try_for_each(|_| {
+                    let deadline =
+                        SimTime::from_secs(comm.clock().now().as_secs() + budget);
+                    pb.step_by(&comm, deadline)
+                })
+                .and_then(|()| comm.barrier());
+            match attempt {
+                Ok(()) => {
+                    let dur = (comm.clock().now() - t0).as_secs();
+                    outcome = Some((dur, pb.body.e_values, pb.body.h_values));
+                    if let Some(m) = meta.as_mut() {
+                        m.fin = Some((group.members().to_vec(), group.predicted_time()));
+                    }
+                    // Lenient free: a peer may die between the closing
+                    // barrier and the free barriers.
+                    let _ = h.group_free(group);
+                    return (outcome, meta);
+                }
+                Err(MpiError::NodeFailed { world_rank }) if world_rank == my_world => {
+                    return (None, meta); // our own node fail-stopped
+                }
+                Err(_) => {
+                    if let Some(m) = meta.as_mut() {
+                        m.rebuilds += 1;
+                    }
+                    group = match h.rebuild_group(group, |survivors| {
+                        let sys2 = Em3dSystem::generate(&shrunk(cfg, survivors.len()));
+                        em3d_model(&sys2, k).map_err(|_| HmpiError::Aborted)
+                    }) {
+                        Ok(g) => g,
+                        Err(_) => return (None, meta), // no feasible shrink
+                    };
+                }
+            }
+        }
+        (outcome, meta)
+    });
+
+    let mut outcomes = Vec::with_capacity(report.results.len());
+    let mut meta = None;
+    for (o, m) in report.results {
+        outcomes.push(o);
+        if m.is_some() {
+            meta = m;
+        }
+    }
+    let meta = meta?;
+    let (final_members, final_predicted) = meta.fin?;
+    let mut time = 0.0f64;
+    let mut fields = vec![(Vec::new(), Vec::new()); final_members.len()];
+    for (body, &world) in final_members.iter().enumerate() {
+        let (dur, e, h) = outcomes[world].clone()?;
+        time = time.max(dur);
+        fields[body] = (e, h);
+    }
+    Some(Em3dFtRun {
+        initial_members: meta.initial.0,
+        initial_predicted: meta.initial.1,
+        final_members,
+        final_predicted,
+        rebuilds: meta.rebuilds,
+        time,
+        makespan: report.makespan.as_secs(),
+        fields,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +409,80 @@ mod tests {
     }
 
     #[test]
+    fn ft_driver_matches_plain_hmpi_without_faults() {
+        // With an empty fault plan the FT driver is the Figure 5 program:
+        // same group, same fields, same virtual time, zero rebuilds.
+        let niter = 3;
+        let plain = run_hmpi(paper_cluster(), &cfg(), niter, 10);
+        let ft = run_hmpi_ft(paper_cluster(), &cfg(), niter, 10).expect("fault-free run");
+        assert_eq!(ft.rebuilds, 0);
+        assert_eq!(ft.initial_members, ft.final_members);
+        assert!((ft.time - plain.time).abs() < 1e-9);
+        let serial = serial_run(Em3dSystem::generate(&cfg()), niter);
+        for (body, (se, sh)) in serial.iter().enumerate() {
+            let (e, h) = &ft.fields[body];
+            for (a, b) in e.iter().zip(se) {
+                assert!((a - b).abs() < 1e-10);
+            }
+            for (a, b) in h.iter().zip(sh) {
+                assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn ft_driver_recovers_from_a_mid_run_crash() {
+        // Node 7 (speed 106) fail-stops at t=5.0 — during iteration 1 of 6
+        // (the run spans roughly t=1.2..56). The survivors shrink to eight
+        // processes with `rebuild_group`, restart the shrunk problem, and
+        // finish; the dead rank sees its own failure and unwinds.
+        use hetsim::{FaultEvent, FaultPlan, NodeId, PAPER_EM3D_SPEEDS};
+        let plan = FaultPlan::none().with(FaultEvent::NodeCrash {
+            node: NodeId(7),
+            at: hetsim::SimTime::from_secs(5.0),
+        });
+        let cluster = Arc::new(Cluster::paper_lan_with_faults(&PAPER_EM3D_SPEEDS, plan));
+        let niter = 6;
+        let ft = run_hmpi_ft(cluster, &cfg(), niter, 10).expect("survivors complete");
+
+        assert!(ft.rebuilds >= 1, "the crash must force a rebuild");
+        assert_eq!(ft.initial_members.len(), 9, "everyone starts selected");
+        assert_eq!(ft.final_members.len(), 8, "one node was lost");
+        assert!(
+            !ft.final_members.contains(&7),
+            "the dead node must be excluded, got {:?}",
+            ft.final_members
+        );
+        // The survivors computed the shrunk system correctly: the result
+        // equals a clean serial run of the 8-body problem.
+        let shrunk_cfg = {
+            let mut c = cfg();
+            c.nodes_per_body.truncate(8);
+            c
+        };
+        let serial = serial_run(Em3dSystem::generate(&shrunk_cfg), niter);
+        for (body, (se, sh)) in serial.iter().enumerate() {
+            let (e, h) = &ft.fields[body];
+            for (a, b) in e.iter().zip(se) {
+                assert!((a - b).abs() < 1e-10, "E mismatch on body {body}");
+            }
+            for (a, b) in h.iter().zip(sh) {
+                assert!((a - b).abs() < 1e-10, "H mismatch on body {body}");
+            }
+        }
+        // The rebuilt group's prediction still tracks the final attempt.
+        let converted = ft.final_predicted * niter as f64;
+        let ratio = converted / ft.time;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "post-recovery prediction off by more than 3x: {converted} vs {}",
+            ft.time
+        );
+        // The makespan pays for the aborted first attempt and the recovery.
+        assert!(ft.makespan > ft.time);
+    }
+
+    #[test]
     fn predicted_time_is_reasonable() {
         let niter = 2;
         let hmpi = run_hmpi(paper_cluster(), &cfg(), niter, 10);
@@ -244,3 +499,4 @@ mod tests {
         );
     }
 }
+

@@ -7,6 +7,7 @@
 //! the "control is handed over to MPI" phase of an HMPI program.
 
 use crate::em3d::body::{Em3dSystem, NodeRef, SubBody};
+use hetsim::SimTime;
 use mpisim::{Comm, MpiResult};
 
 const TAG_H_BOUNDARY: i32 = 101;
@@ -49,6 +50,10 @@ impl ParallelBody {
     /// # Errors
     /// Propagates transport errors.
     pub fn gather_h_boundaries(&mut self, comm: &Comm) -> MpiResult<()> {
+        self.gather_h_by(comm, None)
+    }
+
+    fn gather_h_by(&mut self, comm: &Comm, deadline: Option<SimTime>) -> MpiResult<()> {
         // Eager sends first, then receives: no deadlock by construction.
         for j in 0..self.p {
             if j != self.me && !self.body.h_exports[j].is_empty() {
@@ -61,7 +66,10 @@ impl ParallelBody {
         }
         for j in 0..self.p {
             if j != self.me && self.body.h_imports[j] > 0 {
-                let (vals, _) = comm.recv::<f64>(j, TAG_H_BOUNDARY)?;
+                let (vals, _) = match deadline {
+                    None => comm.recv::<f64>(j, TAG_H_BOUNDARY)?,
+                    Some(d) => comm.recv_deadline::<f64>(j, TAG_H_BOUNDARY, d)?,
+                };
                 debug_assert_eq!(vals.len(), self.body.h_imports[j]);
                 self.ghosts_h[j] = vals;
             }
@@ -74,6 +82,10 @@ impl ParallelBody {
     /// # Errors
     /// Propagates transport errors.
     pub fn gather_e_boundaries(&mut self, comm: &Comm) -> MpiResult<()> {
+        self.gather_e_by(comm, None)
+    }
+
+    fn gather_e_by(&mut self, comm: &Comm, deadline: Option<SimTime>) -> MpiResult<()> {
         for j in 0..self.p {
             if j != self.me && !self.body.e_exports[j].is_empty() {
                 let vals: Vec<f64> = self.body.e_exports[j]
@@ -85,7 +97,10 @@ impl ParallelBody {
         }
         for j in 0..self.p {
             if j != self.me && self.body.e_imports[j] > 0 {
-                let (vals, _) = comm.recv::<f64>(j, TAG_E_BOUNDARY)?;
+                let (vals, _) = match deadline {
+                    None => comm.recv::<f64>(j, TAG_E_BOUNDARY)?,
+                    Some(d) => comm.recv_deadline::<f64>(j, TAG_E_BOUNDARY, d)?,
+                };
                 debug_assert_eq!(vals.len(), self.body.e_imports[j]);
                 self.ghosts_e[j] = vals;
             }
@@ -95,7 +110,11 @@ impl ParallelBody {
 
     /// Computes new E values from H values (paper: `Compute_E_values`), and
     /// charges the virtual computation cost (one unit per node update).
-    pub fn compute_e(&mut self, comm: &Comm) {
+    ///
+    /// # Errors
+    /// [`mpisim::MpiError::NodeFailed`] (own rank) if this rank's node
+    /// fail-stops during the computation.
+    pub fn compute_e(&mut self, comm: &Comm) -> MpiResult<()> {
         let new_e: Vec<f64> = self
             .body
             .e_deps
@@ -111,12 +130,16 @@ impl ParallelBody {
                     .sum()
             })
             .collect();
-        comm.compute(new_e.len() as f64);
+        comm.try_compute(new_e.len() as f64)?;
         self.body.e_values = new_e;
+        Ok(())
     }
 
     /// Computes new H values from E values (paper: `Compute_H_values`).
-    pub fn compute_h(&mut self, comm: &Comm) {
+    ///
+    /// # Errors
+    /// As [`ParallelBody::compute_e`].
+    pub fn compute_h(&mut self, comm: &Comm) -> MpiResult<()> {
         let new_h: Vec<f64> = self
             .body
             .h_deps
@@ -132,8 +155,9 @@ impl ParallelBody {
                     .sum()
             })
             .collect();
-        comm.compute(new_h.len() as f64);
+        comm.try_compute(new_h.len() as f64)?;
         self.body.h_values = new_h;
+        Ok(())
     }
 
     /// One full iteration of the paper's main loop.
@@ -142,9 +166,26 @@ impl ParallelBody {
     /// Propagates transport errors.
     pub fn step(&mut self, comm: &Comm) -> MpiResult<()> {
         self.gather_h_boundaries(comm)?;
-        self.compute_e(comm);
+        self.compute_e(comm)?;
         self.gather_e_boundaries(comm)?;
-        self.compute_h(comm);
+        self.compute_h(comm)?;
+        Ok(())
+    }
+
+    /// Failure-aware iteration: boundary receives give up at `deadline`
+    /// (virtual time), so a peer that fail-stops without a trace — or a
+    /// partition that silences it — surfaces as [`mpisim::MpiError::Timeout`]
+    /// instead of a hang, and this rank's own death surfaces as
+    /// [`mpisim::MpiError::NodeFailed`]. The caller treats any error as the
+    /// signal to enter its recovery path.
+    ///
+    /// # Errors
+    /// As [`Comm::recv_deadline`] plus [`ParallelBody::compute_e`].
+    pub fn step_by(&mut self, comm: &Comm, deadline: SimTime) -> MpiResult<()> {
+        self.gather_h_by(comm, Some(deadline))?;
+        self.compute_e(comm)?;
+        self.gather_e_by(comm, Some(deadline))?;
+        self.compute_h(comm)?;
         Ok(())
     }
 

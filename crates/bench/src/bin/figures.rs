@@ -7,7 +7,9 @@
 //! cargo run --release -p hmpi-bench --bin figures -- --quick all
 //! ```
 
-use hmpi_bench::{ablation, extension, fig10, fig11, fig9, render_csv, render_table, ComparisonPoint};
+use hmpi_bench::{
+    ablation, extension, faults, fig10, fig11, fig9, render_csv, render_table, ComparisonPoint,
+};
 
 struct Options {
     csv: bool,
@@ -56,7 +58,7 @@ fn main() {
         .collect();
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec![
-            "fig9a", "fig9b", "fig10", "fig11a", "fig11b", "ablations", "ext-nbody",
+            "fig9a", "fig9b", "fig10", "fig11a", "fig11b", "ablations", "ext-nbody", "faults",
         ];
     }
 
@@ -168,8 +170,48 @@ fn main() {
                     &pts,
                 );
             }
+            "faults" => {
+                let rates: &[f64] = if opts.quick {
+                    &[0.0, 0.3]
+                } else {
+                    faults::DEFAULT_RATES
+                };
+                let trials = if opts.quick { 2 } else { faults::TRIALS };
+                let pts = faults::series(rates, trials);
+                if opts.csv {
+                    println!("rate,completed,trials,mean_makespan,mean_survivors,mean_rebuilds");
+                    for p in &pts {
+                        println!(
+                            "{},{},{},{},{},{}",
+                            p.rate,
+                            p.completed,
+                            p.trials,
+                            p.mean_makespan,
+                            p.mean_survivors,
+                            p.mean_rebuilds
+                        );
+                    }
+                } else {
+                    println!(
+                        "# Degradation: FT EM3D vs injected per-node crash rate ({} seeds/rate, host exempt)",
+                        trials
+                    );
+                    println!(
+                        "{:>6}  {:>9}  {:>14}  {:>10}  {:>9}",
+                        "rate", "completed", "makespan [s]", "survivors", "rebuilds"
+                    );
+                    for p in &pts {
+                        println!(
+                            "{:>6.2}  {:>6}/{:<2}  {:>14.4}  {:>10.2}  {:>9.2}",
+                            p.rate, p.completed, p.trials, p.mean_makespan, p.mean_survivors,
+                            p.mean_rebuilds
+                        );
+                    }
+                }
+                println!();
+            }
             other => {
-                eprintln!("unknown figure `{other}`; known: fig9a fig9b fig10 fig11a fig11b ablations ext-nbody all");
+                eprintln!("unknown figure `{other}`; known: fig9a fig9b fig10 fig11a fig11b ablations ext-nbody faults all");
                 std::process::exit(2);
             }
         }

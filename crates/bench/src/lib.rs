@@ -12,7 +12,10 @@
 //! * [`ablation`] — design-choice studies DESIGN.md calls out: selection
 //!   algorithm, network contention model, and recon staleness;
 //! * [`extension`] — the N-body workload (beyond the paper), showing the
-//!   selection machinery generalises to a collective-heavy shape.
+//!   selection machinery generalises to a collective-heavy shape;
+//! * [`faults`] — the degradation curve (beyond the paper): fault-tolerant
+//!   EM3D under seeded random fail-stop crashes, virtual time and surviving
+//!   group size versus the injected per-node failure rate.
 //!
 //! Each module returns plain series structs; `src/bin/figures.rs` prints
 //! them as aligned tables/CSV, and `benches/` wraps representative points in
@@ -28,6 +31,7 @@
 
 pub mod ablation;
 pub mod extension;
+pub mod faults;
 pub mod fig10;
 pub mod fig11;
 pub mod fig9;

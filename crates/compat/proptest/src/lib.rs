@@ -1,0 +1,535 @@
+//! Offline compatibility shim for the `proptest` API surface this workspace
+//! uses: the [`proptest!`] macro, `prop_assert*`/`prop_assume!`,
+//! [`prop_oneof!`], the [`Strategy`](strategy::Strategy) trait with
+//! `prop_map`/`prop_filter`/`prop_recursive`, range and tuple strategies,
+//! [`collection::vec`], and [`arbitrary::any`].
+//!
+//! Cases are generated from an RNG seeded deterministically from the test
+//! name, so failures replay identically run-to-run. There is **no
+//! shrinking** — a failing case reports its inputs and case number only.
+
+/// Property-test strategies: value generators composable with
+/// `prop_map`/`prop_filter`/`prop_recursive`.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Type-erases this strategy behind reference counting.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let s = Rc::new(self);
+            BoxedStrategy(Rc::new(move |rng| s.gen_value(rng)))
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+        where
+            Self: Sized + 'static,
+            F: Fn(Self::Value) -> O + 'static,
+        {
+            let s = self;
+            BoxedStrategy(Rc::new(move |rng| f(s.gen_value(rng))))
+        }
+
+        /// Keeps only values satisfying `pred`, redrawing otherwise.
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            F: Fn(&Self::Value) -> bool + 'static,
+        {
+            let s = self;
+            BoxedStrategy(Rc::new(move |rng| {
+                for _ in 0..10_000 {
+                    let v = s.gen_value(rng);
+                    if pred(&v) {
+                        return v;
+                    }
+                }
+                panic!("prop_filter({reason:?}) rejected 10000 consecutive draws");
+            }))
+        }
+
+        /// Builds a recursive strategy: `self` is the leaf generator and
+        /// `expand` wraps an inner strategy into a deeper one. The strategy
+        /// is unrolled `depth` times, mixing leaves back in at each level so
+        /// generated sizes stay bounded (`desired_size` and
+        /// `expected_branch_size` are accepted for API compatibility).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            expand: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut s = leaf.clone();
+            for _ in 0..depth {
+                s = union(vec![leaf.clone(), expand(s).boxed()]);
+            }
+            s
+        }
+    }
+
+    /// A reference-counted, type-erased [`Strategy`].
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T> BoxedStrategy<T> {
+        /// Wraps a generator closure.
+        pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+            BoxedStrategy(Rc::new(f))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Picks uniformly among `variants` each draw (backs [`prop_oneof!`]).
+    pub fn union<T: 'static>(variants: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!variants.is_empty(), "union of zero strategies");
+        BoxedStrategy(Rc::new(move |rng| {
+            let i = (rng.next_u64() % variants.len() as u64) as usize;
+            variants[i].gen_value(rng)
+        }))
+    }
+
+    /// Always produces a clone of `value`.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T: rand::SampleRange + Clone> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            rand::Rng::random_range(&mut rng.0, self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+}
+
+/// Strategies for whole-domain values (`any::<T>()`).
+pub mod arbitrary {
+    use crate::strategy::BoxedStrategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    // Raw-bits floats cover infinities, NaNs and subnormals, which is what
+    // codec round-trip tests want.
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    /// Whole-domain strategy for `A`.
+    pub fn any<A: Arbitrary + 'static>() -> BoxedStrategy<A> {
+        BoxedStrategy::from_fn(A::arbitrary)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use std::ops::Range;
+
+    /// Accepted size arguments for [`vec`]: a fixed length or a range.
+    pub trait SizeRange {
+        /// Lower (inclusive) and upper (exclusive) length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S>(element: S, size: impl SizeRange) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        let (lo, hi) = size.bounds();
+        assert!(lo < hi, "empty vec size range");
+        BoxedStrategy::from_fn(move |rng| {
+            let span = (hi - lo) as u64;
+            let len = lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| element.gen_value(rng)).collect()
+        })
+    }
+}
+
+/// Deterministic case runner behind the [`proptest!`] macro.
+pub mod test_runner {
+    use rand::{RngCore, SeedableRng, StdRng};
+
+    /// RNG handed to strategies during generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the test fails.
+        Fail(String),
+        /// A `prop_assume!` precondition did not hold; the case is skipped.
+        Reject,
+    }
+
+    /// Runner configuration (`#![proptest_config(...)]`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    fn seed_from_name(name: &str) -> u64 {
+        // FNV-1a: stable across runs and platforms.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `case` for `config.cases` accepted draws, seeding the RNG from
+    /// `name`. Panics (failing the enclosing `#[test]`) on the first
+    /// [`TestCaseError::Fail`].
+    pub fn run<F>(name: &str, config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let seed = seed_from_name(name);
+        let mut rng = TestRng(StdRng::seed_from_u64(seed));
+        let mut accepted = 0u32;
+        let max_attempts = config.cases.saturating_mul(20).max(100);
+        for attempt in 0..max_attempts {
+            if accepted >= config.cases {
+                return;
+            }
+            match case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => continue,
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest `{name}` failed at case {accepted} \
+                         (attempt {attempt}, seed {seed:#x}):\n{msg}"
+                    );
+                }
+            }
+        }
+        assert!(
+            accepted > 0,
+            "proptest `{name}`: every attempt was rejected by prop_assume!"
+        );
+    }
+}
+
+/// One-stop import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __strategies = ($($strat,)+);
+            $crate::test_runner::run(
+                concat!(module_path!(), "::", stringify!($name)),
+                &__config,
+                |__rng| {
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::gen_value(&__strategies, __rng);
+                    #[allow(unreachable_code)]
+                    (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })()
+                },
+            );
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $fmt:expr $(, $args:expr)* $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: {}\n{}",
+                    stringify!($cond),
+                    format!($fmt $(, $args)*),
+                ),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `left == right`\n  left: {:?}\n right: {:?}", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $fmt:expr $(, $args:expr)* $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n{}",
+                    __l, __r, format!($fmt $(, $args)*),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `left != right`\n  both: {:?}", __l),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds (drawn inputs don't satisfy
+/// the test's precondition).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -2.0..2.0f64) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn assume_skips_without_failing(a in 0usize..10, b in 0usize..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn vec_and_map_compose(v in crate::collection::vec((0i64..5).prop_map(|x| x * 2), 0..6)) {
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|x| x % 2 == 0));
+        }
+
+        #[test]
+        fn oneof_and_just_produce_members(v in prop_oneof![Just(1i64), Just(2), (10i64..12)]) {
+            prop_assert!(v == 1 || v == 2 || v == 10 || v == 11, "got {}", v);
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i64..10).prop_map(Tree::Leaf).prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::test_runner::TestRng(rand::StdRng::seed_from_u64(5));
+        use rand::SeedableRng;
+        for _ in 0..200 {
+            let t = strat.gen_value(&mut rng);
+            assert!(depth(&t) <= 5, "depth bound violated: {t:?}");
+        }
+    }
+
+    #[test]
+    fn same_name_replays_identically() {
+        let cfg = ProptestConfig::with_cases(10);
+        let mut first: Vec<u64> = vec![];
+        crate::test_runner::run("replay", &cfg, |rng| {
+            first.push(rng.next_u64());
+            Ok(())
+        });
+        let mut second: Vec<u64> = vec![];
+        crate::test_runner::run("replay", &cfg, |rng| {
+            second.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,180 @@
+//! Offline compatibility shim for the `rand` API surface this workspace
+//! uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::random_range` over integer and float ranges. The generator is
+//! xoshiro256++ seeded via SplitMix64 — deterministic, fast, and good
+//! enough for simulation workloads (not cryptographic).
+
+use std::ops::Range;
+
+/// Core RNG interface: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a [`Range`].
+pub trait SampleRange: Sized {
+    /// Draws a uniform sample in `range` from `rng`.
+    fn sample<R: RngCore + ?Sized>(range: Range<Self>, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample<R: RngCore + ?Sized>(range: Range<Self>, rng: &mut R) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Modulo bias is negligible for the small spans used here.
+                let off = (rng.next_u64() as u128) % span;
+                (range.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl SampleRange for f64 {
+    fn sample<R: RngCore + ?Sized>(range: Range<Self>, rng: &mut R) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        // 53 uniformly random mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleRange for f32 {
+    fn sample<R: RngCore + ?Sized>(range: Range<Self>, rng: &mut R) -> Self {
+        f64::sample(range.start as f64..range.end as f64, rng) as f32
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniform sample from `range`.
+    fn random_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(range, self)
+    }
+
+    /// Draws a uniform `f64` in `[0, 1)` (or a uniform value of any type
+    /// reachable through [`SampleRange`] via `random_range`).
+    fn random(&mut self) -> f64 {
+        f64::sample(0.0..1.0, self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Commonly used RNG types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic RNG: xoshiro256++ seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ (Blackman & Vigna).
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub use rngs::StdRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn int_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for _ in 0..1000 {
+            let v = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        // The samples should actually spread across the range.
+        assert!(lo < -0.5 && hi > 0.5);
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline compatibility shim for the `serde` API surface this workspace
+//! uses. The workspace derives `Serialize`/`Deserialize` as forward-looking
+//! markers but never serialises through serde (its config formats are
+//! hand-rolled), so the traits here are empty markers and the derives
+//! (re-exported from the in-tree `serde_derive`) emit marker impls.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

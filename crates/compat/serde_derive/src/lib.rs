@@ -1,0 +1,52 @@
+//! Offline compatibility shim for `serde_derive`. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as a marker — nothing in the tree
+//! actually serialises through serde — so both derives expand to a bare
+//! marker-trait impl.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following `struct`/`enum`/`union`. Returns `None`
+/// for generic types (none exist in this workspace), in which case the
+/// derive expands to nothing.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                break;
+            }
+        }
+    }
+    let name = match iter.next()? {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return None,
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return None; // generic type: skip the marker impl
+        }
+    }
+    Some(name)
+}
+
+fn marker_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .unwrap_or_else(|_| TokenStream::new()),
+        None => TokenStream::new(),
+    }
+}
+
+/// No-op `Serialize` derive: emits a marker-trait impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Serialize", input)
+}
+
+/// No-op `Deserialize` derive: emits a marker-trait impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Deserialize", input)
+}

@@ -27,6 +27,10 @@ pub struct SpeedEstimates {
 #[derive(Debug)]
 struct Inner {
     speeds: Vec<f64>,
+    /// `false` for nodes the failure detector has declared dead. Speeds of
+    /// unavailable nodes are retained (last known value) but must not be
+    /// planned with — see [`SpeedEstimates::available_nodes`].
+    available: Vec<bool>,
     measured_at: SimTime,
     generation: u64,
 }
@@ -35,10 +39,12 @@ impl SpeedEstimates {
     /// Estimates initialised from the cluster's *base* speeds (what a
     /// freshly started runtime would assume before any recon).
     pub fn from_base_speeds(cluster: &Cluster) -> Self {
-        let speeds = cluster.nodes().iter().map(|n| n.base_speed).collect();
+        let speeds: Vec<f64> = cluster.nodes().iter().map(|n| n.base_speed).collect();
+        let available = vec![true; speeds.len()];
         SpeedEstimates {
             inner: Arc::new(RwLock::new(Inner {
                 speeds,
+                available,
                 measured_at: SimTime::ZERO,
                 generation: 0,
             })),
@@ -54,9 +60,11 @@ impl SpeedEstimates {
             speeds.iter().all(|&s| s > 0.0),
             "estimated speeds must be positive"
         );
+        let available = vec![true; speeds.len()];
         SpeedEstimates {
             inner: Arc::new(RwLock::new(Inner {
                 speeds,
+                available,
                 measured_at: SimTime::ZERO,
                 generation: 0,
             })),
@@ -93,6 +101,36 @@ impl SpeedEstimates {
         self.inner.read().generation
     }
 
+    /// True if the failure detector still considers `id` alive. New
+    /// estimates start with every node available.
+    pub fn is_available(&self, id: NodeId) -> bool {
+        self.inner.read().available[id.0]
+    }
+
+    /// Marks `id` dead. Permanent for the lifetime of these estimates: a
+    /// fail-stopped node never comes back (rejoin would be a new runtime).
+    pub fn mark_unavailable(&self, id: NodeId) {
+        let mut g = self.inner.write();
+        g.available[id.0] = false;
+        g.generation += 1;
+    }
+
+    /// Ids of all nodes still considered alive, in node order.
+    pub fn available_nodes(&self) -> Vec<NodeId> {
+        self.inner
+            .read()
+            .available
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &ok)| ok.then_some(NodeId(i)))
+            .collect()
+    }
+
+    /// Number of nodes still considered alive.
+    pub fn available_len(&self) -> usize {
+        self.inner.read().available.iter().filter(|&&ok| ok).count()
+    }
+
     /// Replaces all estimates at once (a completed recon).
     ///
     /// # Panics
@@ -110,6 +148,31 @@ impl SpeedEstimates {
             "estimated speeds must be positive"
         );
         g.speeds = speeds;
+        g.measured_at = measured_at;
+        g.generation += 1;
+    }
+
+    /// Like [`SpeedEstimates::refresh`] but only overwrites the speeds of
+    /// nodes still marked available, leaving dead nodes at their last known
+    /// value. `speeds[i]` is ignored for unavailable node `i`, so callers
+    /// may pass any positive placeholder there.
+    ///
+    /// # Panics
+    /// Panics if the length differs from the current estimate vector or any
+    /// speed for an *available* node is not positive.
+    pub fn refresh_available(&self, speeds: Vec<f64>, measured_at: SimTime) {
+        let mut g = self.inner.write();
+        assert_eq!(
+            speeds.len(),
+            g.speeds.len(),
+            "refresh must cover every node"
+        );
+        for (i, &s) in speeds.iter().enumerate() {
+            if g.available[i] {
+                assert!(s > 0.0, "estimated speed for live node {i} must be positive");
+                g.speeds[i] = s;
+            }
+        }
         g.measured_at = measured_at;
         g.generation += 1;
     }

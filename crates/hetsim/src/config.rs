@@ -43,12 +43,12 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
-fn protocol_of(name: &str) -> Option<Protocol> {
+fn protocol_of(name: &str) -> Protocol {
     match name {
-        "tcp" => Some(Protocol::Tcp),
-        "shm" => Some(Protocol::SharedMemory),
-        "loopback" => Some(Protocol::Loopback),
-        other => Some(Protocol::Custom(other.to_string())),
+        "tcp" => Protocol::Tcp,
+        "shm" => Protocol::SharedMemory,
+        "loopback" => Protocol::Loopback,
+        other => Protocol::Custom(other.to_string()),
     }
 }
 
@@ -169,7 +169,7 @@ pub fn parse_cluster(src: &str) -> Result<Cluster, ConfigError> {
 }
 
 fn parse_link(toks: &[&str], lineno: usize) -> Result<Link, ConfigError> {
-    let proto = protocol_of(toks[0]).expect("protocol_of is total");
+    let proto = protocol_of(toks[0]);
     let latency: f64 = toks[1].parse().map_err(|_| ConfigError {
         line: lineno,
         message: format!("bad latency `{}`", toks[1]),

@@ -33,6 +33,7 @@
 pub mod bench;
 pub mod clock;
 pub mod config;
+pub mod fault;
 pub mod link;
 pub mod load;
 pub mod node;
@@ -42,8 +43,9 @@ pub mod topology;
 pub use bench::{ReconRunner, SpeedEstimates};
 pub use config::{parse_cluster, render_cluster, ConfigError};
 pub use clock::SimTime;
+pub use fault::{FaultEvent, FaultPlan};
 pub use link::Link;
 pub use load::LoadModel;
 pub use node::{NodeId, Processor};
 pub use protocol::Protocol;
-pub use topology::{Cluster, ClusterBuilder, ContentionModel};
+pub use topology::{Cluster, ClusterBuilder, ContentionModel, PAPER_EM3D_SPEEDS};

@@ -56,6 +56,22 @@ impl Link {
         SimTime::from_secs(self.latency + bytes as f64 / self.bandwidth)
     }
 
+    /// Like [`Link::transfer_time`] but with the bandwidth reduced to
+    /// `bandwidth_factor` of its healthy value — how the fault layer applies
+    /// a link degradation (see
+    /// [`crate::fault::FaultPlan::link_bandwidth_factor`]).
+    #[inline]
+    pub fn transfer_time_degraded(&self, bytes: usize, bandwidth_factor: f64) -> SimTime {
+        debug_assert!(
+            bandwidth_factor > 0.0 && bandwidth_factor <= 1.0,
+            "bandwidth factor must be in (0, 1], got {bandwidth_factor}"
+        );
+        if self.bandwidth.is_infinite() {
+            return SimTime::from_secs(self.latency);
+        }
+        SimTime::from_secs(self.latency + bytes as f64 / (self.bandwidth * bandwidth_factor))
+    }
+
     /// Effective throughput for a message of `bytes` bytes (bytes/second),
     /// i.e. the size divided by the full transfer time. Approaches the raw
     /// bandwidth for large messages and collapses for tiny ones — the usual

@@ -97,6 +97,19 @@ impl Processor {
         debug_assert!(units >= 0.0, "computation volume cannot be negative");
         SimTime::from_secs(units / self.speed_at(start))
     }
+
+    /// Like [`Processor::compute_time`] but with the delivered speed further
+    /// multiplied by `speed_factor` — how the fault layer applies a transient
+    /// slowdown (see [`crate::fault::FaultPlan::slowdown_factor`]).
+    #[inline]
+    pub fn compute_time_scaled(&self, units: f64, start: SimTime, speed_factor: f64) -> SimTime {
+        debug_assert!(units >= 0.0, "computation volume cannot be negative");
+        debug_assert!(
+            speed_factor > 0.0,
+            "speed factor must be positive, got {speed_factor}"
+        );
+        SimTime::from_secs(units / (self.speed_at(start) * speed_factor))
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! computers" — i.e. [`ContentionModel::ParallelLinks`]).
 
 use crate::clock::SimTime;
+use crate::fault::FaultPlan;
 use crate::link::Link;
 use crate::node::{NodeId, Processor};
 use crate::protocol::Protocol;
@@ -28,6 +29,11 @@ pub enum ContentionModel {
     SharedBus,
 }
 
+/// The nine workstation speeds of the paper's Section 5 LAN (46×6, 176,
+/// 106, 9), in node-id order.
+pub const PAPER_EM3D_SPEEDS: [f64; 9] =
+    [46.0, 46.0, 46.0, 46.0, 46.0, 46.0, 176.0, 106.0, 9.0];
+
 /// The model of a heterogeneous network of computers.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Cluster {
@@ -35,6 +41,8 @@ pub struct Cluster {
     /// `links[i][j]` is the link used when node `i` sends to node `j`.
     links: Vec<Vec<Link>>,
     contention: ContentionModel,
+    /// Scheduled faults; empty for a fault-free run.
+    faults: FaultPlan,
 }
 
 impl Cluster {
@@ -61,7 +69,21 @@ impl Cluster {
             nodes,
             links,
             contention,
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Attaches a fault-injection plan (builder style). Replaces any
+    /// previously attached plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault plan in force (empty for a fault-free cluster).
+    #[inline]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Number of processors in the cluster.
@@ -106,23 +128,76 @@ impl Cluster {
         self.contention
     }
 
-    /// True speed of node `id` at virtual time `t` (benchmark units/second).
+    /// True speed of node `id` at virtual time `t` (benchmark units/second),
+    /// including any transient fault slowdown in force at `t`. A crashed
+    /// node's speed is reported as `0.0`; check [`Cluster::node_available`]
+    /// before dividing by this.
     #[inline]
     pub fn speed_at(&self, id: NodeId, t: SimTime) -> f64 {
-        self.nodes[id.0].speed_at(t)
+        if !self.faults.node_available(id, t) {
+            return 0.0;
+        }
+        self.nodes[id.0].speed_at(t) * self.faults.slowdown_factor(id, t)
     }
 
-    /// Time for node `id` to execute `units` benchmark units starting at `t`.
+    /// Time for node `id` to execute `units` benchmark units starting at `t`,
+    /// including any transient fault slowdown in force at `t`.
+    ///
+    /// # Panics
+    /// Panics if the node has crashed at `t` (its speed is zero); callers
+    /// must check [`Cluster::node_available`] first.
     #[inline]
     pub fn compute_time(&self, id: NodeId, units: f64, start: SimTime) -> SimTime {
-        self.nodes[id.0].compute_time(units, start)
+        assert!(
+            self.faults.node_available(id, start),
+            "node {id:?} has crashed by t={start:?}; check node_available first"
+        );
+        self.nodes[id.0].compute_time_scaled(units, start, self.faults.slowdown_factor(id, start))
+    }
+
+    /// True if node `id` has not fail-stopped at virtual time `t`.
+    #[inline]
+    pub fn node_available(&self, id: NodeId, t: SimTime) -> bool {
+        self.faults.node_available(id, t)
+    }
+
+    /// The virtual time at which node `id` fail-stops, if it ever does.
+    #[inline]
+    pub fn crash_time(&self, id: NodeId) -> Option<SimTime> {
+        self.faults.crash_time(id)
+    }
+
+    /// True if the directed link `from -> to` is carrying traffic at `t`.
+    #[inline]
+    pub fn link_available(&self, from: NodeId, to: NodeId, t: SimTime) -> bool {
+        self.faults.link_available(from, to, t)
     }
 
     /// Time to move `bytes` from `from` to `to` (ignoring contention, which
-    /// is the message-passing layer's concern).
+    /// is the message-passing layer's concern), at the link's healthy
+    /// bandwidth. For the fault-adjusted cost use
+    /// [`Cluster::transfer_time_at`].
     #[inline]
     pub fn transfer_time(&self, from: NodeId, to: NodeId, bytes: usize) -> SimTime {
         self.link(from, to).transfer_time(bytes)
+    }
+
+    /// Time to move `bytes` from `from` to `to` for a transfer starting at
+    /// virtual time `t`, honouring the fault plan: `None` if the link has
+    /// been dropped by `t`, otherwise the cost at the degraded bandwidth in
+    /// force at `t`.
+    pub fn transfer_time_at(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        t: SimTime,
+    ) -> Option<SimTime> {
+        if !self.faults.link_available(from, to, t) {
+            return None;
+        }
+        let factor = self.faults.link_bandwidth_factor(from, to, t);
+        Some(self.link(from, to).transfer_time_degraded(bytes, factor))
     }
 
     /// Total base speed of all processors — the upper bound on aggregate
@@ -162,8 +237,23 @@ impl Cluster {
     }
 
     /// The EM3D testbed of Section 5 (speeds 46×6, 176, 106, 9).
+    ///
+    /// The speed vector itself is [`PAPER_EM3D_SPEEDS`].
     pub fn paper_lan_em3d() -> Self {
-        Cluster::paper_lan(&[46.0, 46.0, 46.0, 46.0, 46.0, 46.0, 176.0, 106.0, 9.0])
+        Cluster::paper_lan(&PAPER_EM3D_SPEEDS)
+    }
+
+    /// [`Cluster::paper_lan`] with a [`FaultPlan`] attached — the testbed of
+    /// the fault-tolerance experiments.
+    pub fn paper_lan_with_faults(speeds: &[f64], faults: FaultPlan) -> Self {
+        let mut b = ClusterBuilder::new();
+        for (i, &s) in speeds.iter().enumerate() {
+            b = b.node(format!("ws{i:02}"), s);
+        }
+        b.all_to_all(Link::with_defaults(Protocol::Tcp))
+            .contention(ContentionModel::ParallelLinks)
+            .faults(faults)
+            .build()
     }
 
     /// The matrix-multiplication testbed of Section 5. The paper lists the
@@ -184,6 +274,7 @@ pub struct ClusterBuilder {
     overrides: Vec<(usize, usize, Link)>,
     symmetric_overrides: bool,
     contention: ContentionModel,
+    faults: FaultPlan,
 }
 
 impl ClusterBuilder {
@@ -233,6 +324,12 @@ impl ClusterBuilder {
         self
     }
 
+    /// Attaches a fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Finishes construction.
     ///
     /// # Panics
@@ -256,7 +353,7 @@ impl ClusterBuilder {
                 links[b][a] = link;
             }
         }
-        Cluster::from_parts(self.nodes, links, self.contention)
+        Cluster::from_parts(self.nodes, links, self.contention).with_faults(self.faults)
     }
 }
 

@@ -59,21 +59,23 @@ pub fn build_cost_model(
 /// function of the group-selection search and the value `HMPI_Timeof`
 /// reports.
 ///
+/// # Errors
+/// Scheme evaluation errors (a model whose scheme program misbehaves under
+/// this particular cost model). The selection search treats them as an
+/// infeasible assignment and surfaces [`crate::SelectError::Eval`] only if
+/// no assignment evaluates at all.
+///
 /// # Panics
-/// As [`build_cost_model`]; scheme evaluation errors also panic here (they
-/// indicate a malformed model, which `instantiate` should have rejected —
-/// the search loop cannot meaningfully continue past them).
+/// As [`build_cost_model`].
 pub fn predicted_time(
     model: &dyn PerformanceModel,
     assignment: &[usize],
     cluster: &Cluster,
     placement: &[NodeId],
     estimates: &SpeedEstimates,
-) -> f64 {
+) -> Result<f64, perfmodel::EvalError> {
     let cost = build_cost_model(model, assignment, cluster, placement, estimates);
-    model
-        .predict_time(&cost)
-        .unwrap_or_else(|e| panic!("scheme evaluation failed during estimation: {e}"))
+    model.predict_time(&cost)
 }
 
 #[cfg(test)]
@@ -130,8 +132,8 @@ mod tests {
             .volumes(vec![100.0])
             .build()
             .unwrap();
-        let on_fast = predicted_time(&model, &[0], &c, &placement, &est);
-        let on_slow = predicted_time(&model, &[1], &c, &placement, &est);
+        let on_fast = predicted_time(&model, &[0], &c, &placement, &est).unwrap();
+        let on_slow = predicted_time(&model, &[1], &c, &placement, &est).unwrap();
         assert!((on_fast - 1.0).abs() < 1e-9);
         assert!((on_slow - 10.0).abs() < 1e-9);
     }
@@ -147,7 +149,7 @@ mod tests {
             .build()
             .unwrap();
         // Under (wrong) estimates the "slow" node looks fastest.
-        let t = predicted_time(&model, &[1], &c, &placement, &est);
+        let t = predicted_time(&model, &[1], &c, &placement, &est).unwrap();
         assert!((t - 0.1).abs() < 1e-9);
     }
 }

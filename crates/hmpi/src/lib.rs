@@ -23,6 +23,14 @@
 //! | `HMPI_Group_rank` / `_size` | [`HmpiGroup::rank`] / [`HmpiGroup::size`]    |
 //! | `HMPI_Get_comm`             | [`HmpiGroup::comm`]                          |
 //!
+//! Fault-tolerant extensions (beyond the paper; DESIGN.md §7):
+//!
+//! | Extension                   | This crate                                   |
+//! |-----------------------------|----------------------------------------------|
+//! | Recon as failure detector   | [`Hmpi::recon_ft`] / [`Hmpi::recon_ft_scaled`] (what [`Hmpi::recon`] dispatches to on a faulty cluster) |
+//! | Group shrink recovery       | [`Hmpi::rebuild_group`]                      |
+//! | Liveness helpers            | [`Hmpi::try_compute`], [`Hmpi::alive_world_ranks`] |
+//!
 //! The group-selection problem — map each *abstract processor* of the model
 //! onto a physical process so the predicted execution time is minimal — is
 //! solved in [`mapping`] (exhaustive search for small models, greedy
@@ -40,5 +48,5 @@ pub mod runtime;
 
 pub use estimate::{build_cost_model, predicted_time};
 pub use group::HmpiGroup;
-pub use mapping::{select_mapping, Mapping, MappingAlgorithm, SelectionCtx};
+pub use mapping::{select_mapping, Mapping, MappingAlgorithm, SelectError, SelectionCtx};
 pub use runtime::{Hmpi, HmpiError, HmpiResult, HmpiRuntime};

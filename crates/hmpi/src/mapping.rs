@@ -101,6 +101,12 @@ pub enum SelectError {
         /// The offending world rank.
         world_rank: usize,
     },
+    /// The model's scheme program failed to evaluate on every assignment
+    /// the search tried.
+    Eval(
+        /// The evaluation error, rendered.
+        String,
+    ),
 }
 
 impl fmt::Display for SelectError {
@@ -115,6 +121,9 @@ impl fmt::Display for SelectError {
             ),
             SelectError::ParentNotCandidate { world_rank } => {
                 write!(f, "pinned parent rank {world_rank} is not a candidate")
+            }
+            SelectError::Eval(msg) => {
+                write!(f, "the model's scheme failed to evaluate: {msg}")
             }
         }
     }
@@ -143,8 +152,12 @@ pub fn select_mapping(
             return Err(SelectError::ParentNotCandidate { world_rank: parent });
         }
     }
+    // Evaluation failures price an assignment as infeasible rather than
+    // aborting the search; if the *chosen* assignment also fails, the typed
+    // error surfaces below.
     let objective = |assignment: &[usize]| {
         predicted_time(model, assignment, ctx.cluster, ctx.placement, ctx.estimates)
+            .unwrap_or(f64::INFINITY)
     };
 
     let mapping = match algo {
@@ -178,6 +191,19 @@ pub fn select_mapping(
             anneal(start, model, ctx, &objective, seed, iters)
         }
     };
+    if !mapping.predicted.is_finite() {
+        // Distinguish a genuine eval failure from a legitimately infinite
+        // prediction (e.g. an estimated speed of zero).
+        if let Err(e) = predicted_time(
+            model,
+            &mapping.assignment,
+            ctx.cluster,
+            ctx.placement,
+            ctx.estimates,
+        ) {
+            return Err(SelectError::Eval(e.to_string()));
+        }
+    }
     Ok(mapping)
 }
 
@@ -612,5 +638,55 @@ mod tests {
         let m = select_mapping(MappingAlgorithm::Exhaustive, &model, &ctx).unwrap();
         assert_eq!(m.assignment, vec![2]);
         assert!((m.predicted - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a_model_that_never_evaluates_yields_a_typed_error() {
+        struct Broken {
+            vols: Vec<f64>,
+            comm: Vec<Vec<f64>>,
+        }
+        impl perfmodel::PerformanceModel for Broken {
+            fn name(&self) -> &str {
+                "broken"
+            }
+            fn num_processors(&self) -> usize {
+                2
+            }
+            fn volumes(&self) -> &[f64] {
+                &self.vols
+            }
+            fn comm_bytes(&self) -> &[Vec<f64>] {
+                &self.comm
+            }
+            fn parent(&self) -> usize {
+                0
+            }
+            fn run_scheme(
+                &self,
+                _sink: &mut dyn perfmodel::SchemeSink,
+            ) -> Result<(), perfmodel::EvalError> {
+                Err(perfmodel::EvalError::Undefined("boom".into()))
+            }
+        }
+        let cluster = ClusterBuilder::new()
+            .node("a", 10.0)
+            .node("b", 20.0)
+            .all_to_all(Link::new(1e-3, 1e6, Protocol::Tcp))
+            .build();
+        let placement: Vec<NodeId> = cluster.node_ids().collect();
+        let ctx = paper_like_ctx(&cluster, &placement);
+        let model = Broken {
+            vols: vec![1.0, 1.0],
+            comm: vec![vec![0.0; 2]; 2],
+        };
+        for algo in [
+            MappingAlgorithm::Greedy,
+            MappingAlgorithm::Exhaustive,
+            MappingAlgorithm::default(),
+        ] {
+            let e = select_mapping(algo, &model, &ctx).unwrap_err();
+            assert!(matches!(e, SelectError::Eval(_)), "{algo:?}: {e}");
+        }
     }
 }

@@ -20,6 +20,16 @@ use std::sync::Arc;
 
 /// Tag used on the control communicator for group-creation messages.
 const TAG_GROUP_CREATE: i32 = 1_000_001;
+/// Tag for fault-tolerant recon speed reports (rank -> host).
+const TAG_RECON: i32 = 1_000_002;
+/// Tag for fault-tolerant recon completion acks (host -> rank).
+const TAG_RECON_ACK: i32 = 1_000_003;
+/// Tag for group-rebuild READY messages (survivor -> host).
+const TAG_REBUILD: i32 = 1_000_004;
+
+/// How many times the host re-waits (with exponentially growing deadline)
+/// for a recon report before declaring the rank dead.
+const RECON_ATTEMPTS: u32 = 3;
 
 /// Errors surfaced by the HMPI layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +43,9 @@ pub enum HmpiError {
     NotEligible,
     /// `group_free` was called by a process that is not a member.
     NotMember,
+    /// The coordinator aborted a collective group operation for a reason it
+    /// could not transmit (e.g. its model factory failed during a rebuild).
+    Aborted,
 }
 
 impl fmt::Display for HmpiError {
@@ -45,6 +58,9 @@ impl fmt::Display for HmpiError {
                 "group_create may only be called by the host and free processes"
             ),
             HmpiError::NotMember => write!(f, "calling process is not a member of the group"),
+            HmpiError::Aborted => {
+                write!(f, "the coordinator aborted the collective group operation")
+            }
         }
     }
 }
@@ -65,6 +81,36 @@ impl From<SelectError> for HmpiError {
 
 /// Result alias for HMPI operations.
 pub type HmpiResult<T> = Result<T, HmpiError>;
+
+/// Encodes a coordinator-side failure as a group-creation abort sentinel.
+/// Real payloads start with a group id `>= 1`, so a leading `0` is
+/// unambiguous.
+fn encode_group_abort(e: &HmpiError) -> Vec<i64> {
+    match e {
+        HmpiError::Select(SelectError::NotEnoughProcesses {
+            required,
+            available,
+        }) => vec![0, 0, *required as i64, *available as i64],
+        HmpiError::Select(SelectError::ParentNotCandidate { world_rank }) => {
+            vec![0, 1, *world_rank as i64, 0]
+        }
+        _ => vec![0, 2, 0, 0],
+    }
+}
+
+/// Inverse of [`encode_group_abort`] on the participant side.
+fn decode_group_abort(payload: &[i64]) -> HmpiError {
+    match payload.get(1) {
+        Some(0) => HmpiError::Select(SelectError::NotEnoughProcesses {
+            required: payload.get(2).map_or(0, |&n| n as usize),
+            available: payload.get(3).map_or(0, |&n| n as usize),
+        }),
+        Some(1) => HmpiError::Select(SelectError::ParentNotCandidate {
+            world_rank: payload.get(2).map_or(0, |&n| n as usize),
+        }),
+        _ => HmpiError::Aborted,
+    }
+}
 
 /// Global (cross-rank) state of a running HMPI universe.
 #[derive(Debug)]
@@ -249,8 +295,31 @@ impl Hmpi<'_> {
 
     /// Performs `units` benchmark units of computation (advances virtual
     /// time by `units / true_speed(node, now)`).
+    ///
+    /// # Panics
+    /// Panics if this rank's node has fail-stopped; fault-aware programs use
+    /// [`Hmpi::try_compute`].
     pub fn compute(&self, units: f64) {
         self.proc.compute(units);
+    }
+
+    /// Failure-aware computation: if this rank's node fail-stops before the
+    /// work completes, the failure is published to the runtime and
+    /// `HmpiError::Mpi(MpiError::NodeFailed)` (own world rank) is returned —
+    /// the caller should unwind into its recovery path.
+    pub fn try_compute(&self, units: f64) -> HmpiResult<()> {
+        Ok(self.proc.try_compute(units)?)
+    }
+
+    /// World ranks the runtime still believes alive: neither observed
+    /// fail-stopped or exited by the failure detector, nor marked
+    /// unavailable in the speed estimates by a recon.
+    pub fn alive_world_ranks(&self) -> Vec<usize> {
+        (0..self.size())
+            .filter(|&r| {
+                self.proc.rank_alive(r) && self.estimates.is_available(self.proc.node_of(r))
+            })
+            .collect()
     }
 
     /// The runtime's current speed estimates.
@@ -262,10 +331,120 @@ impl Hmpi<'_> {
     /// units in parallel; the elapsed virtual times refresh the shared speed
     /// estimates. Collective over `HMPI_COMM_WORLD`.
     ///
+    /// On a cluster with a fault plan this dispatches to [`Hmpi::recon_ft`],
+    /// which doubles as the runtime's failure detector; on a fault-free
+    /// cluster it takes the classic collective path.
+    ///
     /// # Errors
-    /// Propagates transport errors from the internal allgather.
+    /// Propagates transport errors from the internal allgather (collective
+    /// path) or the errors of [`Hmpi::recon_ft`].
     pub fn recon(&self, units: f64) -> HmpiResult<()> {
-        self.recon_with(units, |h| h.compute(units))
+        if self.proc.cluster().faults().is_empty() {
+            self.recon_with(units, |h| h.compute(units))
+        } else {
+            self.recon_ft(units)
+        }
+    }
+
+    /// Fault-tolerant `HMPI_Recon`, doubling as the failure detector.
+    ///
+    /// Instead of an allgather (which a single dead rank would abort), every
+    /// process reports its measured speed to the host point-to-point; the
+    /// host collects the reports with virtual-time deadlines, retrying up to
+    /// `RECON_ATTEMPTS` (3) times with exponential backoff so a transiently
+    /// slowed node (`FaultEvent::NodeSlowdown`) gets time to answer. A rank
+    /// that stays silent — or whose death the failure detector has already
+    /// observed — has its node marked unavailable in the [`SpeedEstimates`],
+    /// excluding it from all future group selections. Speeds of live nodes
+    /// are refreshed; dead nodes keep their last estimate but are never
+    /// planned with again.
+    ///
+    /// Collective over the host and every *live* process. The host is
+    /// assumed to survive (the paper's host process is the anchor of the
+    /// whole runtime; its failure is unrecoverable).
+    ///
+    /// # Errors
+    /// `HmpiError::Mpi(MpiError::NodeFailed)` with the caller's own rank if
+    /// the caller's node crashes during the benchmark; on non-host ranks,
+    /// transport errors if the host dies.
+    pub fn recon_ft(&self, units: f64) -> HmpiResult<()> {
+        self.recon_ft_scaled(units, units)
+    }
+
+    /// [`Hmpi::recon_ft`] with a separate normalisation, mirroring
+    /// [`Hmpi::recon_with`]: the benchmark performs `work_units` of raw
+    /// computation but the recorded speed is `nominal_units / elapsed`, so
+    /// applications whose performance models count in coarser units (e.g.
+    /// EM3D's "k nodal values") keep their unit system under faults.
+    ///
+    /// # Errors
+    /// As [`Hmpi::recon_ft`].
+    pub fn recon_ft_scaled(&self, nominal_units: f64, work_units: f64) -> HmpiResult<()> {
+        assert!(
+            nominal_units > 0.0 && work_units > 0.0,
+            "benchmark volume must be positive"
+        );
+        let t0 = self.now();
+        self.try_compute(work_units)?;
+        let elapsed = (self.now() - t0).as_secs();
+        let my_speed = nominal_units / elapsed;
+
+        if !self.is_host() {
+            self.control.send(&[my_speed], 0, TAG_RECON)?;
+            // Wait (unbounded) for the host's ack that the refresh landed;
+            // aborts with an error if the host dies.
+            self.control.recv::<i64>(0, TAG_RECON_ACK)?;
+            return Ok(());
+        }
+
+        let cluster = self.proc.cluster().clone();
+        let mut speeds = self.estimates.snapshot();
+        speeds[self.node().index()] = my_speed;
+        let mut responded = vec![false; self.size()];
+        for (r, responded_r) in responded.iter_mut().enumerate().skip(1) {
+            let node = self.proc.node_of(r);
+            if !self.estimates.is_available(node) {
+                continue; // declared dead by an earlier recon
+            }
+            // Size the deadline from the *true* delivered speed (what the
+            // benchmark will actually experience), so an active slowdown
+            // cannot masquerade as a death.
+            let true_speed = cluster.speed_at(node, self.now());
+            if true_speed <= 0.0 {
+                // The node has crashed by the host's current virtual time.
+                self.estimates.mark_unavailable(node);
+                continue;
+            }
+            let mut timeout = SimTime::from_secs(2.0 * work_units / true_speed + 1.0);
+            let mut report = None;
+            for _ in 0..RECON_ATTEMPTS {
+                match self.control.recv_timeout::<f64>(r, TAG_RECON, timeout) {
+                    Ok((v, _)) => {
+                        report = Some(v[0]);
+                        break;
+                    }
+                    Err(MpiError::Timeout) => timeout = timeout + timeout,
+                    Err(_) => break, // observed dead: no point retrying
+                }
+            }
+            match report {
+                Some(s) => {
+                    speeds[node.index()] = s;
+                    *responded_r = true;
+                }
+                None => self.estimates.mark_unavailable(node),
+            }
+        }
+        self.estimates.refresh_available(speeds, self.now());
+        let generation = self.estimates.generation() as i64;
+        for (r, &ok) in responded.iter().enumerate() {
+            if ok {
+                // A rank that died right after reporting makes this send
+                // fail; it no longer needs the ack, so ignore the error.
+                let _ = self.control.send(&[generation], r, TAG_RECON_ACK);
+            }
+        }
+        Ok(())
     }
 
     /// `HMPI_Recon` with a caller-supplied benchmark body: `bench` should
@@ -308,7 +487,16 @@ impl Hmpi<'_> {
     fn selection_ctx_for(&self, parent_world: usize) -> SelectionCtx<'_> {
         let free = self.shared.free.read();
         let mut candidates: Vec<usize> = vec![parent_world];
-        candidates.extend((0..self.size()).filter(|&r| r != parent_world && free[r]));
+        // Free ranks that are also believed alive: ranks observed
+        // fail-stopped by the failure detector or marked unavailable by a
+        // recon never enter the selection search, so new groups route around
+        // failures.
+        candidates.extend((0..self.size()).filter(|&r| {
+            r != parent_world
+                && free[r]
+                && !self.proc.rank_failed(r)
+                && self.estimates.is_available(self.proc.node_of(r))
+        }));
         SelectionCtx {
             cluster: self.proc.cluster(),
             placement: self.placement(),
@@ -437,7 +625,22 @@ impl Hmpi<'_> {
         let (group_id, members, predicted, ctx_id) = if i_am_parent {
             let sel_ctx = self.selection_ctx_for(parent_world);
             let participants = sel_ctx.candidates.clone();
-            let mapping = select_mapping(algo, model, &sel_ctx)?;
+            let mapping = match select_mapping(algo, model, &sel_ctx) {
+                Ok(m) => m,
+                Err(e) => {
+                    // An infeasible selection aborts the whole collective:
+                    // tell the waiting participants before failing, or they
+                    // would block on a payload that never comes.
+                    let err: HmpiError = e.into();
+                    let sentinel = encode_group_abort(&err);
+                    for &r in &participants {
+                        if r != me {
+                            let _ = self.control.send(&sentinel, r, TAG_GROUP_CREATE);
+                        }
+                    }
+                    return Err(err);
+                }
+            };
             // The host marks the selected members busy immediately, so a
             // subsequent group_create on the host cannot re-select a member
             // that has not yet processed its payload.
@@ -463,6 +666,9 @@ impl Hmpi<'_> {
             (group_id, mapping.assignment, mapping.predicted, ctx_id)
         } else {
             let (payload, _) = self.control.recv::<i64>(parent_world, TAG_GROUP_CREATE)?;
+            if payload[0] == 0 {
+                return Err(decode_group_abort(&payload));
+            }
             let group_id = payload[0] as u64;
             let ctx_id = payload[1] as u64;
             let predicted = f64::from_bits(payload[2] as u64);
@@ -483,6 +689,172 @@ impl Hmpi<'_> {
             members,
             comm,
             parent_abs: model.parent(),
+            predicted,
+        })
+    }
+
+    /// Shrink recovery: collectively rebuilds a group whose members started
+    /// failing, on the survivors only.
+    ///
+    /// The old handle is consumed. Every *surviving* member (including the
+    /// host, which must be the group's parent-side anchor) calls this after
+    /// unwinding from a failed operation. Because only the host learns who
+    /// survived, the performance model of the remaining work is supplied as
+    /// a *factory*: the host calls `model_for(&survivors)` (world ranks,
+    /// host first) once the roll call is complete and selects against the
+    /// model it returns; the other survivors' factories are never invoked —
+    /// they learn the outcome from the payload. The protocol:
+    ///
+    /// 1. each survivor announces itself to the host (`TAG_REBUILD`);
+    /// 2. the host waits a bounded virtual-time window per old member, sized
+    ///    from the old group's predicted execution time (a survivor's clock
+    ///    cannot lag the host's by more than the algorithm's span); members
+    ///    that stay silent or are already known dead have their nodes marked
+    ///    unavailable in the [`SpeedEstimates`];
+    /// 3. the host re-runs the selection problem restricted to the surviving
+    ///    members and distributes the result exactly as `group_create` does.
+    ///
+    /// Survivors the new selection leaves out become free again. A member
+    /// that dies *during* the rebuild simply never joins the new group's
+    /// communicator; the next failed operation on the new group triggers
+    /// another rebuild — recovery converges by iteration.
+    ///
+    /// # Errors
+    /// [`HmpiError::NotMember`] if the caller was not a member of the old
+    /// group; [`HmpiError::Select`] if the model no longer fits the
+    /// survivors (or the factory itself failed — non-host survivors then
+    /// see `SelectError::NotEnoughProcesses`); transport errors if the host
+    /// dies mid-rebuild (host failure is unrecoverable).
+    pub fn rebuild_group<M, F>(&self, group: HmpiGroup, model_for: F) -> HmpiResult<HmpiGroup>
+    where
+        M: perfmodel::PerformanceModel,
+        F: FnOnce(&[usize]) -> HmpiResult<M>,
+    {
+        let me = self.rank();
+        let old_id = group.id();
+        let old_members = group.members().to_vec();
+        let old_predicted = group.predicted_time();
+        if !group.is_member() {
+            return Err(HmpiError::NotMember);
+        }
+        // Consume the old handle: release its communicator and membership.
+        self.memberships.set(self.memberships.get() - 1);
+        drop(group);
+
+        let (group_id, members, predicted, ctx_id, parent_abs) = if self.is_host() {
+            let now = self.now();
+            let cluster = self.proc.cluster().clone();
+            // No live survivor can lag the host by more than the span of the
+            // algorithm the group was executing.
+            let window = SimTime::from_secs(2.0 * old_predicted.max(0.0) + 1.0);
+            let mut survivors = vec![me];
+            for &w in &old_members {
+                if w == me {
+                    continue;
+                }
+                let node = self.proc.node_of(w);
+                let known_dead =
+                    !self.proc.rank_alive(w) || cluster.speed_at(node, now) <= 0.0;
+                let announced = !known_dead
+                    && self.control.recv_timeout::<i64>(w, TAG_REBUILD, window).is_ok_and(
+                        |(ready, _)| ready.first() == Some(&(old_id as i64)),
+                    );
+                if announced {
+                    survivors.push(w);
+                } else {
+                    self.estimates.mark_unavailable(node);
+                }
+            }
+            // Every old member's slot is released before re-selection; the
+            // survivors the new mapping picks are re-marked busy below, dead
+            // ones are fenced off by their unavailable nodes.
+            {
+                let mut free = self.shared.free.write();
+                for &w in &old_members {
+                    free[w] = true;
+                }
+            }
+            // With the roll call complete, build the model for the shrunk
+            // problem and re-run the selection on the survivors.
+            let abort = |e: HmpiError| {
+                // Tell the waiting survivors the rebuild is off before
+                // failing, or they would block forever.
+                let sentinel = encode_group_abort(&e);
+                for &w in &survivors {
+                    if w != me {
+                        let _ = self.control.send(&sentinel, w, TAG_GROUP_CREATE);
+                    }
+                }
+                Err(e)
+            };
+            let model = match model_for(&survivors) {
+                Ok(m) => m,
+                Err(e) => return abort(e),
+            };
+            let sel_ctx = SelectionCtx {
+                cluster: self.proc.cluster(),
+                placement: self.placement(),
+                estimates: &self.estimates,
+                candidates: survivors.clone(),
+                pinned_parent: Some(me),
+            };
+            let mapping = match select_mapping(self.default_algo, &model, &sel_ctx) {
+                Ok(m) => m,
+                Err(e) => return abort(e.into()),
+            };
+            {
+                let mut free = self.shared.free.write();
+                for &w in &mapping.assignment {
+                    free[w] = false;
+                }
+            }
+            let group_id = self.shared.next_group_id.fetch_add(1, Ordering::Relaxed);
+            let ctx_id = self.control.alloc_ctx();
+            let mut payload: Vec<i64> = Vec::with_capacity(4 + mapping.assignment.len());
+            payload.push(group_id as i64);
+            payload.push(ctx_id as i64);
+            payload.push(mapping.predicted.to_bits() as i64);
+            payload.push(model.parent() as i64);
+            payload.extend(mapping.assignment.iter().map(|&w| w as i64));
+            for &w in &survivors {
+                if w != me {
+                    // A survivor that dies here misses the payload; it will
+                    // be caught by the next rebuild round.
+                    let _ = self.control.send(&payload, w, TAG_GROUP_CREATE);
+                }
+            }
+            (
+                group_id,
+                mapping.assignment,
+                mapping.predicted,
+                ctx_id,
+                model.parent(),
+            )
+        } else {
+            self.control.send(&[old_id as i64], 0, TAG_REBUILD)?;
+            let (payload, _) = self.control.recv::<i64>(0, TAG_GROUP_CREATE)?;
+            if payload[0] == 0 {
+                // The host could not fit a model on the survivors.
+                return Err(decode_group_abort(&payload));
+            }
+            let group_id = payload[0] as u64;
+            let ctx_id = payload[1] as u64;
+            let predicted = f64::from_bits(payload[2] as u64);
+            let parent_abs = payload[3] as usize;
+            let members: Vec<usize> = payload[4..].iter().map(|&w| w as usize).collect();
+            (group_id, members, predicted, ctx_id, parent_abs)
+        };
+
+        let mpi_group = mpisim::Group::from_world_ranks(members.clone())?;
+        let comm = self.control.subset_with_ctx(&mpi_group, ctx_id)?;
+        if comm.is_some() {
+            self.memberships.set(self.memberships.get() + 1);
+        }
+        Ok(HmpiGroup {
+            id: group_id,
+            members,
+            comm,
+            parent_abs,
             predicted,
         })
     }

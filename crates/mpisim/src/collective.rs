@@ -37,11 +37,17 @@ impl Comm {
     }
 
     /// Broadcast raw bytes along a binomial tree rooted at `root`.
-    fn bcast_bytes(&self, mut bytes: Vec<u8>, root: usize, tag: i32) -> Vec<u8> {
+    ///
+    /// Like every collective here, a fault surfacing anywhere in the tree
+    /// (dead parent, dead child, dropped link) propagates as an `Err` on
+    /// every participant instead of deadlocking: ranks blocked on the dead
+    /// member abort directly, and the collective-plane abort check (see
+    /// `Comm::peer_abort`) aborts everyone else.
+    fn bcast_bytes(&self, mut bytes: Vec<u8>, root: usize, tag: i32) -> MpiResult<Vec<u8>> {
         let size = self.size();
         let rank = self.rank();
         if size == 1 {
-            return bytes;
+            return Ok(bytes);
         }
         let rel = (rank + size - root) % size;
 
@@ -50,7 +56,7 @@ impl Comm {
         while mask < size {
             if rel & mask != 0 {
                 let src = (rel - mask + root) % size;
-                let (data, _) = self.recv_bytes(self.coll_plane(), Some(src), Some(tag));
+                let (data, _) = self.recv_bytes(self.coll_plane(), Some(src), Some(tag))?;
                 bytes = data;
                 break;
             }
@@ -61,11 +67,11 @@ impl Comm {
         while mask > 0 {
             if rel + mask < size {
                 let dst = (rel + mask + root) % size;
-                self.post_bytes(self.coll_plane(), bytes.clone(), dst, tag);
+                self.post_bytes(self.coll_plane(), bytes.clone(), dst, tag)?;
             }
             mask >>= 1;
         }
-        bytes
+        Ok(bytes)
     }
 
     /// Broadcast (`MPI_Bcast`): `data` is the payload at `root` and is
@@ -81,7 +87,7 @@ impl Comm {
         } else {
             Vec::new()
         };
-        let out = self.bcast_bytes(bytes, root, TAG_BCAST);
+        let out = self.bcast_bytes(bytes, root, TAG_BCAST)?;
         *data = decode(&out)?;
         Ok(())
     }
@@ -119,17 +125,17 @@ impl Comm {
             if rank & mask == 0 {
                 let src = rank | mask;
                 if src < size {
-                    let _ = self.recv_bytes(self.coll_plane(), Some(src), Some(TAG_BARRIER_UP));
+                    self.recv_bytes(self.coll_plane(), Some(src), Some(TAG_BARRIER_UP))?;
                 }
             } else {
                 let dst = rank & !mask;
-                self.post_bytes(self.coll_plane(), Vec::new(), dst, TAG_BARRIER_UP);
+                self.post_bytes(self.coll_plane(), Vec::new(), dst, TAG_BARRIER_UP)?;
                 break;
             }
             mask <<= 1;
         }
         // Down phase: empty bcast from 0.
-        self.bcast_bytes(Vec::new(), 0, TAG_BARRIER_DOWN);
+        self.bcast_bytes(Vec::new(), 0, TAG_BARRIER_DOWN)?;
         Ok(())
     }
 
@@ -142,7 +148,7 @@ impl Comm {
     pub fn gather<T: MpiType>(&self, contrib: &[T], root: usize) -> MpiResult<Option<Vec<Vec<T>>>> {
         self.check_root(root)?;
         if self.rank() != root {
-            self.post_bytes(self.coll_plane(), encode(contrib), root, TAG_GATHER);
+            self.post_bytes(self.coll_plane(), encode(contrib), root, TAG_GATHER)?;
             return Ok(None);
         }
         let mut out = Vec::with_capacity(self.size());
@@ -150,7 +156,7 @@ impl Comm {
             if src == root {
                 out.push(contrib.to_vec());
             } else {
-                let (bytes, _) = self.recv_bytes(self.coll_plane(), Some(src), Some(TAG_GATHER));
+                let (bytes, _) = self.recv_bytes(self.coll_plane(), Some(src), Some(TAG_GATHER))?;
                 out.push(decode(&bytes)?);
             }
         }
@@ -206,12 +212,12 @@ impl Comm {
             }
             for (dst, part) in parts.iter().enumerate() {
                 if dst != root {
-                    self.post_bytes(self.coll_plane(), encode(part), dst, TAG_SCATTER);
+                    self.post_bytes(self.coll_plane(), encode(part), dst, TAG_SCATTER)?;
                 }
             }
             Ok(parts[root].clone())
         } else {
-            let (bytes, _) = self.recv_bytes(self.coll_plane(), Some(root), Some(TAG_SCATTER));
+            let (bytes, _) = self.recv_bytes(self.coll_plane(), Some(root), Some(TAG_SCATTER))?;
             decode(&bytes)
         }
     }
@@ -258,7 +264,7 @@ impl Comm {
         let rank = self.rank();
         for (dst, payload) in sends.iter().enumerate() {
             if dst != rank {
-                self.post_bytes(self.coll_plane(), encode(payload), dst, TAG_ALLTOALL);
+                self.post_bytes(self.coll_plane(), encode(payload), dst, TAG_ALLTOALL)?;
             }
         }
         let mut out = Vec::with_capacity(self.size());
@@ -266,7 +272,8 @@ impl Comm {
             if src == rank {
                 out.push(sends[rank].clone());
             } else {
-                let (bytes, _) = self.recv_bytes(self.coll_plane(), Some(src), Some(TAG_ALLTOALL));
+                let (bytes, _) =
+                    self.recv_bytes(self.coll_plane(), Some(src), Some(TAG_ALLTOALL))?;
                 out.push(decode(&bytes)?);
             }
         }
@@ -301,13 +308,13 @@ macro_rules! impl_typed_reductions {
                         if src_rel < size {
                             let src = (src_rel + root) % size;
                             let (bytes, _) =
-                                self.recv_bytes(self.coll_plane(), Some(src), Some(TAG_REDUCE));
+                                self.recv_bytes(self.coll_plane(), Some(src), Some(TAG_REDUCE))?;
                             let rhs: Vec<$t> = decode(&bytes)?;
                             op.$fold(&mut acc, &rhs);
                         }
                     } else {
                         let dst = ((rel & !mask) + root) % size;
-                        self.post_bytes(self.coll_plane(), encode(&acc), dst, TAG_REDUCE);
+                        self.post_bytes(self.coll_plane(), encode(&acc), dst, TAG_REDUCE)?;
                         return Ok(None);
                     }
                     mask <<= 1;
@@ -337,14 +344,14 @@ macro_rules! impl_typed_reductions {
                 let mut acc = contrib.to_vec();
                 if rank > 0 {
                     let (bytes, _) =
-                        self.recv_bytes(self.coll_plane(), Some(rank - 1), Some(TAG_SCAN));
+                        self.recv_bytes(self.coll_plane(), Some(rank - 1), Some(TAG_SCAN))?;
                     let prefix: Vec<$t> = decode(&bytes)?;
                     let mut merged = prefix;
                     op.$fold(&mut merged, &acc);
                     acc = merged;
                 }
                 if rank + 1 < self.size() {
-                    self.post_bytes(self.coll_plane(), encode(&acc), rank + 1, TAG_SCAN);
+                    self.post_bytes(self.coll_plane(), encode(&acc), rank + 1, TAG_SCAN)?;
                 }
                 Ok(acc)
             }
@@ -361,7 +368,7 @@ macro_rules! impl_typed_reductions {
                     vec![op.$identity(); contrib.len()]
                 } else {
                     let (bytes, _) =
-                        self.recv_bytes(self.coll_plane(), Some(rank - 1), Some(TAG_SCAN));
+                        self.recv_bytes(self.coll_plane(), Some(rank - 1), Some(TAG_SCAN))?;
                     decode(&bytes)?
                 };
                 if rank + 1 < self.size() {
@@ -372,7 +379,7 @@ macro_rules! impl_typed_reductions {
                         encode(&inclusive),
                         rank + 1,
                         TAG_SCAN,
-                    );
+                    )?;
                 }
                 Ok(prefix)
             }

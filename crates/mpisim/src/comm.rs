@@ -9,11 +9,12 @@
 use crate::datatype::{decode, decode_into, encode, MpiType};
 use crate::error::{MpiError, MpiResult};
 use crate::group::Group;
-use crate::p2p::{Envelope, Pattern, Status};
-use crate::runtime::SharedState;
-use crate::vtime::{message_costs, LocalClock};
-use hetsim::NodeId;
+use crate::p2p::{Envelope, Pattern, Status, DEADLOCK_TIMEOUT, TIMEOUT_GRACE};
+use crate::runtime::{RankState, SharedState};
+use crate::vtime::LocalClock;
+use hetsim::{NodeId, SimTime};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A communicator: an isolated communication context over a group of ranks.
 ///
@@ -89,6 +90,10 @@ impl Comm {
 
     /// Performs `units` benchmark units of computation on the calling rank's
     /// processor, advancing its clock.
+    ///
+    /// # Panics
+    /// Panics if this rank's node has fail-stopped. Fault-aware programs use
+    /// [`Comm::try_compute`].
     pub fn compute(&self, units: f64) {
         let node = self.node_of(self.rank);
         let dt = self
@@ -96,6 +101,103 @@ impl Comm {
             .cluster
             .compute_time(node, units, self.clock.now());
         self.clock.advance(dt);
+    }
+
+    /// Failure-aware computation: if this rank's node fail-stops before the
+    /// work completes, the clock is clamped to the crash time, the failure is
+    /// published, and [`MpiError::NodeFailed`] (with the caller's own world
+    /// rank) is returned.
+    pub fn try_compute(&self, units: f64) -> MpiResult<()> {
+        let me = self.my_world_rank();
+        let node = self.shared.placement[me];
+        let now = self.clock.now();
+        if let Some(tc) = self.shared.cluster.crash_time(node) {
+            if now >= tc {
+                self.shared.mark_failed(me, tc);
+                return Err(MpiError::NodeFailed { world_rank: me });
+            }
+            let dt = self.shared.cluster.compute_time(node, units, now);
+            if now + dt >= tc {
+                self.clock.set(tc);
+                self.shared.mark_failed(me, tc);
+                return Err(MpiError::NodeFailed { world_rank: me });
+            }
+            self.clock.advance(dt);
+            return Ok(());
+        }
+        self.compute(units);
+        Ok(())
+    }
+
+    /// True if the failure detector still considers the communicator rank
+    /// `rank` alive — neither fail-stopped nor exited. A rank is trivially
+    /// alive to itself.
+    pub fn rank_alive(&self, rank: usize) -> bool {
+        let w = self.world_rank_of(rank);
+        w == self.my_world_rank() || self.shared.rank_state(w) == RankState::Alive
+    }
+
+    /// Errors with [`MpiError::NodeFailed`] (own world rank) if the calling
+    /// rank's node has fail-stopped by its current virtual time, publishing
+    /// the failure as a side effect.
+    fn check_self_alive(&self) -> MpiResult<()> {
+        let me = self.my_world_rank();
+        let node = self.shared.placement[me];
+        if let Some(tc) = self.shared.cluster.crash_time(node) {
+            if self.clock.now() >= tc {
+                self.shared.mark_failed(me, tc);
+                return Err(MpiError::NodeFailed { world_rank: me });
+            }
+        }
+        Ok(())
+    }
+
+    /// The abort condition a blocked receive re-checks: is the peer (or, for
+    /// a collective, any group member) known to be dead?
+    ///
+    /// Point-to-point receives abort only when the awaited sender itself is
+    /// dead (`ANY_SOURCE`: when *every* other member is), so p2p between
+    /// live ranks keeps working during recovery. Collective receives abort
+    /// as soon as *any* member has fail-stopped — one dead participant makes
+    /// the collective impossible to complete, and aborting everywhere is
+    /// what propagates the failure to ranks not directly blocked on it.
+    fn peer_abort(&self, src_world: Option<usize>, collective: bool) -> Option<MpiError> {
+        let me = self.my_world_rank();
+        if collective {
+            for &w in self.group.world_ranks() {
+                if w != me {
+                    if let RankState::Failed(_) = self.shared.rank_state(w) {
+                        return Some(MpiError::NodeFailed { world_rank: w });
+                    }
+                }
+            }
+        }
+        match src_world {
+            Some(s) => match self.shared.rank_state(s) {
+                RankState::Alive => None,
+                RankState::Failed(_) => Some(MpiError::NodeFailed { world_rank: s }),
+                RankState::Terminated => Some(MpiError::PeerTerminated { world_rank: s }),
+            },
+            None => {
+                let mut verdict = None;
+                for &w in self.group.world_ranks() {
+                    if w == me {
+                        continue;
+                    }
+                    match self.shared.rank_state(w) {
+                        RankState::Alive => return None,
+                        RankState::Failed(_) => {
+                            verdict = Some(MpiError::NodeFailed { world_rank: w });
+                        }
+                        RankState::Terminated => {
+                            verdict = verdict
+                                .or(Some(MpiError::PeerTerminated { world_rank: w }));
+                        }
+                    }
+                }
+                verdict
+            }
+        }
     }
 
     fn check_rank(&self, rank: usize) -> MpiResult<()> {
@@ -113,13 +215,42 @@ impl Comm {
     /// Internal transport: posts `bytes` to `dest` (a comm rank) on the given
     /// context plane, advancing the sender clock by the injection overhead
     /// and stamping the envelope with its arrival time.
-    pub(crate) fn post_bytes(&self, plane: u64, bytes: Vec<u8>, dest: usize, tag: i32) {
+    ///
+    /// Failure semantics (all judged in deterministic virtual time):
+    /// [`MpiError::NodeFailed`] if the sender's own node has crashed (own
+    /// world rank) or the destination's node has crashed by the sender's
+    /// current time (destination world rank); [`MpiError::LinkDown`] if the
+    /// fault plan has dropped the link.
+    pub(crate) fn post_bytes(
+        &self,
+        plane: u64,
+        bytes: Vec<u8>,
+        dest: usize,
+        tag: i32,
+    ) -> MpiResult<()> {
+        self.check_self_alive()?;
         let src_world = self.my_world_rank();
         let dst_world = self.world_rank_of(dest);
         let src_node = self.shared.placement[src_world];
         let dst_node = self.shared.placement[dst_world];
         let now = self.clock.now();
-        let (overhead, cost) = message_costs(&self.shared.cluster, src_node, dst_node, bytes.len());
+        if let Some(tc) = self.shared.cluster.crash_time(dst_node) {
+            if now >= tc {
+                return Err(MpiError::NodeFailed {
+                    world_rank: dst_world,
+                });
+            }
+        }
+        let link = self.shared.cluster.link(src_node, dst_node);
+        let overhead = SimTime::from_secs(link.latency);
+        let cost = self
+            .shared
+            .cluster
+            .transfer_time_at(src_node, dst_node, bytes.len(), now)
+            .ok_or(MpiError::LinkDown {
+                from: src_node.index(),
+                to: dst_node.index(),
+            })?;
         let arrival = self.shared.network.reserve(src_node, dst_node, now, cost);
         self.clock.advance(overhead);
         self.shared.mailboxes[dst_world].post(Envelope {
@@ -130,6 +261,7 @@ impl Comm {
             sent_at: now,
             arrival,
         });
+        Ok(())
     }
 
     /// Internal transport: blocking matched receive on a context plane.
@@ -138,14 +270,92 @@ impl Comm {
         plane: u64,
         src: Option<usize>,
         tag: Option<i32>,
-    ) -> (Vec<u8>, Status) {
+    ) -> MpiResult<(Vec<u8>, Status)> {
+        self.recv_bytes_deadline(plane, src, tag, None, DEADLOCK_TIMEOUT)
+    }
+
+    /// Internal transport: matched receive with failure detection and an
+    /// optional virtual-time deadline.
+    ///
+    /// * A message already queued from a now-dead sender is still delivered
+    ///   (it was sent before the sender died).
+    /// * Blocked with the awaited peer dead → [`MpiError::NodeFailed`] /
+    ///   [`MpiError::PeerTerminated`]; on the collective plane any dead group
+    ///   member aborts the wait (see [`Comm::peer_abort`]).
+    /// * `deadline` exceeded → [`MpiError::Timeout`], with the clock advanced
+    ///   to the deadline and any late message left queued.
+    /// * If the matched message would arrive after this rank's own node
+    ///   crashes, the rank dies first: clock clamps to the crash time and
+    ///   [`MpiError::NodeFailed`] (own rank) is returned.
+    /// * A rank whose own node is doomed never waits past its death: the
+    ///   crash time acts as an implicit deadline on every blocking receive
+    ///   (a fail-stopped machine cannot sit in `MPI_Recv` forever), so a
+    ///   message that will never come resolves as the rank's own failure
+    ///   rather than a deadlock.
+    pub(crate) fn recv_bytes_deadline(
+        &self,
+        plane: u64,
+        src: Option<usize>,
+        tag: Option<i32>,
+        deadline: Option<SimTime>,
+        grace: Duration,
+    ) -> MpiResult<(Vec<u8>, Status)> {
+        self.check_self_alive()?;
         let my_world = self.my_world_rank();
+        let my_node = self.shared.placement[my_world];
         let pat = Pattern {
             ctx: plane,
             src_world: src.map(|r| self.world_rank_of(r)),
             tag,
         };
-        let env = self.shared.mailboxes[my_world].recv_match(pat);
+        let collective = plane == self.coll_plane();
+        let own_tc = self.shared.cluster.crash_time(my_node);
+        let death_binding = own_tc.is_some_and(|tc| deadline.is_none_or(|d| tc <= d));
+        let (eff_deadline, eff_grace) = if death_binding {
+            // Waiting unbounded on a doomed node would deadlock; give the
+            // awaited message a real-time grace to materialise, then die.
+            let g = if deadline.is_none() {
+                TIMEOUT_GRACE + TIMEOUT_GRACE
+            } else {
+                grace
+            };
+            (own_tc, g)
+        } else {
+            (deadline, grace)
+        };
+        let env = match self.shared.mailboxes[my_world].recv_match_guarded(
+            pat,
+            eff_deadline,
+            eff_grace,
+            || self.peer_abort(pat.src_world, collective),
+        ) {
+            Ok(env) => env,
+            Err(MpiError::Timeout) => {
+                if death_binding {
+                    // Nothing can reach this rank before its node dies.
+                    let tc = own_tc.expect("death_binding implies a crash time");
+                    self.clock.merge(tc);
+                    self.shared.mark_failed(my_world, tc);
+                    return Err(MpiError::NodeFailed {
+                        world_rank: my_world,
+                    });
+                }
+                if let Some(d) = deadline {
+                    self.clock.merge(d);
+                }
+                return Err(MpiError::Timeout);
+            }
+            Err(e) => return Err(e),
+        };
+        if let Some(tc) = own_tc {
+            if env.arrival >= tc {
+                self.clock.merge(tc);
+                self.shared.mark_failed(my_world, tc);
+                return Err(MpiError::NodeFailed {
+                    world_rank: my_world,
+                });
+            }
+        }
         self.clock.merge(env.arrival);
         let source = self
             .group
@@ -156,17 +366,18 @@ impl Comm {
             tag: env.tag,
             bytes: env.data.len(),
         };
-        (env.data, status)
+        Ok((env.data, status))
     }
 
     /// Standard-mode send (`MPI_Send`; eager/buffered, never blocks).
     ///
     /// # Errors
-    /// [`MpiError::InvalidRank`] if `dest` is outside the communicator.
+    /// [`MpiError::InvalidRank`] if `dest` is outside the communicator;
+    /// [`MpiError::NodeFailed`] if the destination's node (or the caller's
+    /// own) has fail-stopped; [`MpiError::LinkDown`] if the link is dropped.
     pub fn send<T: MpiType>(&self, data: &[T], dest: usize, tag: i32) -> MpiResult<()> {
         self.check_rank(dest)?;
-        self.post_bytes(self.ctx, encode(data), dest, tag);
-        Ok(())
+        self.post_bytes(self.ctx, encode(data), dest, tag)
     }
 
     /// Blocking receive of a whole message from a specific source and tag.
@@ -174,11 +385,55 @@ impl Comm {
     /// # Errors
     /// [`MpiError::InvalidRank`] for a bad source;
     /// [`MpiError::TypeMismatch`] if the payload is not a whole number of
-    /// `T` elements.
+    /// `T` elements; [`MpiError::NodeFailed`] / [`MpiError::PeerTerminated`]
+    /// if the awaited sender is dead and nothing from it is queued.
     pub fn recv<T: MpiType>(&self, src: usize, tag: i32) -> MpiResult<(Vec<T>, Status)> {
         self.check_rank(src)?;
-        let (bytes, status) = self.recv_bytes(self.ctx, Some(src), Some(tag));
+        let (bytes, status) = self.recv_bytes(self.ctx, Some(src), Some(tag))?;
         Ok((decode(&bytes)?, status))
+    }
+
+    /// Blocking receive that gives up at a virtual-time `deadline`: if no
+    /// matching message has arrival time `<= deadline`, returns
+    /// [`MpiError::Timeout`] with the clock advanced to the deadline (a late
+    /// message stays queued for a later receive). Peer death is still
+    /// reported as [`MpiError::NodeFailed`] / [`MpiError::PeerTerminated`].
+    ///
+    /// Because virtual and real time are decoupled, "no message by the
+    /// deadline" is concluded after [`TIMEOUT_GRACE`] of real time without a
+    /// qualifying arrival.
+    ///
+    /// # Errors
+    /// As [`Comm::recv`], plus [`MpiError::Timeout`].
+    pub fn recv_deadline<T: MpiType>(
+        &self,
+        src: usize,
+        tag: i32,
+        deadline: SimTime,
+    ) -> MpiResult<(Vec<T>, Status)> {
+        self.check_rank(src)?;
+        let (bytes, status) = self.recv_bytes_deadline(
+            self.ctx,
+            Some(src),
+            Some(tag),
+            Some(deadline),
+            TIMEOUT_GRACE,
+        )?;
+        Ok((decode(&bytes)?, status))
+    }
+
+    /// [`Comm::recv_deadline`] with the deadline expressed as a duration from
+    /// the caller's current virtual time.
+    ///
+    /// # Errors
+    /// As [`Comm::recv_deadline`].
+    pub fn recv_timeout<T: MpiType>(
+        &self,
+        src: usize,
+        tag: i32,
+        timeout: SimTime,
+    ) -> MpiResult<(Vec<T>, Status)> {
+        self.recv_deadline(src, tag, self.clock.now() + timeout)
     }
 
     /// Blocking receive with optional wildcards (`None` = `MPI_ANY_SOURCE` /
@@ -194,7 +449,7 @@ impl Comm {
         if let Some(s) = src {
             self.check_rank(s)?;
         }
-        let (bytes, status) = self.recv_bytes(self.ctx, src, tag);
+        let (bytes, status) = self.recv_bytes(self.ctx, src, tag)?;
         Ok((decode(&bytes)?, status))
     }
 
@@ -210,7 +465,7 @@ impl Comm {
         tag: i32,
     ) -> MpiResult<(usize, Status)> {
         self.check_rank(src)?;
-        let (bytes, status) = self.recv_bytes(self.ctx, Some(src), Some(tag));
+        let (bytes, status) = self.recv_bytes(self.ctx, Some(src), Some(tag))?;
         let n = decode_into(&bytes, buf)?;
         Ok((n, status))
     }
@@ -536,7 +791,7 @@ impl RecvRequest {
         if let Some((bytes, status)) = self.done.take() {
             return Ok((decode(&bytes)?, status));
         }
-        let (bytes, status) = comm.recv_bytes(comm.ctx, self.src, self.tag);
+        let (bytes, status) = comm.recv_bytes(comm.ctx, self.src, self.tag)?;
         Ok((decode(&bytes)?, status))
     }
 

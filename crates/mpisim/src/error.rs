@@ -49,6 +49,29 @@ pub enum MpiError {
         /// World rank of the vanished peer.
         world_rank: usize,
     },
+    /// A rank's node fail-stopped (a `FaultPlan` crash). Returned both by the
+    /// failed rank itself — every operation after its node's crash time — and
+    /// by peers blocked on it or sending to it.
+    NodeFailed {
+        /// World rank of the failed process (possibly the caller's own).
+        world_rank: usize,
+    },
+    /// A deadline receive (`recv_deadline` / `recv_timeout`) expired with no
+    /// matching message arriving by the virtual-time deadline. The caller's
+    /// clock has been advanced to the deadline; a late message stays queued.
+    Timeout,
+    /// The link the message would travel over has been dropped by the fault
+    /// plan (`FaultEvent::LinkDrop`).
+    LinkDown {
+        /// Source node index.
+        from: usize,
+        /// Destination node index.
+        to: usize,
+    },
+    /// A blocking receive made no progress for the real-time deadlock grace
+    /// period ([`crate::p2p::DEADLOCK_TIMEOUT`]): the surrounding SPMD
+    /// program is stuck. Carries diagnostics about the unmatched queue.
+    Deadlock(String),
 }
 
 impl fmt::Display for MpiError {
@@ -80,6 +103,14 @@ impl fmt::Display for MpiError {
             MpiError::PeerTerminated { world_rank } => {
                 write!(f, "peer world rank {world_rank} terminated")
             }
+            MpiError::NodeFailed { world_rank } => {
+                write!(f, "world rank {world_rank}'s node fail-stopped")
+            }
+            MpiError::Timeout => write!(f, "receive deadline expired"),
+            MpiError::LinkDown { from, to } => {
+                write!(f, "link n{from} -> n{to} is down")
+            }
+            MpiError::Deadlock(msg) => write!(f, "deadlock: {msg}"),
         }
     }
 }

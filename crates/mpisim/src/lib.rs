@@ -52,6 +52,6 @@ pub use datatype::MpiType;
 pub use error::{MpiError, MpiResult};
 pub use group::{Group, GroupCompare};
 pub use op::ReduceOp;
-pub use p2p::{Status, ANY_SOURCE, ANY_TAG};
+pub use p2p::{Status, ANY_SOURCE, ANY_TAG, DEADLOCK_TIMEOUT, TIMEOUT_GRACE};
 pub use runtime::{Process, RunReport, Universe};
 pub use vtime::LocalClock;

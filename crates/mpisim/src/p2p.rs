@@ -8,9 +8,10 @@
 //! guarantee: two messages from the same sender on the same communicator
 //! that both match a receive are matched in the order they were sent.
 
+use crate::error::{MpiError, MpiResult};
 use hetsim::SimTime;
 use parking_lot::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Wildcard source (`MPI_ANY_SOURCE`).
 pub const ANY_SOURCE: isize = -1;
@@ -18,9 +19,26 @@ pub const ANY_SOURCE: isize = -1;
 pub const ANY_TAG: i32 = -1;
 
 /// How long a blocked receive waits (in real time) before concluding the
-/// program has deadlocked and panicking with diagnostics. Virtual time is
+/// program has deadlocked. The raw [`Mailbox::recv_match`] panics with
+/// diagnostics; the guarded path used by [`crate::Comm`] returns
+/// [`MpiError::Deadlock`] so rank threads unwind cleanly. Virtual time is
 /// unaffected; this is purely a developer-experience safety net.
 pub const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Real-time grace a *deadline* receive (`recv_deadline` / `recv_timeout`)
+/// waits for a matching message before declaring [`MpiError::Timeout`].
+///
+/// Virtual time and real time are decoupled: a sender whose virtual send
+/// time is well before the receiver's virtual deadline may still be running
+/// behind in real time, so a deadline receive cannot conclude "no message by
+/// virtual time `d`" instantly — it waits this long in real time for one to
+/// show up (liveness changes and posts cut the wait short).
+pub const TIMEOUT_GRACE: Duration = Duration::from_millis(500);
+
+/// Polling slice for guarded receives: an upper bound on how long a blocked
+/// receive sleeps before re-checking its abort condition, which caps the
+/// latency of noticing a peer-failure transition even if a wakeup is lost.
+const GUARD_POLL: Duration = Duration::from_millis(25);
 
 /// A message in flight or queued at the receiver.
 #[derive(Debug, Clone)]
@@ -111,6 +129,77 @@ impl Mailbox {
                         .collect::<Vec<_>>()
                 );
             }
+        }
+    }
+
+    /// Wakes every thread blocked on this mailbox so it re-checks its match
+    /// and abort conditions. Called when rank liveness changes.
+    pub fn wake_all(&self) {
+        self.cond.notify_all();
+    }
+
+    /// Failure-aware matched receive. Blocks until one of:
+    ///
+    /// * a matching envelope is queued (with `arrival <= deadline`, if a
+    ///   virtual-time deadline is given) — returns it;
+    /// * `abort()` reports an error (a peer died, the caller's own node
+    ///   crashed, …) — returns that error;
+    /// * a virtual-time deadline is given and provably cannot be met —
+    ///   returns [`MpiError::Timeout`]. "Provably" means either a matching
+    ///   envelope from the specific source is queued with a later arrival
+    ///   (non-overtaking: nothing earlier can follow), or `grace` of real
+    ///   time passed with no qualifying message;
+    /// * no deadline is given and `grace` of real time passes with no match —
+    ///   returns [`MpiError::Deadlock`] with queue diagnostics.
+    ///
+    /// The abort check is re-evaluated at least every `GUARD_POLL` (25 ms) of real
+    /// time, so progress does not depend on wakeups being delivered.
+    pub fn recv_match_guarded(
+        &self,
+        pat: Pattern,
+        deadline: Option<SimTime>,
+        grace: Duration,
+        mut abort: impl FnMut() -> Option<MpiError>,
+    ) -> MpiResult<Envelope> {
+        let start = Instant::now();
+        let mut q = self.inner.lock();
+        loop {
+            match deadline {
+                None => {
+                    if let Some(i) = q.iter().position(|e| pat.matches(e)) {
+                        return Ok(q.remove(i));
+                    }
+                }
+                Some(d) => {
+                    if let Some(i) = q.iter().position(|e| pat.matches(e) && e.arrival <= d) {
+                        return Ok(q.remove(i));
+                    }
+                    // A queued match must have arrival > d. For a specific
+                    // source, non-overtaking means no earlier arrival can
+                    // follow it: the deadline is already missed.
+                    if pat.src_world.is_some() && q.iter().any(|e| pat.matches(e)) {
+                        return Err(MpiError::Timeout);
+                    }
+                }
+            }
+            if let Some(err) = abort() {
+                return Err(err);
+            }
+            let Some(remaining) = grace.checked_sub(start.elapsed()).filter(|r| !r.is_zero())
+            else {
+                return Err(match deadline {
+                    Some(_) => MpiError::Timeout,
+                    None => MpiError::Deadlock(format!(
+                        "receive {pat:?} matched nothing for {grace:?}; \
+                         {} unmatched message(s) queued: {:?}",
+                        q.len(),
+                        q.iter()
+                            .map(|e| (e.ctx, e.src_world, e.tag, e.data.len()))
+                            .collect::<Vec<_>>()
+                    )),
+                });
+            };
+            self.cond.wait_for(&mut q, remaining.min(GUARD_POLL));
         }
     }
 

@@ -1,11 +1,25 @@
 //! The SPMD runtime: launching ranks as threads over a simulated cluster.
 
 use crate::comm::Comm;
+use crate::error::{MpiError, MpiResult};
 use crate::p2p::Mailbox;
 use crate::vtime::{LocalClock, NetworkState};
 use hetsim::{Cluster, NodeId, SimTime};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// What the failure detector knows about one world rank.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum RankState {
+    /// Still running (as far as anyone can tell).
+    Alive,
+    /// The rank's node fail-stopped at the given virtual time and the rank
+    /// observed it. Sticky: a later thread exit does not overwrite this.
+    Failed(SimTime),
+    /// The rank's closure returned (or panicked) without a node crash.
+    Terminated,
+}
 
 /// State shared by every rank of a running universe.
 #[derive(Debug)]
@@ -15,6 +29,9 @@ pub(crate) struct SharedState {
     pub(crate) placement: Vec<NodeId>,
     pub(crate) mailboxes: Vec<Arc<Mailbox>>,
     pub(crate) network: NetworkState,
+    /// Per-world-rank liveness, the substrate of failure detection: blocked
+    /// receives consult it to avoid waiting forever on a dead peer.
+    liveness: Mutex<Vec<RankState>>,
     /// Allocator for communicator context ids. Each communicator takes two
     /// consecutive ids (point-to-point plane and collective plane); the world
     /// communicator owns ids 0 and 1.
@@ -25,6 +42,55 @@ impl SharedState {
     /// Allocates a fresh context-id pair, returning the base id.
     pub(crate) fn alloc_ctx_pair(&self) -> u64 {
         self.next_ctx.fetch_add(2, Ordering::Relaxed)
+    }
+
+    /// The failure detector's current view of a world rank.
+    pub(crate) fn rank_state(&self, world_rank: usize) -> RankState {
+        self.liveness.lock()[world_rank]
+    }
+
+    /// Records that `world_rank`'s node fail-stopped at virtual time `at`
+    /// (idempotent) and wakes every blocked receive so it re-checks.
+    pub(crate) fn mark_failed(&self, world_rank: usize, at: SimTime) {
+        {
+            let mut l = self.liveness.lock();
+            if !matches!(l[world_rank], RankState::Failed(_)) {
+                l[world_rank] = RankState::Failed(at);
+            }
+        }
+        self.wake_all();
+    }
+
+    /// Records that `world_rank`'s thread exited. Does not overwrite a
+    /// `Failed` mark (the crash is the more precise cause of death).
+    pub(crate) fn mark_terminated(&self, world_rank: usize) {
+        {
+            let mut l = self.liveness.lock();
+            if l[world_rank] == RankState::Alive {
+                l[world_rank] = RankState::Terminated;
+            }
+        }
+        self.wake_all();
+    }
+
+    fn wake_all(&self) {
+        for mb in &self.mailboxes {
+            mb.wake_all();
+        }
+    }
+}
+
+/// Marks a rank `Terminated` when its thread unwinds — normally or by panic —
+/// so peers blocked on it observe [`MpiError::PeerTerminated`] instead of
+/// deadlocking.
+struct TerminationGuard {
+    world_rank: usize,
+    shared: Arc<SharedState>,
+}
+
+impl Drop for TerminationGuard {
+    fn drop(&mut self) {
+        self.shared.mark_terminated(self.world_rank);
     }
 }
 
@@ -123,6 +189,7 @@ impl Universe {
             placement: self.placement.clone(),
             mailboxes: (0..n).map(|_| Arc::new(Mailbox::new())).collect(),
             network: NetworkState::new(self.cluster.contention(), self.cluster.len()),
+            liveness: Mutex::new(vec![RankState::Alive; n]),
             next_ctx: AtomicU64::new(2),
         });
 
@@ -135,6 +202,10 @@ impl Universe {
                     let shared = shared.clone();
                     let f = &f;
                     scope.spawn(move || {
+                        let _guard = TerminationGuard {
+                            world_rank: rank,
+                            shared: shared.clone(),
+                        };
                         let proc = Process::new(rank, shared);
                         let out = f(&proc);
                         (out, proc.clock().now())
@@ -245,12 +316,68 @@ impl Process {
 
     /// Performs `units` benchmark units of computation: advances the clock by
     /// `units / speed(node, now)`.
+    ///
+    /// # Panics
+    /// Panics if this rank's node has fail-stopped (its delivered speed is
+    /// zero). Fault-aware programs use [`Process::try_compute`].
     pub fn compute(&self, units: f64) {
         let dt = self
             .shared
             .cluster
             .compute_time(self.node(), units, self.clock.now());
         self.clock.advance(dt);
+    }
+
+    /// Failure-aware computation: like [`Process::compute`] but if this
+    /// rank's node fail-stops before the work completes, the clock is clamped
+    /// to the crash time, the failure is published to the other ranks, and
+    /// [`MpiError::NodeFailed`] (with this rank's own world rank) is
+    /// returned. The caller should unwind — this process is dead.
+    pub fn try_compute(&self, units: f64) -> MpiResult<()> {
+        let node = self.node();
+        let now = self.clock.now();
+        if let Some(tc) = self.shared.cluster.crash_time(node) {
+            if now >= tc {
+                self.shared.mark_failed(self.world_rank, tc);
+                return Err(MpiError::NodeFailed {
+                    world_rank: self.world_rank,
+                });
+            }
+            let dt = self.shared.cluster.compute_time(node, units, now);
+            if now + dt >= tc {
+                self.clock.set(tc);
+                self.shared.mark_failed(self.world_rank, tc);
+                return Err(MpiError::NodeFailed {
+                    world_rank: self.world_rank,
+                });
+            }
+            self.clock.advance(dt);
+            return Ok(());
+        }
+        self.compute(units);
+        Ok(())
+    }
+
+    /// True if the failure detector still considers `world_rank` alive —
+    /// neither fail-stopped nor exited. A rank is trivially alive to itself.
+    pub fn rank_alive(&self, world_rank: usize) -> bool {
+        world_rank == self.world_rank
+            || self.shared.rank_state(world_rank) == RankState::Alive
+    }
+
+    /// True if the failure detector has seen `world_rank` fail-stop. A rank
+    /// that merely exited its SPMD closure is *not* failed.
+    pub fn rank_failed(&self, world_rank: usize) -> bool {
+        matches!(self.shared.rank_state(world_rank), RankState::Failed(_))
+    }
+
+    /// World ranks the failure detector has seen fail-stop, in rank order.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        let l = self.shared.liveness.lock();
+        l.iter()
+            .enumerate()
+            .filter_map(|(w, s)| matches!(s, RankState::Failed(_)).then_some(w))
+            .collect()
     }
 
     /// The world communicator (`MPI_COMM_WORLD`). Context ids 0/1.
