@@ -140,16 +140,25 @@ pub fn run_hmpi_with(
                 Some(l) => l,
                 None => {
                     // Figure 8: sweep bsize, keep the predicted minimum.
-                    let mut best = (m, f64::INFINITY);
-                    for cand in m..=n {
-                        let dist = GeneralizedBlockDist::heterogeneous(m, cand, &grid_speeds);
-                        let model = matmul_model(&dist, r, n).expect("Figure 7 model");
-                        let t = h.timeof(&model).expect("timeof");
-                        if t < best.1 {
-                            best = (cand, t);
-                        }
-                    }
-                    best.0
+                    // timeof_sweep keeps the first strict minimum (same
+                    // tie-break as a manual loop) and surfaces the first
+                    // error if every candidate fails to evaluate.
+                    let models: Vec<_> = (m..=n)
+                        .map(|cand| {
+                            let dist =
+                                GeneralizedBlockDist::heterogeneous(m, cand, &grid_speeds);
+                            matmul_model(&dist, r, n).expect("Figure 7 model")
+                        })
+                        .collect();
+                    let (idx, _) = h
+                        .timeof_sweep(
+                            models
+                                .iter()
+                                .map(|mo| mo as &dyn perfmodel::PerformanceModel),
+                        )
+                        .expect("timeof sweep")
+                        .expect("bsize sweep is non-empty");
+                    m + idx
                 }
             };
             let mut msg = vec![l as f64];

@@ -8,7 +8,8 @@
 //! ```
 
 use hmpi_bench::{
-    ablation, extension, faults, fig10, fig11, fig9, render_csv, render_table, ComparisonPoint,
+    ablation, extension, faults, fig10, fig11, fig9, render_csv, render_table, selection,
+    ComparisonPoint,
 };
 
 struct Options {
@@ -59,6 +60,7 @@ fn main() {
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec![
             "fig9a", "fig9b", "fig10", "fig11a", "fig11b", "ablations", "ext-nbody", "faults",
+            "selection",
         ];
     }
 
@@ -210,8 +212,18 @@ fn main() {
                 }
                 println!();
             }
+            "selection" => {
+                let b = selection::run(opts.quick);
+                print!("{}", selection::render(&b));
+                println!();
+                if !opts.quick {
+                    let path = "BENCH_selection.json";
+                    std::fs::write(path, selection::to_json(&b)).expect("write bench JSON");
+                    println!("wrote {path}\n");
+                }
+            }
             other => {
-                eprintln!("unknown figure `{other}`; known: fig9a fig9b fig10 fig11a fig11b ablations ext-nbody faults all");
+                eprintln!("unknown figure `{other}`; known: fig9a fig9b fig10 fig11a fig11b ablations ext-nbody faults selection all");
                 std::process::exit(2);
             }
         }

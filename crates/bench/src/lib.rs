@@ -15,7 +15,11 @@
 //!   selection machinery generalises to a collective-heavy shape;
 //! * [`faults`] — the degradation curve (beyond the paper): fault-tolerant
 //!   EM3D under seeded random fail-stop crashes, virtual time and surviving
-//!   group size versus the injected per-node failure rate.
+//!   group size versus the injected per-node failure rate;
+//! * [`selection`] — the selection-engine microbenchmark (beyond the
+//!   paper): compiled-evaluator and incremental-probe throughput vs the
+//!   naive objective path, and end-to-end `select_mapping` wall times,
+//!   written to `BENCH_selection.json`.
 //!
 //! Each module returns plain series structs; `src/bin/figures.rs` prints
 //! them as aligned tables/CSV, and `benches/` wraps representative points in
@@ -35,6 +39,7 @@ pub mod faults;
 pub mod fig10;
 pub mod fig11;
 pub mod fig9;
+pub mod selection;
 
 use hetsim::Cluster;
 use std::sync::Arc;

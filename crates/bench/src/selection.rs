@@ -1,0 +1,548 @@
+//! Selection-engine benchmark: compiled evaluator vs the naive objective.
+//!
+//! Measures, on the paper's 9-workstation LAN with a 16-abstract-processor
+//! ring model written in the modelling language:
+//!
+//! * **objective throughput** — full evaluations per second through the
+//!   naive path (`build_cost_model` plus scheme AST re-interpretation per
+//!   call) vs the engine ([`hmpi::Evaluator::eval`], recorded cost program
+//!   and table lookups) vs incremental probes ([`hmpi::Evaluator::probe`],
+//!   re-pricing only segments touched by the move);
+//! * **end-to-end search wall time** — `select_mapping` (engine) vs
+//!   `select_mapping_naive` per [`MappingAlgorithm`], asserting the two
+//!   return bit-identical mappings (same assignment, same predicted-time
+//!   bits).
+//!
+//! `figures -- selection` renders the table; the non-`--quick` run also
+//! writes `BENCH_selection.json`.
+
+use hetsim::{NodeId, SpeedEstimates};
+use hmpi::{
+    predicted_time, select_mapping, select_mapping_naive, Evaluator, MappingAlgorithm,
+    SelectionCtx,
+};
+use perfmodel::{CompiledModel, ModelInstance, ParamValue};
+use std::time::Instant;
+
+/// A 1-D ring pattern in the paper's modelling language: `n` steps, each a
+/// par of neighbour transfers followed by a par of local updates. Sized by
+/// the `p` parameter — the bench instantiates it with 16 processors.
+pub const RING_MODEL_SOURCE: &str = r"
+    algorithm Ring(int p, int n, int d[p]) {
+        coord I=p;
+        node {I>=0: bench*(d[I]);};
+        link (L=p) {
+            I>=0 && L==((I+1)%p) :
+                length*(d[I]*1000*sizeof(double)) [I]->[L];
+        };
+        parent[0];
+        scheme {
+            int k, i;
+            for (k = 0; k < n; k++) {
+                par (i = 0; i < p; i++) (100/n)%%[i]->[(i+1)%p];
+                par (i = 0; i < p; i++) (100/n)%%[i];
+            }
+        };
+    }
+";
+
+/// A pairwise pipeline in the modelling language: per step, independent
+/// per-processor half-updates around a transfer inside disjoint processor
+/// pairs. Its top-level activities each touch only one or two processors,
+/// so an incremental probe of a swap re-prices only the few segments the
+/// moved processors appear in — the shape delta evaluation exists for
+/// (the ring model's `par` blocks, by contrast, each touch every
+/// processor, so nothing can be skipped there).
+pub const PAIRS_MODEL_SOURCE: &str = r"
+    algorithm Pairs(int p, int n, int d[p]) {
+        coord I=p;
+        node {I>=0: bench*(d[I]);};
+        link (L=p) {
+            I>=0 && L==I+1 && (I%2)==0 :
+                length*(d[I]*1000*sizeof(double)) [I]->[L];
+        };
+        parent[0];
+        scheme {
+            int k, i;
+            for (k = 0; k < n; k++) {
+                for (i = 0; i < p; i++) (100/(2*n))%%[i];
+                for (i = 0; i < p; i += 2) (100/n)%%[i]->[i+1];
+                for (i = 0; i < p; i++) (100/(2*n))%%[i];
+            }
+        };
+    }
+";
+
+fn instantiate(src: &str, what: &str, p: usize, n: i64) -> ModelInstance {
+    let volumes: Vec<i64> = (0..p).map(|i| 60 + 17 * (i as i64 % 7)).collect();
+    CompiledModel::compile(src)
+        .unwrap_or_else(|e| panic!("{what} model parses: {e}"))
+        .instantiate(&[
+            ParamValue::Int(p as i64),
+            ParamValue::Int(n),
+            ParamValue::Array(volumes),
+        ])
+        .unwrap_or_else(|e| panic!("{what} model instantiates: {e}"))
+}
+
+/// Instantiates the ring model with `p` processors and `n` steps.
+///
+/// # Panics
+/// Never in practice: the source is a compile-time constant covered by
+/// tests.
+pub fn ring_model(p: usize, n: i64) -> ModelInstance {
+    instantiate(RING_MODEL_SOURCE, "ring", p, n)
+}
+
+/// Instantiates the pairwise-pipeline model with `p` processors and `n`
+/// steps.
+///
+/// # Panics
+/// As [`ring_model`].
+pub fn pairs_model(p: usize, n: i64) -> ModelInstance {
+    instantiate(PAIRS_MODEL_SOURCE, "pairs", p, n)
+}
+
+/// Objective-throughput measurements (full evals and incremental probes).
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectiveRates {
+    /// Ring model: naive-path full evaluations per second.
+    pub naive_evals_per_sec: f64,
+    /// Ring model: engine full evaluations per second.
+    pub engine_evals_per_sec: f64,
+    /// Ring model: engine incremental (swap-move) probes per second. The
+    /// ring's `par` blocks touch every processor, so delta evaluation
+    /// degenerates to a full re-price here — this is the probe *floor*.
+    pub engine_probes_per_sec: f64,
+    /// Pairs model: naive-path full evaluations per second.
+    pub pairs_naive_evals_per_sec: f64,
+    /// Pairs model: engine incremental probes per second — the sparse
+    /// per-processor segment structure delta evaluation exploits.
+    pub pairs_probes_per_sec: f64,
+}
+
+impl ObjectiveRates {
+    /// Engine full-evaluation speedup over the naive path (ring model).
+    pub fn eval_speedup(&self) -> f64 {
+        self.engine_evals_per_sec / self.naive_evals_per_sec
+    }
+    /// Incremental-probe speedup over the naive path (ring model).
+    pub fn probe_speedup(&self) -> f64 {
+        self.engine_probes_per_sec / self.naive_evals_per_sec
+    }
+    /// Incremental-probe speedup over the naive path (pairs model).
+    pub fn pairs_probe_speedup(&self) -> f64 {
+        self.pairs_probes_per_sec / self.pairs_naive_evals_per_sec
+    }
+}
+
+/// One end-to-end search comparison.
+#[derive(Debug, Clone)]
+pub struct AlgoPoint {
+    /// Algorithm label.
+    pub algo: String,
+    /// Abstract processors in the model searched.
+    pub processors: usize,
+    /// `select_mapping_naive` wall time, milliseconds.
+    pub naive_ms: f64,
+    /// `select_mapping` (engine) wall time, milliseconds.
+    pub engine_ms: f64,
+    /// Whether both paths returned bit-identical mappings.
+    pub identical: bool,
+}
+
+impl AlgoPoint {
+    /// Wall-time speedup of the engine search over the naive search.
+    pub fn speedup(&self) -> f64 {
+        self.naive_ms / self.engine_ms
+    }
+}
+
+/// The full selection benchmark result.
+#[derive(Debug, Clone)]
+pub struct SelectionBench {
+    /// Cluster size (nodes).
+    pub nodes: usize,
+    /// World ranks (selection candidates).
+    pub world_ranks: usize,
+    /// Abstract processors of the throughput model.
+    pub processors: usize,
+    /// Flat cost ops in the recorded program.
+    pub ops: usize,
+    /// Objective throughput numbers.
+    pub rates: ObjectiveRates,
+    /// Per-algorithm end-to-end comparisons.
+    pub algos: Vec<AlgoPoint>,
+}
+
+/// Deterministic xorshift for assignment shuffles (no RNG dependency).
+struct XorShift(u64);
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// `count` random injective assignments of `p` processors onto `world`
+/// ranks, abs 0 kept on rank 0 (the pinned parent).
+fn sample_assignments(count: usize, p: usize, world: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = XorShift(seed | 1);
+    (0..count)
+        .map(|_| {
+            let mut pool: Vec<usize> = (0..world).collect();
+            for i in 1..p {
+                let j = i + rng.below(pool.len() - i);
+                pool.swap(i, j);
+            }
+            pool.truncate(p);
+            pool
+        })
+        .collect()
+}
+
+fn time_per_call(mut f: impl FnMut(), calls: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..calls {
+        f();
+    }
+    start.elapsed().as_secs_f64() / calls as f64
+}
+
+/// Runs the benchmark. `quick` shrinks iteration counts for CI smoke runs;
+/// the reported speedups remain meaningful, just noisier.
+pub fn run(quick: bool) -> SelectionBench {
+    let cluster = hetsim::Cluster::paper_lan_matmul();
+    let nodes = cluster.len();
+    let world = 16;
+    let placement: Vec<NodeId> = (0..world).map(|r| NodeId(r % nodes)).collect();
+    let estimates = SpeedEstimates::from_base_speeds(&cluster);
+    let p = 16;
+    let model = ring_model(p, 8);
+    let ctx = SelectionCtx {
+        cluster: &cluster,
+        placement: &placement,
+        estimates: &estimates,
+        candidates: (0..world).collect(),
+        pinned_parent: Some(0),
+    };
+
+    // --- objective throughput ---------------------------------------------
+    let assignments = sample_assignments(64, p, world, 0xB0B5);
+    let (naive_calls, engine_calls) = if quick { (60, 600) } else { (1_500, 60_000) };
+
+    let mut k = 0usize;
+    let mut sink = 0.0f64;
+    let naive_s = time_per_call(
+        || {
+            let a = &assignments[k % assignments.len()];
+            k += 1;
+            sink += predicted_time(&model, a, &cluster, &placement, &estimates)
+                .unwrap_or(f64::INFINITY);
+        },
+        naive_calls,
+    );
+
+    let mut ev = Evaluator::new(&model, &ctx);
+    let ops = ev.num_ops();
+    k = 0;
+    let engine_s = time_per_call(
+        || {
+            let a = &assignments[k % assignments.len()];
+            k += 1;
+            sink += ev.eval(a);
+        },
+        engine_calls,
+    );
+
+    // Probe throughput: swap moves against a fixed baseline.
+    let mut current = assignments[0].clone();
+    ev.rebase(&current);
+    let mut rng = XorShift(0xFEED);
+    let probe_s = time_per_call(
+        || {
+            let i = 1 + rng.below(p - 1);
+            let mut j = 1 + rng.below(p - 1);
+            if i == j {
+                j = 1 + (j % (p - 1));
+            }
+            current.swap(i, j);
+            sink += ev.probe(&current, &[i, j]);
+            current.swap(i, j);
+        },
+        engine_calls,
+    );
+
+    // The pairs model: sparse per-processor segments, where an incremental
+    // probe skips most of the program.
+    let pairs = pairs_model(p, 8);
+    k = 0;
+    let pairs_naive_s = time_per_call(
+        || {
+            let a = &assignments[k % assignments.len()];
+            k += 1;
+            sink += predicted_time(&pairs, a, &cluster, &placement, &estimates)
+                .unwrap_or(f64::INFINITY);
+        },
+        naive_calls,
+    );
+    let mut pairs_ev = Evaluator::new(&pairs, &ctx);
+    pairs_ev.rebase(&current);
+    let pairs_probe_s = time_per_call(
+        || {
+            let i = 1 + rng.below(p - 1);
+            let mut j = 1 + rng.below(p - 1);
+            if i == j {
+                j = 1 + (j % (p - 1));
+            }
+            current.swap(i, j);
+            sink += pairs_ev.probe(&current, &[i, j]);
+            current.swap(i, j);
+        },
+        engine_calls,
+    );
+    assert!(sink.is_finite(), "all benched evaluations must be finite");
+
+    let rates = ObjectiveRates {
+        naive_evals_per_sec: 1.0 / naive_s,
+        engine_evals_per_sec: 1.0 / engine_s,
+        engine_probes_per_sec: 1.0 / probe_s,
+        pairs_naive_evals_per_sec: 1.0 / pairs_naive_s,
+        pairs_probes_per_sec: 1.0 / pairs_probe_s,
+    };
+
+    // --- end-to-end searches ----------------------------------------------
+    let mut algos = Vec::new();
+    let anneal_iters = if quick { 300 } else { 4_000 };
+    for (label, algo, model_p) in [
+        (
+            "GreedyRefined".to_string(),
+            MappingAlgorithm::GreedyRefined { max_rounds: 64 },
+            p,
+        ),
+        (
+            "Annealing".to_string(),
+            MappingAlgorithm::Annealing {
+                seed: 42,
+                iters: anneal_iters,
+            },
+            p,
+        ),
+        // Exhaustive needs a smaller model for the naive path to finish:
+        // 5 processors over 16 candidates is 524 160 leaves sequentially;
+        // the engine prunes with branch and bound and splits over threads.
+        (
+            "Exhaustive".to_string(),
+            MappingAlgorithm::Exhaustive,
+            if quick { 4 } else { 5 },
+        ),
+    ] {
+        let m = if model_p == p {
+            None
+        } else {
+            Some(ring_model(model_p, 8))
+        };
+        let model_ref: &dyn perfmodel::PerformanceModel = match &m {
+            Some(m) => m,
+            None => &model,
+        };
+        let t0 = Instant::now();
+        let fast = select_mapping(algo, model_ref, &ctx).expect("engine search");
+        let engine_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let naive = select_mapping_naive(algo, model_ref, &ctx).expect("naive search");
+        let naive_ms = t0.elapsed().as_secs_f64() * 1e3;
+        algos.push(AlgoPoint {
+            algo: label,
+            processors: model_p,
+            naive_ms,
+            engine_ms,
+            identical: fast.assignment == naive.assignment
+                && fast.predicted.to_bits() == naive.predicted.to_bits(),
+        });
+    }
+
+    SelectionBench {
+        nodes,
+        world_ranks: world,
+        processors: p,
+        ops,
+        rates,
+        algos,
+    }
+}
+
+/// Renders the benchmark as an aligned text table.
+pub fn render(b: &SelectionBench) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Selection engine: {}-node paper LAN, {} world ranks, {}-processor ring model ({} cost ops)",
+        b.nodes, b.world_ranks, b.processors, b.ops
+    );
+    let _ = writeln!(out, "{:>22}  {:>14}  {:>9}", "objective path", "evals/sec", "speedup");
+    let _ = writeln!(
+        out,
+        "{:>22}  {:>14.0}  {:>9.2}",
+        "naive (interpreter)", b.rates.naive_evals_per_sec, 1.0
+    );
+    let _ = writeln!(
+        out,
+        "{:>22}  {:>14.0}  {:>9.2}",
+        "engine (full eval)",
+        b.rates.engine_evals_per_sec,
+        b.rates.eval_speedup()
+    );
+    let _ = writeln!(
+        out,
+        "{:>22}  {:>14.0}  {:>9.2}",
+        "engine (delta probe)",
+        b.rates.engine_probes_per_sec,
+        b.rates.probe_speedup()
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "# Pairs model (sparse segments: the delta-evaluation fast path)"
+    );
+    let _ = writeln!(out, "{:>22}  {:>14}  {:>9}", "objective path", "evals/sec", "speedup");
+    let _ = writeln!(
+        out,
+        "{:>22}  {:>14.0}  {:>9.2}",
+        "naive (interpreter)", b.rates.pairs_naive_evals_per_sec, 1.0
+    );
+    let _ = writeln!(
+        out,
+        "{:>22}  {:>14.0}  {:>9.2}",
+        "engine (delta probe)",
+        b.rates.pairs_probes_per_sec,
+        b.rates.pairs_probe_speedup()
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:>14}  {:>4}  {:>12}  {:>12}  {:>9}  {:>9}",
+        "algorithm", "p", "naive [ms]", "engine [ms]", "speedup", "identical"
+    );
+    for a in &b.algos {
+        let _ = writeln!(
+            out,
+            "{:>14}  {:>4}  {:>12.3}  {:>12.3}  {:>9.2}  {:>9}",
+            a.algo,
+            a.processors,
+            a.naive_ms,
+            a.engine_ms,
+            a.speedup(),
+            a.identical
+        );
+    }
+    out
+}
+
+/// Serialises the benchmark to JSON (hand-formatted; the workspace's serde
+/// shim has no serializer).
+pub fn to_json(b: &SelectionBench) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(
+        out,
+        "  \"instance\": {{\"nodes\": {}, \"world_ranks\": {}, \"processors\": {}, \"cost_ops\": {}}},",
+        b.nodes, b.world_ranks, b.processors, b.ops
+    );
+    let _ = writeln!(
+        out,
+        "  \"naive_evals_per_sec\": {:.1},",
+        b.rates.naive_evals_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "  \"engine_evals_per_sec\": {:.1},",
+        b.rates.engine_evals_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "  \"engine_probes_per_sec\": {:.1},",
+        b.rates.engine_probes_per_sec
+    );
+    let _ = writeln!(out, "  \"eval_speedup\": {:.2},", b.rates.eval_speedup());
+    let _ = writeln!(out, "  \"probe_speedup\": {:.2},", b.rates.probe_speedup());
+    let _ = writeln!(
+        out,
+        "  \"pairs_naive_evals_per_sec\": {:.1},",
+        b.rates.pairs_naive_evals_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "  \"pairs_probes_per_sec\": {:.1},",
+        b.rates.pairs_probes_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "  \"pairs_probe_speedup\": {:.2},",
+        b.rates.pairs_probe_speedup()
+    );
+    let _ = writeln!(out, "  \"searches\": [");
+    for (i, a) in b.algos.iter().enumerate() {
+        let comma = if i + 1 == b.algos.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"algo\": \"{}\", \"processors\": {}, \"naive_ms\": {:.3}, \"engine_ms\": {:.3}, \"speedup\": {:.2}, \"identical\": {}}}{comma}",
+            a.algo, a.processors, a.naive_ms, a.engine_ms, a.speedup(), a.identical
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_runs_and_paths_agree() {
+        let b = run(true);
+        assert_eq!(b.processors, 16);
+        assert!(b.ops > 0, "the ring model must record a non-empty program");
+        for a in &b.algos {
+            assert!(a.identical, "{} paths diverged", a.algo);
+        }
+        // The acceptance bar is 10x in the release-mode JSON; in (possibly
+        // debug-mode) tests assert a conservative floor.
+        assert!(
+            b.rates.eval_speedup() > 3.0,
+            "engine eval speedup {:.2} too low",
+            b.rates.eval_speedup()
+        );
+        assert!(
+            b.rates.probe_speedup() > 1.0,
+            "probes {:.2} must still beat the naive path",
+            b.rates.probe_speedup()
+        );
+        assert!(
+            b.rates.pairs_probe_speedup() > 3.0,
+            "sparse-segment delta probes speedup {:.2} too low",
+            b.rates.pairs_probe_speedup()
+        );
+
+        let j = to_json(&b);
+        assert!(j.starts_with("{\n"));
+        assert!(j.trim_end().ends_with('}'));
+        assert_eq!(j.matches("\"algo\"").count(), b.algos.len());
+    }
+
+    #[test]
+    fn ring_model_parses_at_bench_size() {
+        let m = ring_model(16, 8);
+        use perfmodel::PerformanceModel as _;
+        assert_eq!(m.num_processors(), 16);
+        assert_eq!(m.parent(), 0);
+    }
+}

@@ -37,16 +37,24 @@
 //! load-balancing plus pairwise-swap local search in general, optional
 //! simulated annealing), against the cost model assembled in [`estimate`]
 //! from the current speed estimates (refreshed by `HMPI_Recon`) and the
-//! cluster's link parameters.
+//! cluster's link parameters. The searches are priced by the selection
+//! [`engine`] — a compiled, allocation-free, incrementally-updatable
+//! objective evaluator ([`engine::Evaluator`]); the pre-engine
+//! interpreter path survives as [`mapping::select_mapping_naive`] for
+//! verification and benchmarking.
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod estimate;
 pub mod group;
 pub mod mapping;
 pub mod runtime;
 
+pub use engine::Evaluator;
 pub use estimate::{build_cost_model, predicted_time};
 pub use group::HmpiGroup;
-pub use mapping::{select_mapping, Mapping, MappingAlgorithm, SelectError, SelectionCtx};
+pub use mapping::{
+    select_mapping, select_mapping_naive, Mapping, MappingAlgorithm, SelectError, SelectionCtx,
+};
 pub use runtime::{Hmpi, HmpiError, HmpiResult, HmpiRuntime};

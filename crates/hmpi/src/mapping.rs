@@ -8,7 +8,10 @@
 //!
 //! * [`MappingAlgorithm::Exhaustive`] — enumerate every injective mapping
 //!   (exact, for small instances; falls back to the refined greedy beyond a
-//!   work cap);
+//!   work cap). The default path prunes with an admissible computation-only
+//!   lower bound (branch and bound) and splits the first levels of the
+//!   search tree across threads, returning the *same* mapping as the
+//!   sequential enumeration (first strict improver in lexicographic order);
 //! * [`MappingAlgorithm::Greedy`] — sort abstract processors by volume and
 //!   candidates by estimated speed and pair them off (the optimal pairing
 //!   for pure computation by the rearrangement inequality), no search;
@@ -22,13 +25,22 @@
 //! newly created group has exactly one process shared with already existing
 //! groups ... the connecting link, through which results of computations are
 //! passed").
+//!
+//! Two objective implementations drive the searches: the **engine** path
+//! ([`crate::engine::Evaluator`]) prices mappings against a compiled cost
+//! program with incremental delta evaluation of swap/replace moves, and the
+//! **naive** path re-derives a fresh cost model per evaluation
+//! ([`select_mapping_naive`], kept as the reference the engine is verified
+//! against). Both produce bit-identical mappings.
 
+use crate::engine::Evaluator;
 use crate::estimate::predicted_time;
 use hetsim::{Cluster, NodeId, SpeedEstimates};
 use perfmodel::PerformanceModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Everything the search needs to price a candidate mapping.
 #[derive(Debug, Clone)]
@@ -83,8 +95,11 @@ impl Default for MappingAlgorithm {
     }
 }
 
-/// Work cap for exhaustive enumeration (number of mappings).
-pub const EXHAUSTIVE_CAP: u64 = 2_000_000;
+/// Work cap for exhaustive enumeration (number of mappings). Branch and
+/// bound prunes most of the tree on computation-dominated instances and
+/// the compiled evaluator prices leaves orders of magnitude faster than
+/// the interpreter did, so the cap sits far above the pre-engine 2×10⁶.
+pub const EXHAUSTIVE_CAP: u64 = 50_000_000;
 
 /// Errors from the selection search.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,7 +146,55 @@ impl fmt::Display for SelectError {
 
 impl std::error::Error for SelectError {}
 
-/// Selects the mapping minimising predicted execution time.
+/// The search-facing objective: full evaluations that set the delta
+/// baseline, and probes of small perturbations of that baseline.
+trait Objective {
+    /// Fully evaluates `a` and makes it the baseline for probes.
+    fn rebase(&mut self, a: &[usize]) -> f64;
+    /// Evaluates `a`, which differs from the baseline exactly at the
+    /// abstract processors in `changed`.
+    fn probe(&mut self, a: &[usize], changed: &[usize]) -> f64;
+}
+
+/// The pre-engine reference objective: every evaluation rebuilds the cost
+/// model and re-interprets the scheme.
+struct NaiveObjective<'a> {
+    model: &'a dyn PerformanceModel,
+    ctx: &'a SelectionCtx<'a>,
+}
+
+impl Objective for NaiveObjective<'_> {
+    fn rebase(&mut self, a: &[usize]) -> f64 {
+        predicted_time(
+            self.model,
+            a,
+            self.ctx.cluster,
+            self.ctx.placement,
+            self.ctx.estimates,
+        )
+        .unwrap_or(f64::INFINITY)
+    }
+    fn probe(&mut self, a: &[usize], _changed: &[usize]) -> f64 {
+        self.rebase(a)
+    }
+}
+
+/// The engine objective: compiled program, table lookups, delta probes.
+struct EngineObjective<'a> {
+    ev: &'a mut Evaluator,
+}
+
+impl Objective for EngineObjective<'_> {
+    fn rebase(&mut self, a: &[usize]) -> f64 {
+        self.ev.rebase(a)
+    }
+    fn probe(&mut self, a: &[usize], changed: &[usize]) -> f64 {
+        self.ev.probe(a, changed)
+    }
+}
+
+/// Selects the mapping minimising predicted execution time, using the
+/// compiled selection engine (see [`crate::engine`]).
 ///
 /// # Errors
 /// [`SelectError`] on infeasible instances.
@@ -139,6 +202,31 @@ pub fn select_mapping(
     algo: MappingAlgorithm,
     model: &dyn PerformanceModel,
     ctx: &SelectionCtx<'_>,
+) -> Result<Mapping, SelectError> {
+    select_mapping_impl(algo, model, ctx, true)
+}
+
+/// The pre-engine reference path: every objective evaluation rebuilds the
+/// cost model and re-interprets the scheme, and `Exhaustive` enumerates
+/// sequentially without pruning. Kept public as the baseline the engine is
+/// benchmarked and property-tested against; it selects bit-identical
+/// mappings to [`select_mapping`].
+///
+/// # Errors
+/// As [`select_mapping`].
+pub fn select_mapping_naive(
+    algo: MappingAlgorithm,
+    model: &dyn PerformanceModel,
+    ctx: &SelectionCtx<'_>,
+) -> Result<Mapping, SelectError> {
+    select_mapping_impl(algo, model, ctx, false)
+}
+
+fn select_mapping_impl(
+    algo: MappingAlgorithm,
+    model: &dyn PerformanceModel,
+    ctx: &SelectionCtx<'_>,
+    engine: bool,
 ) -> Result<Mapping, SelectError> {
     let p = model.num_processors();
     if p > ctx.candidates.len() {
@@ -155,40 +243,55 @@ pub fn select_mapping(
     // Evaluation failures price an assignment as infeasible rather than
     // aborting the search; if the *chosen* assignment also fails, the typed
     // error surfaces below.
-    let objective = |assignment: &[usize]| {
-        predicted_time(model, assignment, ctx.cluster, ctx.placement, ctx.estimates)
-            .unwrap_or(f64::INFINITY)
-    };
-
     let mapping = match algo {
         MappingAlgorithm::Greedy => {
             let a = greedy(model, ctx);
+            let predicted = if engine {
+                Evaluator::new(model, ctx).eval(&a)
+            } else {
+                NaiveObjective { model, ctx }.rebase(&a)
+            };
             Mapping {
-                predicted: objective(&a),
+                predicted,
                 assignment: a,
             }
         }
         MappingAlgorithm::GreedyRefined { max_rounds } => {
             let a = greedy(model, ctx);
-            let refined = local_search(a, model, ctx, &objective, max_rounds);
+            let (assignment, predicted) = if engine {
+                let mut ev = Evaluator::new(model, ctx);
+                local_search(a, model, ctx, &mut EngineObjective { ev: &mut ev }, max_rounds)
+            } else {
+                local_search(a, model, ctx, &mut NaiveObjective { model, ctx }, max_rounds)
+            };
             Mapping {
-                predicted: objective(&refined),
-                assignment: refined,
+                assignment,
+                predicted,
             }
         }
         MappingAlgorithm::Exhaustive => {
             if exhaustive_count(ctx.candidates.len(), p) > EXHAUSTIVE_CAP {
-                return select_mapping(
+                return select_mapping_impl(
                     MappingAlgorithm::GreedyRefined { max_rounds: 64 },
                     model,
                     ctx,
+                    engine,
                 );
             }
-            exhaustive(model, ctx, &objective)
+            if engine {
+                exhaustive_bb(model, ctx, &Evaluator::new(model, ctx))
+            } else {
+                exhaustive_seq(model, ctx)
+            }
         }
         MappingAlgorithm::Annealing { seed, iters } => {
             let start = greedy(model, ctx);
-            anneal(start, model, ctx, &objective, seed, iters)
+            if engine {
+                let mut ev = Evaluator::new(model, ctx);
+                anneal(start, model, ctx, &mut EngineObjective { ev: &mut ev }, seed, iters)
+            } else {
+                anneal(start, model, ctx, &mut NaiveObjective { model, ctx }, seed, iters)
+            }
         }
     };
     if !mapping.predicted.is_finite() {
@@ -257,16 +360,17 @@ fn greedy(model: &dyn PerformanceModel, ctx: &SelectionCtx<'_>) -> Vec<usize> {
 }
 
 /// First-improvement local search over swaps and replace-with-unused moves.
+/// Returns the refined assignment and its (full-evaluation) predicted time.
 fn local_search(
     mut assignment: Vec<usize>,
     model: &dyn PerformanceModel,
     ctx: &SelectionCtx<'_>,
-    objective: &dyn Fn(&[usize]) -> f64,
+    obj: &mut dyn Objective,
     max_rounds: usize,
-) -> Vec<usize> {
+) -> (Vec<usize>, f64) {
     let p = model.num_processors();
     let parent_abs = model.parent();
-    let mut best = objective(&assignment);
+    let mut best = obj.rebase(&assignment);
     for _ in 0..max_rounds {
         let mut improved = false;
 
@@ -278,9 +382,9 @@ fn local_search(
                     .pinned_parent
                     .is_none_or(|w| assignment[parent_abs] == w);
                 if pin_ok {
-                    let t = objective(&assignment);
+                    let t = obj.probe(&assignment, &[i, j]);
                     if t < best {
-                        best = t;
+                        best = obj.rebase(&assignment);
                         improved = true;
                         continue 'swap;
                     }
@@ -303,9 +407,9 @@ fn local_search(
                 }
                 let old = assignment[i];
                 assignment[i] = w;
-                let t = objective(&assignment);
+                let t = obj.probe(&assignment, &[i]);
                 if t < best {
-                    best = t;
+                    best = obj.rebase(&assignment);
                     improved = true;
                 } else {
                     assignment[i] = old;
@@ -317,17 +421,15 @@ fn local_search(
             break;
         }
     }
-    assignment
+    (assignment, best)
 }
 
-/// Exact enumeration.
-fn exhaustive(
-    model: &dyn PerformanceModel,
-    ctx: &SelectionCtx<'_>,
-    objective: &dyn Fn(&[usize]) -> f64,
-) -> Mapping {
+/// Sequential exact enumeration (the naive path): first strict improver in
+/// lexicographic candidate order wins.
+fn exhaustive_seq(model: &dyn PerformanceModel, ctx: &SelectionCtx<'_>) -> Mapping {
     let p = model.num_processors();
     let parent_abs = model.parent();
+    let mut obj = NaiveObjective { model, ctx };
     let mut assignment = vec![usize::MAX; p];
     let mut used = vec![false; ctx.candidates.len()];
     let mut best: Option<Mapping> = None;
@@ -340,11 +442,11 @@ fn exhaustive(
         ctx: &SelectionCtx<'_>,
         assignment: &mut Vec<usize>,
         used: &mut Vec<bool>,
-        objective: &dyn Fn(&[usize]) -> f64,
+        obj: &mut NaiveObjective<'_>,
         best: &mut Option<Mapping>,
     ) {
         if abs == p {
-            let t = objective(assignment);
+            let t = obj.rebase(assignment);
             if best.as_ref().is_none_or(|b| t < b.predicted) {
                 *best = Some(Mapping {
                     assignment: assignment.clone(),
@@ -367,7 +469,7 @@ fn exhaustive(
             }
             used[ci] = true;
             assignment[abs] = w;
-            rec(abs + 1, p, parent_abs, ctx, assignment, used, objective, best);
+            rec(abs + 1, p, parent_abs, ctx, assignment, used, obj, best);
             used[ci] = false;
         }
         assignment[abs] = usize::MAX;
@@ -380,9 +482,289 @@ fn exhaustive(
         ctx,
         &mut assignment,
         &mut used,
-        objective,
+        &mut obj,
         &mut best,
     );
+    best.expect("feasibility checked by caller")
+}
+
+/// The admissible lower-bound data for branch and bound: per-processor
+/// computation totals `U_p` (any feasible completion costs processor `p`
+/// at least `U_p / speed`), the suffix maxima over the still-unassigned
+/// tail, and the fastest candidate speed.
+struct Bound {
+    units: Vec<f64>,
+    suffix_max: Vec<f64>,
+    max_speed: f64,
+}
+
+fn make_bound(ev: &Evaluator, ctx: &SelectionCtx<'_>, p: usize) -> Option<Bound> {
+    let units = ev.compute_units()?.to_vec();
+    let mut max_speed = 0.0f64;
+    for &w in &ctx.candidates {
+        let s = ev.world_speed(w);
+        if s.is_nan() || s <= 0.0 {
+            // A non-positive speed can poison clocks with NaN; disable
+            // pruning rather than risk cutting the true argmin.
+            return None;
+        }
+        max_speed = max_speed.max(s);
+    }
+    let mut suffix_max = vec![0.0f64; p + 1];
+    for d in (0..p).rev() {
+        suffix_max[d] = suffix_max[d + 1].max(units[d]);
+    }
+    Some(Bound {
+        units,
+        suffix_max,
+        max_speed,
+    })
+}
+
+/// Lock-free shared incumbent: monotonically decreasing f64 behind an
+/// `AtomicU64` of its bits.
+fn atomic_min_f64(best: &AtomicU64, v: f64) {
+    let mut cur = best.load(Ordering::Relaxed);
+    while v < f64::from_bits(cur) {
+        match best.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bb_rec(
+    abs: usize,
+    p: usize,
+    parent_abs: usize,
+    ctx: &SelectionCtx<'_>,
+    assignment: &mut Vec<usize>,
+    used: &mut Vec<bool>,
+    ev: &mut Evaluator,
+    bound: Option<&Bound>,
+    lb_partial: f64,
+    shared: &AtomicU64,
+    best: &mut Option<Mapping>,
+) {
+    if let Some(b) = bound {
+        // Prune only on a *strict* bound violation: equal-valued subtrees
+        // survive, so the first-improver tie-break matches the sequential
+        // enumeration exactly. The incumbent only ever comes from real
+        // leaves, so nothing is pruned before the first leaf is priced.
+        let tail = if abs < p {
+            b.suffix_max[abs] / b.max_speed
+        } else {
+            0.0
+        };
+        if lb_partial.max(tail) > f64::from_bits(shared.load(Ordering::Relaxed)) {
+            return;
+        }
+    }
+    if abs == p {
+        let t = ev.eval(assignment);
+        if best.as_ref().is_none_or(|b| t < b.predicted) {
+            *best = Some(Mapping {
+                assignment: assignment.clone(),
+                predicted: t,
+            });
+            atomic_min_f64(shared, t);
+        }
+        return;
+    }
+    for ci in 0..ctx.candidates.len() {
+        if used[ci] {
+            continue;
+        }
+        let w = ctx.candidates[ci];
+        if abs == parent_abs {
+            if let Some(pin) = ctx.pinned_parent {
+                if w != pin {
+                    continue;
+                }
+            }
+        }
+        let child_lb = match bound {
+            Some(b) => lb_partial.max(b.units[abs] / ev.world_speed(w)),
+            None => lb_partial,
+        };
+        used[ci] = true;
+        assignment[abs] = w;
+        bb_rec(
+            abs + 1,
+            p,
+            parent_abs,
+            ctx,
+            assignment,
+            used,
+            ev,
+            bound,
+            child_lb,
+            shared,
+            best,
+        );
+        used[ci] = false;
+    }
+    assignment[abs] = usize::MAX;
+}
+
+/// Enumerates the feasible prefixes of the first `depth` abstract
+/// processors in exactly the sequential DFS candidate order.
+fn gen_prefixes(
+    abs: usize,
+    depth: usize,
+    parent_abs: usize,
+    ctx: &SelectionCtx<'_>,
+    prefix: &mut Vec<usize>,
+    used: &mut [bool],
+    out: &mut Vec<Vec<usize>>,
+) {
+    if abs == depth {
+        out.push(prefix.clone());
+        return;
+    }
+    for ci in 0..ctx.candidates.len() {
+        if used[ci] {
+            continue;
+        }
+        let w = ctx.candidates[ci];
+        if abs == parent_abs {
+            if let Some(pin) = ctx.pinned_parent {
+                if w != pin {
+                    continue;
+                }
+            }
+        }
+        used[ci] = true;
+        prefix.push(w);
+        gen_prefixes(abs + 1, depth, parent_abs, ctx, prefix, used, out);
+        prefix.pop();
+        used[ci] = false;
+    }
+}
+
+/// Searches the subtree under one prefix; returns its best mapping (or
+/// `None` if the subtree was entirely pruned).
+fn bb_search_prefix(
+    prefix: &[usize],
+    p: usize,
+    parent_abs: usize,
+    ctx: &SelectionCtx<'_>,
+    ev: &mut Evaluator,
+    bound: Option<&Bound>,
+    shared: &AtomicU64,
+) -> Option<Mapping> {
+    let mut assignment = vec![usize::MAX; p];
+    let mut used = vec![false; ctx.candidates.len()];
+    let mut lb = 0.0f64;
+    for (abs, &w) in prefix.iter().enumerate() {
+        assignment[abs] = w;
+        let ci = ctx
+            .candidates
+            .iter()
+            .position(|&c| c == w)
+            .expect("prefix drawn from candidates");
+        used[ci] = true;
+        if let Some(b) = bound {
+            lb = lb.max(b.units[abs] / ev.world_speed(w));
+        }
+    }
+    let mut best: Option<Mapping> = None;
+    bb_rec(
+        prefix.len(),
+        p,
+        parent_abs,
+        ctx,
+        &mut assignment,
+        &mut used,
+        ev,
+        bound,
+        lb,
+        shared,
+        &mut best,
+    );
+    best
+}
+
+/// Exact enumeration with branch-and-bound pruning and a deterministic
+/// multi-threaded split of the search tree's first levels. Returns exactly
+/// the mapping [`exhaustive_seq`] would: pruning is strict (`lb > best`),
+/// so equal-valued leaves survive to the same first-improver tie-break,
+/// and per-prefix results are merged in sequential prefix order.
+fn exhaustive_bb(
+    model: &dyn PerformanceModel,
+    ctx: &SelectionCtx<'_>,
+    proto: &Evaluator,
+) -> Mapping {
+    let p = model.num_processors();
+    let parent_abs = model.parent();
+    let bound = make_bound(proto, ctx, p);
+
+    let depth = p.min(2);
+    let mut prefixes: Vec<Vec<usize>> = Vec::new();
+    {
+        let mut used = vec![false; ctx.candidates.len()];
+        let mut prefix = Vec::with_capacity(depth);
+        gen_prefixes(0, depth, parent_abs, ctx, &mut prefix, &mut used, &mut prefixes);
+    }
+
+    let shared = AtomicU64::new(f64::INFINITY.to_bits());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+        .min(prefixes.len().max(1));
+
+    let mut results: Vec<Option<Mapping>> = vec![None; prefixes.len()];
+    if threads <= 1 {
+        let mut ev = proto.clone();
+        for (slot, prefix) in results.iter_mut().zip(&prefixes) {
+            *slot = bb_search_prefix(prefix, p, parent_abs, ctx, &mut ev, bound.as_ref(), &shared);
+        }
+    } else {
+        let prefixes = &prefixes;
+        let shared = &shared;
+        let bound = bound.as_ref();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|tid| {
+                    let mut ev = proto.clone();
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, Option<Mapping>)> = Vec::new();
+                        let mut i = tid;
+                        while i < prefixes.len() {
+                            out.push((
+                                i,
+                                bb_search_prefix(
+                                    &prefixes[i],
+                                    p,
+                                    parent_abs,
+                                    ctx,
+                                    &mut ev,
+                                    bound,
+                                    shared,
+                                ),
+                            ));
+                            i += threads;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("search thread panicked") {
+                    results[i] = r;
+                }
+            }
+        });
+    }
+
+    let mut best: Option<Mapping> = None;
+    for r in results.into_iter().flatten() {
+        if best.as_ref().is_none_or(|b| r.predicted < b.predicted) {
+            best = Some(r);
+        }
+    }
     best.expect("feasibility checked by caller")
 }
 
@@ -391,7 +773,7 @@ fn anneal(
     start: Vec<usize>,
     model: &dyn PerformanceModel,
     ctx: &SelectionCtx<'_>,
-    objective: &dyn Fn(&[usize]) -> f64,
+    obj: &mut dyn Objective,
     seed: u64,
     iters: usize,
 ) -> Mapping {
@@ -399,7 +781,7 @@ fn anneal(
     let parent_abs = model.parent();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut current = start;
-    let mut current_t = objective(&current);
+    let mut current_t = obj.rebase(&current);
     let mut best = Mapping {
         assignment: current.clone(),
         predicted: current_t,
@@ -417,18 +799,23 @@ fn anneal(
             .filter(|w| !proposal.contains(w))
             .collect();
         let do_replace = !unused.is_empty() && rng.random_range(0..2) == 0;
-        if do_replace {
-            let mut i = rng.random_range(0..p);
-            if ctx.pinned_parent.is_some() && i == parent_abs {
-                if p == 1 {
-                    continue;
-                }
-                i = (i + 1) % p;
-                if i == parent_abs {
-                    continue;
-                }
+        let mut changed = [0usize; 2];
+        let changed: &[usize] = if do_replace {
+            // Resample until the index is not the pinned parent: shifting
+            // deterministically (the old `i + 1` trick) over-sampled the
+            // parent's neighbour.
+            if ctx.pinned_parent.is_some() && p == 1 {
+                continue;
             }
+            let i = loop {
+                let i = rng.random_range(0..p);
+                if ctx.pinned_parent.is_none() || i != parent_abs {
+                    break i;
+                }
+            };
             proposal[i] = unused[rng.random_range(0..unused.len())];
+            changed[0] = i;
+            &changed[..1]
         } else {
             if p < 2 {
                 continue;
@@ -444,20 +831,23 @@ fn anneal(
                     continue;
                 }
             }
-        }
+            changed[0] = i;
+            changed[1] = j;
+            &changed[..2]
+        };
 
-        let t = objective(&proposal);
+        let t = obj.probe(&proposal, changed);
         let accept = t < current_t || {
             let delta = t - current_t;
             rng.random_range(0.0..1.0) < (-delta / temp).exp()
         };
         if accept {
             current = proposal;
-            current_t = t;
-            if t < best.predicted {
+            current_t = obj.rebase(&current);
+            if current_t < best.predicted {
                 best = Mapping {
                     assignment: current.clone(),
-                    predicted: t,
+                    predicted: current_t,
                 };
             }
         }
@@ -471,13 +861,15 @@ mod tests {
     use hetsim::{ClusterBuilder, Link, Protocol};
     use perfmodel::ModelBuilder;
 
-    fn paper_like_ctx<'a>(cluster: &'a Cluster, placement: &'a [NodeId]) -> SelectionCtx<'a> {
-        // Leaked estimates keep lifetimes simple inside tests.
-        let est = Box::leak(Box::new(SpeedEstimates::from_base_speeds(cluster)));
+    fn paper_like_ctx<'a>(
+        cluster: &'a Cluster,
+        placement: &'a [NodeId],
+        estimates: &'a SpeedEstimates,
+    ) -> SelectionCtx<'a> {
         SelectionCtx {
             cluster,
             placement,
-            estimates: est,
+            estimates,
             candidates: (0..placement.len()).collect(),
             pinned_parent: Some(0),
         }
@@ -498,7 +890,8 @@ mod tests {
     fn greedy_pairs_big_volume_with_fast_node() {
         let c = hetero_cluster();
         let placement: Vec<NodeId> = c.node_ids().collect();
-        let mut ctx = paper_like_ctx(&c, &placement);
+        let est = SpeedEstimates::from_base_speeds(&c);
+        let mut ctx = paper_like_ctx(&c, &placement, &est);
         ctx.pinned_parent = None;
         let model = ModelBuilder::new("t")
             .processors(3)
@@ -517,7 +910,8 @@ mod tests {
     fn exhaustive_matches_or_beats_greedy() {
         let c = hetero_cluster();
         let placement: Vec<NodeId> = c.node_ids().collect();
-        let ctx = paper_like_ctx(&c, &placement);
+        let est = SpeedEstimates::from_base_speeds(&c);
+        let ctx = paper_like_ctx(&c, &placement, &est);
         let model = ModelBuilder::new("t")
             .processors(3)
             .volumes(vec![50.0, 500.0, 200.0])
@@ -533,7 +927,8 @@ mod tests {
     fn refined_matches_or_beats_greedy() {
         let c = hetero_cluster();
         let placement: Vec<NodeId> = c.node_ids().collect();
-        let ctx = paper_like_ctx(&c, &placement);
+        let est = SpeedEstimates::from_base_speeds(&c);
+        let ctx = paper_like_ctx(&c, &placement, &est);
         let model = ModelBuilder::new("t")
             .processors(4)
             .volumes(vec![300.0, 50.0, 500.0, 200.0])
@@ -553,7 +948,8 @@ mod tests {
     fn parent_stays_pinned() {
         let c = hetero_cluster();
         let placement: Vec<NodeId> = c.node_ids().collect();
-        let ctx = paper_like_ctx(&c, &placement); // parent pinned to world 0
+        let est = SpeedEstimates::from_base_speeds(&c);
+        let ctx = paper_like_ctx(&c, &placement, &est); // parent pinned to world 0
         let model = ModelBuilder::new("t")
             .processors(3)
             .volumes(vec![1000.0, 10.0, 10.0])
@@ -581,7 +977,8 @@ mod tests {
     fn infeasible_instances_error() {
         let c = hetero_cluster();
         let placement: Vec<NodeId> = c.node_ids().collect();
-        let mut ctx = paper_like_ctx(&c, &placement);
+        let est = SpeedEstimates::from_base_speeds(&c);
+        let mut ctx = paper_like_ctx(&c, &placement, &est);
         let model = ModelBuilder::new("t").processors(6).build().unwrap();
         assert!(matches!(
             select_mapping(MappingAlgorithm::Greedy, &model, &ctx),
@@ -600,7 +997,8 @@ mod tests {
     fn annealing_is_deterministic_per_seed() {
         let c = hetero_cluster();
         let placement: Vec<NodeId> = c.node_ids().collect();
-        let ctx = paper_like_ctx(&c, &placement);
+        let est = SpeedEstimates::from_base_speeds(&c);
+        let ctx = paper_like_ctx(&c, &placement, &est);
         let model = ModelBuilder::new("t")
             .processors(4)
             .volumes(vec![100.0, 200.0, 300.0, 400.0])
@@ -628,7 +1026,8 @@ mod tests {
         // mapping uses exactly p=1 process even though 5 are free.
         let c = hetero_cluster();
         let placement: Vec<NodeId> = c.node_ids().collect();
-        let mut ctx = paper_like_ctx(&c, &placement);
+        let est = SpeedEstimates::from_base_speeds(&c);
+        let mut ctx = paper_like_ctx(&c, &placement, &est);
         ctx.pinned_parent = None;
         let model = ModelBuilder::new("t")
             .processors(1)
@@ -675,7 +1074,8 @@ mod tests {
             .all_to_all(Link::new(1e-3, 1e6, Protocol::Tcp))
             .build();
         let placement: Vec<NodeId> = cluster.node_ids().collect();
-        let ctx = paper_like_ctx(&cluster, &placement);
+        let est = SpeedEstimates::from_base_speeds(&cluster);
+        let ctx = paper_like_ctx(&cluster, &placement, &est);
         let model = Broken {
             vols: vec![1.0, 1.0],
             comm: vec![vec![0.0; 2]; 2],
@@ -687,6 +1087,78 @@ mod tests {
         ] {
             let e = select_mapping(algo, &model, &ctx).unwrap_err();
             assert!(matches!(e, SelectError::Eval(_)), "{algo:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn engine_and_naive_paths_select_bit_identical_mappings() {
+        let c = hetero_cluster();
+        let placement: Vec<NodeId> = c.node_ids().collect();
+        let est = SpeedEstimates::from_base_speeds(&c);
+        let models = [
+            ModelBuilder::new("compute")
+                .processors(3)
+                .volumes(vec![50.0, 500.0, 200.0])
+                .comm_fn(|_, _| 1e6)
+                .build()
+                .unwrap(),
+            ModelBuilder::new("chain")
+                .processors(4)
+                .volumes(vec![300.0, 50.0, 500.0, 200.0])
+                .comm_fn(|s, d| if s.abs_diff(d) == 1 { 5e6 } else { 0.0 })
+                .build()
+                .unwrap(),
+        ];
+        for model in &models {
+            for pinned in [Some(0), None] {
+                let mut ctx = paper_like_ctx(&c, &placement, &est);
+                ctx.pinned_parent = pinned;
+                for algo in [
+                    MappingAlgorithm::Greedy,
+                    MappingAlgorithm::default(),
+                    MappingAlgorithm::Exhaustive,
+                    MappingAlgorithm::Annealing {
+                        seed: 11,
+                        iters: 400,
+                    },
+                ] {
+                    let fast = select_mapping(algo, model, &ctx).unwrap();
+                    let naive = select_mapping_naive(algo, model, &ctx).unwrap();
+                    assert_eq!(fast.assignment, naive.assignment, "{algo:?} pinned={pinned:?}");
+                    assert_eq!(
+                        fast.predicted.to_bits(),
+                        naive.predicted.to_bits(),
+                        "{algo:?} pinned={pinned:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn annealing_replace_move_no_longer_skews_off_the_parent() {
+        // p = 2 with the parent at abs 0: the old `i + 1` shift mapped a
+        // draw of the parent index deterministically onto index 1, doubling
+        // its proposal rate. With resampling both outcomes remain possible
+        // and the search still respects the pin.
+        let c = hetero_cluster();
+        let placement: Vec<NodeId> = c.node_ids().collect();
+        let est = SpeedEstimates::from_base_speeds(&c);
+        let ctx = paper_like_ctx(&c, &placement, &est);
+        let model = ModelBuilder::new("t")
+            .processors(2)
+            .volumes(vec![400.0, 100.0])
+            .build()
+            .unwrap();
+        for seed in 0..8 {
+            let m = select_mapping(
+                MappingAlgorithm::Annealing { seed, iters: 300 },
+                &model,
+                &ctx,
+            )
+            .unwrap();
+            assert_eq!(m.assignment[0], 0, "parent must stay pinned (seed {seed})");
+            assert!(m.predicted.is_finite());
         }
     }
 }

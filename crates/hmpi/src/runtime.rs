@@ -548,15 +548,43 @@ impl Hmpi<'_> {
         &self,
         variants: impl IntoIterator<Item = &'m dyn perfmodel::PerformanceModel>,
     ) -> Option<(usize, f64)> {
+        self.timeof_sweep(variants).unwrap_or(None)
+    }
+
+    /// Like [`Hmpi::choose_best`] but does not swallow failures: infeasible
+    /// or broken variants are still skipped while any variant succeeds, but
+    /// if *every* variant fails the first error is returned instead of a
+    /// silent `None` — an always-failing model can't masquerade as an empty
+    /// sweep. `Ok(None)` means the iterator was empty.
+    ///
+    /// # Errors
+    /// The first `timeof` error, when no variant evaluates successfully.
+    pub fn timeof_sweep<'m>(
+        &self,
+        variants: impl IntoIterator<Item = &'m dyn perfmodel::PerformanceModel>,
+    ) -> HmpiResult<Option<(usize, f64)>> {
         let mut best: Option<(usize, f64)> = None;
+        let mut first_err: Option<HmpiError> = None;
+        let mut any_ok = false;
         for (i, model) in variants.into_iter().enumerate() {
-            if let Ok(t) = self.timeof(model) {
-                if best.is_none_or(|(_, bt)| t < bt) {
-                    best = Some((i, t));
+            match self.timeof(model) {
+                Ok(t) => {
+                    any_ok = true;
+                    if best.is_none_or(|(_, bt)| t < bt) {
+                        best = Some((i, t));
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
                 }
             }
         }
-        best
+        match (any_ok, first_err) {
+            (false, Some(e)) => Err(e),
+            _ => Ok(best),
+        }
     }
 
     /// `HMPI_Group_create` with the runtime's default selection algorithm.

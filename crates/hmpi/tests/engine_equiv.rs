@@ -1,0 +1,362 @@
+//! Property tests: the selection engine (compiled program, table-backed
+//! pair costs, incremental delta probes) agrees with the naive
+//! interpreter path (`predicted_time` over a freshly built `CostModel`)
+//! on random models, clusters, and assignments — including pinned-parent
+//! instances and placements with several world ranks per node (loopback
+//! pairs) — and the branch-and-bound exhaustive search returns the exact
+//! mapping of the sequential enumeration.
+
+use hetsim::{Cluster, ClusterBuilder, Link, NodeId, Protocol, SpeedEstimates};
+use hmpi::{
+    predicted_time, select_mapping, select_mapping_naive, Evaluator, MappingAlgorithm,
+    SelectionCtx,
+};
+use perfmodel::{ModelBuilder, PerformanceModel, SchemeSink};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One recorded scheme event of a randomly generated interaction pattern.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Compute(usize, f64),
+    Transfer(usize, usize, f64),
+    ParBegin,
+    ParBranch,
+    ParEnd,
+}
+
+fn replay(events: &[Ev], sink: &mut dyn SchemeSink) {
+    for &e in events {
+        match e {
+            Ev::Compute(p, pct) => sink.compute(p, pct),
+            Ev::Transfer(s, d, pct) => sink.transfer(s, d, pct),
+            Ev::ParBegin => sink.par_begin(),
+            Ev::ParBranch => sink.par_branch(),
+            Ev::ParEnd => sink.par_end(),
+        }
+    }
+}
+
+/// Emits 1-4 plain activities on random processors (transfers may be
+/// loops `i -> i`, which the timeline skips).
+fn gen_activities(rng: &mut StdRng, p: usize, out: &mut Vec<Ev>) {
+    for _ in 0..rng.random_range(1..5) {
+        if rng.random_range(0..3) == 0 {
+            out.push(Ev::Compute(
+                rng.random_range(0..p),
+                rng.random_range(0.0..60.0),
+            ));
+        } else {
+            out.push(Ev::Transfer(
+                rng.random_range(0..p),
+                rng.random_range(0..p),
+                rng.random_range(0.0..60.0),
+            ));
+        }
+    }
+}
+
+/// A random well-formed event stream: plain activities mixed with par
+/// blocks (the interpreter's emission discipline: each branch is followed
+/// by `par_branch`, the block closed by `par_end`), nested up to depth 2.
+fn gen_events(rng: &mut StdRng, p: usize) -> Vec<Ev> {
+    let mut out = Vec::new();
+    for _ in 0..rng.random_range(1..5) {
+        match rng.random_range(0..3) {
+            0 => gen_activities(rng, p, &mut out),
+            _ => {
+                out.push(Ev::ParBegin);
+                for _ in 0..rng.random_range(1..4) {
+                    if rng.random_range(0..4) == 0 {
+                        // Nested par inside this branch.
+                        out.push(Ev::ParBegin);
+                        for _ in 0..rng.random_range(1..3) {
+                            gen_activities(rng, p, &mut out);
+                            out.push(Ev::ParBranch);
+                        }
+                        out.push(Ev::ParEnd);
+                    } else {
+                        gen_activities(rng, p, &mut out);
+                    }
+                    out.push(Ev::ParBranch);
+                }
+                out.push(Ev::ParEnd);
+            }
+        }
+    }
+    out
+}
+
+struct Instance {
+    cluster: Cluster,
+    placement: Vec<NodeId>,
+    estimates: SpeedEstimates,
+    model: perfmodel::BuiltModel,
+    p: usize,
+}
+
+fn gen_instance(rng: &mut StdRng) -> Instance {
+    let n_nodes = rng.random_range(1..5);
+    let mut b = ClusterBuilder::new();
+    for i in 0..n_nodes {
+        b = b.node(format!("n{i}"), rng.random_range(1.0..200.0));
+    }
+    let cluster = b
+        .all_to_all(Link::new(
+            rng.random_range(0.0..1e-3),
+            rng.random_range(1e5..1e8),
+            Protocol::Tcp,
+        ))
+        .build();
+    // Several world ranks per node => same-node (loopback) pairs.
+    let ranks_per_node = rng.random_range(1..4);
+    let world = n_nodes * ranks_per_node;
+    let placement: Vec<NodeId> = (0..world).map(|r| NodeId(r % n_nodes)).collect();
+    let estimates = SpeedEstimates::from_speeds(
+        (0..n_nodes).map(|_| rng.random_range(1.0..300.0)).collect(),
+    );
+
+    let p = rng.random_range(1..world.min(5) + 1);
+    let volumes: Vec<f64> = (0..p).map(|_| rng.random_range(0.0..1000.0)).collect();
+    let comm: Vec<Vec<f64>> = (0..p)
+        .map(|_| {
+            (0..p)
+                .map(|_| {
+                    if rng.random_range(0..3) == 0 {
+                        0.0
+                    } else {
+                        rng.random_range(0.0..1e6)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut mb = ModelBuilder::new("prop")
+        .processors(p)
+        .volumes(volumes)
+        .comm(comm)
+        .parent(rng.random_range(0..p));
+    if rng.random_range(0..2) == 0 {
+        // Half the models use a random custom interaction pattern instead
+        // of the builder's default par-transfers-then-par-computes scheme.
+        let events = gen_events(rng, p);
+        mb = mb.scheme(move |sink| replay(&events, sink));
+    }
+    let model = mb.build().expect("random model builds");
+    Instance {
+        cluster,
+        placement,
+        estimates,
+        model,
+        p,
+    }
+}
+
+/// Draws a random injective assignment of `p` processors to candidates.
+fn gen_assignment(rng: &mut StdRng, candidates: &[usize], p: usize, pin: Option<(usize, usize)>) -> Vec<usize> {
+    let mut pool: Vec<usize> = candidates.to_vec();
+    // Fisher-Yates prefix shuffle.
+    for i in 0..p {
+        let j = rng.random_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    let mut a: Vec<usize> = pool[..p].to_vec();
+    if let Some((parent_abs, parent_w)) = pin {
+        if let Some(pos) = a.iter().position(|&w| w == parent_w) {
+            a.swap(parent_abs, pos);
+        } else {
+            a[parent_abs] = parent_w;
+        }
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Full evaluation: `Evaluator::eval` is bit-identical to
+    /// `predicted_time(...).unwrap_or(INFINITY)` (well within the 1e-9
+    /// agreement the spec asks for) on random instances.
+    #[test]
+    fn engine_eval_matches_naive(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = gen_instance(&mut rng);
+        let candidates: Vec<usize> = (0..inst.placement.len()).collect();
+        let pinned = if rng.random_range(0..2) == 0 {
+            Some(candidates[rng.random_range(0..candidates.len())])
+        } else {
+            None
+        };
+        let ctx = SelectionCtx {
+            cluster: &inst.cluster,
+            placement: &inst.placement,
+            estimates: &inst.estimates,
+            candidates: candidates.clone(),
+            pinned_parent: pinned,
+        };
+        let mut ev = Evaluator::new(&inst.model, &ctx);
+        for _ in 0..8 {
+            let pin = pinned.map(|w| (inst.model.parent(), w));
+            let a = gen_assignment(&mut rng, &candidates, inst.p, pin);
+            let fast = ev.eval(&a);
+            let naive = predicted_time(
+                &inst.model, &a, &inst.cluster, &inst.placement, &inst.estimates,
+            ).unwrap_or(f64::INFINITY);
+            prop_assert_eq!(fast.to_bits(), naive.to_bits(), "assignment {:?}", a);
+            prop_assert!((fast - naive).abs() <= 1e-9 * naive.abs().max(1.0) || fast == naive);
+        }
+    }
+
+    /// Incremental probes: a random walk of swap/replace moves over a
+    /// rebased baseline prices every proposal bit-identically to the naive
+    /// path, including occasional accepted moves (rebase) and the periodic
+    /// full re-evaluation.
+    #[test]
+    fn engine_probe_matches_naive(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = gen_instance(&mut rng);
+        let candidates: Vec<usize> = (0..inst.placement.len()).collect();
+        let ctx = SelectionCtx {
+            cluster: &inst.cluster,
+            placement: &inst.placement,
+            estimates: &inst.estimates,
+            candidates: candidates.clone(),
+            pinned_parent: None,
+        };
+        let mut ev = Evaluator::new(&inst.model, &ctx);
+        let mut current = gen_assignment(&mut rng, &candidates, inst.p, None);
+        let mut base_t = ev.rebase(&current);
+        let naive_base = predicted_time(
+            &inst.model, &current, &inst.cluster, &inst.placement, &inst.estimates,
+        ).unwrap_or(f64::INFINITY);
+        prop_assert_eq!(base_t.to_bits(), naive_base.to_bits());
+
+        for _ in 0..70 {
+            let mut proposal = current.clone();
+            let mut changed: Vec<usize> = Vec::new();
+            let unused: Vec<usize> = candidates
+                .iter().copied().filter(|w| !proposal.contains(w)).collect();
+            if !unused.is_empty() && rng.random_range(0..2) == 0 {
+                let i = rng.random_range(0..inst.p);
+                proposal[i] = unused[rng.random_range(0..unused.len())];
+                changed.push(i);
+            } else if inst.p >= 2 {
+                let i = rng.random_range(0..inst.p);
+                let j = (i + 1 + rng.random_range(0..inst.p - 1)) % inst.p;
+                proposal.swap(i, j);
+                changed.push(i);
+                changed.push(j);
+            } else {
+                continue;
+            }
+            let probed = ev.probe(&proposal, &changed);
+            let naive = predicted_time(
+                &inst.model, &proposal, &inst.cluster, &inst.placement, &inst.estimates,
+            ).unwrap_or(f64::INFINITY);
+            prop_assert_eq!(probed.to_bits(), naive.to_bits(), "changed {:?}", changed);
+            if probed < base_t || rng.random_range(0..8) == 0 {
+                current = proposal;
+                base_t = ev.rebase(&current);
+                prop_assert_eq!(base_t.to_bits(), naive.to_bits());
+            }
+        }
+    }
+
+    /// End-to-end: the engine-backed `select_mapping` and the naive
+    /// reference path select bit-identical mappings for every algorithm.
+    #[test]
+    fn select_paths_bit_identical(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = gen_instance(&mut rng);
+        let candidates: Vec<usize> = (0..inst.placement.len()).collect();
+        let pinned = if rng.random_range(0..2) == 0 {
+            Some(candidates[rng.random_range(0..candidates.len())])
+        } else {
+            None
+        };
+        let ctx = SelectionCtx {
+            cluster: &inst.cluster,
+            placement: &inst.placement,
+            estimates: &inst.estimates,
+            candidates,
+            pinned_parent: pinned,
+        };
+        for algo in [
+            MappingAlgorithm::Greedy,
+            MappingAlgorithm::GreedyRefined { max_rounds: 8 },
+            MappingAlgorithm::Exhaustive,
+            MappingAlgorithm::Annealing { seed, iters: 120 },
+        ] {
+            let fast = select_mapping(algo, &inst.model, &ctx).expect("engine path");
+            let naive = select_mapping_naive(algo, &inst.model, &ctx).expect("naive path");
+            prop_assert_eq!(&fast.assignment, &naive.assignment, "algo {:?}", algo);
+            prop_assert_eq!(
+                fast.predicted.to_bits(), naive.predicted.to_bits(), "algo {:?}", algo
+            );
+        }
+    }
+}
+
+/// Deterministic regression: a *parsed* model (the paper's modelling
+/// language, EM3D-like dependence pattern) selects bit-identical mappings
+/// through the branch-and-bound exhaustive and the sequential naive
+/// enumeration, on a cluster with several ranks per node.
+#[test]
+fn parsed_model_exhaustive_bb_matches_sequential() {
+    let src = r"
+        algorithm Em3d(int p, int k, int d[p], int dep[p][p]) {
+            coord I=p;
+            node {I>=0: bench*(d[I]/k);};
+            link (L=p) {
+                I>=0 && I!=L && (dep[I][L] > 0) :
+                    length*(dep[I][L]*sizeof(double)) [L]->[I];
+            };
+            parent[0];
+            scheme {
+                int current, owner, remote;
+                par (owner = 0; owner < p; owner++)
+                    par (remote = 0; remote < p; remote++)
+                        if ((owner != remote) && (dep[owner][remote] > 0))
+                            100%%[remote]->[owner];
+                par (current = 0; current < p; current++) 100%%[current];
+            };
+        }
+    ";
+    let model = perfmodel::CompiledModel::compile(src)
+        .unwrap()
+        .instantiate(&[
+            perfmodel::ParamValue::Int(4),
+            perfmodel::ParamValue::Int(10),
+            perfmodel::ParamValue::Array(vec![100, 200, 300, 150]),
+            perfmodel::ParamValue::Array(vec![0, 5, 0, 3, 5, 0, 7, 0, 0, 7, 0, 2, 3, 0, 2, 0]),
+        ])
+        .unwrap();
+
+    let cluster = ClusterBuilder::new()
+        .node("a", 46.0)
+        .node("b", 176.0)
+        .node("c", 106.0)
+        .all_to_all(Link::new(150e-6, 11e6, Protocol::Tcp))
+        .build();
+    // Two ranks per node: exercises loopback pairs inside the search.
+    let placement: Vec<NodeId> = (0..6).map(|r| NodeId(r % 3)).collect();
+    let estimates = SpeedEstimates::from_base_speeds(&cluster);
+    for pinned in [Some(0), None] {
+        let ctx = SelectionCtx {
+            cluster: &cluster,
+            placement: &placement,
+            estimates: &estimates,
+            candidates: (0..6).collect(),
+            pinned_parent: pinned,
+        };
+        let fast = select_mapping(MappingAlgorithm::Exhaustive, &model, &ctx).unwrap();
+        let naive = select_mapping_naive(MappingAlgorithm::Exhaustive, &model, &ctx).unwrap();
+        assert_eq!(fast.assignment, naive.assignment, "pinned={pinned:?}");
+        assert_eq!(
+            fast.predicted.to_bits(),
+            naive.predicted.to_bits(),
+            "pinned={pinned:?}"
+        );
+    }
+}

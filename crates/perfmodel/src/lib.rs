@@ -25,7 +25,11 @@
 //!   `HMPI_Timeof` and `HMPI_Group_create`;
 //! * [`builder`] — a typed Rust front-end ([`builder::ModelBuilder`])
 //!   producing the same [`model::PerformanceModel`] interface without going
-//!   through source text.
+//!   through source text;
+//! * [`compile`] — the selection engine's fast path: a model's
+//!   (assignment-independent) event stream recorded once into a flat
+//!   [`compile::CostProgram`] that is re-priced per mapping, with
+//!   incremental delta re-pricing for local-search moves.
 //!
 //! ## Language semantics notes
 //!
@@ -45,6 +49,7 @@
 pub mod analysis;
 pub mod ast;
 pub mod builder;
+pub mod compile;
 pub mod env;
 pub mod error;
 pub mod eval;
@@ -57,6 +62,7 @@ pub mod value;
 
 pub use analysis::{analyze, CoverageSink, Finding, ModelReport};
 pub use builder::{BuiltModel, ModelBuilder};
+pub use compile::{CostProgram, DeltaBaseline, PairCost, PriceScratch};
 pub use error::{EvalError, ParseError};
 pub use model::{CompiledModel, ModelInstance, ParamValue, PerformanceModel};
 pub use parser::parse_program;
