@@ -108,8 +108,63 @@ pub fn run_hmpi_with(
     k: usize,
     algo: MappingAlgorithm,
 ) -> Em3dRun {
+    run_hmpi_inner(cluster, cfg, niter, k, algo, false).0
+}
+
+/// A traced HMPI run: the run itself, the full virtual-time trace, and the
+/// prediction-vs-actual report comparing `HMPI_Group_create`'s predicted
+/// time (per iteration, so scaled by `niter`) against the measured kernel
+/// time, with the per-rank compute / comm / wait breakdown of the whole
+/// traced run.
+#[derive(Debug, Clone)]
+pub struct Em3dTracedRun {
+    /// The run outcome (same as [`run_hmpi`]).
+    pub run: Em3dRun,
+    /// Every recorded span: recon, selection, compute, sends, receives.
+    pub trace: hetsim::Trace,
+    /// Prediction accuracy plus phase breakdown.
+    pub report: hetsim::PredictionReport,
+}
+
+/// [`run_hmpi`] with tracing enabled (DESIGN.md §9).
+///
+/// # Panics
+/// As [`run_hmpi`].
+pub fn run_hmpi_traced(
+    cluster: Arc<Cluster>,
+    cfg: &Em3dConfig,
+    niter: usize,
+    k: usize,
+) -> Em3dTracedRun {
+    let n_ranks = cluster.len();
+    let (run, trace) =
+        run_hmpi_inner(cluster, cfg, niter, k, MappingAlgorithm::default(), true);
+    let trace = trace.expect("tracing was enabled");
+    // The Figure 4 model describes one iteration; the whole-run prediction
+    // is niter times that.
+    let predicted = run.predicted.expect("HMPI runs carry a prediction") * niter as f64;
+    let report = hetsim::PredictionReport::new(
+        predicted,
+        SimTime::from_secs(run.time),
+        &trace,
+        n_ranks,
+    );
+    Em3dTracedRun { run, trace, report }
+}
+
+fn run_hmpi_inner(
+    cluster: Arc<Cluster>,
+    cfg: &Em3dConfig,
+    niter: usize,
+    k: usize,
+    algo: MappingAlgorithm,
+    traced: bool,
+) -> (Em3dRun, Option<hetsim::Trace>) {
     let p = cfg.nodes_per_body.len();
-    let runtime = HmpiRuntime::new(cluster).with_algorithm(algo);
+    let mut runtime = HmpiRuntime::new(cluster).with_algorithm(algo);
+    if traced {
+        runtime = runtime.with_tracing();
+    }
     assert!(
         p <= runtime.universe().size(),
         "EM3D needs {p} processes, universe has {}",
@@ -147,6 +202,7 @@ pub fn run_hmpi_with(
         (outcome, meta)
     });
 
+    let trace = report.trace;
     let mut outcomes = Vec::with_capacity(report.results.len());
     let mut meta = None;
     for (o, m) in report.results {
@@ -156,7 +212,7 @@ pub fn run_hmpi_with(
         }
     }
     let (members, predicted) = meta.expect("host reported the selection");
-    assemble(outcomes, members, Some(predicted))
+    (assemble(outcomes, members, Some(predicted)), trace)
 }
 
 /// Outcome of one fault-tolerant EM3D execution ([`run_hmpi_ft`]).
@@ -480,6 +536,31 @@ mod tests {
         );
         // The makespan pays for the aborted first attempt and the recovery.
         assert!(ft.makespan > ft.time);
+    }
+
+    #[test]
+    fn traced_run_reports_prediction_accuracy() {
+        let niter = 2;
+        let traced = run_hmpi_traced(paper_cluster(), &cfg(), niter, 10);
+        assert!(!traced.trace.is_empty(), "tracing must record events");
+        let r = &traced.report;
+        assert!(r.predicted > 0.0 && r.measured > 0.0);
+        // Same accuracy band as `predicted_time_is_reasonable` (0.3x..3x).
+        assert!(
+            (-70.0..200.0).contains(&r.error_pct()),
+            "model error {:+.1}%",
+            r.error_pct()
+        );
+        // The phase breakdown accounts for real virtual time, and the
+        // executing ranks show both compute and communication.
+        let compute: f64 = r.phases.iter().map(|p| p.compute.as_secs()).sum();
+        let comm: f64 = r.phases.iter().map(|p| p.comm.as_secs()).sum();
+        assert!(compute > 0.0 && comm > 0.0);
+        let json = traced.trace.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        // The untraced path stays untraced and agrees on the result.
+        let plain = run_hmpi(paper_cluster(), &cfg(), niter, 10);
+        assert!((plain.time - traced.run.time).abs() < 1e-9);
     }
 
     #[test]

@@ -115,7 +115,61 @@ pub fn run_hmpi_with(
     l: Option<usize>,
     algo: MappingAlgorithm,
 ) -> MatmulRun {
-    let runtime = HmpiRuntime::new(cluster).with_algorithm(algo);
+    run_hmpi_inner(cluster, m, n, r, l, algo, false).0
+}
+
+/// A traced HMPI run: the run itself, the full virtual-time trace, and the
+/// prediction-vs-actual report comparing `HMPI_Group_create`'s whole-run
+/// prediction against the measured kernel time, with the per-rank
+/// compute / comm / wait breakdown of the whole traced run.
+#[derive(Debug, Clone)]
+pub struct MatmulTracedRun {
+    /// The run outcome (same as [`run_hmpi`]).
+    pub run: MatmulRun,
+    /// Every recorded span: recon, selection, compute, sends, receives.
+    pub trace: hetsim::Trace,
+    /// Prediction accuracy plus phase breakdown.
+    pub report: hetsim::PredictionReport,
+}
+
+/// [`run_hmpi`] with tracing enabled (DESIGN.md §9).
+///
+/// # Panics
+/// As [`run_hmpi`].
+pub fn run_hmpi_traced(
+    cluster: Arc<Cluster>,
+    m: usize,
+    n: usize,
+    r: usize,
+    l: Option<usize>,
+) -> MatmulTracedRun {
+    let n_ranks = cluster.len();
+    let (run, trace) = run_hmpi_inner(cluster, m, n, r, l, MappingAlgorithm::default(), true);
+    let trace = trace.expect("tracing was enabled");
+    // The Figure 7 model describes the whole multiplication.
+    let predicted = run.predicted.expect("HMPI runs carry a prediction");
+    let report = hetsim::PredictionReport::new(
+        predicted,
+        hetsim::SimTime::from_secs(run.time),
+        &trace,
+        n_ranks,
+    );
+    MatmulTracedRun { run, trace, report }
+}
+
+fn run_hmpi_inner(
+    cluster: Arc<Cluster>,
+    m: usize,
+    n: usize,
+    r: usize,
+    l: Option<usize>,
+    algo: MappingAlgorithm,
+    traced: bool,
+) -> (MatmulRun, Option<hetsim::Trace>) {
+    let mut runtime = HmpiRuntime::new(cluster).with_algorithm(algo);
+    if traced {
+        runtime = runtime.with_tracing();
+    }
     assert!(m * m <= runtime.universe().size());
 
     type Out = (Option<(f64, Option<BlockMatrix>)>, Option<(Vec<usize>, f64, usize)>);
@@ -199,6 +253,7 @@ pub fn run_hmpi_with(
         (outcome, meta)
     });
 
+    let trace = report.trace;
     let mut time = 0.0f64;
     let mut c = None;
     let mut meta = None;
@@ -214,13 +269,16 @@ pub fn run_hmpi_with(
         }
     }
     let (members, predicted, l) = meta.expect("host reported the selection");
-    MatmulRun {
-        time,
-        members,
-        c,
-        predicted: Some(predicted),
-        l,
-    }
+    (
+        MatmulRun {
+            time,
+            members,
+            c,
+            predicted: Some(predicted),
+            l,
+        },
+        trace,
+    )
 }
 
 #[cfg(test)]
@@ -286,6 +344,19 @@ mod tests {
         let run = run_hmpi(paper_cluster(), 3, n, r, None);
         assert!((3..=9).contains(&run.l), "chosen l = {}", run.l);
         assert_matches(run.c.as_ref().unwrap(), &reference(n, r));
+    }
+
+    #[test]
+    fn traced_run_reports_prediction_accuracy() {
+        let n = 9;
+        let r = 4;
+        let traced = run_hmpi_traced(paper_cluster(), 3, n, r, Some(9));
+        assert_matches(traced.run.c.as_ref().unwrap(), &reference(n, r));
+        assert!(!traced.trace.is_empty(), "tracing must record events");
+        let rep = &traced.report;
+        assert!(rep.predicted > 0.0 && rep.measured > 0.0);
+        let compute: f64 = rep.phases.iter().map(|p| p.compute.as_secs()).sum();
+        assert!(compute > 0.0);
     }
 
     #[test]

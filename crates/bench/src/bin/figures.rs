@@ -8,7 +8,7 @@
 //! ```
 
 use hmpi_bench::{
-    ablation, extension, faults, fig10, fig11, fig9, render_csv, render_table, selection,
+    ablation, extension, faults, fig10, fig11, fig9, render_csv, render_table, selection, trace,
     ComparisonPoint,
 };
 
@@ -60,7 +60,7 @@ fn main() {
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec![
             "fig9a", "fig9b", "fig10", "fig11a", "fig11b", "ablations", "ext-nbody", "faults",
-            "selection",
+            "selection", "trace",
         ];
     }
 
@@ -222,8 +222,21 @@ fn main() {
                     println!("wrote {path}\n");
                 }
             }
+            "trace" => {
+                let b = trace::run(opts.quick);
+                print!("{}", trace::render(&b));
+                println!();
+                if !opts.quick {
+                    let path = "BENCH_trace.json";
+                    std::fs::write(path, trace::to_json(&b)).expect("write bench JSON");
+                    let tpath = "TRACE_em3d.json";
+                    std::fs::write(tpath, trace::em3d_chrome_trace(false))
+                        .expect("write Chrome trace");
+                    println!("wrote {path} and {tpath}\n");
+                }
+            }
             other => {
-                eprintln!("unknown figure `{other}`; known: fig9a fig9b fig10 fig11a fig11b ablations ext-nbody faults selection all");
+                eprintln!("unknown figure `{other}`; known: fig9a fig9b fig10 fig11a fig11b ablations ext-nbody faults selection trace all");
                 std::process::exit(2);
             }
         }

@@ -19,7 +19,12 @@
 //! * [`selection`] — the selection-engine microbenchmark (beyond the
 //!   paper): compiled-evaluator and incremental-probe throughput vs the
 //!   naive objective path, and end-to-end `select_mapping` wall times,
-//!   written to `BENCH_selection.json`.
+//!   written to `BENCH_selection.json`;
+//! * [`trace`] — the observability benchmark (beyond the paper): tracing
+//!   overhead (disabled vs enabled) on the EM3D selection workload, and
+//!   `HMPI_Timeof` prediction error with per-phase compute/comm/wait
+//!   breakdowns for EM3D and MM, written to `BENCH_trace.json` alongside
+//!   the Chrome trace `TRACE_em3d.json`.
 //!
 //! Each module returns plain series structs; `src/bin/figures.rs` prints
 //! them as aligned tables/CSV, and `benches/` wraps representative points in
@@ -40,6 +45,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig9;
 pub mod selection;
+pub mod trace;
 
 use hetsim::Cluster;
 use std::sync::Arc;

@@ -54,11 +54,11 @@ impl SpeedEstimates {
     /// Estimates with explicit per-node speeds.
     ///
     /// # Panics
-    /// Panics if any speed is not positive.
+    /// Panics if any speed is not positive and finite.
     pub fn from_speeds(speeds: Vec<f64>) -> Self {
         assert!(
-            speeds.iter().all(|&s| s > 0.0),
-            "estimated speeds must be positive"
+            speeds.iter().all(|&s| valid_speed(s)),
+            "estimated speeds must be positive and finite"
         );
         let available = vec![true; speeds.len()];
         SpeedEstimates {
@@ -135,7 +135,11 @@ impl SpeedEstimates {
     ///
     /// # Panics
     /// Panics if the length differs from the current estimate vector or any
-    /// speed is not positive.
+    /// speed is not positive and finite. A zero-elapsed benchmark derives
+    /// `units / 0 = +inf`; letting that through would poison every
+    /// subsequent selection, so non-finite speeds are rejected here as the
+    /// last line of defence (callers validate first and keep the previous
+    /// estimate instead).
     pub fn refresh(&self, speeds: Vec<f64>, measured_at: SimTime) {
         let mut g = self.inner.write();
         assert_eq!(
@@ -144,8 +148,8 @@ impl SpeedEstimates {
             "refresh must cover every node"
         );
         assert!(
-            speeds.iter().all(|&s| s > 0.0),
-            "estimated speeds must be positive"
+            speeds.iter().all(|&s| valid_speed(s)),
+            "estimated speeds must be positive and finite"
         );
         g.speeds = speeds;
         g.measured_at = measured_at;
@@ -159,7 +163,8 @@ impl SpeedEstimates {
     ///
     /// # Panics
     /// Panics if the length differs from the current estimate vector or any
-    /// speed for an *available* node is not positive.
+    /// speed for an *available* node is not positive and finite (see
+    /// [`SpeedEstimates::refresh`] on why infinities are rejected).
     pub fn refresh_available(&self, speeds: Vec<f64>, measured_at: SimTime) {
         let mut g = self.inner.write();
         assert_eq!(
@@ -169,13 +174,24 @@ impl SpeedEstimates {
         );
         for (i, &s) in speeds.iter().enumerate() {
             if g.available[i] {
-                assert!(s > 0.0, "estimated speed for live node {i} must be positive");
+                assert!(
+                    valid_speed(s),
+                    "estimated speed for live node {i} must be positive and finite"
+                );
                 g.speeds[i] = s;
             }
         }
         g.measured_at = measured_at;
         g.generation += 1;
     }
+}
+
+/// True for speeds that may safely enter the estimate table: positive and
+/// finite. `+inf` (from a zero-elapsed benchmark) and NaN both pass a bare
+/// `s > 0.0` check in the infinite case, so the guard is explicit.
+#[inline]
+fn valid_speed(s: f64) -> bool {
+    s.is_finite() && s > 0.0
 }
 
 /// Runs recon benchmarks against a simulated cluster.
@@ -305,6 +321,40 @@ mod tests {
         let c = Cluster::paper_lan_em3d();
         let e = SpeedEstimates::from_base_speeds(&c);
         e.refresh(vec![1.0], SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn refresh_rejects_infinite_speed() {
+        // `nominal_units / 0.0 = +inf` passes a bare `> 0.0` check; the
+        // estimate table must reject it outright.
+        let c = Cluster::paper_lan_em3d();
+        let e = SpeedEstimates::from_base_speeds(&c);
+        let mut speeds = e.snapshot();
+        speeds[3] = f64::INFINITY;
+        e.refresh(speeds, SimTime::from_secs(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn refresh_available_rejects_poisoned_estimate() {
+        let c = Cluster::paper_lan_em3d();
+        let e = SpeedEstimates::from_base_speeds(&c);
+        let mut speeds = e.snapshot();
+        speeds[2] = f64::INFINITY;
+        e.refresh_available(speeds, SimTime::from_secs(1.0));
+    }
+
+    #[test]
+    fn refresh_available_ignores_placeholder_for_dead_nodes() {
+        let c = Cluster::paper_lan_em3d();
+        let e = SpeedEstimates::from_base_speeds(&c);
+        let before = e.speed(NodeId(4));
+        e.mark_unavailable(NodeId(4));
+        let mut speeds = e.snapshot();
+        speeds[4] = 1.0; // placeholder, must be ignored
+        e.refresh_available(speeds, SimTime::from_secs(1.0));
+        assert_eq!(e.speed(NodeId(4)), before);
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   experiment reports results;
 //! * [`mod@bench`] — `HMPI_Recon`-style measurement of processor speeds against
 //!   the model, producing the *estimated* speeds the HMPI runtime plans with
-//!   (distinct from the true, possibly time-varying speeds).
+//!   (distinct from the true, possibly time-varying speeds);
+//! * [`mod@trace`] — opt-in virtual-time span recording ([`Tracer`]) with a
+//!   Chrome-trace exporter and per-rank compute/comm/wait breakdowns, the
+//!   substrate of the prediction-accuracy observability layer.
 //!
 //! The separation between **true speed** (what the simulated hardware
 //! delivers) and **estimated speed** (what a benchmark observed at some point
@@ -39,6 +42,7 @@ pub mod load;
 pub mod node;
 pub mod protocol;
 pub mod topology;
+pub mod trace;
 
 pub use bench::{ReconRunner, SpeedEstimates};
 pub use config::{parse_cluster, render_cluster, ConfigError};
@@ -49,3 +53,4 @@ pub use load::LoadModel;
 pub use node::{NodeId, Processor};
 pub use protocol::Protocol;
 pub use topology::{Cluster, ClusterBuilder, ContentionModel, PAPER_EM3D_SPEEDS};
+pub use trace::{PredictionReport, RankPhases, Trace, TraceEvent, TraceKind, Tracer};

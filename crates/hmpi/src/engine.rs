@@ -60,6 +60,8 @@ pub struct Evaluator {
     baseline: DeltaBaseline,
     base_assignment: Vec<usize>,
     probes: u32,
+    evals: u64,
+    probe_total: u64,
 }
 
 /// Table-backed [`PairCost`] view over the evaluator's scratch arrays.
@@ -138,6 +140,8 @@ impl Evaluator {
             baseline: DeltaBaseline::default(),
             base_assignment: Vec::new(),
             probes: 0,
+            evals: 0,
+            probe_total: 0,
         }
     }
 
@@ -169,6 +173,7 @@ impl Evaluator {
     /// to [`crate::predicted_time`]`.unwrap_or(INFINITY)` under the same
     /// estimates.
     pub fn eval(&mut self, assignment: &[usize]) -> f64 {
+        self.evals += 1;
         let Some(program) = self.program.clone() else {
             return f64::INFINITY;
         };
@@ -179,6 +184,7 @@ impl Evaluator {
     /// Full evaluation that also makes `assignment` the baseline for
     /// subsequent [`Evaluator::probe`] calls.
     pub fn rebase(&mut self, assignment: &[usize]) -> f64 {
+        self.evals += 1;
         let Some(program) = self.program.clone() else {
             return f64::INFINITY;
         };
@@ -198,6 +204,7 @@ impl Evaluator {
     /// # Panics
     /// Panics if no baseline was set with [`Evaluator::rebase`].
     pub fn probe(&mut self, assignment: &[usize], changed: &[usize]) -> f64 {
+        self.probe_total += 1;
         let Some(program) = self.program.clone() else {
             return f64::INFINITY;
         };
@@ -249,5 +256,16 @@ impl Evaluator {
     /// failed) — diagnostics for the bench harness.
     pub fn num_ops(&self) -> usize {
         self.program.as_ref().map_or(0, |p| p.num_ops())
+    }
+
+    /// Full objective evaluations performed so far ([`Evaluator::eval`]
+    /// plus [`Evaluator::rebase`]) — selection-search observability.
+    pub fn eval_count(&self) -> u64 {
+        self.evals
+    }
+
+    /// Incremental delta probes performed so far.
+    pub fn probe_count(&self) -> u64 {
+        self.probe_total
     }
 }

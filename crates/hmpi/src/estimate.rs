@@ -11,33 +11,90 @@
 
 use hetsim::{Cluster, NodeId, SpeedEstimates};
 use perfmodel::{CostModel, PerformanceModel};
+use std::fmt;
+
+/// Errors assembling or pricing a cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimateError {
+    /// The assignment's length differs from the model's processor count.
+    ArityMismatch {
+        /// Abstract processors the model declares.
+        expected: usize,
+        /// Entries the assignment supplied.
+        got: usize,
+    },
+    /// The assignment references a world rank outside the universe.
+    RankOutOfRange {
+        /// The offending world rank.
+        world_rank: usize,
+        /// Number of ranks in the universe.
+        universe: usize,
+    },
+    /// The model's scheme program failed to evaluate under this cost model.
+    Eval(perfmodel::EvalError),
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::ArityMismatch { expected, got } => write!(
+                f,
+                "assignment must cover every abstract processor (model has {expected}, got {got})"
+            ),
+            EstimateError::RankOutOfRange {
+                world_rank,
+                universe,
+            } => write!(
+                f,
+                "world rank {world_rank} outside the universe of {universe} ranks"
+            ),
+            EstimateError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+impl From<perfmodel::EvalError> for EstimateError {
+    fn from(e: perfmodel::EvalError) -> Self {
+        EstimateError::Eval(e)
+    }
+}
 
 /// Builds the cost model for `model`'s abstract processors under a mapping
 /// `assignment[abstract] = world rank`, where `placement[world] = node`.
 ///
-/// # Panics
-/// Panics if the assignment's length differs from the model's processor
-/// count or references ranks outside the placement.
+/// # Errors
+/// [`EstimateError::ArityMismatch`] if the assignment's length differs from
+/// the model's processor count; [`EstimateError::RankOutOfRange`] if it
+/// references ranks outside the placement.
 pub fn build_cost_model(
     model: &dyn PerformanceModel,
     assignment: &[usize],
     cluster: &Cluster,
     placement: &[NodeId],
     estimates: &SpeedEstimates,
-) -> CostModel {
+) -> Result<CostModel, EstimateError> {
     let p = model.num_processors();
-    assert_eq!(
-        assignment.len(),
-        p,
-        "assignment must cover every abstract processor"
-    );
+    if assignment.len() != p {
+        return Err(EstimateError::ArityMismatch {
+            expected: p,
+            got: assignment.len(),
+        });
+    }
     let nodes: Vec<NodeId> = assignment
         .iter()
         .map(|&w| {
-            assert!(w < placement.len(), "world rank {w} outside the universe");
-            placement[w]
+            if w < placement.len() {
+                Ok(placement[w])
+            } else {
+                Err(EstimateError::RankOutOfRange {
+                    world_rank: w,
+                    universe: placement.len(),
+                })
+            }
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     let speeds: Vec<f64> = nodes.iter().map(|&n| estimates.speed(n)).collect();
     let mut latency = vec![vec![0.0; p]; p];
     let mut bandwidth = vec![vec![f64::INFINITY; p]; p];
@@ -48,11 +105,11 @@ pub fn build_cost_model(
             bandwidth[i][j] = link.bandwidth;
         }
     }
-    CostModel {
+    Ok(CostModel {
         speeds,
         latency,
         bandwidth,
-    }
+    })
 }
 
 /// Predicted execution time of `model` under `assignment` — the objective
@@ -60,22 +117,20 @@ pub fn build_cost_model(
 /// reports.
 ///
 /// # Errors
-/// Scheme evaluation errors (a model whose scheme program misbehaves under
-/// this particular cost model). The selection search treats them as an
-/// infeasible assignment and surfaces [`crate::SelectError::Eval`] only if
-/// no assignment evaluates at all.
-///
-/// # Panics
-/// As [`build_cost_model`].
+/// [`EstimateError::ArityMismatch`] / [`EstimateError::RankOutOfRange`]
+/// for a malformed assignment; [`EstimateError::Eval`] when the model's
+/// scheme program misbehaves under this particular cost model. The
+/// selection search treats them as an infeasible assignment and surfaces
+/// [`crate::SelectError::Eval`] only if no assignment evaluates at all.
 pub fn predicted_time(
     model: &dyn PerformanceModel,
     assignment: &[usize],
     cluster: &Cluster,
     placement: &[NodeId],
     estimates: &SpeedEstimates,
-) -> Result<f64, perfmodel::EvalError> {
-    let cost = build_cost_model(model, assignment, cluster, placement, estimates);
-    model.predict_time(&cost)
+) -> Result<f64, EstimateError> {
+    let cost = build_cost_model(model, assignment, cluster, placement, estimates)?;
+    Ok(model.predict_time(&cost)?)
 }
 
 #[cfg(test)]
@@ -103,7 +158,7 @@ mod tests {
             .volumes(vec![100.0, 100.0])
             .build()
             .unwrap();
-        let cost = build_cost_model(&model, &[1, 0], &c, &placement, &est);
+        let cost = build_cost_model(&model, &[1, 0], &c, &placement, &est).unwrap();
         assert_eq!(cost.speeds, vec![10.0, 100.0]);
         assert_eq!(cost.latency[0][1], 1e-3);
         assert_eq!(cost.bandwidth[1][0], 1e6);
@@ -117,7 +172,7 @@ mod tests {
         let placement = vec![NodeId(0), NodeId(0)];
         let est = SpeedEstimates::from_base_speeds(&c);
         let model = ModelBuilder::new("t").processors(2).build().unwrap();
-        let cost = build_cost_model(&model, &[0, 1], &c, &placement, &est);
+        let cost = build_cost_model(&model, &[0, 1], &c, &placement, &est).unwrap();
         assert_eq!(cost.latency[0][1], 0.0);
         assert!(cost.bandwidth[0][1].is_infinite());
     }
@@ -136,6 +191,41 @@ mod tests {
         let on_slow = predicted_time(&model, &[1], &c, &placement, &est).unwrap();
         assert!((on_fast - 1.0).abs() < 1e-9);
         assert!((on_slow - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_rank_yields_typed_error() {
+        let c = cluster();
+        let placement: Vec<NodeId> = c.node_ids().collect();
+        let est = SpeedEstimates::from_base_speeds(&c);
+        let model = ModelBuilder::new("t").processors(2).build().unwrap();
+        let e = build_cost_model(&model, &[0, 99], &c, &placement, &est).unwrap_err();
+        assert_eq!(
+            e,
+            EstimateError::RankOutOfRange {
+                world_rank: 99,
+                universe: 3
+            }
+        );
+        assert!(e.to_string().contains("world rank 99"));
+        let e = predicted_time(&model, &[0, 99], &c, &placement, &est).unwrap_err();
+        assert!(matches!(e, EstimateError::RankOutOfRange { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_yields_typed_error() {
+        let c = cluster();
+        let placement: Vec<NodeId> = c.node_ids().collect();
+        let est = SpeedEstimates::from_base_speeds(&c);
+        let model = ModelBuilder::new("t").processors(2).build().unwrap();
+        let e = build_cost_model(&model, &[0], &c, &placement, &est).unwrap_err();
+        assert_eq!(
+            e,
+            EstimateError::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]

@@ -52,9 +52,10 @@ pub mod mapping;
 pub mod runtime;
 
 pub use engine::Evaluator;
-pub use estimate::{build_cost_model, predicted_time};
+pub use estimate::{build_cost_model, predicted_time, EstimateError};
 pub use group::HmpiGroup;
 pub use mapping::{
-    select_mapping, select_mapping_naive, Mapping, MappingAlgorithm, SelectError, SelectionCtx,
+    select_mapping, select_mapping_naive, Mapping, MappingAlgorithm, SearchStats, SelectError,
+    SelectionCtx,
 };
 pub use runtime::{Hmpi, HmpiError, HmpiResult, HmpiRuntime};

@@ -58,6 +58,16 @@ pub struct SelectionCtx<'a> {
     pub pinned_parent: Option<usize>,
 }
 
+/// Objective-evaluation counters from one selection search — the
+/// observability layer's view of how hard the search worked.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Full objective evaluations (including delta-baseline rebases).
+    pub evals: u64,
+    /// Incremental delta probes of baseline perturbations.
+    pub probes: u64,
+}
+
 /// A selection result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mapping {
@@ -65,6 +75,8 @@ pub struct Mapping {
     pub assignment: Vec<usize>,
     /// Predicted execution time in seconds under the current estimates.
     pub predicted: f64,
+    /// How many objective evaluations/probes the search performed.
+    pub stats: SearchStats,
 }
 
 /// Search strategy for [`select_mapping`].
@@ -161,10 +173,21 @@ trait Objective {
 struct NaiveObjective<'a> {
     model: &'a dyn PerformanceModel,
     ctx: &'a SelectionCtx<'a>,
+    evals: u64,
+    probes: u64,
 }
 
-impl Objective for NaiveObjective<'_> {
-    fn rebase(&mut self, a: &[usize]) -> f64 {
+impl<'a> NaiveObjective<'a> {
+    fn new(model: &'a dyn PerformanceModel, ctx: &'a SelectionCtx<'a>) -> Self {
+        NaiveObjective {
+            model,
+            ctx,
+            evals: 0,
+            probes: 0,
+        }
+    }
+
+    fn price(&self, a: &[usize]) -> f64 {
         predicted_time(
             self.model,
             a,
@@ -174,8 +197,23 @@ impl Objective for NaiveObjective<'_> {
         )
         .unwrap_or(f64::INFINITY)
     }
+
+    fn stats(&self) -> SearchStats {
+        SearchStats {
+            evals: self.evals,
+            probes: self.probes,
+        }
+    }
+}
+
+impl Objective for NaiveObjective<'_> {
+    fn rebase(&mut self, a: &[usize]) -> f64 {
+        self.evals += 1;
+        self.price(a)
+    }
     fn probe(&mut self, a: &[usize], _changed: &[usize]) -> f64 {
-        self.rebase(a)
+        self.probes += 1;
+        self.price(a)
     }
 }
 
@@ -246,27 +284,37 @@ fn select_mapping_impl(
     let mapping = match algo {
         MappingAlgorithm::Greedy => {
             let a = greedy(model, ctx);
-            let predicted = if engine {
-                Evaluator::new(model, ctx).eval(&a)
+            let (predicted, stats) = if engine {
+                let mut ev = Evaluator::new(model, ctx);
+                let t = ev.eval(&a);
+                (t, search_stats(&ev))
             } else {
-                NaiveObjective { model, ctx }.rebase(&a)
+                let mut obj = NaiveObjective::new(model, ctx);
+                let t = obj.rebase(&a);
+                (t, obj.stats())
             };
             Mapping {
                 predicted,
                 assignment: a,
+                stats,
             }
         }
         MappingAlgorithm::GreedyRefined { max_rounds } => {
             let a = greedy(model, ctx);
-            let (assignment, predicted) = if engine {
+            let (assignment, predicted, stats) = if engine {
                 let mut ev = Evaluator::new(model, ctx);
-                local_search(a, model, ctx, &mut EngineObjective { ev: &mut ev }, max_rounds)
+                let (a, t) =
+                    local_search(a, model, ctx, &mut EngineObjective { ev: &mut ev }, max_rounds);
+                (a, t, search_stats(&ev))
             } else {
-                local_search(a, model, ctx, &mut NaiveObjective { model, ctx }, max_rounds)
+                let mut obj = NaiveObjective::new(model, ctx);
+                let (a, t) = local_search(a, model, ctx, &mut obj, max_rounds);
+                (a, t, obj.stats())
             };
             Mapping {
                 assignment,
                 predicted,
+                stats,
             }
         }
         MappingAlgorithm::Exhaustive => {
@@ -288,9 +336,15 @@ fn select_mapping_impl(
             let start = greedy(model, ctx);
             if engine {
                 let mut ev = Evaluator::new(model, ctx);
-                anneal(start, model, ctx, &mut EngineObjective { ev: &mut ev }, seed, iters)
+                let mut m =
+                    anneal(start, model, ctx, &mut EngineObjective { ev: &mut ev }, seed, iters);
+                m.stats = search_stats(&ev);
+                m
             } else {
-                anneal(start, model, ctx, &mut NaiveObjective { model, ctx }, seed, iters)
+                let mut obj = NaiveObjective::new(model, ctx);
+                let mut m = anneal(start, model, ctx, &mut obj, seed, iters);
+                m.stats = obj.stats();
+                m
             }
         }
     };
@@ -308,6 +362,14 @@ fn select_mapping_impl(
         }
     }
     Ok(mapping)
+}
+
+/// Reads an engine evaluator's counters into [`SearchStats`].
+fn search_stats(ev: &Evaluator) -> SearchStats {
+    SearchStats {
+        evals: ev.eval_count(),
+        probes: ev.probe_count(),
+    }
 }
 
 /// Number of injective mappings of `p` processors onto `c` candidates.
@@ -429,7 +491,7 @@ fn local_search(
 fn exhaustive_seq(model: &dyn PerformanceModel, ctx: &SelectionCtx<'_>) -> Mapping {
     let p = model.num_processors();
     let parent_abs = model.parent();
-    let mut obj = NaiveObjective { model, ctx };
+    let mut obj = NaiveObjective::new(model, ctx);
     let mut assignment = vec![usize::MAX; p];
     let mut used = vec![false; ctx.candidates.len()];
     let mut best: Option<Mapping> = None;
@@ -451,6 +513,7 @@ fn exhaustive_seq(model: &dyn PerformanceModel, ctx: &SelectionCtx<'_>) -> Mappi
                 *best = Some(Mapping {
                     assignment: assignment.clone(),
                     predicted: t,
+                    stats: SearchStats::default(),
                 });
             }
             return;
@@ -485,7 +548,9 @@ fn exhaustive_seq(model: &dyn PerformanceModel, ctx: &SelectionCtx<'_>) -> Mappi
         &mut obj,
         &mut best,
     );
-    best.expect("feasibility checked by caller")
+    let mut best = best.expect("feasibility checked by caller");
+    best.stats = obj.stats();
+    best
 }
 
 /// The admissible lower-bound data for branch and bound: per-processor
@@ -567,6 +632,7 @@ fn bb_rec(
             *best = Some(Mapping {
                 assignment: assignment.clone(),
                 predicted: t,
+                stats: SearchStats::default(),
             });
             atomic_min_f64(shared, t);
         }
@@ -716,11 +782,13 @@ fn exhaustive_bb(
         .min(prefixes.len().max(1));
 
     let mut results: Vec<Option<Mapping>> = vec![None; prefixes.len()];
+    let mut total = SearchStats::default();
     if threads <= 1 {
         let mut ev = proto.clone();
         for (slot, prefix) in results.iter_mut().zip(&prefixes) {
             *slot = bb_search_prefix(prefix, p, parent_abs, ctx, &mut ev, bound.as_ref(), &shared);
         }
+        total = search_stats(&ev);
     } else {
         let prefixes = &prefixes;
         let shared = &shared;
@@ -747,12 +815,15 @@ fn exhaustive_bb(
                             ));
                             i += threads;
                         }
-                        out
+                        (out, search_stats(&ev))
                     })
                 })
                 .collect();
             for h in handles {
-                for (i, r) in h.join().expect("search thread panicked") {
+                let (out, stats) = h.join().expect("search thread panicked");
+                total.evals += stats.evals;
+                total.probes += stats.probes;
+                for (i, r) in out {
                     results[i] = r;
                 }
             }
@@ -765,7 +836,9 @@ fn exhaustive_bb(
             best = Some(r);
         }
     }
-    best.expect("feasibility checked by caller")
+    let mut best = best.expect("feasibility checked by caller");
+    best.stats = total;
+    best
 }
 
 /// Simulated annealing from a greedy start.
@@ -785,6 +858,7 @@ fn anneal(
     let mut best = Mapping {
         assignment: current.clone(),
         predicted: current_t,
+        stats: SearchStats::default(),
     };
 
     let t0 = (current_t * 0.25).max(1e-9);
@@ -848,6 +922,7 @@ fn anneal(
                 best = Mapping {
                     assignment: current.clone(),
                     predicted: current_t,
+                    stats: SearchStats::default(),
                 };
             }
         }

@@ -10,6 +10,7 @@
 
 use crate::group::HmpiGroup;
 use crate::mapping::{select_mapping, Mapping, MappingAlgorithm, SelectError, SelectionCtx};
+use hetsim::trace::{TraceEvent, TraceKind};
 use hetsim::{Cluster, NodeId, SimTime, SpeedEstimates};
 use mpisim::{Comm, MpiError, Process, RunReport, Universe};
 use parking_lot::RwLock;
@@ -46,6 +47,9 @@ pub enum HmpiError {
     /// The coordinator aborted a collective group operation for a reason it
     /// could not transmit (e.g. its model factory failed during a rebuild).
     Aborted,
+    /// A caller-supplied argument was unusable (e.g. a non-positive or
+    /// non-finite benchmark volume passed to a recon).
+    InvalidArgument(String),
 }
 
 impl fmt::Display for HmpiError {
@@ -61,6 +65,7 @@ impl fmt::Display for HmpiError {
             HmpiError::Aborted => {
                 write!(f, "the coordinator aborted the collective group operation")
             }
+            HmpiError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
 }
@@ -81,6 +86,25 @@ impl From<SelectError> for HmpiError {
 
 /// Result alias for HMPI operations.
 pub type HmpiResult<T> = Result<T, HmpiError>;
+
+/// A speed measurement or report that may safely enter the shared
+/// [`SpeedEstimates`]: positive and finite. Anything else (`+inf` from a
+/// zero or subnormal elapsed time, `NaN`, a garbage report from a
+/// misbehaving rank) would poison every subsequent group selection.
+fn usable_speed(s: f64) -> bool {
+    s.is_finite() && s > 0.0
+}
+
+/// Validates a caller-supplied benchmark volume.
+fn validate_volume(name: &str, v: f64) -> HmpiResult<()> {
+    if v.is_finite() && v > 0.0 {
+        Ok(())
+    } else {
+        Err(HmpiError::InvalidArgument(format!(
+            "{name} must be positive and finite, got {v}"
+        )))
+    }
+}
 
 /// Encodes a coordinator-side failure as a group-creation abort sentinel.
 /// Real payloads start with a group id `>= 1`, so a leading `0` is
@@ -188,6 +212,14 @@ impl HmpiRuntime {
     /// Overrides the default group-selection algorithm.
     pub fn with_algorithm(mut self, algo: MappingAlgorithm) -> Self {
         self.default_algo = algo;
+        self
+    }
+
+    /// Enables virtual-time tracing on the underlying universe: runs record
+    /// compute/send/recv spans plus HMPI-level recon and selection events,
+    /// and [`RunReport::trace`] carries the finished trace.
+    pub fn with_tracing(mut self) -> Self {
+        self.universe = self.universe.with_tracing();
         self
     }
 
@@ -378,22 +410,28 @@ impl Hmpi<'_> {
     /// EM3D's "k nodal values") keep their unit system under faults.
     ///
     /// # Errors
-    /// As [`Hmpi::recon_ft`].
+    /// As [`Hmpi::recon_ft`], plus [`HmpiError::InvalidArgument`] for a
+    /// non-positive or non-finite benchmark volume (checked before any
+    /// computation or communication, so every rank fails consistently).
     pub fn recon_ft_scaled(&self, nominal_units: f64, work_units: f64) -> HmpiResult<()> {
-        assert!(
-            nominal_units > 0.0 && work_units > 0.0,
-            "benchmark volume must be positive"
-        );
+        validate_volume("nominal_units", nominal_units)?;
+        validate_volume("work_units", work_units)?;
         let t0 = self.now();
         self.try_compute(work_units)?;
         let elapsed = (self.now() - t0).as_secs();
-        let my_speed = nominal_units / elapsed;
+        let my_speed = self.derive_speed(nominal_units, elapsed);
 
         if !self.is_host() {
             self.control.send(&[my_speed], 0, TAG_RECON)?;
             // Wait (unbounded) for the host's ack that the refresh landed;
             // aborts with an error if the host dies.
-            self.control.recv::<i64>(0, TAG_RECON_ACK)?;
+            let (ack, _) = self.control.recv::<i64>(0, TAG_RECON_ACK)?;
+            self.trace_span(
+                TraceKind::Recon,
+                "recon_ft",
+                t0,
+                Some(format!("generation={}", ack.first().copied().unwrap_or(0))),
+            );
             return Ok(());
         }
 
@@ -428,8 +466,14 @@ impl Hmpi<'_> {
                 }
             }
             match report {
+                // A live rank whose report is unusable (it should have
+                // guarded the division itself, but the host cannot trust
+                // that) keeps its previous estimate — the snapshot value
+                // already in `speeds` — and still gets its ack.
                 Some(s) => {
-                    speeds[node.index()] = s;
+                    if usable_speed(s) {
+                        speeds[node.index()] = s;
+                    }
                     *responded_r = true;
                 }
                 None => self.estimates.mark_unavailable(node),
@@ -444,6 +488,12 @@ impl Hmpi<'_> {
                 let _ = self.control.send(&[generation], r, TAG_RECON_ACK);
             }
         }
+        self.trace_span(
+            TraceKind::Recon,
+            "recon_ft",
+            t0,
+            Some(format!("generation={generation}")),
+        );
         Ok(())
     }
 
@@ -454,30 +504,69 @@ impl Hmpi<'_> {
     /// `HMPI_COMM_WORLD`.
     ///
     /// # Errors
-    /// Propagates transport errors from the internal allgather.
+    /// Propagates transport errors from the internal allgather;
+    /// [`HmpiError::InvalidArgument`] for a non-positive or non-finite
+    /// benchmark volume (checked before the benchmark runs, so every rank
+    /// fails consistently).
     pub fn recon_with(&self, nominal_units: f64, bench: impl FnOnce(&Self)) -> HmpiResult<()> {
-        assert!(nominal_units > 0.0, "benchmark volume must be positive");
+        validate_volume("nominal_units", nominal_units)?;
         let t0 = self.now();
         bench(self);
         let elapsed = (self.now() - t0).as_secs();
-        let my_speed = if elapsed > 0.0 {
-            nominal_units / elapsed
-        } else {
-            // A zero-cost benchmark measures nothing; keep the old estimate.
-            self.estimates.speed(self.node())
-        };
+        let my_speed = self.derive_speed(nominal_units, elapsed);
         let all = self.world.allgather(&[my_speed])?;
         // Synchronise before refreshing so every rank sees the update.
         self.world.barrier()?;
         if self.is_host() {
             let mut per_node = self.estimates.snapshot();
             for (rank, speeds) in all.iter().enumerate() {
-                per_node[self.proc.node_of(rank).index()] = speeds[0];
+                // An unusable gathered value (a rank that skipped its own
+                // guard) keeps that node's previous estimate rather than
+                // poisoning the shared state with `+inf`/`NaN`.
+                if speeds.first().copied().is_some_and(usable_speed) {
+                    per_node[self.proc.node_of(rank).index()] = speeds[0];
+                }
             }
             self.estimates.refresh(per_node, self.now());
         }
         self.world.barrier()?;
+        self.trace_span(
+            TraceKind::Recon,
+            "recon",
+            t0,
+            Some(format!("generation={}", self.estimates.generation())),
+        );
         Ok(())
+    }
+
+    /// Speed measured by a benchmark run, guarded against the zero/subnormal
+    /// `elapsed` that would overflow the division to `+inf`: an unusable
+    /// measurement keeps the node's previous estimate ("a zero-cost
+    /// benchmark measures nothing").
+    fn derive_speed(&self, nominal_units: f64, elapsed: f64) -> f64 {
+        let s = nominal_units / elapsed;
+        if elapsed > 0.0 && usable_speed(s) {
+            s
+        } else {
+            self.estimates.speed(self.node())
+        }
+    }
+
+    /// Records a span `[start, now]` into the universe's tracer, when
+    /// tracing is on. One `Option` check when it is not.
+    fn trace_span(
+        &self,
+        kind: TraceKind,
+        name: &'static str,
+        start: SimTime,
+        info: Option<String>,
+    ) {
+        if let Some(tracer) = self.proc.tracer() {
+            let mut ev = TraceEvent::new(self.rank(), kind, name, start);
+            ev.dur = self.now() - start;
+            ev.info = info;
+            tracer.record(ev);
+        }
     }
 
     fn selection_ctx(&self) -> SelectionCtx<'_> {
@@ -652,6 +741,7 @@ impl Hmpi<'_> {
 
         let (group_id, members, predicted, ctx_id) = if i_am_parent {
             let sel_ctx = self.selection_ctx_for(parent_world);
+            let sel_start = self.now();
             let participants = sel_ctx.candidates.clone();
             let mapping = match select_mapping(algo, model, &sel_ctx) {
                 Ok(m) => m,
@@ -669,6 +759,19 @@ impl Hmpi<'_> {
                     return Err(err);
                 }
             };
+            self.trace_span(
+                TraceKind::Selection,
+                "group_create",
+                sel_start,
+                Some(format!(
+                    "algo={:?} candidates={} evals={} probes={} predicted={:.6e}",
+                    algo,
+                    participants.len(),
+                    mapping.stats.evals,
+                    mapping.stats.probes,
+                    mapping.predicted
+                )),
+            );
             // The host marks the selected members busy immediately, so a
             // subsequent group_create on the host cannot re-select a member
             // that has not yet processed its payload.
@@ -826,10 +929,23 @@ impl Hmpi<'_> {
                 candidates: survivors.clone(),
                 pinned_parent: Some(me),
             };
+            let sel_start = self.now();
             let mapping = match select_mapping(self.default_algo, &model, &sel_ctx) {
                 Ok(m) => m,
                 Err(e) => return abort(e.into()),
             };
+            self.trace_span(
+                TraceKind::Selection,
+                "rebuild_group",
+                sel_start,
+                Some(format!(
+                    "survivors={} evals={} probes={} predicted={:.6e}",
+                    survivors.len(),
+                    mapping.stats.evals,
+                    mapping.stats.probes,
+                    mapping.predicted
+                )),
+            );
             {
                 let mut free = self.shared.free.write();
                 for &w in &mapping.assignment {

@@ -407,3 +407,102 @@ fn smp_nodes_host_multiple_ranks() {
     });
     assert_eq!(report.results[0], vec![0, 1], "both SMP slots win");
 }
+
+#[test]
+fn recon_rejects_invalid_benchmark_volumes() {
+    let rt = HmpiRuntime::new(small_cluster());
+    let report = rt.run(|h| {
+        // Validation happens before any computation or communication, so
+        // every rank fails consistently and no rank blocks on a peer.
+        let errs = [
+            h.recon(-1.0).unwrap_err(),
+            h.recon(f64::NAN).unwrap_err(),
+            h.recon_with(0.0, |_| {}).unwrap_err(),
+            h.recon_ft_scaled(0.0, 10.0).unwrap_err(),
+            h.recon_ft_scaled(10.0, f64::INFINITY).unwrap_err(),
+        ];
+        errs.iter()
+            .all(|e| matches!(e, HmpiError::InvalidArgument(_)))
+    });
+    assert!(report.results.iter().all(|&ok| ok));
+}
+
+#[test]
+fn zero_elapsed_recon_keeps_previous_estimates() {
+    // A no-op benchmark body measures nothing (elapsed == 0); the naive
+    // `units / elapsed` would be `+inf`. The estimates must keep their
+    // previous (base-speed) values instead of being poisoned.
+    let rt = HmpiRuntime::new(small_cluster());
+    let base = rt.estimates().snapshot();
+    let report = rt.run(|h| {
+        h.recon_with(10.0, |_| {}).unwrap();
+    });
+    assert_eq!(report.results.len(), 4);
+    let snap = rt.estimates().snapshot();
+    assert_eq!(snap, base, "a zero-elapsed recon must not change estimates");
+    assert!(snap.iter().all(|s| s.is_finite() && *s > 0.0));
+}
+
+#[test]
+fn overflowing_speed_cannot_poison_estimates() {
+    // Regression for the speed-estimate poisoning bug: a huge nominal
+    // volume over a tiny measured elapsed overflows `nominal / elapsed` to
+    // `+inf`. Pre-fix, that value sailed through the bare `s > 0.0` check
+    // into the shared estimates and every subsequent selection planned
+    // with an infinitely fast node. Now the rank falls back to its
+    // previous estimate and the host additionally validates each report.
+    let rt = HmpiRuntime::new(small_cluster());
+    let base = rt.estimates().snapshot();
+    let report = rt.run(|h| {
+        h.recon_ft_scaled(1e300, 1e-300).unwrap();
+    });
+    assert_eq!(report.results.len(), 4);
+    let snap = rt.estimates().snapshot();
+    assert!(
+        snap.iter().all(|s| s.is_finite() && *s > 0.0),
+        "estimates poisoned: {snap:?}"
+    );
+    assert_eq!(snap, base, "unusable measurements keep the old estimates");
+    // The recon still completed a full generation (it refreshed, with
+    // fallback values, rather than aborting).
+    assert_eq!(rt.estimates().generation(), 1);
+}
+
+#[test]
+fn traced_run_records_recon_and_selection_events() {
+    use hetsim::trace::TraceKind;
+
+    let rt = HmpiRuntime::new(small_cluster()).with_tracing();
+    let report = rt.run(|h| {
+        h.recon(10.0).unwrap();
+        let model = ModelBuilder::new("pair")
+            .processors(2)
+            .volumes(vec![50.0, 100.0])
+            .build()
+            .unwrap();
+        let group = h.group_create(&model).unwrap();
+        if group.is_member() {
+            h.group_free(group).unwrap();
+        }
+        h.finalize().unwrap();
+    });
+    let trace = report.trace.as_ref().expect("tracing was enabled");
+    let count = |k: TraceKind| trace.events.iter().filter(|e| e.kind == k).count();
+    // recon() is collective: one Recon span per rank.
+    assert_eq!(count(TraceKind::Recon), 4);
+    // The selection search runs on the host only.
+    assert_eq!(count(TraceKind::Selection), 1);
+    let sel = trace
+        .events
+        .iter()
+        .find(|e| e.kind == TraceKind::Selection)
+        .unwrap();
+    assert_eq!(sel.rank, 0);
+    let info = sel.info.as_deref().unwrap();
+    assert!(info.contains("evals="), "selection info: {info}");
+    // The recon benchmark computed on every rank.
+    assert!(count(TraceKind::Compute) >= 4);
+    // Group-creation payloads flowed over the control communicator.
+    assert!(count(TraceKind::Send) > 0);
+    assert!(count(TraceKind::Recv) > 0);
+}

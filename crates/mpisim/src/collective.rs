@@ -398,6 +398,11 @@ macro_rules! impl_typed_reductions {
                 block: usize,
                 op: ReduceOp,
             ) -> MpiResult<Vec<$t>> {
+                if block == 0 {
+                    return Err(MpiError::InvalidCounts(
+                        "reduce_scatter_block needs a non-zero block size".into(),
+                    ));
+                }
                 if contrib.len() != self.size() * block {
                     return Err(MpiError::InvalidCounts(format!(
                         "reduce_scatter_block needs {} elements, got {}",
@@ -443,3 +448,187 @@ impl_typed_reductions!(
     i64, fold_i64, identity_i64, reduce_i64, allreduce_i64, scan_i64, exscan_i64,
     reduce_scatter_block_i64, reduce_one_i64, allreduce_one_i64
 );
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+    use hetsim::{Cluster, ClusterBuilder, Link, Protocol};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn cluster(n: usize) -> Arc<Cluster> {
+        let mut b = ClusterBuilder::new();
+        for i in 0..n {
+            b = b.node(format!("h{i}"), 50.0 + 10.0 * i as f64);
+        }
+        Arc::new(b.all_to_all(Link::new(1e-4, 1e7, Protocol::Tcp)).build())
+    }
+
+    fn op_strategy() -> BoxedStrategy<ReduceOp> {
+        prop_oneof![
+            Just(ReduceOp::Sum),
+            Just(ReduceOp::Prod),
+            Just(ReduceOp::Max),
+            Just(ReduceOp::Min),
+        ]
+    }
+
+    // Mixed magnitudes so that f64 rounding exposes any re-association:
+    // (a + b) + c and a + (b + c) differ in the low bits for these ranges.
+    fn value_strategy() -> BoxedStrategy<f64> {
+        prop_oneof![-1e3..1e3f64, 1e9..1e12f64, -1e-6..1e-6f64]
+    }
+
+    /// The serial reference for `scan`: the left fold in strict rank order
+    /// that the linear chain performs. Returned per rank; bit-exact.
+    fn serial_inclusive_prefixes(contribs: &[Vec<f64>], op: ReduceOp) -> Vec<Vec<f64>> {
+        let mut out: Vec<Vec<f64>> = Vec::with_capacity(contribs.len());
+        for (i, c) in contribs.iter().enumerate() {
+            let acc = if i == 0 {
+                c.clone()
+            } else {
+                let mut merged = out[i - 1].clone();
+                op.fold_f64(&mut merged, c);
+                merged
+            };
+            out.push(acc);
+        }
+        out
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    fn chunked(flat: &[f64], len: usize) -> Vec<Vec<f64>> {
+        if len == 0 {
+            // Zero-length contributions: one empty vector per rank.
+            return vec![Vec::new(); flat.len().max(1)];
+        }
+        flat.chunks(len).map(<[f64]>::to_vec).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        // `scan` must reproduce the serial left fold *bit for bit*: the
+        // chain is ordered, and floating-point addition is not associative,
+        // so any re-association inside the implementation shows up here.
+        #[test]
+        fn scan_matches_serial_left_fold_bitwise(
+            n in 1usize..7,
+            len in 1usize..4,
+            op in op_strategy(),
+            flat in proptest::collection::vec(value_strategy(), 18),
+        ) {
+            let contribs: Vec<Vec<f64>> = chunked(&flat[..n * len], len);
+            let expect = serial_inclusive_prefixes(&contribs, op);
+            let u = Universe::new(cluster(n));
+            let per_rank = contribs.clone();
+            let report = u.run(move |p| {
+                let world = p.world();
+                world.scan_f64(&per_rank[world.rank()], op).unwrap()
+            });
+            for (rank, got) in report.results.iter().enumerate() {
+                prop_assert_eq!(bits(got), bits(&expect[rank]), "rank {}", rank);
+            }
+        }
+
+        // `exscan` is the scan shifted by one rank: rank 0 receives the
+        // operation's identity, rank i > 0 receives the inclusive prefix of
+        // ranks 0..i — again bit-exact against the serial left fold.
+        #[test]
+        fn exscan_is_scan_shifted_by_one_rank(
+            n in 1usize..7,
+            len in 1usize..4,
+            op in op_strategy(),
+            flat in proptest::collection::vec(value_strategy(), 18),
+        ) {
+            let contribs: Vec<Vec<f64>> = chunked(&flat[..n * len], len);
+            let expect = serial_inclusive_prefixes(&contribs, op);
+            let u = Universe::new(cluster(n));
+            let per_rank = contribs.clone();
+            let report = u.run(move |p| {
+                let world = p.world();
+                world.exscan_f64(&per_rank[world.rank()], op).unwrap()
+            });
+            for (rank, got) in report.results.iter().enumerate() {
+                if rank == 0 {
+                    prop_assert_eq!(got.len(), len);
+                    for x in got {
+                        prop_assert_eq!(x.to_bits(), op.identity_f64().to_bits());
+                    }
+                } else {
+                    prop_assert_eq!(bits(got), bits(&expect[rank - 1]), "rank {}", rank);
+                }
+            }
+        }
+
+        // `reduce_scatter_block` over i64, where every op is exact: the
+        // concatenation of the per-rank blocks must equal the elementwise
+        // reduction of all contributions, regardless of the tree order the
+        // binomial reduce uses. Values stay small so Prod cannot overflow.
+        #[test]
+        fn reduce_scatter_block_matches_serial_reduction(
+            n in 1usize..7,
+            block in 1usize..4,
+            op in op_strategy(),
+            flat in proptest::collection::vec(-4i64..5, 108),
+        ) {
+            let contribs: Vec<Vec<i64>> = flat[..n * n * block]
+                .chunks(n * block)
+                .map(<[i64]>::to_vec)
+                .collect();
+            let mut expect = contribs[0].clone();
+            for c in &contribs[1..] {
+                op.fold_i64(&mut expect, c);
+            }
+            let u = Universe::new(cluster(n));
+            let per_rank = contribs.clone();
+            let report = u.run(move |p| {
+                let world = p.world();
+                world
+                    .reduce_scatter_block_i64(&per_rank[world.rank()], block, op)
+                    .unwrap()
+            });
+            let mut rejoined = Vec::new();
+            for got in &report.results {
+                prop_assert_eq!(got.len(), block);
+                rejoined.extend_from_slice(got);
+            }
+            prop_assert_eq!(rejoined, expect);
+        }
+
+        // A single-rank communicator must make every prefix/reduce-scatter
+        // collective the identity operation on the local contribution.
+        #[test]
+        fn single_rank_collectives_are_local_identities(
+            len in 0usize..5,
+            op in op_strategy(),
+            flat in proptest::collection::vec(value_strategy(), 4),
+        ) {
+            let contrib = flat[..len].to_vec();
+            let u = Universe::new(cluster(1));
+            let c = contrib.clone();
+            let report = u.run(move |p| {
+                let world = p.world();
+                let scan = world.scan_f64(&c, op).unwrap();
+                let exscan = world.exscan_f64(&c, op).unwrap();
+                let rsb = world.reduce_scatter_block_f64(&c, c.len(), op);
+                (scan, exscan, rsb)
+            });
+            let (scan, exscan, rsb) = &report.results[0];
+            prop_assert_eq!(bits(scan), bits(&contrib));
+            for x in exscan {
+                prop_assert_eq!(x.to_bits(), op.identity_f64().to_bits());
+            }
+            if len > 0 {
+                prop_assert_eq!(bits(rsb.as_ref().unwrap()), bits(&contrib));
+            } else {
+                // A zero block size is a caller error, not a panic.
+                prop_assert!(matches!(rsb, Err(MpiError::InvalidCounts(_))));
+            }
+        }
+    }
+}

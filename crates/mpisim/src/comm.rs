@@ -12,6 +12,7 @@ use crate::group::Group;
 use crate::p2p::{Envelope, Pattern, Status, DEADLOCK_TIMEOUT, TIMEOUT_GRACE};
 use crate::runtime::{RankState, SharedState};
 use crate::vtime::LocalClock;
+use hetsim::trace::{TraceEvent, TraceKind};
 use hetsim::{NodeId, SimTime};
 use std::sync::Arc;
 use std::time::Duration;
@@ -96,11 +97,21 @@ impl Comm {
     /// [`Comm::try_compute`].
     pub fn compute(&self, units: f64) {
         let node = self.node_of(self.rank);
-        let dt = self
-            .shared
-            .cluster
-            .compute_time(node, units, self.clock.now());
+        let start = self.clock.now();
+        let dt = self.shared.cluster.compute_time(node, units, start);
         self.clock.advance(dt);
+        self.trace_compute(start, dt);
+    }
+
+    /// Records a compute span when tracing is enabled (one `Option` check
+    /// otherwise).
+    fn trace_compute(&self, start: SimTime, dur: SimTime) {
+        if let Some(tracer) = &self.shared.tracer {
+            let mut ev =
+                TraceEvent::new(self.my_world_rank(), TraceKind::Compute, "compute", start);
+            ev.dur = dur;
+            tracer.record(ev);
+        }
     }
 
     /// Failure-aware computation: if this rank's node fail-stops before the
@@ -123,6 +134,7 @@ impl Comm {
                 return Err(MpiError::NodeFailed { world_rank: me });
             }
             self.clock.advance(dt);
+            self.trace_compute(now, dt);
             return Ok(());
         }
         self.compute(units);
@@ -253,6 +265,16 @@ impl Comm {
             })?;
         let arrival = self.shared.network.reserve(src_node, dst_node, now, cost);
         self.clock.advance(overhead);
+        if let Some(tracer) = &self.shared.tracer {
+            let mut ev = TraceEvent::new(src_world, TraceKind::Send, "send", now);
+            ev.dur = overhead;
+            ev.bytes = bytes.len() as u64;
+            ev.peer = Some(dst_world);
+            // Context-id pairs have an even p2p plane and an odd collective
+            // plane (the allocator hands out even bases).
+            ev.collective = plane & 1 == 1;
+            tracer.record(ev);
+        }
         self.shared.mailboxes[dst_world].post(Envelope {
             ctx: plane,
             src_world,
@@ -356,7 +378,20 @@ impl Comm {
                 });
             }
         }
+        let before = self.clock.now();
         self.clock.merge(env.arrival);
+        if let Some(tracer) = &self.shared.tracer {
+            let dur = env.arrival.max(before) - before;
+            let mut ev = TraceEvent::new(my_world, TraceKind::Recv, "recv", before);
+            ev.dur = dur;
+            // The idle part of the span: time spent blocked before the
+            // sender had even reached its send.
+            ev.wait = (env.sent_at.max(before) - before).min(dur);
+            ev.bytes = env.data.len() as u64;
+            ev.peer = Some(env.src_world);
+            ev.collective = collective;
+            tracer.record(ev);
+        }
         let source = self
             .group
             .rank_of_world(env.src_world)
@@ -808,7 +843,17 @@ impl RecvRequest {
             tag: self.tag,
         };
         if let Some(env) = comm.shared.mailboxes[my_world].try_recv_match(pat) {
+            let before = comm.clock.now();
             comm.clock.merge(env.arrival);
+            if let Some(tracer) = &comm.shared.tracer {
+                let dur = env.arrival.max(before) - before;
+                let mut ev = TraceEvent::new(my_world, TraceKind::Recv, "recv", before);
+                ev.dur = dur;
+                ev.wait = (env.sent_at.max(before) - before).min(dur);
+                ev.bytes = env.data.len() as u64;
+                ev.peer = Some(env.src_world);
+                tracer.record(ev);
+            }
             let source = comm
                 .group
                 .rank_of_world(env.src_world)

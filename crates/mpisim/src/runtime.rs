@@ -4,6 +4,7 @@ use crate::comm::Comm;
 use crate::error::{MpiError, MpiResult};
 use crate::p2p::Mailbox;
 use crate::vtime::{LocalClock, NetworkState};
+use hetsim::trace::{Trace, TraceEvent, TraceKind, Tracer};
 use hetsim::{Cluster, NodeId, SimTime};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,6 +37,10 @@ pub(crate) struct SharedState {
     /// consecutive ids (point-to-point plane and collective plane); the world
     /// communicator owns ids 0 and 1.
     next_ctx: AtomicU64,
+    /// Virtual-time event collector, present only when the universe was
+    /// built with [`Universe::with_tracing`]. Every instrumentation site
+    /// costs exactly one `Option` discriminant check when absent.
+    pub(crate) tracer: Option<Arc<Tracer>>,
 }
 
 impl SharedState {
@@ -121,6 +126,7 @@ impl Drop for TerminationGuard {
 pub struct Universe {
     cluster: Arc<Cluster>,
     placement: Vec<NodeId>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Universe {
@@ -128,7 +134,11 @@ impl Universe {
     /// "one process per processor" configuration.
     pub fn new(cluster: Arc<Cluster>) -> Self {
         let placement = cluster.node_ids().collect();
-        Universe { cluster, placement }
+        Universe {
+            cluster,
+            placement,
+            tracer: None,
+        }
     }
 
     /// Explicit placement: `placement[world_rank]` is the hosting node.
@@ -154,7 +164,25 @@ impl Universe {
                 "node {i} hosts {u} ranks but has only {slots} slot(s)"
             );
         }
-        Universe { cluster, placement }
+        Universe {
+            cluster,
+            placement,
+            tracer: None,
+        }
+    }
+
+    /// Enables virtual-time tracing for subsequent runs: compute spans,
+    /// sends, receives (with their idle-wait split) and higher-level
+    /// events are recorded into a shared [`Tracer`] and returned in
+    /// [`RunReport::trace`].
+    pub fn with_tracing(mut self) -> Self {
+        self.tracer = Some(Arc::new(Tracer::new()));
+        self
+    }
+
+    /// The installed tracer, if tracing is enabled.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// Number of ranks.
@@ -191,6 +219,7 @@ impl Universe {
             network: NetworkState::new(self.cluster.contention(), self.cluster.len()),
             liveness: Mutex::new(vec![RankState::Alive; n]),
             next_ctx: AtomicU64::new(2),
+            tracer: self.tracer.clone(),
         });
 
         let mut slots: Vec<Option<(R, SimTime)>> = Vec::with_capacity(n);
@@ -239,6 +268,8 @@ impl Universe {
             results,
             rank_times: clocks,
             makespan,
+            trace: self.tracer.as_ref().map(|t| t.drain()),
+            predicted: None,
         }
     }
 }
@@ -252,6 +283,30 @@ pub struct RunReport<R> {
     pub rank_times: Vec<SimTime>,
     /// The program's virtual execution time: the maximum final clock.
     pub makespan: SimTime,
+    /// The run's virtual-time trace, when the universe was built with
+    /// [`Universe::with_tracing`].
+    pub trace: Option<Trace>,
+    /// The `HMPI_Timeof` prediction for this run in virtual seconds, when
+    /// the driver obtained one. Filled in by callers (the simulator cannot
+    /// know what the planner predicted); compared against [`Self::makespan`]
+    /// by [`RunReport::prediction_report`].
+    pub predicted: Option<f64>,
+}
+
+impl<R> RunReport<R> {
+    /// Prediction-vs-actual accuracy report: the `timeof` prediction next
+    /// to the measured makespan, with the per-rank compute/comm/wait
+    /// breakdown. `None` unless both a prediction and a trace are present.
+    pub fn prediction_report(&self) -> Option<hetsim::PredictionReport> {
+        let predicted = self.predicted?;
+        let trace = self.trace.as_ref()?;
+        Some(hetsim::PredictionReport::new(
+            predicted,
+            self.makespan,
+            trace,
+            self.rank_times.len(),
+        ))
+    }
 }
 
 /// A rank's handle to the running universe. Not `Send`: it lives on its
@@ -302,6 +357,14 @@ impl Process {
         &self.shared.placement
     }
 
+    /// The universe's tracer, when tracing was enabled with
+    /// [`Universe::with_tracing`] — lets layers above mpisim (e.g. the HMPI
+    /// runtime) record their own spans into the same event stream.
+    #[inline]
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.shared.tracer.as_ref()
+    }
+
     /// The cluster model.
     #[inline]
     pub fn cluster(&self) -> &Arc<Cluster> {
@@ -321,11 +384,14 @@ impl Process {
     /// Panics if this rank's node has fail-stopped (its delivered speed is
     /// zero). Fault-aware programs use [`Process::try_compute`].
     pub fn compute(&self, units: f64) {
-        let dt = self
-            .shared
-            .cluster
-            .compute_time(self.node(), units, self.clock.now());
+        let start = self.clock.now();
+        let dt = self.shared.cluster.compute_time(self.node(), units, start);
         self.clock.advance(dt);
+        if let Some(tracer) = &self.shared.tracer {
+            let mut ev = TraceEvent::new(self.world_rank, TraceKind::Compute, "compute", start);
+            ev.dur = dt;
+            tracer.record(ev);
+        }
     }
 
     /// Failure-aware computation: like [`Process::compute`] but if this
@@ -352,6 +418,11 @@ impl Process {
                 });
             }
             self.clock.advance(dt);
+            if let Some(tracer) = &self.shared.tracer {
+                let mut ev = TraceEvent::new(self.world_rank, TraceKind::Compute, "compute", now);
+                ev.dur = dt;
+                tracer.record(ev);
+            }
             return Ok(());
         }
         self.compute(units);
@@ -439,6 +510,52 @@ mod tests {
     fn placement_overflowing_slots_rejected() {
         let cluster = tiny_cluster();
         let _ = Universe::with_placement(cluster, vec![NodeId(0), NodeId(0)]);
+    }
+
+    #[test]
+    fn untraced_runs_carry_no_trace() {
+        let u = Universe::new(tiny_cluster());
+        let report = u.run(|p| p.compute(10.0));
+        assert!(report.trace.is_none());
+        assert!(report.predicted.is_none());
+        assert!(report.prediction_report().is_none());
+    }
+
+    #[test]
+    fn traced_run_records_compute_and_messages() {
+        let u = Universe::new(tiny_cluster()).with_tracing();
+        let report = u.run(|p| {
+            let world = p.world();
+            p.compute(100.0);
+            if p.world_rank() == 0 {
+                world.send(&[1.0f64, 2.0], 1, 7).unwrap();
+            } else if p.world_rank() == 1 {
+                let _ = world.recv::<f64>(0, 7).unwrap();
+            }
+        });
+        let trace = report.trace.expect("tracing was enabled");
+        assert!(!trace.is_empty());
+        let phases = trace.phases(3);
+        // speeds 100, 50, 25 -> compute times 1, 2, 4
+        assert!((phases[0].compute.as_secs() - 1.0).abs() < 1e-12);
+        assert!((phases[2].compute.as_secs() - 4.0).abs() < 1e-12);
+        let stats = trace.message_stats(3);
+        assert_eq!(stats[0].sent, 1);
+        assert_eq!(stats[1].received, 1);
+        assert_eq!(stats[0].bytes_sent, 16);
+        let json = trace.to_chrome_json();
+        assert!(json.contains("\"cat\":\"send\""));
+        assert!(json.contains("\"cat\":\"recv\""));
+    }
+
+    #[test]
+    fn prediction_report_compares_against_makespan() {
+        let u = Universe::new(tiny_cluster()).with_tracing();
+        let mut report = u.run(|p| p.compute(100.0));
+        report.predicted = Some(report.makespan.as_secs() * 1.1);
+        let pr = report.prediction_report().expect("trace and prediction");
+        assert!((pr.error_pct() - 10.0).abs() < 1e-9);
+        assert_eq!(pr.phases.len(), 3);
     }
 
     #[test]
