@@ -13,7 +13,7 @@ use crate::em3d::body::{Em3dConfig, Em3dSystem};
 use crate::em3d::model::em3d_model;
 use crate::em3d::parallel::ParallelBody;
 use hetsim::{Cluster, SimTime};
-use hmpi::{HmpiError, HmpiRuntime, MappingAlgorithm};
+use hmpi::{HmpiError, HmpiRuntime, MappingAlgorithm, Recon};
 use mpisim::{MpiError, Universe};
 use std::sync::Arc;
 
@@ -172,8 +172,9 @@ fn run_hmpi_inner(
     );
     let report = runtime.run(|h| -> (RankOutcome, Option<(Vec<usize>, f64)>) {
         // HMPI_Recon with a benchmark representative of the application:
-        // computing the nodal values of k nodes of one sub-body.
-        h.recon_with(1.0, |hh| hh.compute(k as f64))
+        // computing the nodal values of k nodes of one sub-body (the model
+        // counts in "k nodal values" units, hence the nominal/work split).
+        h.recon_opts(Recon::new(1.0).work_units(k as f64))
             .expect("recon");
 
         let system = Em3dSystem::generate(cfg);
@@ -286,15 +287,11 @@ pub fn run_hmpi_ft(
     );
     let report = runtime.run(|h| -> (RankOutcome, Option<FtMeta>) {
         let my_world = h.rank();
-        let faulty = !h.process().cluster().faults().is_empty();
-        let recon = if faulty {
-            // The FT recon doubles as the failure detector; scale the
-            // benchmark like the plain driver's `recon_with` bench.
-            h.recon_ft_scaled(1.0, k as f64)
-        } else {
-            h.recon_with(1.0, |hh| hh.compute(k as f64))
-        };
-        if recon.is_err() {
+        // On a faulty cluster this takes the fault-tolerant path (doubling
+        // as the failure detector); fault-free it is the classic collective
+        // recon — the options struct dispatches exactly like the old
+        // hand-written if/else did.
+        if h.recon_opts(Recon::new(1.0).work_units(k as f64)).is_err() {
             return (None, None); // this rank's own node died during recon
         }
 

@@ -13,7 +13,7 @@ use crate::matmul::dist::GeneralizedBlockDist;
 use crate::matmul::model::matmul_model;
 use crate::matmul::parallel::DistributedMatmul;
 use hetsim::Cluster;
-use hmpi::{HmpiRuntime, MappingAlgorithm};
+use hmpi::{HmpiRuntime, MappingAlgorithm, Recon};
 use mpisim::Universe;
 use std::sync::Arc;
 
@@ -175,11 +175,15 @@ fn run_hmpi_inner(
     type Out = (Option<(f64, Option<BlockMatrix>)>, Option<(Vec<usize>, f64, usize)>);
     let report = runtime.run(|h| -> Out {
         // HMPI_Recon with the rMxM benchmark: one r x r block update.
-        h.recon_with(1.0, |hh| hh.compute(1.0)).expect("recon");
+        h.recon_opts(Recon::new(1.0).bench(|hh: &hmpi::Hmpi| hh.compute(1.0)))
+            .expect("recon");
 
         // The host arranges the m^2 best processors on the grid (its own
         // speed at the parent position (0,0)) and picks l by Timeof sweep.
-        let chosen = if h.is_host() {
+        // Every rank pre-sizes the [l, grid speeds...] message so the
+        // engine's schedule-driven broadcast can ship it.
+        let mut msg = vec![0.0f64; 1 + m * m];
+        if h.is_host() {
             let placement = h.process().placement();
             let est = h.estimates();
             let mut others: Vec<f64> = (1..h.size())
@@ -215,14 +219,10 @@ fn run_hmpi_inner(
                     m + idx
                 }
             };
-            let mut msg = vec![l as f64];
-            msg.extend_from_slice(&grid_speeds);
-            msg
-        } else {
-            Vec::new()
-        };
-        let mut msg = chosen;
-        h.world().bcast(&mut msg, 0).expect("bcast l + speeds");
+            msg[0] = l as f64;
+            msg[1..].copy_from_slice(&grid_speeds);
+        }
+        h.world().bcast_into(&mut msg, 0).expect("bcast l + speeds");
         let l = msg[0] as usize;
         let grid_speeds = msg[1..].to_vec();
 

@@ -84,7 +84,7 @@ pub fn run_hmpi_with(
     assert!(p <= runtime.universe().size());
     let report = runtime.run(|h| -> (RankOutcome, Option<(Vec<usize>, f64)>) {
         // Recon benchmark: k body-body interactions.
-        h.recon_with(1.0, |hh| hh.compute(1.0)).expect("recon");
+        h.recon(1.0).expect("recon");
         let model = nbody_model(cfg, k).expect("model");
         let group = h.group_create(&model).expect("group_create");
         let meta = h

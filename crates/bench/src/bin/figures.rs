@@ -8,8 +8,8 @@
 //! ```
 
 use hmpi_bench::{
-    ablation, extension, faults, fig10, fig11, fig9, render_csv, render_table, selection, trace,
-    ComparisonPoint,
+    ablation, collectives, extension, faults, fig10, fig11, fig9, render_csv, render_table,
+    selection, trace, ComparisonPoint,
 };
 
 struct Options {
@@ -60,7 +60,7 @@ fn main() {
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec![
             "fig9a", "fig9b", "fig10", "fig11a", "fig11b", "ablations", "ext-nbody", "faults",
-            "selection", "trace",
+            "selection", "trace", "collectives",
         ];
     }
 
@@ -235,8 +235,25 @@ fn main() {
                     println!("wrote {path} and {tpath}\n");
                 }
             }
+            "collectives" => {
+                let b = collectives::run(opts.quick);
+                print!("{}", collectives::render(&b));
+                println!();
+                if !opts.quick {
+                    let path = "BENCH_collectives.json";
+                    std::fs::write(path, collectives::to_json(&b)).expect("write bench JSON");
+                    println!("wrote {path}\n");
+                }
+                let err = b.max_error_pct();
+                if err > 5.0 {
+                    eprintln!(
+                        "collective timeof prediction error {err:.3}% exceeds the 5% gate"
+                    );
+                    std::process::exit(1);
+                }
+            }
             other => {
-                eprintln!("unknown figure `{other}`; known: fig9a fig9b fig10 fig11a fig11b ablations ext-nbody faults selection trace all");
+                eprintln!("unknown figure `{other}`; known: fig9a fig9b fig10 fig11a fig11b ablations ext-nbody faults selection trace collectives all");
                 std::process::exit(2);
             }
         }

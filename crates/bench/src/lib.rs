@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod collectives;
 pub mod extension;
 pub mod faults;
 pub mod fig10;

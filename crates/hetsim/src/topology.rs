@@ -34,6 +34,35 @@ pub enum ContentionModel {
 pub const PAPER_EM3D_SPEEDS: [f64; 9] =
     [46.0, 46.0, 46.0, 46.0, 46.0, 46.0, 176.0, 106.0, 9.0];
 
+/// A dense pairwise link-cost table over a node subset, produced by
+/// [`Cluster::pair_table`]. Indices are positions in the subset, not
+/// [`NodeId`]s, so the table maps directly onto communicator ranks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PairTable {
+    /// Number of endpoints in the subset.
+    pub n: usize,
+    /// Row-major `n × n` link latencies in seconds (zero on the diagonal).
+    pub latency: Vec<f64>,
+    /// Row-major `n × n` link bandwidths in bytes/second (zero on the
+    /// diagonal; a zero bandwidth means "free", matching the transport's
+    /// treatment of same-node transfers).
+    pub bandwidth: Vec<f64>,
+}
+
+impl PairTable {
+    /// Latency from subset position `i` to position `j`.
+    #[inline]
+    pub fn latency(&self, i: usize, j: usize) -> f64 {
+        self.latency[i * self.n + j]
+    }
+
+    /// Bandwidth from subset position `i` to position `j`.
+    #[inline]
+    pub fn bandwidth(&self, i: usize, j: usize) -> f64 {
+        self.bandwidth[i * self.n + j]
+    }
+}
+
 /// The model of a heterogeneous network of computers.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Cluster {
@@ -126,6 +155,32 @@ impl Cluster {
     #[inline]
     pub fn contention(&self) -> ContentionModel {
         self.contention
+    }
+
+    /// A dense latency/bandwidth table for the given node subset, indexed
+    /// by *position* in `nodes` (so row `i`, column `j` prices a message
+    /// from `nodes[i]` to `nodes[j]`). This is the link-cost view the
+    /// collective engine selects algorithms against; it reports the
+    /// healthy base link parameters, ignoring transient faults.
+    pub fn pair_table(&self, nodes: &[NodeId]) -> PairTable {
+        let n = nodes.len();
+        let mut latency = vec![0.0; n * n];
+        let mut bandwidth = vec![0.0; n * n];
+        for (i, &a) in nodes.iter().enumerate() {
+            for (j, &b) in nodes.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let link = self.link(a, b);
+                latency[i * n + j] = link.latency;
+                bandwidth[i * n + j] = link.bandwidth;
+            }
+        }
+        PairTable {
+            n,
+            latency,
+            bandwidth,
+        }
     }
 
     /// True speed of node `id` at virtual time `t` (benchmark units/second),

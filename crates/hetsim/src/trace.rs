@@ -40,6 +40,10 @@ pub enum TraceKind {
     Recon,
     /// An `HMPI_Group_create` selection search.
     Selection,
+    /// One collective call executed by the collective engine; the span
+    /// name is the algorithm chosen and the inner sends/receives carry
+    /// the actual traffic.
+    Collective,
     /// A free-form marker.
     Marker,
 }
@@ -53,6 +57,7 @@ impl TraceKind {
             TraceKind::Recv => "recv",
             TraceKind::Recon => "recon",
             TraceKind::Selection => "selection",
+            TraceKind::Collective => "collective",
             TraceKind::Marker => "marker",
         }
     }
@@ -225,7 +230,10 @@ impl Trace {
                     slot.wait += ev.wait;
                     slot.comm += ev.dur - ev.wait.min(ev.dur);
                 }
-                TraceKind::Recon | TraceKind::Selection | TraceKind::Marker => {}
+                TraceKind::Recon
+                | TraceKind::Selection
+                | TraceKind::Collective
+                | TraceKind::Marker => {}
             }
         }
         out

@@ -16,9 +16,9 @@
 //! | `HMPI_Is_host`              | [`Hmpi::is_host`]                            |
 //! | `HMPI_Is_free`              | [`Hmpi::is_free`]                            |
 //! | `HMPI_Is_member`            | [`HmpiGroup::is_member`]                     |
-//! | `HMPI_Recon`                | [`Hmpi::recon`] / [`Hmpi::recon_with`]       |
-//! | `HMPI_Timeof`               | [`Hmpi::timeof`] / [`Hmpi::timeof_mapping`]  |
-//! | `HMPI_Group_create`         | [`Hmpi::group_create`]                       |
+//! | `HMPI_Recon`                | [`Hmpi::recon`] / [`Hmpi::recon_opts`] (options in [`Recon`]) |
+//! | `HMPI_Timeof`               | [`Hmpi::timeof`] / [`Hmpi::timeof_mapping`] / [`Hmpi::timeof_collective`] |
+//! | `HMPI_Group_create`         | [`Hmpi::group_create`] (options in [`GroupSpec`]) |
 //! | `HMPI_Group_free`           | [`Hmpi::group_free`]                         |
 //! | `HMPI_Group_rank` / `_size` | [`HmpiGroup::rank`] / [`HmpiGroup::size`]    |
 //! | `HMPI_Get_comm`             | [`HmpiGroup::comm`]                          |
@@ -27,9 +27,10 @@
 //!
 //! | Extension                   | This crate                                   |
 //! |-----------------------------|----------------------------------------------|
-//! | Recon as failure detector   | [`Hmpi::recon_ft`] / [`Hmpi::recon_ft_scaled`] (what [`Hmpi::recon`] dispatches to on a faulty cluster) |
+//! | Recon as failure detector   | [`Hmpi::recon_opts`] with [`Recon::fault_tolerant`] (what [`Hmpi::recon`] dispatches to on a faulty cluster) |
 //! | Group shrink recovery       | [`Hmpi::rebuild_group`]                      |
 //! | Liveness helpers            | [`Hmpi::try_compute`], [`Hmpi::alive_world_ranks`] |
+//! | Collective-engine timing    | [`Hmpi::timeof_collective`], [`HmpiRuntime::with_collective_policy`] |
 //!
 //! The group-selection problem — map each *abstract processor* of the model
 //! onto a physical process so the predicted execution time is minimal — is
@@ -50,6 +51,7 @@ pub mod estimate;
 pub mod group;
 pub mod mapping;
 pub mod runtime;
+pub mod spec;
 
 pub use engine::Evaluator;
 pub use estimate::{build_cost_model, predicted_time, EstimateError};
@@ -58,4 +60,6 @@ pub use mapping::{
     select_mapping, select_mapping_naive, Mapping, MappingAlgorithm, SearchStats, SelectError,
     SelectionCtx,
 };
+pub use mpisim::{CollectiveAlgo, CollectiveKind, CollectivePolicy};
 pub use runtime::{Hmpi, HmpiError, HmpiResult, HmpiRuntime};
+pub use spec::{DefaultBench, GroupSpec, Recon};

@@ -10,9 +10,12 @@
 
 use crate::group::HmpiGroup;
 use crate::mapping::{select_mapping, Mapping, MappingAlgorithm, SelectError, SelectionCtx};
+use crate::spec::{GroupSpec, Recon};
 use hetsim::trace::{TraceEvent, TraceKind};
 use hetsim::{Cluster, NodeId, SimTime, SpeedEstimates};
-use mpisim::{Comm, MpiError, Process, RunReport, Universe};
+use mpisim::{
+    CollectiveAlgo, CollectiveKind, CollectivePolicy, Comm, MpiError, Process, RunReport, Universe,
+};
 use parking_lot::RwLock;
 use std::cell::Cell;
 use std::fmt;
@@ -215,6 +218,14 @@ impl HmpiRuntime {
         self
     }
 
+    /// Overrides the collective-algorithm policy of the underlying
+    /// universe: `Auto` (the default) lets the engine pick the
+    /// predicted-cheapest algorithm per call; `Fixed` pins one.
+    pub fn with_collective_policy(mut self, policy: CollectivePolicy) -> Self {
+        self.universe = self.universe.with_collective_policy(policy);
+        self
+    }
+
     /// Enables virtual-time tracing on the underlying universe: runs record
     /// compute/send/recv spans plus HMPI-level recon and selection events,
     /// and [`RunReport::trace`] carries the finished trace.
@@ -363,18 +374,63 @@ impl Hmpi<'_> {
     /// units in parallel; the elapsed virtual times refresh the shared speed
     /// estimates. Collective over `HMPI_COMM_WORLD`.
     ///
-    /// On a cluster with a fault plan this dispatches to [`Hmpi::recon_ft`],
-    /// which doubles as the runtime's failure detector; on a fault-free
-    /// cluster it takes the classic collective path.
+    /// On a cluster with a fault plan this takes the fault-tolerant
+    /// point-to-point protocol (doubling as the runtime's failure
+    /// detector); on a fault-free cluster it takes the classic collective
+    /// path. Equivalent to `recon_opts(Recon::new(units))`; see
+    /// [`Hmpi::recon_opts`] for the full option set.
     ///
     /// # Errors
-    /// Propagates transport errors from the internal allgather (collective
-    /// path) or the errors of [`Hmpi::recon_ft`].
+    /// As [`Hmpi::recon_opts`].
     pub fn recon(&self, units: f64) -> HmpiResult<()> {
-        if self.proc.cluster().faults().is_empty() {
-            self.recon_with(units, |h| h.compute(units))
-        } else {
-            self.recon_ft(units)
+        self.recon_opts(Recon::new(units))
+    }
+
+    /// `HMPI_Recon` with the full option set, gathered in a [`Recon`]
+    /// builder: a custom nominal/work split, a caller-supplied benchmark
+    /// body, and an explicit choice of protocol. Collective over
+    /// `HMPI_COMM_WORLD` (on the fault-tolerant path: over the host and
+    /// every live process).
+    ///
+    /// On the fault-tolerant path, instead of an allgather (which a single
+    /// dead rank would abort), every process reports its measured speed to
+    /// the host point-to-point; the host collects the reports with
+    /// virtual-time deadlines, retrying up to `RECON_ATTEMPTS` (3) times
+    /// with exponential backoff so a transiently slowed node
+    /// (`FaultEvent::NodeSlowdown`) gets time to answer. A rank that stays
+    /// silent — or whose death the failure detector has already observed —
+    /// has its node marked unavailable in the [`SpeedEstimates`], excluding
+    /// it from all future group selections. Speeds of live nodes are
+    /// refreshed; dead nodes keep their last estimate but are never planned
+    /// with again. The host is assumed to survive (the paper's host process
+    /// anchors the whole runtime; its failure is unrecoverable).
+    ///
+    /// # Errors
+    /// [`HmpiError::InvalidArgument`] for a non-positive or non-finite
+    /// benchmark volume (checked before any computation or communication,
+    /// so every rank fails consistently); transport errors from the
+    /// internal allgather (collective path); on the fault-tolerant path,
+    /// `HmpiError::Mpi(MpiError::NodeFailed)` if the caller's node crashes
+    /// during the benchmark, and on non-host ranks transport errors if the
+    /// host dies.
+    pub fn recon_opts<F>(&self, opts: Recon<F>) -> HmpiResult<()>
+    where
+        F: FnOnce(&Self),
+    {
+        validate_volume("nominal_units", opts.nominal_units)?;
+        let work = opts.work_units.unwrap_or(opts.nominal_units);
+        validate_volume("work_units", work)?;
+        let ft = opts
+            .fault_tolerant
+            .unwrap_or_else(|| !self.proc.cluster().faults().is_empty());
+        match (ft, opts.bench) {
+            (true, Some(b)) => self.recon_p2p(opts.nominal_units, work, |h| {
+                b(h);
+                Ok(())
+            }),
+            (true, None) => self.recon_p2p(opts.nominal_units, work, |h| h.try_compute(work)),
+            (false, Some(b)) => self.recon_collective(opts.nominal_units, b),
+            (false, None) => self.recon_collective(opts.nominal_units, |h| h.compute(work)),
         }
     }
 
@@ -399,8 +455,9 @@ impl Hmpi<'_> {
     /// `HmpiError::Mpi(MpiError::NodeFailed)` with the caller's own rank if
     /// the caller's node crashes during the benchmark; on non-host ranks,
     /// transport errors if the host dies.
+    #[deprecated(note = "use recon_opts(Recon::new(units).fault_tolerant(true))")]
     pub fn recon_ft(&self, units: f64) -> HmpiResult<()> {
-        self.recon_ft_scaled(units, units)
+        self.recon_opts(Recon::new(units).fault_tolerant(true))
     }
 
     /// [`Hmpi::recon_ft`] with a separate normalisation, mirroring
@@ -413,11 +470,29 @@ impl Hmpi<'_> {
     /// As [`Hmpi::recon_ft`], plus [`HmpiError::InvalidArgument`] for a
     /// non-positive or non-finite benchmark volume (checked before any
     /// computation or communication, so every rank fails consistently).
+    #[deprecated(
+        note = "use recon_opts(Recon::new(nominal).work_units(work).fault_tolerant(true))"
+    )]
     pub fn recon_ft_scaled(&self, nominal_units: f64, work_units: f64) -> HmpiResult<()> {
-        validate_volume("nominal_units", nominal_units)?;
-        validate_volume("work_units", work_units)?;
+        self.recon_opts(
+            Recon::new(nominal_units)
+                .work_units(work_units)
+                .fault_tolerant(true),
+        )
+    }
+
+    /// The fault-tolerant point-to-point recon protocol (see
+    /// [`Hmpi::recon_opts`]). `work_units` sizes the host's per-rank
+    /// deadlines; `bench` performs the actual benchmark on the calling
+    /// rank. Volumes are pre-validated by the caller.
+    fn recon_p2p(
+        &self,
+        nominal_units: f64,
+        work_units: f64,
+        bench: impl FnOnce(&Self) -> HmpiResult<()>,
+    ) -> HmpiResult<()> {
         let t0 = self.now();
-        self.try_compute(work_units)?;
+        bench(self)?;
         let elapsed = (self.now() - t0).as_secs();
         let my_speed = self.derive_speed(nominal_units, elapsed);
 
@@ -508,8 +583,18 @@ impl Hmpi<'_> {
     /// [`HmpiError::InvalidArgument`] for a non-positive or non-finite
     /// benchmark volume (checked before the benchmark runs, so every rank
     /// fails consistently).
+    #[deprecated(note = "use recon_opts(Recon::new(nominal).bench(f).fault_tolerant(false))")]
     pub fn recon_with(&self, nominal_units: f64, bench: impl FnOnce(&Self)) -> HmpiResult<()> {
-        validate_volume("nominal_units", nominal_units)?;
+        self.recon_opts(
+            Recon::new(nominal_units)
+                .bench(bench)
+                .fault_tolerant(false),
+        )
+    }
+
+    /// The classic collective recon path (see [`Hmpi::recon_opts`]). The
+    /// nominal volume is pre-validated by the caller.
+    fn recon_collective(&self, nominal_units: f64, bench: impl FnOnce(&Self)) -> HmpiResult<()> {
         let t0 = self.now();
         bench(self);
         let elapsed = (self.now() - t0).as_secs();
@@ -625,6 +710,24 @@ impl Hmpi<'_> {
         Ok(select_mapping(self.default_algo, model, &ctx)?)
     }
 
+    /// `HMPI_Timeof` for the collective engine: the algorithm the engine
+    /// would select for a `kind` collective of `elems` elements of
+    /// `elem_bytes` bytes over `HMPI_COMM_WORLD`, plus its predicted
+    /// virtual time — without executing anything. Local operation.
+    ///
+    /// The prediction replays the exact communication schedule the engine
+    /// would run against the cluster's link table, so it carries the same
+    /// accuracy contract as the engine itself (see `mpisim::engine`).
+    pub fn timeof_collective(
+        &self,
+        kind: CollectiveKind,
+        root: usize,
+        elems: usize,
+        elem_bytes: usize,
+    ) -> (CollectiveAlgo, f64) {
+        self.world.predict_collective(kind, root, elems, elem_bytes)
+    }
+
     /// Chooses among algorithm variants by predicted execution time — the
     /// paper's motivation for `HMPI_Timeof`: "write such a parallel
     /// application that can follow different parallel algorithms to solve
@@ -676,36 +779,45 @@ impl Hmpi<'_> {
         }
     }
 
-    /// `HMPI_Group_create` with the runtime's default selection algorithm.
-    ///
-    /// # Errors
-    /// As [`Hmpi::group_create_with`].
-    pub fn group_create(
-        &self,
-        model: &dyn perfmodel::PerformanceModel,
-    ) -> HmpiResult<HmpiGroup> {
-        self.group_create_with(self.default_algo, model)
-    }
-
     /// `HMPI_Group_create`: collectively creates a group of processes that
     /// executes the modelled algorithm faster than any other group. Must be
-    /// called by the host (the parent) and by every free process.
+    /// called by the parent (the host, unless [`GroupSpec::placement`] says
+    /// otherwise) and by every free process.
     ///
-    /// The host solves the selection problem against the current speed
+    /// Takes anything convertible into a [`GroupSpec`]: a plain model
+    /// reference for the all-defaults case (`h.group_create(&model)`), or a
+    /// builder chain for the knobs the deprecated
+    /// `group_create_with`/`group_create_as` used to expose positionally
+    /// (`h.group_create(GroupSpec::new(&model).algorithm(a).placement(p))`).
+    ///
+    /// The parent solves the selection problem against the current speed
     /// estimates and distributes `(group id, context, member list)` to every
     /// participant; selected processes construct the group communicator,
     /// unselected ones receive a non-member handle and stay free.
     ///
+    /// Concurrent creations by *different* parents are not serialised by the
+    /// runtime; the program must order them (as the paper's collective
+    /// calling convention implies).
+    ///
     /// # Errors
-    /// [`HmpiError::NotEligible`] if called by a busy process;
-    /// [`HmpiError::Select`] on infeasible models; transport errors
+    /// [`HmpiError::NotEligible`] if the caller is neither the parent nor
+    /// free; [`HmpiError::Select`] on infeasible models; transport errors
     /// otherwise.
+    pub fn group_create<'m>(&self, spec: impl Into<GroupSpec<'m>>) -> HmpiResult<HmpiGroup> {
+        self.group_create_spec(spec.into())
+    }
+
+    /// `HMPI_Group_create` with an explicit selection algorithm.
+    ///
+    /// # Errors
+    /// As [`Hmpi::group_create`].
+    #[deprecated(note = "use group_create(GroupSpec::new(model).algorithm(algo))")]
     pub fn group_create_with(
         &self,
         algo: MappingAlgorithm,
         model: &dyn perfmodel::PerformanceModel,
     ) -> HmpiResult<HmpiGroup> {
-        self.group_create_as(0, algo, model)
+        self.group_create_spec(GroupSpec::new(model).algorithm(algo))
     }
 
     /// `HMPI_Group_create` with an arbitrary *parent* process — the paper's
@@ -716,20 +828,33 @@ impl Hmpi<'_> {
     /// the same `parent_world`. The model's `parent` processor is pinned to
     /// that rank.
     ///
-    /// Concurrent creations by *different* parents are not serialised by the
-    /// runtime; the program must order them (as the paper's collective
-    /// calling convention implies).
-    ///
     /// # Errors
-    /// [`HmpiError::NotEligible`] if the caller is neither the parent nor
-    /// free; [`HmpiError::Select`] on infeasible models; transport errors
-    /// otherwise.
+    /// As [`Hmpi::group_create`].
+    #[deprecated(
+        note = "use group_create(GroupSpec::new(model).algorithm(algo).placement(parent_world))"
+    )]
     pub fn group_create_as(
         &self,
         parent_world: usize,
         algo: MappingAlgorithm,
         model: &dyn perfmodel::PerformanceModel,
     ) -> HmpiResult<HmpiGroup> {
+        self.group_create_spec(
+            GroupSpec::new(model)
+                .algorithm(algo)
+                .placement(parent_world),
+        )
+    }
+
+    /// The one group-creation implementation every public entry point
+    /// forwards to.
+    fn group_create_spec(&self, spec: GroupSpec<'_>) -> HmpiResult<HmpiGroup> {
+        let GroupSpec {
+            model,
+            algorithm,
+            parent_world,
+        } = spec;
+        let algo = algorithm.unwrap_or(self.default_algo);
         let me = self.rank();
         let i_am_parent = me == parent_world;
         // Eligibility is judged from rank-local state: the coordinator may

@@ -1,9 +1,9 @@
-//! `group_create_as`: groups whose parent is not the host — the paper's
-//! general rule that "every newly created group has exactly one process
-//! shared with already existing groups".
+//! `GroupSpec::placement`: groups whose parent is not the host — the
+//! paper's general rule that "every newly created group has exactly one
+//! process shared with already existing groups".
 
 use hetsim::{ClusterBuilder, Link, Protocol};
-use hmpi::{HmpiError, HmpiRuntime, MappingAlgorithm};
+use hmpi::{GroupSpec, HmpiError, HmpiRuntime, MappingAlgorithm};
 use perfmodel::ModelBuilder;
 use std::sync::Arc;
 
@@ -41,7 +41,7 @@ fn non_host_parent_creates_a_subgroup() {
                 .build()
                 .unwrap();
             let g2 = h
-                .group_create_as(sub_parent, MappingAlgorithm::default(), &sub)
+                .group_create(GroupSpec::new(&sub).placement(sub_parent))
                 .unwrap();
             sub_members = Some(g2.members().to_vec());
             if let Some(comm) = g2.comm() {
@@ -89,7 +89,7 @@ fn busy_non_parent_caller_is_rejected() {
         if h.rank() == 2 {
             let m = ModelBuilder::new("m").processors(1).build().unwrap();
             let err = h
-                .group_create_as(3, MappingAlgorithm::default(), &m)
+                .group_create(GroupSpec::new(&m).placement(3))
                 .unwrap_err();
             assert_eq!(err, HmpiError::NotEligible);
         }
@@ -114,7 +114,11 @@ fn parent_pinning_overrides_speed_ordering() {
                 .build()
                 .unwrap();
             let g = h
-                .group_create_as(slow_parent, MappingAlgorithm::default(), &model)
+                .group_create(
+                    GroupSpec::new(&model)
+                        .algorithm(MappingAlgorithm::default())
+                        .placement(slow_parent),
+                )
                 .unwrap();
             let members = g.members().to_vec();
             if g.is_member() {

@@ -1,7 +1,7 @@
 //! End-to-end HMPI runtime behaviour across real rank threads.
 
 use hetsim::{Cluster, ClusterBuilder, Link, LoadModel, Processor, Protocol, SimTime};
-use hmpi::{HmpiError, HmpiRuntime, MappingAlgorithm};
+use hmpi::{GroupSpec, HmpiError, HmpiRuntime, MappingAlgorithm, Recon};
 use perfmodel::ModelBuilder;
 use std::sync::Arc;
 
@@ -220,11 +220,11 @@ fn recon_with_custom_benchmark_body() {
     let rt = HmpiRuntime::new(small_cluster());
     rt.run(|h| {
         // The benchmark body performs 3 compute calls totalling 30 units.
-        h.recon_with(30.0, |hh| {
+        h.recon_opts(Recon::new(30.0).bench(|hh: &hmpi::Hmpi| {
             hh.compute(10.0);
             hh.compute(10.0);
             hh.compute(10.0);
-        })
+        }))
         .unwrap();
         let snap = h.estimates().snapshot();
         for (got, want) in snap.iter().zip([46.0, 176.0, 106.0, 9.0]) {
@@ -398,7 +398,9 @@ fn smp_nodes_host_multiple_ranks() {
             .comm_fn(|_, _| 50e6)
             .build()
             .unwrap();
-        let g = h.group_create_with(MappingAlgorithm::Exhaustive, &model).unwrap();
+        let g = h
+            .group_create(GroupSpec::new(&model).algorithm(MappingAlgorithm::Exhaustive))
+            .unwrap();
         let members = g.members().to_vec();
         if g.is_member() {
             h.group_free(g).unwrap();
@@ -417,9 +419,16 @@ fn recon_rejects_invalid_benchmark_volumes() {
         let errs = [
             h.recon(-1.0).unwrap_err(),
             h.recon(f64::NAN).unwrap_err(),
-            h.recon_with(0.0, |_| {}).unwrap_err(),
-            h.recon_ft_scaled(0.0, 10.0).unwrap_err(),
-            h.recon_ft_scaled(10.0, f64::INFINITY).unwrap_err(),
+            h.recon_opts(Recon::new(0.0).bench(|_: &hmpi::Hmpi| {}))
+                .unwrap_err(),
+            h.recon_opts(Recon::new(0.0).work_units(10.0).fault_tolerant(true))
+                .unwrap_err(),
+            h.recon_opts(
+                Recon::new(10.0)
+                    .work_units(f64::INFINITY)
+                    .fault_tolerant(true),
+            )
+            .unwrap_err(),
         ];
         errs.iter()
             .all(|e| matches!(e, HmpiError::InvalidArgument(_)))
@@ -435,7 +444,7 @@ fn zero_elapsed_recon_keeps_previous_estimates() {
     let rt = HmpiRuntime::new(small_cluster());
     let base = rt.estimates().snapshot();
     let report = rt.run(|h| {
-        h.recon_with(10.0, |_| {}).unwrap();
+        h.recon_opts(Recon::new(10.0).bench(|_: &hmpi::Hmpi| {})).unwrap();
     });
     assert_eq!(report.results.len(), 4);
     let snap = rt.estimates().snapshot();
@@ -454,7 +463,12 @@ fn overflowing_speed_cannot_poison_estimates() {
     let rt = HmpiRuntime::new(small_cluster());
     let base = rt.estimates().snapshot();
     let report = rt.run(|h| {
-        h.recon_ft_scaled(1e300, 1e-300).unwrap();
+        h.recon_opts(
+            Recon::new(1e300)
+                .work_units(1e-300)
+                .fault_tolerant(true),
+        )
+        .unwrap();
     });
     assert_eq!(report.results.len(), 4);
     let snap = rt.estimates().snapshot();
@@ -505,4 +519,67 @@ fn traced_run_records_recon_and_selection_events() {
     // Group-creation payloads flowed over the control communicator.
     assert!(count(TraceKind::Send) > 0);
     assert!(count(TraceKind::Recv) > 0);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_forward_to_the_consolidated_surface() {
+    // The pre-GroupSpec/Recon entry points must keep working verbatim:
+    // same estimates, same groups, same errors.
+    let rt = HmpiRuntime::new(small_cluster());
+    let report = rt.run(|h| {
+        h.recon_ft(10.0).unwrap();
+        h.recon_ft_scaled(10.0, 20.0).unwrap();
+        h.recon_with(10.0, |hh| hh.compute(10.0)).unwrap();
+        let model = ModelBuilder::new("m")
+            .processors(2)
+            .volumes(vec![10.0, 400.0])
+            .build()
+            .unwrap();
+        let g1 = h
+            .group_create_with(MappingAlgorithm::Exhaustive, &model)
+            .unwrap();
+        let members_with = g1.members().to_vec();
+        if g1.is_member() {
+            h.group_free(g1).unwrap();
+        }
+        let g2 = h
+            .group_create_as(0, MappingAlgorithm::Exhaustive, &model)
+            .unwrap();
+        let members_as = g2.members().to_vec();
+        if g2.is_member() {
+            h.group_free(g2).unwrap();
+        }
+        (members_with, members_as)
+    });
+    let (members_with, members_as) = &report.results[0];
+    assert_eq!(members_with, members_as);
+    assert_eq!(members_with[0], 0, "parent stays pinned to the host");
+    let snap = rt.estimates().snapshot();
+    assert!(snap.iter().all(|s| s.is_finite() && *s > 0.0));
+}
+
+#[test]
+fn timeof_collective_selects_and_prices() {
+    let rt = HmpiRuntime::new(small_cluster());
+    let report = rt.run(|h| {
+        // Small payload: latency-dominated, a tree beats the linear star.
+        let (small_algo, small_t) =
+            h.timeof_collective(hmpi::CollectiveKind::Bcast, 0, 1, 8);
+        // Large payload on four ranks.
+        let (large_algo, large_t) =
+            h.timeof_collective(hmpi::CollectiveKind::Allreduce, 0, 1 << 16, 8);
+        (small_algo, small_t, large_algo, large_t)
+    });
+    let (small_algo, small_t, large_algo, large_t) = report.results[0];
+    assert!(small_t > 0.0 && large_t > 0.0);
+    // Predictions are pure functions of globally identical inputs: every
+    // rank must agree with rank 0.
+    for r in &report.results {
+        assert_eq!(r, &report.results[0]);
+    }
+    // The selector returns eligible algorithms for a 4-rank world.
+    use hmpi::CollectiveAlgo;
+    assert!(hmpi::CollectiveAlgo::ALL.contains(&small_algo));
+    assert!(CollectiveAlgo::ALL.contains(&large_algo));
 }

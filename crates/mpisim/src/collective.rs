@@ -282,15 +282,32 @@ impl Comm {
 }
 
 macro_rules! impl_typed_reductions {
-    ($t:ty, $fold:ident, $identity:ident, $reduce:ident, $allreduce:ident,
-     $scan:ident, $exscan:ident, $reduce_scatter_block:ident,
+    ($t:ty, $fold:ident, $identity:ident, $check_operand:ident, $reduce:ident,
+     $allreduce:ident, $scan:ident, $exscan:ident, $reduce_scatter_block:ident,
      $reduce_one:ident, $allreduce_one:ident) => {
         impl Comm {
+            /// Checks that a reduction operand decoded off the wire matches
+            /// the local contribution length, so mismatched calls surface as
+            /// [`MpiError::InvalidCounts`] instead of a panic inside the
+            /// elementwise fold.
+            fn $check_operand(rhs: &[$t], want: usize) -> MpiResult<()> {
+                if rhs.len() != want {
+                    return Err(MpiError::InvalidCounts(format!(
+                        "reduction operand has {} elements, local contribution has {want} \
+                         (ranks called the collective with different lengths?)",
+                        rhs.len()
+                    )));
+                }
+                Ok(())
+            }
+
             /// Binomial-tree reduction to `root` (`MPI_Reduce`); `Some` at
             /// root, `None` elsewhere.
             ///
             /// # Errors
-            /// [`MpiError::InvalidRank`] for a bad root.
+            /// [`MpiError::InvalidRank`] for a bad root;
+            /// [`MpiError::InvalidCounts`] if ranks contribute different
+            /// lengths.
             pub fn $reduce(
                 &self,
                 contrib: &[$t],
@@ -310,6 +327,7 @@ macro_rules! impl_typed_reductions {
                             let (bytes, _) =
                                 self.recv_bytes(self.coll_plane(), Some(src), Some(TAG_REDUCE))?;
                             let rhs: Vec<$t> = decode(&bytes)?;
+                            Self::$check_operand(&rhs, acc.len())?;
                             op.$fold(&mut acc, &rhs);
                         }
                     } else {
@@ -346,6 +364,7 @@ macro_rules! impl_typed_reductions {
                     let (bytes, _) =
                         self.recv_bytes(self.coll_plane(), Some(rank - 1), Some(TAG_SCAN))?;
                     let prefix: Vec<$t> = decode(&bytes)?;
+                    Self::$check_operand(&prefix, acc.len())?;
                     let mut merged = prefix;
                     op.$fold(&mut merged, &acc);
                     acc = merged;
@@ -369,7 +388,9 @@ macro_rules! impl_typed_reductions {
                 } else {
                     let (bytes, _) =
                         self.recv_bytes(self.coll_plane(), Some(rank - 1), Some(TAG_SCAN))?;
-                    decode(&bytes)?
+                    let prefix: Vec<$t> = decode(&bytes)?;
+                    Self::$check_operand(&prefix, contrib.len())?;
+                    prefix
                 };
                 if rank + 1 < self.size() {
                     let mut inclusive = prefix.clone();
@@ -441,12 +462,12 @@ macro_rules! impl_typed_reductions {
 }
 
 impl_typed_reductions!(
-    f64, fold_f64, identity_f64, reduce_f64, allreduce_f64, scan_f64, exscan_f64,
-    reduce_scatter_block_f64, reduce_one_f64, allreduce_one_f64
+    f64, fold_f64, identity_f64, check_operand_f64, reduce_f64, allreduce_f64,
+    scan_f64, exscan_f64, reduce_scatter_block_f64, reduce_one_f64, allreduce_one_f64
 );
 impl_typed_reductions!(
-    i64, fold_i64, identity_i64, reduce_i64, allreduce_i64, scan_i64, exscan_i64,
-    reduce_scatter_block_i64, reduce_one_i64, allreduce_one_i64
+    i64, fold_i64, identity_i64, check_operand_i64, reduce_i64, allreduce_i64,
+    scan_i64, exscan_i64, reduce_scatter_block_i64, reduce_one_i64, allreduce_one_i64
 );
 
 #[cfg(test)]

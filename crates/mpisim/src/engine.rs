@@ -1,0 +1,808 @@
+//! The collective algorithm engine: schedule-driven collectives with
+//! cost-model selection.
+//!
+//! Every collective here executes a [`perfmodel::collective`] *schedule* —
+//! an ordered list of rounds of point-to-point transfers — through the same
+//! eager transport ([`Comm::post_bytes`] / [`Comm::recv_bytes`]) the rest of
+//! mpisim uses, on the communicator's collective plane. That buys three
+//! properties for free:
+//!
+//! * **fault awareness** — a blocked schedule receive aborts with
+//!   [`MpiError::NodeFailed`] as soon as any group member fail-stops, so no
+//!   engine collective can hang on a dead peer;
+//! * **tracing** — the inner sends/receives appear in the virtual-time
+//!   trace, and the engine wraps each call in a [`TraceKind::Collective`]
+//!   span named after the algorithm that ran;
+//! * **prediction parity** — [`perfmodel::collective::price`] replays the
+//!   identical schedule against the cluster's link table, so `timeof`-style
+//!   predictions see exactly the communication the network will execute
+//!   (bit-exact under parallel links; see DESIGN.md §10).
+//!
+//! Selection ([`CollectivePolicy::Auto`], the default) prices every eligible
+//! algorithm per call from the message size, communicator size and the
+//! hetsim link table, and runs the predicted-cheapest. All selection inputs
+//! are rank-independent, so every member picks the same algorithm without
+//! any agreement traffic.
+//!
+//! Reduction collectives preserve a **fixed deterministic fold order**
+//! regardless of algorithm: the result element `i` is always the
+//! identity-seeded left fold of contribution element `i` over ranks in
+//! ascending communicator-rank order. Schedules therefore move raw
+//! contributions (or ascending-prefix partial folds), never tree-shaped
+//! partials, and switching algorithms never changes a single result bit.
+
+use crate::comm::Comm;
+use crate::datatype::{decode, decode_into, encode, MpiType};
+use crate::error::{MpiError, MpiResult};
+use crate::op::ReduceOp;
+use hetsim::trace::{TraceEvent, TraceKind};
+use hetsim::{ContentionModel, NodeId, PairTable, SimTime};
+use perfmodel::collective::{
+    chunk_bounds, eligible, price, schedule, select, CollectiveAlgo, CollectiveKind, LinkSharing,
+    Xfer,
+};
+use perfmodel::PairCost;
+
+/// Tag used by every engine-scheduled transfer. A single tag suffices:
+/// transfers ride the communicator's collective plane, where the per-pair
+/// FIFO (non-overtaking) guarantee plus the schedules' fixed per-pair send
+/// order make matching unambiguous.
+pub(crate) const TAG_COLL: i32 = 9;
+
+/// How the engine picks an algorithm for each collective call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CollectivePolicy {
+    /// Price every eligible algorithm against the link table and run the
+    /// predicted-cheapest (the default).
+    #[default]
+    Auto,
+    /// Always run the given algorithm; calls for which it is ineligible
+    /// fail with [`MpiError::InvalidCounts`].
+    Fixed(CollectiveAlgo),
+}
+
+/// The engine's [`PairCost`] view of a communicator: pairwise link costs by
+/// communicator rank, uniform unit speeds (collective pricing involves no
+/// computation).
+struct CostView {
+    table: PairTable,
+}
+
+impl PairCost for CostView {
+    fn speed(&self, _proc: usize) -> f64 {
+        1.0
+    }
+    fn latency(&self, src: usize, dst: usize) -> f64 {
+        self.table.latency(src, dst)
+    }
+    fn bandwidth(&self, src: usize, dst: usize) -> f64 {
+        self.table.bandwidth(src, dst)
+    }
+}
+
+fn sharing_of(c: ContentionModel) -> LinkSharing {
+    match c {
+        ContentionModel::ParallelLinks => LinkSharing::Parallel,
+        ContentionModel::SerializedNic => LinkSharing::PerEndpoint,
+        ContentionModel::SharedBus => LinkSharing::Shared,
+    }
+}
+
+impl Comm {
+    /// The link-cost view the engine selects against: healthy base latency
+    /// and bandwidth for every pair of member ranks, plus the cluster's
+    /// contention model.
+    fn coll_cost(&self) -> (CostView, LinkSharing) {
+        let nodes: Vec<NodeId> = (0..self.size()).map(|r| self.node_of(r)).collect();
+        (
+            CostView {
+                table: self.shared.cluster.pair_table(&nodes),
+            },
+            sharing_of(self.shared.cluster.contention()),
+        )
+    }
+
+    /// Resolves which algorithm a call runs: an explicit request or the
+    /// universe's [`CollectivePolicy`], with eligibility checking.
+    fn resolve_algo(
+        &self,
+        kind: CollectiveKind,
+        explicit: Option<CollectiveAlgo>,
+        root: usize,
+        elems: usize,
+        elem_bytes: usize,
+    ) -> MpiResult<CollectiveAlgo> {
+        let p = self.size();
+        let requested = explicit.or(match self.shared.coll_policy {
+            CollectivePolicy::Auto => None,
+            CollectivePolicy::Fixed(a) => Some(a),
+        });
+        match requested {
+            Some(a) => {
+                if eligible(kind, a, p) {
+                    Ok(a)
+                } else {
+                    Err(MpiError::InvalidCounts(format!(
+                        "algorithm {} is not eligible for {} over {p} rank(s)",
+                        a.name(),
+                        kind.name(),
+                    )))
+                }
+            }
+            None => {
+                let (cost, sharing) = self.coll_cost();
+                Ok(select(kind, p, root, elems, elem_bytes as f64, &cost, sharing).0)
+            }
+        }
+    }
+
+    /// Predicts the cheapest algorithm (and its virtual time in seconds) for
+    /// a collective of `elems` elements of `elem_bytes` each, exactly as
+    /// [`CollectivePolicy::Auto`] dispatch would choose it. `root` is the
+    /// communicator rank the operation is rooted at (pass 0 for rootless
+    /// collectives).
+    pub fn predict_collective(
+        &self,
+        kind: CollectiveKind,
+        root: usize,
+        elems: usize,
+        elem_bytes: usize,
+    ) -> (CollectiveAlgo, f64) {
+        let (cost, sharing) = self.coll_cost();
+        select(
+            kind,
+            self.size(),
+            root,
+            elems,
+            elem_bytes as f64,
+            &cost,
+            sharing,
+        )
+    }
+
+    /// Predicts the virtual time of one specific algorithm for a collective,
+    /// or [`MpiError::InvalidCounts`] if the algorithm is not eligible on
+    /// this communicator.
+    pub fn predict_collective_with(
+        &self,
+        kind: CollectiveKind,
+        algo: CollectiveAlgo,
+        root: usize,
+        elems: usize,
+        elem_bytes: usize,
+    ) -> MpiResult<f64> {
+        let p = self.size();
+        let rounds = schedule(kind, algo, p, root, elems).ok_or_else(|| {
+            MpiError::InvalidCounts(format!(
+                "algorithm {} is not eligible for {} over {p} rank(s)",
+                algo.name(),
+                kind.name(),
+            ))
+        })?;
+        let (cost, sharing) = self.coll_cost();
+        Ok(price(p, &rounds, elem_bytes as f64, &cost, sharing))
+    }
+
+    /// Records a [`TraceKind::Collective`] span covering one engine call.
+    fn trace_collective(
+        &self,
+        kind: CollectiveKind,
+        algo: CollectiveAlgo,
+        elems: usize,
+        elem_bytes: usize,
+        start: SimTime,
+    ) {
+        if let Some(tracer) = &self.shared.tracer {
+            let mut ev =
+                TraceEvent::new(self.my_world_rank(), TraceKind::Collective, algo.name(), start);
+            ev.dur = self.clock.now().max(start) - start;
+            ev.collective = true;
+            ev.bytes = (elems * elem_bytes) as u64;
+            ev.info = Some(format!(
+                "{} p={} elems={elems}",
+                kind.name(),
+                self.size()
+            ));
+            tracer.record(ev);
+        }
+    }
+
+    /// Executes a data-movement schedule over `buf`: within each round, this
+    /// rank issues all its sends in schedule order, then completes all its
+    /// receives. A received payload whose size disagrees with the scheduled
+    /// range is [`MpiError::InvalidCounts`] — the hallmark of ranks calling
+    /// the collective with different buffer lengths.
+    fn run_movement<T: MpiType>(&self, rounds: &[Vec<Xfer>], buf: &mut [T]) -> MpiResult<()> {
+        let me = self.rank();
+        let plane = self.coll_plane();
+        for round in rounds {
+            for x in round.iter().filter(|x| x.src == me) {
+                self.post_bytes(plane, encode(&buf[x.lo..x.hi]), x.dst, TAG_COLL)?;
+            }
+            for x in round.iter().filter(|x| x.dst == me) {
+                let (bytes, _) = self.recv_bytes(plane, Some(x.src), Some(TAG_COLL))?;
+                let want = x.elems() * T::WIRE_SIZE;
+                if bytes.len() != want {
+                    return Err(MpiError::InvalidCounts(format!(
+                        "scheduled transfer carried {} bytes, expected {want} \
+                         (mismatched buffer lengths across ranks?)",
+                        bytes.len()
+                    )));
+                }
+                decode_into(&bytes, &mut buf[x.lo..x.hi])?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Engine broadcast: replaces every rank's `buf` with the root's. All
+    /// ranks must pass equal-length buffers (unlike the legacy
+    /// [`Comm::bcast`], non-roots size their buffer up front, which is what
+    /// lets every rank price and select the algorithm locally). The
+    /// algorithm is chosen by the universe's [`CollectivePolicy`].
+    ///
+    /// # Errors
+    /// [`MpiError::InvalidRank`] for a bad root; [`MpiError::InvalidCounts`]
+    /// for mismatched buffer lengths or an ineligible pinned algorithm;
+    /// [`MpiError::NodeFailed`] if any group member fail-stops.
+    pub fn bcast_into<T: MpiType>(&self, buf: &mut [T], root: usize) -> MpiResult<()> {
+        let algo =
+            self.resolve_algo(CollectiveKind::Bcast, None, root, buf.len(), T::WIRE_SIZE)?;
+        self.bcast_into_with(algo, buf, root)
+    }
+
+    /// [`Comm::bcast_into`] with an explicit algorithm.
+    ///
+    /// # Errors
+    /// As [`Comm::bcast_into`]; [`MpiError::InvalidCounts`] if `algo` is not
+    /// eligible here.
+    pub fn bcast_into_with<T: MpiType>(
+        &self,
+        algo: CollectiveAlgo,
+        buf: &mut [T],
+        root: usize,
+    ) -> MpiResult<()> {
+        if root >= self.size() {
+            return Err(MpiError::InvalidRank {
+                rank: root as isize,
+                comm_size: self.size(),
+            });
+        }
+        let rounds =
+            schedule(CollectiveKind::Bcast, algo, self.size(), root, buf.len()).ok_or_else(
+                || {
+                    MpiError::InvalidCounts(format!(
+                        "algorithm {} is not eligible for bcast over {} rank(s)",
+                        algo.name(),
+                        self.size()
+                    ))
+                },
+            )?;
+        let start = self.clock.now();
+        self.run_movement(&rounds, buf)?;
+        self.trace_collective(CollectiveKind::Bcast, algo, buf.len(), T::WIRE_SIZE, start);
+        Ok(())
+    }
+
+    /// Engine allgather for equal contributions: every rank contributes
+    /// `contrib` and receives the concatenation in rank order. All ranks
+    /// must contribute the same number of elements (use the legacy
+    /// [`Comm::allgatherv`] for ragged contributions).
+    ///
+    /// # Errors
+    /// [`MpiError::InvalidCounts`] for mismatched contribution lengths or an
+    /// ineligible pinned algorithm; [`MpiError::NodeFailed`] if any group
+    /// member fail-stops.
+    pub fn allgather_eq<T: MpiType + Copy + Default>(&self, contrib: &[T]) -> MpiResult<Vec<T>> {
+        let total = contrib.len() * self.size();
+        let algo =
+            self.resolve_algo(CollectiveKind::Allgather, None, 0, total, T::WIRE_SIZE)?;
+        self.allgather_eq_with(algo, contrib)
+    }
+
+    /// [`Comm::allgather_eq`] with an explicit algorithm.
+    ///
+    /// # Errors
+    /// As [`Comm::allgather_eq`]; [`MpiError::InvalidCounts`] if `algo` is
+    /// not eligible here.
+    pub fn allgather_eq_with<T: MpiType + Copy + Default>(
+        &self,
+        algo: CollectiveAlgo,
+        contrib: &[T],
+    ) -> MpiResult<Vec<T>> {
+        let p = self.size();
+        let total = contrib.len() * p;
+        let rounds = schedule(CollectiveKind::Allgather, algo, p, 0, total).ok_or_else(|| {
+            MpiError::InvalidCounts(format!(
+                "algorithm {} is not eligible for allgather over {p} rank(s)",
+                algo.name()
+            ))
+        })?;
+        let mut buf = vec![T::default(); total];
+        let (lo, hi) = chunk_bounds(total, p, self.rank());
+        buf[lo..hi].copy_from_slice(contrib);
+        let start = self.clock.now();
+        self.run_movement(&rounds, &mut buf)?;
+        self.trace_collective(CollectiveKind::Allgather, algo, total, T::WIRE_SIZE, start);
+        Ok(buf)
+    }
+}
+
+/// Generates the typed engine reductions for one element type.
+macro_rules! impl_engine_reductions {
+    ($t:ty, $identity:ident, $fold:ident,
+     $recv_contribs:ident, $linear_reduce:ident, $binomial_reduce:ident,
+     $ring_allreduce:ident, $rd_allreduce:ident, $sag_allreduce:ident,
+     $reduce:ident, $reduce_with:ident, $allreduce:ident, $allreduce_with:ident,
+     $reduce_doc:expr, $allreduce_doc:expr) => {
+        impl Comm {
+            /// Receives one scheduled reduction payload and checks its
+            /// element count.
+            fn $recv_contribs(&self, src: usize, want: usize) -> MpiResult<Vec<$t>> {
+                let (bytes, _) = self.recv_bytes(self.coll_plane(), Some(src), Some(TAG_COLL))?;
+                let v: Vec<$t> = decode(&bytes)?;
+                if v.len() != want {
+                    return Err(MpiError::InvalidCounts(format!(
+                        "scheduled reduction transfer carried {} elements, expected {want} \
+                         (mismatched contribution lengths across ranks?)",
+                        v.len()
+                    )));
+                }
+                Ok(v)
+            }
+
+            /// Flat reduce: every rank sends its raw contribution to the
+            /// root, which folds in ascending rank order.
+            fn $linear_reduce(
+                &self,
+                contrib: &[$t],
+                op: ReduceOp,
+                root: usize,
+            ) -> MpiResult<Option<Vec<$t>>> {
+                let p = self.size();
+                let me = self.rank();
+                let n = contrib.len();
+                if me != root {
+                    self.post_bytes(self.coll_plane(), encode(contrib), root, TAG_COLL)?;
+                    return Ok(None);
+                }
+                let mut raw: Vec<Option<Vec<$t>>> = vec![None; p];
+                for src in 0..p {
+                    if src != root && n > 0 {
+                        raw[src] = Some(self.$recv_contribs(src, n)?);
+                    }
+                }
+                let mut acc = vec![op.$identity(); n];
+                for origin in 0..p {
+                    match &raw[origin] {
+                        Some(v) => op.$fold(&mut acc, v),
+                        None => op.$fold(&mut acc, contrib),
+                    }
+                }
+                Ok(Some(acc))
+            }
+
+            /// Binomial raw-contribution gather: each sender forwards every
+            /// contribution its subtree holds (concatenated in ascending
+            /// relative-rank order), and only the root folds — in ascending
+            /// absolute rank order, so the result is bit-identical to
+            /// the linear variant.
+            fn $binomial_reduce(
+                &self,
+                contrib: &[$t],
+                op: ReduceOp,
+                root: usize,
+            ) -> MpiResult<Option<Vec<$t>>> {
+                let p = self.size();
+                let n = contrib.len();
+                let rel = (self.rank() + p - root) % p;
+                let abs = |r: usize| (r + root) % p;
+                let mut held: Vec<Option<Vec<$t>>> = vec![None; p];
+                held[rel] = Some(contrib.to_vec());
+                let mut span = 1;
+                while span < p {
+                    if rel >= span && (rel - span) % (2 * span) == 0 {
+                        let cnt = span.min(p - rel);
+                        let mut payload = Vec::with_capacity(cnt * n);
+                        for o in rel..rel + cnt {
+                            payload.extend_from_slice(held[o].as_ref().expect("subtree held"));
+                        }
+                        if !payload.is_empty() {
+                            self.post_bytes(
+                                self.coll_plane(),
+                                encode(&payload),
+                                abs(rel - span),
+                                TAG_COLL,
+                            )?;
+                        }
+                        return Ok(None); // a sender's part in the gather is over
+                    }
+                    if rel % (2 * span) == 0 && rel + span < p {
+                        let src_rel = rel + span;
+                        let cnt = span.min(p - src_rel);
+                        if cnt * n > 0 {
+                            let v = self.$recv_contribs(abs(src_rel), cnt * n)?;
+                            for i in 0..cnt {
+                                held[src_rel + i] = Some(v[i * n..(i + 1) * n].to_vec());
+                            }
+                        } else {
+                            for i in 0..cnt {
+                                held[src_rel + i] = Some(Vec::new());
+                            }
+                        }
+                    }
+                    span <<= 1;
+                }
+                if rel != 0 {
+                    return Ok(None);
+                }
+                let mut acc = vec![op.$identity(); n];
+                for abs_rank in 0..p {
+                    let r = (abs_rank + p - root) % p;
+                    op.$fold(&mut acc, held[r].as_ref().expect("root gathered everything"));
+                }
+                Ok(Some(acc))
+            }
+
+            /// Pipelined ring allreduce: ascending-prefix partial folds
+            /// travel the chain forward chunk by chunk, finished chunks
+            /// travel it backward, both directions pipelined through shared
+            /// global rounds (mirroring the schedule generator exactly).
+            fn $ring_allreduce(&self, contrib: &[$t], op: ReduceOp) -> MpiResult<Vec<$t>> {
+                let p = self.size();
+                let r = self.rank();
+                let n = contrib.len();
+                let nchunks = p;
+                let plane = self.coll_plane();
+                let mut result = contrib.to_vec();
+                let mut partial: Vec<Option<Vec<$t>>> = vec![None; nchunks];
+                for g in 0..nchunks + 2 * p - 3 {
+                    if r < p - 1 {
+                        if let Some(c) = g.checked_sub(r) {
+                            if c < nchunks {
+                                let (lo, hi) = chunk_bounds(n, nchunks, c);
+                                if hi > lo {
+                                    let payload = if r == 0 {
+                                        let mut acc = vec![op.$identity(); hi - lo];
+                                        op.$fold(&mut acc, &contrib[lo..hi]);
+                                        acc
+                                    } else {
+                                        partial[c].take().expect("folded last round")
+                                    };
+                                    self.post_bytes(plane, encode(&payload), r + 1, TAG_COLL)?;
+                                }
+                            }
+                        }
+                    }
+                    if r > 0 {
+                        if let Some(c) = (g + r).checked_sub(2 * (p - 1)) {
+                            if c < nchunks {
+                                let (lo, hi) = chunk_bounds(n, nchunks, c);
+                                if hi > lo {
+                                    self.post_bytes(
+                                        plane,
+                                        encode(&result[lo..hi]),
+                                        r - 1,
+                                        TAG_COLL,
+                                    )?;
+                                }
+                            }
+                        }
+                    }
+                    if r > 0 {
+                        if let Some(c) = g.checked_sub(r - 1) {
+                            if c < nchunks {
+                                let (lo, hi) = chunk_bounds(n, nchunks, c);
+                                if hi > lo {
+                                    let mut v = self.$recv_contribs(r - 1, hi - lo)?;
+                                    op.$fold(&mut v, &contrib[lo..hi]);
+                                    if r == p - 1 {
+                                        result[lo..hi].copy_from_slice(&v);
+                                    } else {
+                                        partial[c] = Some(v);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if r < p - 1 {
+                        if let Some(c) = (g + r + 1).checked_sub(2 * (p - 1)) {
+                            if c < nchunks {
+                                let (lo, hi) = chunk_bounds(n, nchunks, c);
+                                if hi > lo {
+                                    let v = self.$recv_contribs(r + 1, hi - lo)?;
+                                    result[lo..hi].copy_from_slice(&v);
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(result)
+            }
+
+            /// Recursive-doubling allreduce as a doubling raw-contribution
+            /// gather: round `k` exchanges the `2^k` contributions each
+            /// partner holds (aligned blocks), and every rank folds all `p`
+            /// contributions locally in ascending rank order. Requires a
+            /// power-of-two communicator.
+            fn $rd_allreduce(&self, contrib: &[$t], op: ReduceOp) -> MpiResult<Vec<$t>> {
+                let p = self.size();
+                let r = self.rank();
+                let n = contrib.len();
+                let plane = self.coll_plane();
+                let mut held: Vec<Option<Vec<$t>>> = vec![None; p];
+                held[r] = Some(contrib.to_vec());
+                let mut span = 1;
+                while span < p {
+                    let partner = r ^ span;
+                    let base = r & !(span - 1);
+                    if span * n > 0 {
+                        let mut payload = Vec::with_capacity(span * n);
+                        for o in base..base + span {
+                            payload.extend_from_slice(held[o].as_ref().expect("aligned block"));
+                        }
+                        self.post_bytes(plane, encode(&payload), partner, TAG_COLL)?;
+                        let pbase = partner & !(span - 1);
+                        let v = self.$recv_contribs(partner, span * n)?;
+                        for i in 0..span {
+                            held[pbase + i] = Some(v[i * n..(i + 1) * n].to_vec());
+                        }
+                    } else {
+                        let pbase = partner & !(span - 1);
+                        for i in 0..span {
+                            held[pbase + i] = Some(Vec::new());
+                        }
+                    }
+                    span <<= 1;
+                }
+                let mut acc = vec![op.$identity(); n];
+                for o in 0..p {
+                    op.$fold(&mut acc, held[o].as_ref().expect("gathered all blocks"));
+                }
+                Ok(acc)
+            }
+
+            /// Rabenseifner-style allreduce: a direct reduce-scatter of raw
+            /// chunks (rank `j` folds every rank's copy of chunk `j`, in
+            /// ascending rank order) followed by a direct allgather of the
+            /// reduced chunks.
+            fn $sag_allreduce(&self, contrib: &[$t], op: ReduceOp) -> MpiResult<Vec<$t>> {
+                let p = self.size();
+                let me = self.rank();
+                let n = contrib.len();
+                let plane = self.coll_plane();
+                for dst in 0..p {
+                    if dst != me {
+                        let (lo, hi) = chunk_bounds(n, p, dst);
+                        if hi > lo {
+                            self.post_bytes(plane, encode(&contrib[lo..hi]), dst, TAG_COLL)?;
+                        }
+                    }
+                }
+                let (mlo, mhi) = chunk_bounds(n, p, me);
+                let mut raw: Vec<Option<Vec<$t>>> = vec![None; p];
+                for src in 0..p {
+                    if src != me && mhi > mlo {
+                        raw[src] = Some(self.$recv_contribs(src, mhi - mlo)?);
+                    }
+                }
+                let mut acc = vec![op.$identity(); mhi - mlo];
+                for origin in 0..p {
+                    match &raw[origin] {
+                        Some(v) => op.$fold(&mut acc, v),
+                        None => op.$fold(&mut acc, &contrib[mlo..mhi]),
+                    }
+                }
+                let mut result = contrib.to_vec();
+                result[mlo..mhi].copy_from_slice(&acc);
+                for dst in 0..p {
+                    if dst != me && mhi > mlo {
+                        self.post_bytes(plane, encode(&acc), dst, TAG_COLL)?;
+                    }
+                }
+                for src in 0..p {
+                    if src != me {
+                        let (lo, hi) = chunk_bounds(n, p, src);
+                        if hi > lo {
+                            let v = self.$recv_contribs(src, hi - lo)?;
+                            result[lo..hi].copy_from_slice(&v);
+                        }
+                    }
+                }
+                Ok(result)
+            }
+
+            #[doc = $reduce_doc]
+            ///
+            /// The result is always the identity-seeded fold of the
+            /// contributions in ascending communicator-rank order,
+            /// bit-identical across every algorithm.
+            ///
+            /// # Errors
+            /// [`MpiError::InvalidRank`] for a bad root;
+            /// [`MpiError::InvalidCounts`] for mismatched contribution
+            /// lengths or an ineligible pinned algorithm;
+            /// [`MpiError::NodeFailed`] if any group member fail-stops.
+            pub fn $reduce(
+                &self,
+                contrib: &[$t],
+                op: ReduceOp,
+                root: usize,
+            ) -> MpiResult<Option<Vec<$t>>> {
+                let algo = self.resolve_algo(
+                    CollectiveKind::Reduce,
+                    None,
+                    root,
+                    contrib.len(),
+                    std::mem::size_of::<$t>(),
+                )?;
+                self.$reduce_with(algo, contrib, op, root)
+            }
+
+            #[doc = concat!("[`Comm::", stringify!($reduce), "`] with an explicit algorithm.")]
+            ///
+            /// # Errors
+            #[doc = concat!("As [`Comm::", stringify!($reduce), "`].")]
+            pub fn $reduce_with(
+                &self,
+                algo: CollectiveAlgo,
+                contrib: &[$t],
+                op: ReduceOp,
+                root: usize,
+            ) -> MpiResult<Option<Vec<$t>>> {
+                let p = self.size();
+                if root >= p {
+                    return Err(MpiError::InvalidRank {
+                        rank: root as isize,
+                        comm_size: p,
+                    });
+                }
+                if !eligible(CollectiveKind::Reduce, algo, p) {
+                    return Err(MpiError::InvalidCounts(format!(
+                        "algorithm {} is not eligible for reduce over {p} rank(s)",
+                        algo.name()
+                    )));
+                }
+                let start = self.clock.now();
+                let out = if p == 1 {
+                    let mut acc = vec![op.$identity(); contrib.len()];
+                    op.$fold(&mut acc, contrib);
+                    Some(acc)
+                } else {
+                    match algo {
+                        CollectiveAlgo::Linear => self.$linear_reduce(contrib, op, root)?,
+                        CollectiveAlgo::Binomial => self.$binomial_reduce(contrib, op, root)?,
+                        _ => unreachable!("eligibility checked above"),
+                    }
+                };
+                self.trace_collective(
+                    CollectiveKind::Reduce,
+                    algo,
+                    contrib.len(),
+                    std::mem::size_of::<$t>(),
+                    start,
+                );
+                Ok(out)
+            }
+
+            #[doc = $allreduce_doc]
+            ///
+            /// The result is always the identity-seeded fold of the
+            /// contributions in ascending communicator-rank order,
+            /// bit-identical across every algorithm.
+            ///
+            /// # Errors
+            /// [`MpiError::InvalidCounts`] for mismatched contribution
+            /// lengths or an ineligible pinned algorithm;
+            /// [`MpiError::NodeFailed`] if any group member fail-stops.
+            pub fn $allreduce(&self, contrib: &[$t], op: ReduceOp) -> MpiResult<Vec<$t>> {
+                let algo = self.resolve_algo(
+                    CollectiveKind::Allreduce,
+                    None,
+                    0,
+                    contrib.len(),
+                    std::mem::size_of::<$t>(),
+                )?;
+                self.$allreduce_with(algo, contrib, op)
+            }
+
+            #[doc = concat!("[`Comm::", stringify!($allreduce), "`] with an explicit algorithm.")]
+            ///
+            /// # Errors
+            #[doc = concat!("As [`Comm::", stringify!($allreduce), "`].")]
+            pub fn $allreduce_with(
+                &self,
+                algo: CollectiveAlgo,
+                contrib: &[$t],
+                op: ReduceOp,
+            ) -> MpiResult<Vec<$t>> {
+                let p = self.size();
+                if !eligible(CollectiveKind::Allreduce, algo, p) {
+                    return Err(MpiError::InvalidCounts(format!(
+                        "algorithm {} is not eligible for allreduce over {p} rank(s)",
+                        algo.name()
+                    )));
+                }
+                let start = self.clock.now();
+                let out = if p == 1 {
+                    let mut acc = vec![op.$identity(); contrib.len()];
+                    op.$fold(&mut acc, contrib);
+                    acc
+                } else {
+                    match algo {
+                        CollectiveAlgo::Linear | CollectiveAlgo::Binomial => {
+                            // reduce-to-0 then bcast-from-0, both with the
+                            // same algorithm, mirroring the schedule
+                            // generator's concatenated rounds.
+                            let red = match algo {
+                                CollectiveAlgo::Linear => {
+                                    self.$linear_reduce(contrib, op, 0)?
+                                }
+                                _ => self.$binomial_reduce(contrib, op, 0)?,
+                            };
+                            let mut buf = red
+                                .unwrap_or_else(|| vec![<$t>::default(); contrib.len()]);
+                            let rounds = schedule(
+                                CollectiveKind::Bcast,
+                                algo,
+                                p,
+                                0,
+                                contrib.len(),
+                            )
+                            .expect("linear/binomial bcast is always eligible");
+                            self.run_movement(&rounds, &mut buf)?;
+                            buf
+                        }
+                        CollectiveAlgo::Ring => self.$ring_allreduce(contrib, op)?,
+                        CollectiveAlgo::RecursiveDoubling => self.$rd_allreduce(contrib, op)?,
+                        CollectiveAlgo::ScatterAllgather => self.$sag_allreduce(contrib, op)?,
+                    }
+                };
+                self.trace_collective(
+                    CollectiveKind::Allreduce,
+                    algo,
+                    contrib.len(),
+                    std::mem::size_of::<$t>(),
+                    start,
+                );
+                Ok(out)
+            }
+        }
+    };
+}
+
+impl_engine_reductions!(
+    f64,
+    identity_f64,
+    fold_f64,
+    recv_contribs_f64,
+    linear_reduce_f64,
+    binomial_reduce_f64,
+    ring_allreduce_f64,
+    rd_allreduce_f64,
+    sag_allreduce_f64,
+    reduce_eq_f64,
+    reduce_eq_f64_with,
+    allreduce_eq_f64,
+    allreduce_eq_f64_with,
+    "Engine reduce over equal-length `f64` contributions; the root receives the result.",
+    "Engine allreduce over equal-length `f64` contributions."
+);
+
+impl_engine_reductions!(
+    i64,
+    identity_i64,
+    fold_i64,
+    recv_contribs_i64,
+    linear_reduce_i64,
+    binomial_reduce_i64,
+    ring_allreduce_i64,
+    rd_allreduce_i64,
+    sag_allreduce_i64,
+    reduce_eq_i64,
+    reduce_eq_i64_with,
+    allreduce_eq_i64,
+    allreduce_eq_i64_with,
+    "Engine reduce over equal-length `i64` contributions; the root receives the result.",
+    "Engine allreduce over equal-length `i64` contributions."
+);

@@ -39,6 +39,7 @@ pub mod cart;
 pub mod collective;
 pub mod comm;
 pub mod datatype;
+pub mod engine;
 pub mod error;
 pub mod group;
 pub mod op;
@@ -49,7 +50,9 @@ pub mod vtime;
 pub use cart::{dims_create, CartComm};
 pub use comm::{wait_all, wait_any, Comm, RecvRequest, SendRequest};
 pub use datatype::MpiType;
+pub use engine::CollectivePolicy;
 pub use error::{MpiError, MpiResult};
+pub use perfmodel::collective::{CollectiveAlgo, CollectiveKind};
 pub use group::{Group, GroupCompare};
 pub use op::ReduceOp;
 pub use p2p::{Status, ANY_SOURCE, ANY_TAG, DEADLOCK_TIMEOUT, TIMEOUT_GRACE};

@@ -1,6 +1,7 @@
 //! The SPMD runtime: launching ranks as threads over a simulated cluster.
 
 use crate::comm::Comm;
+use crate::engine::CollectivePolicy;
 use crate::error::{MpiError, MpiResult};
 use crate::p2p::Mailbox;
 use crate::vtime::{LocalClock, NetworkState};
@@ -41,6 +42,9 @@ pub(crate) struct SharedState {
     /// built with [`Universe::with_tracing`]. Every instrumentation site
     /// costs exactly one `Option` discriminant check when absent.
     pub(crate) tracer: Option<Arc<Tracer>>,
+    /// How the collective engine picks an algorithm per call (see
+    /// [`Universe::with_collective_policy`]).
+    pub(crate) coll_policy: CollectivePolicy,
 }
 
 impl SharedState {
@@ -127,6 +131,7 @@ pub struct Universe {
     cluster: Arc<Cluster>,
     placement: Vec<NodeId>,
     tracer: Option<Arc<Tracer>>,
+    coll_policy: CollectivePolicy,
 }
 
 impl Universe {
@@ -138,6 +143,7 @@ impl Universe {
             cluster,
             placement,
             tracer: None,
+            coll_policy: CollectivePolicy::Auto,
         }
     }
 
@@ -168,7 +174,19 @@ impl Universe {
             cluster,
             placement,
             tracer: None,
+            coll_policy: CollectivePolicy::Auto,
         }
+    }
+
+    /// Sets the collective engine's algorithm policy for subsequent runs:
+    /// [`CollectivePolicy::Auto`] (the default) prices every eligible
+    /// algorithm per call and picks the predicted-cheapest;
+    /// [`CollectivePolicy::Fixed`] pins one algorithm for every engine
+    /// collective (calls for which it is ineligible fail with
+    /// [`MpiError::InvalidCounts`]).
+    pub fn with_collective_policy(mut self, policy: CollectivePolicy) -> Self {
+        self.coll_policy = policy;
+        self
     }
 
     /// Enables virtual-time tracing for subsequent runs: compute spans,
@@ -220,6 +238,7 @@ impl Universe {
             liveness: Mutex::new(vec![RankState::Alive; n]),
             next_ctx: AtomicU64::new(2),
             tracer: self.tracer.clone(),
+            coll_policy: self.coll_policy,
         });
 
         let mut slots: Vec<Option<(R, SimTime)>> = Vec::with_capacity(n);

@@ -1,0 +1,807 @@
+//! Collective algorithm schedules and their pricing.
+//!
+//! The collective engine (DESIGN.md §10) expresses every collective
+//! algorithm as a *schedule*: an ordered list of rounds, each round an
+//! ordered list of point-to-point transfers. The same schedule drives two
+//! consumers that must never disagree:
+//!
+//! * the **executor** in `mpisim`, which turns each transfer into an eager
+//!   `post_bytes` / blocking `recv_bytes` pair on the collective plane, and
+//! * the **pricer** here, which replays the rounds against a [`PairCost`]
+//!   table to predict the collective's virtual time.
+//!
+//! The replay mirrors the transport exactly: within a round every rank
+//! issues all of its sends first (each advancing the sender's clock by the
+//! link latency, the eager injection overhead) and then merges the arrival
+//! times of its receives. Under the parallel-links contention model this
+//! makes the prediction *bit-exact* — the virtual-time transport computes
+//! `arrival = sender_clock + latency + bytes/bandwidth` from the sender's
+//! clock alone, so replaying sends in program order reproduces every
+//! arrival. Under serialised-NIC or shared-bus contention the replay
+//! serialises reservations in schedule order, which approximates (but no
+//! longer reproduces) the racy reservation order of a real run.
+//!
+//! Reduction schedules move **raw contributions** (or ascending partial
+//! folds), never tree-shaped partial sums, so that every algorithm yields
+//! the identical identity-seeded rank-ascending left fold — selection can
+//! switch algorithms per call without perturbing floating-point results.
+
+use crate::compile::PairCost;
+
+/// Which collective a schedule implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// One-to-all broadcast (`MPI_Bcast`).
+    Bcast,
+    /// All-to-one reduction (`MPI_Reduce`).
+    Reduce,
+    /// All-to-all reduction (`MPI_Allreduce`).
+    Allreduce,
+    /// All-to-all gather with equal contributions (`MPI_Allgather`).
+    Allgather,
+}
+
+impl CollectiveKind {
+    /// Stable lower-case label.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectiveKind::Bcast => "bcast",
+            CollectiveKind::Reduce => "reduce",
+            CollectiveKind::Allreduce => "allreduce",
+            CollectiveKind::Allgather => "allgather",
+        }
+    }
+}
+
+/// A collective algorithm the engine can schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CollectiveAlgo {
+    /// Flat root-fanout (or direct exchange): every transfer in one round.
+    Linear,
+    /// Binomial tree: ⌈log₂ p⌉ rounds of doubling fan-out (bcast) or
+    /// raw-contribution gather (reduce).
+    Binomial,
+    /// Pipelined chain: the payload is cut into p chunks that travel the
+    /// rank-ascending chain hop by hop (and back, for allreduce).
+    Ring,
+    /// Recursive doubling: log₂ p rounds of pairwise block exchange.
+    /// Eligible only when the communicator size is a power of two.
+    RecursiveDoubling,
+    /// Rabenseifner-style scatter-allgather: chunk scatter (or direct
+    /// reduce-scatter) followed by an all-to-all chunk allgather.
+    ScatterAllgather,
+}
+
+impl CollectiveAlgo {
+    /// Every algorithm, in selection tie-break order.
+    pub const ALL: [CollectiveAlgo; 5] = [
+        CollectiveAlgo::Linear,
+        CollectiveAlgo::Binomial,
+        CollectiveAlgo::Ring,
+        CollectiveAlgo::RecursiveDoubling,
+        CollectiveAlgo::ScatterAllgather,
+    ];
+
+    /// Stable lower-case label (used for trace spans and bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectiveAlgo::Linear => "linear",
+            CollectiveAlgo::Binomial => "binomial",
+            CollectiveAlgo::Ring => "ring",
+            CollectiveAlgo::RecursiveDoubling => "recursive-doubling",
+            CollectiveAlgo::ScatterAllgather => "scatter-allgather",
+        }
+    }
+}
+
+/// One scheduled point-to-point transfer: `elems()` payload elements from
+/// communicator rank `src` to rank `dst`.
+///
+/// For data-movement collectives `[lo, hi)` is the element range of the
+/// logical payload buffer the transfer carries. Reduction schedules reuse
+/// the range purely as an element *count* (`lo == 0`) where the payload is
+/// a set of raw contributions rather than a buffer slice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Xfer {
+    /// Sending communicator rank.
+    pub src: usize,
+    /// Receiving communicator rank.
+    pub dst: usize,
+    /// First payload element (inclusive).
+    pub lo: usize,
+    /// Last payload element (exclusive).
+    pub hi: usize,
+}
+
+impl Xfer {
+    /// Payload size in elements.
+    #[inline]
+    pub fn elems(&self) -> usize {
+        self.hi - self.lo
+    }
+}
+
+/// How concurrent transfers share the network, mirroring hetsim's
+/// `ContentionModel` without depending on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LinkSharing {
+    /// Every pair has a private link; transfers never contend.
+    #[default]
+    Parallel,
+    /// One NIC per node: a node's transfers (in or out) serialise.
+    PerEndpoint,
+    /// One shared medium: every transfer serialises globally.
+    Shared,
+}
+
+/// The balanced chunk decomposition every chunked schedule uses: chunk `i`
+/// of an `n`-element payload cut into `parts` is `[i*n/parts, (i+1)*n/parts)`.
+#[inline]
+pub fn chunk_bounds(n: usize, parts: usize, i: usize) -> (usize, usize) {
+    (i * n / parts, (i + 1) * n / parts)
+}
+
+/// Whether `algo` can run `kind` on a `p`-rank communicator.
+///
+/// A single rank degenerates every collective to a local operation, so only
+/// [`CollectiveAlgo::Linear`] (an empty schedule) is offered. Recursive
+/// doubling needs a power-of-two communicator; everything else is
+/// unrestricted.
+pub fn eligible(kind: CollectiveKind, algo: CollectiveAlgo, p: usize) -> bool {
+    if p <= 1 {
+        return algo == CollectiveAlgo::Linear;
+    }
+    match (kind, algo) {
+        (CollectiveKind::Bcast, CollectiveAlgo::RecursiveDoubling) => false,
+        (CollectiveKind::Reduce, CollectiveAlgo::Ring | CollectiveAlgo::RecursiveDoubling | CollectiveAlgo::ScatterAllgather) => false,
+        (CollectiveKind::Allreduce | CollectiveKind::Allgather, CollectiveAlgo::RecursiveDoubling) => p.is_power_of_two(),
+        (CollectiveKind::Allgather, CollectiveAlgo::Binomial | CollectiveAlgo::ScatterAllgather) => false,
+        _ => true,
+    }
+}
+
+/// The algorithms eligible for `kind` on a `p`-rank communicator, in
+/// tie-break order.
+pub fn algos_for(kind: CollectiveKind, p: usize) -> Vec<CollectiveAlgo> {
+    CollectiveAlgo::ALL
+        .into_iter()
+        .filter(|&a| eligible(kind, a, p))
+        .collect()
+}
+
+fn push(round: &mut Vec<Xfer>, src: usize, dst: usize, lo: usize, hi: usize) {
+    if hi > lo && src != dst {
+        round.push(Xfer { src, dst, lo, hi });
+    }
+}
+
+/// The schedule of `algo` running `kind` over `p` ranks rooted at `root`
+/// (ignored for rootless kinds) on an `n`-element payload; `None` if the
+/// algorithm is not [`eligible`].
+///
+/// For [`CollectiveKind::Allgather`], `n` is the *total* output length
+/// (`p` equal contributions of `n / p` elements each).
+pub fn schedule(
+    kind: CollectiveKind,
+    algo: CollectiveAlgo,
+    p: usize,
+    root: usize,
+    n: usize,
+) -> Option<Vec<Vec<Xfer>>> {
+    if !eligible(kind, algo, p) || root >= p {
+        return None;
+    }
+    if p <= 1 {
+        return Some(Vec::new());
+    }
+    Some(match kind {
+        CollectiveKind::Bcast => bcast_rounds(algo, p, root, n),
+        CollectiveKind::Reduce => reduce_rounds(algo, p, root, n),
+        CollectiveKind::Allreduce => allreduce_rounds(algo, p, n),
+        CollectiveKind::Allgather => allgather_rounds(algo, p, n),
+    })
+}
+
+fn bcast_rounds(algo: CollectiveAlgo, p: usize, root: usize, n: usize) -> Vec<Vec<Xfer>> {
+    let abs = |rel: usize| (rel + root) % p;
+    let mut rounds = Vec::new();
+    match algo {
+        CollectiveAlgo::Linear => {
+            let mut r0 = Vec::new();
+            for dst in 0..p {
+                if dst != root {
+                    push(&mut r0, root, dst, 0, n);
+                }
+            }
+            rounds.push(r0);
+        }
+        CollectiveAlgo::Binomial => {
+            let mut span = 1;
+            while span < p {
+                let mut round = Vec::new();
+                for rel_src in 0..span {
+                    let rel_dst = rel_src + span;
+                    if rel_dst < p {
+                        push(&mut round, abs(rel_src), abs(rel_dst), 0, n);
+                    }
+                }
+                rounds.push(round);
+                span <<= 1;
+            }
+        }
+        CollectiveAlgo::Ring => {
+            // Pipelined chain: chunk c leaves chain position r in round c+r.
+            let nchunks = p;
+            for t in 0..nchunks + p - 2 {
+                let mut round = Vec::new();
+                for rel in 0..p - 1 {
+                    if let Some(c) = t.checked_sub(rel) {
+                        if c < nchunks {
+                            let (lo, hi) = chunk_bounds(n, nchunks, c);
+                            push(&mut round, abs(rel), abs(rel + 1), lo, hi);
+                        }
+                    }
+                }
+                rounds.push(round);
+            }
+        }
+        CollectiveAlgo::ScatterAllgather => {
+            // Chunk i belongs to absolute rank i. Scatter, then direct
+            // all-to-all allgather of the chunks.
+            let mut r0 = Vec::new();
+            for i in 0..p {
+                if i != root {
+                    let (lo, hi) = chunk_bounds(n, p, i);
+                    push(&mut r0, root, i, lo, hi);
+                }
+            }
+            rounds.push(r0);
+            let mut r1 = Vec::new();
+            for src in 0..p {
+                let (lo, hi) = chunk_bounds(n, p, src);
+                for dst in 0..p {
+                    if dst != src {
+                        push(&mut r1, src, dst, lo, hi);
+                    }
+                }
+            }
+            rounds.push(r1);
+        }
+        CollectiveAlgo::RecursiveDoubling => unreachable!("ineligible"),
+    }
+    rounds
+}
+
+fn reduce_rounds(algo: CollectiveAlgo, p: usize, root: usize, n: usize) -> Vec<Vec<Xfer>> {
+    let abs = |rel: usize| (rel + root) % p;
+    let mut rounds = Vec::new();
+    match algo {
+        CollectiveAlgo::Linear => {
+            let mut r0 = Vec::new();
+            for src in 0..p {
+                if src != root {
+                    push(&mut r0, src, root, 0, n);
+                }
+            }
+            rounds.push(r0);
+        }
+        CollectiveAlgo::Binomial => {
+            // Raw-contribution gather up the binomial tree: the sender at
+            // distance `span` forwards every contribution its subtree holds,
+            // so the root can fold in ascending rank order.
+            let mut span = 1;
+            while span < p {
+                let mut round = Vec::new();
+                let mut rel = span;
+                while rel < p {
+                    let held = span.min(p - rel);
+                    push(&mut round, abs(rel), abs(rel - span), 0, held * n);
+                    rel += span * 2;
+                }
+                rounds.push(round);
+                span <<= 1;
+            }
+        }
+        _ => unreachable!("ineligible"),
+    }
+    rounds
+}
+
+fn allgather_rounds(algo: CollectiveAlgo, p: usize, n: usize) -> Vec<Vec<Xfer>> {
+    let mut rounds = Vec::new();
+    match algo {
+        CollectiveAlgo::Linear => {
+            let mut r0 = Vec::new();
+            for src in 0..p {
+                let (lo, hi) = chunk_bounds(n, p, src);
+                for dst in 0..p {
+                    if dst != src {
+                        push(&mut r0, src, dst, lo, hi);
+                    }
+                }
+            }
+            rounds.push(r0);
+        }
+        CollectiveAlgo::Ring => {
+            for t in 0..p - 1 {
+                let mut round = Vec::new();
+                for r in 0..p {
+                    let c = (r + p - t) % p;
+                    let (lo, hi) = chunk_bounds(n, p, c);
+                    push(&mut round, r, (r + 1) % p, lo, hi);
+                }
+                rounds.push(round);
+            }
+        }
+        CollectiveAlgo::RecursiveDoubling => {
+            let mut span = 1;
+            while span < p {
+                let mut round = Vec::new();
+                for r in 0..p {
+                    let partner = r ^ span;
+                    let start = r & !(span - 1);
+                    let lo = chunk_bounds(n, p, start).0;
+                    let hi = chunk_bounds(n, p, start + span - 1).1;
+                    push(&mut round, r, partner, lo, hi);
+                }
+                rounds.push(round);
+                span <<= 1;
+            }
+        }
+        _ => unreachable!("ineligible"),
+    }
+    rounds
+}
+
+fn allreduce_rounds(algo: CollectiveAlgo, p: usize, n: usize) -> Vec<Vec<Xfer>> {
+    match algo {
+        CollectiveAlgo::Linear | CollectiveAlgo::Binomial => {
+            let mut rounds = reduce_rounds(algo, p, 0, n);
+            rounds.extend(bcast_rounds(algo, p, 0, n));
+            rounds
+        }
+        CollectiveAlgo::Ring => {
+            // Forward: partial folds travel the ascending chain chunk by
+            // chunk; backward: finished chunks travel the chain in reverse.
+            // Both directions pipeline through shared global rounds so that
+            // the tail rank turns each chunk around one round after it
+            // completes it.
+            let nchunks = p;
+            let mut rounds = Vec::new();
+            for g in 0..nchunks + 2 * p - 3 {
+                let mut round = Vec::new();
+                for r in 0..p - 1 {
+                    if let Some(c) = g.checked_sub(r) {
+                        if c < nchunks {
+                            let (lo, hi) = chunk_bounds(n, nchunks, c);
+                            push(&mut round, r, r + 1, lo, hi);
+                        }
+                    }
+                }
+                for r in 1..p {
+                    if let Some(c) = (g + r).checked_sub(2 * (p - 1)) {
+                        if c < nchunks {
+                            let (lo, hi) = chunk_bounds(n, nchunks, c);
+                            push(&mut round, r, r - 1, lo, hi);
+                        }
+                    }
+                }
+                rounds.push(round);
+            }
+            rounds
+        }
+        CollectiveAlgo::RecursiveDoubling => {
+            // Doubling gather of raw contributions: round k exchanges the
+            // 2^k contributions each partner holds, so the payload doubles
+            // every round and each rank folds all p contributions locally.
+            let mut rounds = Vec::new();
+            let mut span = 1;
+            while span < p {
+                let mut round = Vec::new();
+                for r in 0..p {
+                    push(&mut round, r, r ^ span, 0, span * n);
+                }
+                rounds.push(round);
+                span <<= 1;
+            }
+            rounds
+        }
+        CollectiveAlgo::ScatterAllgather => {
+            // Direct reduce-scatter of raw chunks (rank j owns chunk j and
+            // folds every rank's copy of it), then a direct allgather of the
+            // reduced chunks.
+            let mut r0 = Vec::new();
+            for src in 0..p {
+                for dst in 0..p {
+                    if dst != src {
+                        let (lo, hi) = chunk_bounds(n, p, dst);
+                        push(&mut r0, src, dst, lo, hi);
+                    }
+                }
+            }
+            let mut r1 = Vec::new();
+            for src in 0..p {
+                let (lo, hi) = chunk_bounds(n, p, src);
+                for dst in 0..p {
+                    if dst != src {
+                        push(&mut r1, src, dst, lo, hi);
+                    }
+                }
+            }
+            vec![r0, r1]
+        }
+    }
+}
+
+/// Replays a schedule against a [`PairCost`] table and returns the predicted
+/// completion time (seconds): the maximum rank clock after the last round.
+///
+/// `elem_bytes` converts element counts to wire bytes. The replay charges
+/// each send the link latency on the sender's clock (eager injection) and
+/// delivers at `start + latency + bytes/bandwidth`; receive merges are
+/// deferred to the end of the round, matching the executor's
+/// sends-before-receives program order within a round.
+pub fn price(
+    p: usize,
+    rounds: &[Vec<Xfer>],
+    elem_bytes: f64,
+    cost: &impl PairCost,
+    sharing: LinkSharing,
+) -> f64 {
+    let mut clocks = vec![0.0f64; p];
+    let mut nic = vec![0.0f64; p];
+    let mut bus = 0.0f64;
+    let mut arrivals: Vec<(usize, f64)> = Vec::new();
+    for round in rounds {
+        arrivals.clear();
+        for x in round {
+            let lat = cost.latency(x.src, x.dst);
+            let bw = cost.bandwidth(x.src, x.dst);
+            let bytes = x.elems() as f64 * elem_bytes;
+            let wire = if bw > 0.0 && bw.is_finite() {
+                bytes / bw
+            } else {
+                0.0
+            };
+            let total = lat + wire;
+            let now = clocks[x.src];
+            let arrival = if total <= 0.0 {
+                now
+            } else {
+                match sharing {
+                    LinkSharing::Parallel => now + total,
+                    LinkSharing::PerEndpoint => {
+                        let start = now.max(nic[x.src]).max(nic[x.dst]);
+                        nic[x.src] = start + total;
+                        nic[x.dst] = start + total;
+                        start + total
+                    }
+                    LinkSharing::Shared => {
+                        let start = now.max(bus);
+                        bus = start + total;
+                        start + total
+                    }
+                }
+            };
+            clocks[x.src] = now + lat;
+            arrivals.push((x.dst, arrival));
+        }
+        for &(dst, a) in &arrivals {
+            if a > clocks[dst] {
+                clocks[dst] = a;
+            }
+        }
+    }
+    clocks.iter().copied().fold(0.0, f64::max)
+}
+
+/// Prices every eligible algorithm and returns the predicted-cheapest one
+/// with its predicted time. Ties break toward the earlier entry of
+/// [`CollectiveAlgo::ALL`], so selection is deterministic — every rank that
+/// evaluates the same inputs picks the same algorithm.
+pub fn select(
+    kind: CollectiveKind,
+    p: usize,
+    root: usize,
+    n: usize,
+    elem_bytes: f64,
+    cost: &impl PairCost,
+    sharing: LinkSharing,
+) -> (CollectiveAlgo, f64) {
+    let mut best: Option<(CollectiveAlgo, f64)> = None;
+    for algo in algos_for(kind, p) {
+        let rounds = schedule(kind, algo, p, root, n).expect("eligible algorithm");
+        let t = price(p, &rounds, elem_bytes, cost, sharing);
+        if best.is_none_or(|(_, bt)| t < bt) {
+            best = Some((algo, t));
+        }
+    }
+    best.expect("Linear is always eligible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Uniform test network: every pair `lat` seconds away at `bw` B/s.
+    struct Uniform {
+        lat: f64,
+        bw: f64,
+    }
+
+    impl PairCost for Uniform {
+        fn speed(&self, _p: usize) -> f64 {
+            1.0
+        }
+        fn latency(&self, _s: usize, _d: usize) -> f64 {
+            self.lat
+        }
+        fn bandwidth(&self, _s: usize, _d: usize) -> f64 {
+            self.bw
+        }
+    }
+
+    const TCP: Uniform = Uniform {
+        lat: 1.5e-4,
+        bw: 11e6,
+    };
+
+    /// Replays a data-movement schedule symbolically: every rank's set of
+    /// owned element intervals, starting from `init`, must cover `[0, n)`
+    /// everywhere at the end. A transfer of elements the sender does not yet
+    /// own is a schedule bug.
+    fn check_coverage(n: usize, rounds: &[Vec<Xfer>], init: Vec<Vec<(usize, usize)>>) {
+        let mut owned = init;
+        for round in rounds {
+            let snapshot = owned.clone();
+            for x in round {
+                assert!(
+                    snapshot[x.src]
+                        .iter()
+                        .any(|&(lo, hi)| lo <= x.lo && x.hi <= hi),
+                    "rank {} sends [{}, {}) it does not own",
+                    x.src,
+                    x.lo,
+                    x.hi
+                );
+                owned[x.dst].push((x.lo, x.hi));
+            }
+            // Coalesce so later rounds can send merged ranges.
+            for set in &mut owned {
+                set.sort_unstable();
+                let mut merged: Vec<(usize, usize)> = Vec::new();
+                for &(lo, hi) in set.iter() {
+                    match merged.last_mut() {
+                        Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+                        _ => merged.push((lo, hi)),
+                    }
+                }
+                *set = merged;
+            }
+        }
+        for (r, set) in owned.iter().enumerate() {
+            assert_eq!(set, &vec![(0, n)], "rank {r} did not end with [0, {n})");
+        }
+    }
+
+    #[test]
+    fn bcast_schedules_deliver_everything() {
+        for p in [2, 3, 5, 8, 9] {
+            for root in [0, p - 1, p / 2] {
+                for algo in algos_for(CollectiveKind::Bcast, p) {
+                    let n = 40;
+                    let rounds = schedule(CollectiveKind::Bcast, algo, p, root, n).unwrap();
+                    let mut init = vec![Vec::new(); p];
+                    init[root].push((0, n));
+                    check_coverage(n, &rounds, init);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_schedules_deliver_everything() {
+        for p in [2, 3, 4, 8, 9] {
+            for algo in algos_for(CollectiveKind::Allgather, p) {
+                let n = 4 * p;
+                let rounds = schedule(CollectiveKind::Allgather, algo, p, 0, n).unwrap();
+                let init = (0..p)
+                    .map(|r| vec![chunk_bounds(n, p, r)])
+                    .collect();
+                check_coverage(n, &rounds, init);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_schedules_carry_every_contribution_to_root() {
+        // Raw-gather reduces: the total element count entering the root must
+        // be exactly (p - 1) * n — one full contribution per non-root rank.
+        for p in [2, 3, 5, 8, 9] {
+            for root in [0, p - 1] {
+                for algo in algos_for(CollectiveKind::Reduce, p) {
+                    let n = 7;
+                    let rounds = schedule(CollectiveKind::Reduce, algo, p, root, n).unwrap();
+                    let into_root: usize = rounds
+                        .iter()
+                        .flatten()
+                        .filter(|x| x.dst == root)
+                        .map(Xfer::elems)
+                        .sum();
+                    assert_eq!(into_root, (p - 1) * n, "{} p={p} root={root}", algo.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_requires_power_of_two() {
+        assert!(eligible(
+            CollectiveKind::Allreduce,
+            CollectiveAlgo::RecursiveDoubling,
+            8
+        ));
+        assert!(!eligible(
+            CollectiveKind::Allreduce,
+            CollectiveAlgo::RecursiveDoubling,
+            9
+        ));
+        assert!(schedule(CollectiveKind::Allreduce, CollectiveAlgo::RecursiveDoubling, 9, 0, 4)
+            .is_none());
+    }
+
+    #[test]
+    fn single_rank_offers_only_an_empty_linear_schedule() {
+        for kind in [
+            CollectiveKind::Bcast,
+            CollectiveKind::Reduce,
+            CollectiveKind::Allreduce,
+            CollectiveKind::Allgather,
+        ] {
+            assert_eq!(algos_for(kind, 1), vec![CollectiveAlgo::Linear]);
+            assert!(schedule(kind, CollectiveAlgo::Linear, 1, 0, 10)
+                .unwrap()
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn binomial_bcast_wins_small_linear_loses_latency() {
+        // 1 element over 9 ranks: the linear root pays 8 serial injection
+        // latencies; the binomial critical path is 4 rounds.
+        let (p, n) = (9, 1);
+        let lin = price(
+            p,
+            &schedule(CollectiveKind::Bcast, CollectiveAlgo::Linear, p, 0, n).unwrap(),
+            8.0,
+            &TCP,
+            LinkSharing::Parallel,
+        );
+        let bin = price(
+            p,
+            &schedule(CollectiveKind::Bcast, CollectiveAlgo::Binomial, p, 0, n).unwrap(),
+            8.0,
+            &TCP,
+            LinkSharing::Parallel,
+        );
+        assert!(bin < lin, "binomial {bin} vs linear {lin}");
+        let (chosen, _) = select(CollectiveKind::Bcast, p, 0, n, 8.0, &TCP, LinkSharing::Parallel);
+        assert_eq!(chosen, CollectiveAlgo::Binomial);
+    }
+
+    #[test]
+    fn scatter_allgather_bcast_wins_large_under_parallel_links() {
+        // 64 KiB over 9 ranks: two chunk-sized wire times beat one full-size
+        // wire time plus the fan-out, and beat four full-size tree hops.
+        let (p, n) = (9, 8192); // 8192 f64 = 64 KiB
+        let prices: Vec<(CollectiveAlgo, f64)> = algos_for(CollectiveKind::Bcast, p)
+            .into_iter()
+            .map(|a| {
+                let r = schedule(CollectiveKind::Bcast, a, p, 0, n).unwrap();
+                (a, price(p, &r, 8.0, &TCP, LinkSharing::Parallel))
+            })
+            .collect();
+        let linear = prices
+            .iter()
+            .find(|(a, _)| *a == CollectiveAlgo::Linear)
+            .unwrap()
+            .1;
+        let (chosen, t) = select(CollectiveKind::Bcast, p, 0, n, 8.0, &TCP, LinkSharing::Parallel);
+        assert_eq!(chosen, CollectiveAlgo::ScatterAllgather, "{prices:?}");
+        assert!(t < linear, "selector {t} must beat linear {linear}");
+    }
+
+    #[test]
+    fn selector_beats_linear_allreduce_at_large_sizes() {
+        let (p, n) = (9, 8192);
+        let lin = price(
+            p,
+            &schedule(CollectiveKind::Allreduce, CollectiveAlgo::Linear, p, 0, n).unwrap(),
+            8.0,
+            &TCP,
+            LinkSharing::Parallel,
+        );
+        let (chosen, t) = select(
+            CollectiveKind::Allreduce,
+            p,
+            0,
+            n,
+            8.0,
+            &TCP,
+            LinkSharing::Parallel,
+        );
+        assert!(t < lin, "selector {t} ({}) must beat linear {lin}", chosen.name());
+    }
+
+    #[test]
+    fn serialized_nic_changes_the_ranking() {
+        // Under per-endpoint serialisation the flat all-to-all phases of
+        // scatter-allgather congest every NIC; the pipelined ring keeps each
+        // NIC at one chunk per round. The pricer must see that.
+        let (p, n) = (9, 8192);
+        let sa = price(
+            p,
+            &schedule(
+                CollectiveKind::Allreduce,
+                CollectiveAlgo::ScatterAllgather,
+                p,
+                0,
+                n,
+            )
+            .unwrap(),
+            8.0,
+            &TCP,
+            LinkSharing::PerEndpoint,
+        );
+        let ring = price(
+            p,
+            &schedule(CollectiveKind::Allreduce, CollectiveAlgo::Ring, p, 0, n).unwrap(),
+            8.0,
+            &TCP,
+            LinkSharing::PerEndpoint,
+        );
+        assert!(
+            ring < sa,
+            "ring {ring} should beat scatter-allgather {sa} on serialised NICs"
+        );
+    }
+
+    #[test]
+    fn empty_payload_prices_to_pure_latency_or_zero() {
+        let rounds = schedule(CollectiveKind::Bcast, CollectiveAlgo::ScatterAllgather, 4, 0, 0)
+            .unwrap();
+        assert!(rounds.iter().all(Vec::is_empty), "no transfers for n = 0");
+        assert_eq!(price(4, &rounds, 8.0, &TCP, LinkSharing::Parallel), 0.0);
+    }
+
+    #[test]
+    fn ring_allreduce_rounds_pipeline_both_directions() {
+        // p = 3, chunked into 3: the backward phase must start before the
+        // forward phase has drained (pipelining), and every rank other than
+        // the tail must receive every finished chunk.
+        let p = 3;
+        let n = 6;
+        let rounds = schedule(CollectiveKind::Allreduce, CollectiveAlgo::Ring, p, 0, n).unwrap();
+        let backward_first = rounds
+            .iter()
+            .position(|r| r.iter().any(|x| x.dst < x.src))
+            .unwrap();
+        let forward_last = rounds
+            .iter()
+            .rposition(|r| r.iter().any(|x| x.dst > x.src))
+            .unwrap();
+        assert!(
+            backward_first <= forward_last,
+            "backward starts at {backward_first}, forward ends at {forward_last}"
+        );
+        for r in 0..p - 1 {
+            let got: usize = rounds
+                .iter()
+                .flatten()
+                .filter(|x| x.dst == r && x.src == r + 1)
+                .map(Xfer::elems)
+                .sum();
+            assert_eq!(got, n, "rank {r} must receive all finished chunks");
+        }
+    }
+}

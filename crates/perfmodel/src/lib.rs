@@ -49,6 +49,7 @@
 pub mod analysis;
 pub mod ast;
 pub mod builder;
+pub mod collective;
 pub mod compile;
 pub mod env;
 pub mod error;
@@ -61,6 +62,10 @@ pub mod scheme;
 pub mod value;
 
 pub use analysis::{analyze, CoverageSink, Finding, ModelReport};
+pub use collective::{
+    algos_for, chunk_bounds, eligible, price, schedule, select, CollectiveAlgo, CollectiveKind,
+    LinkSharing, Xfer,
+};
 pub use builder::{BuiltModel, ModelBuilder};
 pub use compile::{CostProgram, DeltaBaseline, PairCost, PriceScratch};
 pub use error::{EvalError, ParseError};
