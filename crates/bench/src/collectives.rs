@@ -142,7 +142,12 @@ fn measure(
 /// The `Auto` selector's pick for a (kind, size) cell.
 fn selected_algo(cluster: &Arc<Cluster>, kind: CollectiveKind, elems: usize) -> CollectiveAlgo {
     let u = Universe::new(cluster.clone());
-    let report = u.run(move |proc| proc.world().predict_collective(kind, 0, elems, 8).0);
+    let report = u.run(move |proc| {
+        proc.world()
+            .predict_collective(kind, 0, elems, 8)
+            .expect("root 0 is always valid")
+            .0
+    });
     report.results[0]
 }
 

@@ -37,6 +37,7 @@ pub mod bench;
 pub mod clock;
 pub mod config;
 pub mod fault;
+pub mod json;
 pub mod link;
 pub mod load;
 pub mod node;

@@ -15,7 +15,7 @@ use crate::protocol::Protocol;
 use serde::{Deserialize, Serialize};
 
 /// How concurrent transfers share the network.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum ContentionModel {
     /// Every pair of computers can communicate at full link speed
     /// simultaneously (a non-blocking switch, as in the paper's testbed).
@@ -311,6 +311,54 @@ impl Cluster {
             .build()
     }
 
+    /// Draws an arbitrary heterogeneous cluster: `1..=max_nodes` processors
+    /// with base speeds spanning two orders of magnitude, a random default
+    /// link, a handful of per-pair link overrides, and a random
+    /// [`ContentionModel`]. No fault plan is attached (compose with
+    /// [`FaultPlan::random_mixed`] via [`Cluster::with_faults`]).
+    ///
+    /// The same `(seed, max_nodes)` always produces the identical cluster —
+    /// this is the arbitrary-instance generator backing the scenario fuzzer.
+    ///
+    /// # Panics
+    /// Panics if `max_nodes == 0`.
+    pub fn random(seed: u64, max_nodes: usize) -> Self {
+        use rand::{Rng, SeedableRng, StdRng};
+        assert!(max_nodes > 0, "need room for at least one node");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(1..max_nodes + 1);
+        let mut b = ClusterBuilder::new();
+        for i in 0..n {
+            // Speeds in [5, 500): the paper's testbed spans 9..176, the
+            // fuzzer goes a little wider.
+            b = b.node(format!("rnd{i:02}"), rng.random_range(5.0..500.0));
+        }
+        // Latency 1 µs .. 10 ms, bandwidth 1 MB/s .. 1 GB/s (log-uniform).
+        let rnd_link = |rng: &mut StdRng| {
+            let lat = 1e-6 * 10f64.powf(rng.random_range(0.0..4.0));
+            let bw = 1e6 * 10f64.powf(rng.random_range(0.0..3.0));
+            Link::new(lat, bw, Protocol::Tcp)
+        };
+        b = b.all_to_all(rnd_link(&mut rng));
+        if n >= 2 {
+            for _ in 0..rng.random_range(0..n) {
+                let a = rng.random_range(0..n);
+                let mut c = rng.random_range(0..n);
+                while c == a {
+                    c = rng.random_range(0..n);
+                }
+                let link = rnd_link(&mut rng);
+                b = b.link_between(a, c, link);
+            }
+        }
+        let contention = match rng.random_range(0u32..3) {
+            0 => ContentionModel::ParallelLinks,
+            1 => ContentionModel::SerializedNic,
+            _ => ContentionModel::SharedBus,
+        };
+        b.contention(contention).build()
+    }
+
     /// The matrix-multiplication testbed of Section 5. The paper lists the
     /// speeds demonstrated on the MM core computation as
     /// "46, 46, 46, 46, 46, 46, 106, and 9" for its nine-machine network; the
@@ -490,6 +538,42 @@ mod tests {
             .node("a", 1.0)
             .link_between(0, 5, Link::default())
             .build();
+    }
+
+    #[test]
+    fn random_cluster_is_deterministic_and_in_range() {
+        for seed in 0..50u64 {
+            let a = Cluster::random(seed, 32);
+            let b = Cluster::random(seed, 32);
+            assert_eq!(a.len(), b.len(), "seed {seed} node count differs");
+            assert!((1..=32).contains(&a.len()));
+            for (na, nb) in a.nodes().iter().zip(b.nodes()) {
+                assert_eq!(na.base_speed, nb.base_speed, "seed {seed} speeds differ");
+                assert!((5.0..500.0).contains(&na.base_speed));
+            }
+            assert_eq!(a.contention(), b.contention());
+            for i in a.node_ids() {
+                for j in a.node_ids() {
+                    let (la, lb) = (a.link(i, j), b.link(i, j));
+                    assert_eq!(la.latency, lb.latency, "seed {seed} link differs");
+                    assert_eq!(la.bandwidth, lb.bandwidth);
+                    if i != j {
+                        assert!((1e-6..1e-2).contains(&la.latency));
+                        assert!((1e6..1e9).contains(&la.bandwidth));
+                    }
+                }
+            }
+            assert!(a.faults().is_empty(), "generator must not attach faults");
+        }
+    }
+
+    #[test]
+    fn random_cluster_covers_all_contention_modes() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..60u64 {
+            seen.insert(Cluster::random(seed, 8).contention());
+        }
+        assert_eq!(seen.len(), 3, "expected all three contention modes");
     }
 
     #[test]

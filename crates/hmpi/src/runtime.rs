@@ -262,10 +262,14 @@ impl HmpiRuntime {
         let algo = self.default_algo;
         self.universe.run(move |proc| {
             let world = proc.world();
-            // The control communicator is created collectively at init time
-            // and carries the group-creation protocol, so it can never
-            // collide with application traffic on HMPI_COMM_WORLD.
-            let control = world.dup().expect("control dup at init cannot fail");
+            // The control communicator carries the group-creation protocol,
+            // so it can never collide with application traffic on
+            // HMPI_COMM_WORLD. It is created with the non-collective dup:
+            // a collective dup's broadcast would abort init with
+            // `NodeFailed` if any node crashed before every rank got
+            // through it, and init must succeed on live ranks — failures
+            // surface later as typed errors from actual operations.
+            let control = world.dup_local(0);
             let hmpi = Hmpi {
                 proc,
                 world,
@@ -718,14 +722,18 @@ impl Hmpi<'_> {
     /// The prediction replays the exact communication schedule the engine
     /// would run against the cluster's link table, so it carries the same
     /// accuracy contract as the engine itself (see `mpisim::engine`).
+    ///
+    /// # Errors
+    /// [`HmpiError::Mpi`] wrapping `MpiError::InvalidRank` if `root` is
+    /// outside `HMPI_COMM_WORLD`.
     pub fn timeof_collective(
         &self,
         kind: CollectiveKind,
         root: usize,
         elems: usize,
         elem_bytes: usize,
-    ) -> (CollectiveAlgo, f64) {
-        self.world.predict_collective(kind, root, elems, elem_bytes)
+    ) -> HmpiResult<(CollectiveAlgo, f64)> {
+        Ok(self.world.predict_collective(kind, root, elems, elem_bytes)?)
     }
 
     /// Chooses among algorithm variants by predicted execution time — the
@@ -801,8 +809,9 @@ impl Hmpi<'_> {
     ///
     /// # Errors
     /// [`HmpiError::NotEligible`] if the caller is neither the parent nor
-    /// free; [`HmpiError::Select`] on infeasible models; transport errors
-    /// otherwise.
+    /// free; [`HmpiError::InvalidArgument`] if the spec's placement rank is
+    /// outside the world; [`HmpiError::Select`] on infeasible models;
+    /// transport errors otherwise.
     pub fn group_create<'m>(&self, spec: impl Into<GroupSpec<'m>>) -> HmpiResult<HmpiGroup> {
         self.group_create_spec(spec.into())
     }
@@ -854,6 +863,12 @@ impl Hmpi<'_> {
             algorithm,
             parent_world,
         } = spec;
+        if parent_world >= self.size() {
+            return Err(HmpiError::InvalidArgument(format!(
+                "group parent rank {parent_world} outside world 0..{}",
+                self.size()
+            )));
+        }
         let algo = algorithm.unwrap_or(self.default_algo);
         let me = self.rank();
         let i_am_parent = me == parent_world;

@@ -564,11 +564,13 @@ fn timeof_collective_selects_and_prices() {
     let rt = HmpiRuntime::new(small_cluster());
     let report = rt.run(|h| {
         // Small payload: latency-dominated, a tree beats the linear star.
-        let (small_algo, small_t) =
-            h.timeof_collective(hmpi::CollectiveKind::Bcast, 0, 1, 8);
+        let (small_algo, small_t) = h
+            .timeof_collective(hmpi::CollectiveKind::Bcast, 0, 1, 8)
+            .unwrap();
         // Large payload on four ranks.
-        let (large_algo, large_t) =
-            h.timeof_collective(hmpi::CollectiveKind::Allreduce, 0, 1 << 16, 8);
+        let (large_algo, large_t) = h
+            .timeof_collective(hmpi::CollectiveKind::Allreduce, 0, 1 << 16, 8)
+            .unwrap();
         (small_algo, small_t, large_algo, large_t)
     });
     let (small_algo, small_t, large_algo, large_t) = report.results[0];
@@ -582,4 +584,34 @@ fn timeof_collective_selects_and_prices() {
     use hmpi::CollectiveAlgo;
     assert!(hmpi::CollectiveAlgo::ALL.contains(&small_algo));
     assert!(CollectiveAlgo::ALL.contains(&large_algo));
+}
+
+/// An out-of-range root in `timeof_collective` is a typed error (it used to
+/// reach the selector's schedule generator and panic).
+#[test]
+fn timeof_collective_bad_root_is_typed_error() {
+    let rt = HmpiRuntime::new(small_cluster());
+    let report = rt.run(|h| {
+        let err = h
+            .timeof_collective(hmpi::CollectiveKind::Bcast, h.world().size(), 1, 8)
+            .unwrap_err();
+        matches!(err, HmpiError::Mpi(mpisim::MpiError::InvalidRank { .. }))
+    });
+    assert!(report.results.iter().all(|ok| *ok));
+}
+
+/// An out-of-range `GroupSpec::placement` rank is rejected up front as
+/// `InvalidArgument` on every rank (it used to index the placement table
+/// out of bounds and panic inside the parent's selection context).
+#[test]
+fn group_create_bad_placement_is_typed_error() {
+    let rt = HmpiRuntime::new(small_cluster());
+    let report = rt.run(|h| {
+        let model = ModelBuilder::new("t").processors(2).build().unwrap();
+        let err = h
+            .group_create(GroupSpec::new(&model).placement(h.world().size()))
+            .unwrap_err();
+        matches!(err, HmpiError::InvalidArgument(_))
+    });
+    assert!(report.results.iter().all(|ok| *ok));
 }

@@ -1,0 +1,221 @@
+//! The PR-4 deprecated shims must be *observably identical* to their
+//! `GroupSpec`/`Recon` replacements — not just on the single compat case
+//! each shim's unit test pins, but on random clusters, models and
+//! benchmark volumes. Equivalence is judged on everything a program can
+//! see: selected members, predicted times (bitwise), error values,
+//! speed-estimate snapshots and virtual makespans.
+#![allow(deprecated)]
+
+use hetsim::Cluster;
+use hmpi::{GroupSpec, HmpiRuntime, MappingAlgorithm, Recon};
+use perfmodel::ModelBuilder;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A random cluster big enough to host something but small enough that a
+/// proptest case stays cheap. `Cluster::random` draws 1..=5 nodes.
+fn arb_cluster(seed: u64) -> Arc<Cluster> {
+    Arc::new(Cluster::random(seed, 5))
+}
+
+fn algo_strategy() -> BoxedStrategy<MappingAlgorithm> {
+    prop_oneof![
+        Just(MappingAlgorithm::Exhaustive),
+        Just(MappingAlgorithm::Greedy),
+        (1usize..4).prop_map(|max_rounds| MappingAlgorithm::GreedyRefined { max_rounds }),
+        (0u64..1000, 10usize..50)
+            .prop_map(|(seed, iters)| MappingAlgorithm::Annealing { seed, iters }),
+    ]
+    .boxed()
+}
+
+/// What one group creation lets the program observe: the member list and
+/// the predicted time (bitwise) on success, the typed error otherwise.
+type GroupObs = Result<(Vec<usize>, u64, bool), String>;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `group_create_with(algo, model)` ==
+    /// `group_create(GroupSpec::new(model).algorithm(algo))`, per rank.
+    #[test]
+    fn group_create_with_matches_spec(
+        cseed in 0u64..1000,
+        mseed in 0u64..1000,
+        algo in algo_strategy(),
+    ) {
+        let cluster = arb_cluster(cseed);
+        let rt = HmpiRuntime::new(cluster);
+        let report = rt.run(move |h| {
+            let model = ModelBuilder::random(mseed, 5);
+            let capture = |r: hmpi::HmpiResult<hmpi::HmpiGroup>| -> GroupObs {
+                match r {
+                    Ok(g) => {
+                        let obs = (
+                            g.members().to_vec(),
+                            g.predicted_time().to_bits(),
+                            g.is_member(),
+                        );
+                        if g.is_member() {
+                            h.group_free(g).unwrap();
+                        }
+                        Ok(obs)
+                    }
+                    Err(e) => Err(format!("{e:?}")),
+                }
+            };
+            let old = capture(h.group_create_with(algo, &model));
+            let new = capture(h.group_create(GroupSpec::new(&model).algorithm(algo)));
+            (old, new)
+        });
+        for (rank, (old, new)) in report.results.iter().enumerate() {
+            prop_assert_eq!(old, new, "rank {} diverged", rank);
+        }
+    }
+
+    /// `group_create_as(parent, algo, model)` ==
+    /// `group_create(GroupSpec::new(model).algorithm(algo).placement(parent))`,
+    /// including out-of-range parents (both must fail identically).
+    #[test]
+    fn group_create_as_matches_spec(
+        cseed in 0u64..1000,
+        mseed in 0u64..1000,
+        parent_pick in 0usize..8,
+        algo in algo_strategy(),
+    ) {
+        let cluster = arb_cluster(cseed);
+        let rt = HmpiRuntime::new(cluster);
+        let report = rt.run(move |h| {
+            let model = ModelBuilder::random(mseed, 5);
+            // Mostly in-range parents, sometimes past the world boundary.
+            let parent = parent_pick % (h.world().size() + 1);
+            let capture = |r: hmpi::HmpiResult<hmpi::HmpiGroup>| -> GroupObs {
+                match r {
+                    Ok(g) => {
+                        let obs = (
+                            g.members().to_vec(),
+                            g.predicted_time().to_bits(),
+                            g.is_member(),
+                        );
+                        if g.is_member() {
+                            h.group_free(g).unwrap();
+                        }
+                        Ok(obs)
+                    }
+                    Err(e) => Err(format!("{e:?}")),
+                }
+            };
+            let old = capture(h.group_create_as(parent, algo, &model));
+            let new = capture(h.group_create(
+                GroupSpec::new(&model).algorithm(algo).placement(parent),
+            ));
+            (old, new)
+        });
+        for (rank, (old, new)) in report.results.iter().enumerate() {
+            prop_assert_eq!(old, new, "rank {} diverged", rank);
+        }
+    }
+
+    /// The recon shims against `recon_opts`: the same typed result, the
+    /// same speed estimates and one generation bump each, with shim and
+    /// replacement executed back to back inside one runtime (the cluster
+    /// has no load models, so true speeds are time-invariant and the two
+    /// measurements must agree to float noise).
+    #[test]
+    fn recon_ft_matches_recon_opts(
+        cseed in 0u64..1000,
+        units in 1.0f64..50.0,
+    ) {
+        compare_recons(
+            cseed,
+            move |h| h.recon_ft(units),
+            move |h| h.recon_opts(Recon::new(units).fault_tolerant(true)),
+        )?;
+    }
+
+    #[test]
+    fn recon_ft_scaled_matches_recon_opts(
+        cseed in 0u64..1000,
+        units in 1.0f64..50.0,
+        work in 1.0f64..200.0,
+    ) {
+        compare_recons(
+            cseed,
+            move |h| h.recon_ft_scaled(units, work),
+            move |h| {
+                h.recon_opts(Recon::new(units).work_units(work).fault_tolerant(true))
+            },
+        )?;
+    }
+
+    #[test]
+    fn recon_with_matches_recon_opts(
+        cseed in 0u64..1000,
+        units in 1.0f64..50.0,
+        bench_units in 1.0f64..100.0,
+    ) {
+        compare_recons(
+            cseed,
+            move |h| h.recon_with(units, |h| h.compute(bench_units)),
+            move |h| {
+                h.recon_opts(
+                    Recon::new(units)
+                        .bench(move |h: &hmpi::Hmpi| h.compute(bench_units))
+                        .fault_tolerant(false),
+                )
+            },
+        )?;
+    }
+}
+
+fn close(a: f64, b: f64) -> bool {
+    a == b || (a - b).abs() <= 1e-9 * a.abs().max(b.abs())
+}
+
+/// Runs `old` then `new` back to back on one runtime over
+/// `Cluster::random(cseed, 5)` and asserts they are observably identical:
+/// same per-rank typed result, same estimate snapshot (to float noise —
+/// the second call measures at a later virtual instant), and exactly one
+/// generation bump each.
+fn compare_recons(
+    cseed: u64,
+    old: impl Fn(&hmpi::Hmpi) -> hmpi::HmpiResult<()> + Send + Sync + 'static,
+    new: impl Fn(&hmpi::Hmpi) -> hmpi::HmpiResult<()> + Send + Sync + 'static,
+) -> Result<(), proptest::prelude::TestCaseError> {
+    let rt = HmpiRuntime::new(arb_cluster(cseed));
+    let report = rt.run(move |h| {
+        let world = h.world();
+        let r_old = old(h).map_err(|e| format!("{e:?}"));
+        world.barrier().unwrap();
+        let snap_old = h.estimates().snapshot();
+        let gen_old = h.estimates().generation();
+        let r_new = new(h).map_err(|e| format!("{e:?}"));
+        world.barrier().unwrap();
+        let snap_new = h.estimates().snapshot();
+        let gen_new = h.estimates().generation();
+        (r_old, r_new, snap_old, snap_new, gen_old, gen_new)
+    });
+    for (rank, (r_old, r_new, snap_old, snap_new, gen_old, gen_new)) in
+        report.results.iter().enumerate()
+    {
+        prop_assert_eq!(r_old, r_new, "rank {} results diverged", rank);
+        prop_assert_eq!(
+            *gen_new,
+            gen_old + 1,
+            "rank {} saw {} generation bumps for the replacement",
+            rank,
+            gen_new - gen_old
+        );
+        prop_assert!(
+            snap_old
+                .iter()
+                .zip(snap_new)
+                .all(|(a, b)| close(*a, *b)),
+            "rank {} estimates diverged: {:?} vs {:?}",
+            rank,
+            snap_old,
+            snap_new
+        );
+    }
+    Ok(())
+}

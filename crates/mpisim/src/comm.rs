@@ -619,6 +619,29 @@ impl Comm {
         })
     }
 
+    /// Duplicates the communicator **without communicating**: context
+    /// agreement goes through the universe's shared context registry, so
+    /// the call cannot block or fail even while nodes are crashing — a
+    /// collective [`Comm::dup`] would abort on the first dead relay in
+    /// its broadcast tree. Intended for control planes set up at init
+    /// time, before any failure can be tolerated.
+    ///
+    /// Every member must call it with the same `seq`; calls with equal
+    /// `(parent, seq)` yield the *same* communicator, distinct `seq`s
+    /// yield distinct ones. (Real MPI has no equivalent; this leans on
+    /// the simulator's shared memory the way `MPI_Comm_idup` leans on
+    /// deferred agreement.)
+    pub fn dup_local(&self, seq: u64) -> Comm {
+        let ctx = self.shared.ctx_for_local_dup(self.ctx, seq);
+        Comm {
+            shared: self.shared.clone(),
+            group: self.group.clone(),
+            ctx,
+            rank: self.rank,
+            clock: self.clock.clone(),
+        }
+    }
+
     /// Rank 0 allocates a context-id pair and broadcasts it.
     fn agree_ctx(&self) -> MpiResult<u64> {
         let mut v = if self.rank == 0 {

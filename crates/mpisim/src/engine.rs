@@ -113,6 +113,14 @@ impl Comm {
         elem_bytes: usize,
     ) -> MpiResult<CollectiveAlgo> {
         let p = self.size();
+        if root >= p {
+            // Validated before Auto pricing: perfmodel::collective::select
+            // has no schedule for an out-of-range root.
+            return Err(MpiError::InvalidRank {
+                rank: root as isize,
+                comm_size: p,
+            });
+        }
         let requested = explicit.or(match self.shared.coll_policy {
             CollectivePolicy::Auto => None,
             CollectivePolicy::Fixed(a) => Some(a),
@@ -141,28 +149,33 @@ impl Comm {
     /// [`CollectivePolicy::Auto`] dispatch would choose it. `root` is the
     /// communicator rank the operation is rooted at (pass 0 for rootless
     /// collectives).
+    ///
+    /// # Errors
+    /// [`MpiError::InvalidRank`] if `root` is outside the communicator.
     pub fn predict_collective(
         &self,
         kind: CollectiveKind,
         root: usize,
         elems: usize,
         elem_bytes: usize,
-    ) -> (CollectiveAlgo, f64) {
+    ) -> MpiResult<(CollectiveAlgo, f64)> {
+        let p = self.size();
+        if root >= p {
+            return Err(MpiError::InvalidRank {
+                rank: root as isize,
+                comm_size: p,
+            });
+        }
         let (cost, sharing) = self.coll_cost();
-        select(
-            kind,
-            self.size(),
-            root,
-            elems,
-            elem_bytes as f64,
-            &cost,
-            sharing,
-        )
+        Ok(select(kind, p, root, elems, elem_bytes as f64, &cost, sharing))
     }
 
-    /// Predicts the virtual time of one specific algorithm for a collective,
-    /// or [`MpiError::InvalidCounts`] if the algorithm is not eligible on
-    /// this communicator.
+    /// Predicts the virtual time of one specific algorithm for a collective.
+    ///
+    /// # Errors
+    /// [`MpiError::InvalidRank`] if `root` is outside the communicator;
+    /// [`MpiError::InvalidCounts`] if the algorithm is not eligible on this
+    /// communicator.
     pub fn predict_collective_with(
         &self,
         kind: CollectiveKind,
@@ -172,6 +185,12 @@ impl Comm {
         elem_bytes: usize,
     ) -> MpiResult<f64> {
         let p = self.size();
+        if root >= p {
+            return Err(MpiError::InvalidRank {
+                rank: root as isize,
+                comm_size: p,
+            });
+        }
         let rounds = schedule(kind, algo, p, root, elems).ok_or_else(|| {
             MpiError::InvalidCounts(format!(
                 "algorithm {} is not eligible for {} over {p} rank(s)",

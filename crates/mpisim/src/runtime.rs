@@ -38,6 +38,10 @@ pub(crate) struct SharedState {
     /// consecutive ids (point-to-point plane and collective plane); the world
     /// communicator owns ids 0 and 1.
     next_ctx: AtomicU64,
+    /// Context agreement for [`Comm::dup_local`]: `(parent ctx, seq)` →
+    /// the allocated context. The first member to ask allocates; the rest
+    /// read the same id, so agreement needs no communication.
+    local_dups: Mutex<std::collections::HashMap<(u64, u64), u64>>,
     /// Virtual-time event collector, present only when the universe was
     /// built with [`Universe::with_tracing`]. Every instrumentation site
     /// costs exactly one `Option` discriminant check when absent.
@@ -51,6 +55,13 @@ impl SharedState {
     /// Allocates a fresh context-id pair, returning the base id.
     pub(crate) fn alloc_ctx_pair(&self) -> u64 {
         self.next_ctx.fetch_add(2, Ordering::Relaxed)
+    }
+
+    /// The agreed context for the `seq`-th local dup of the communicator
+    /// with context `parent_ctx` (see [`Comm::dup_local`]).
+    pub(crate) fn ctx_for_local_dup(&self, parent_ctx: u64, seq: u64) -> u64 {
+        let mut m = self.local_dups.lock();
+        *m.entry((parent_ctx, seq)).or_insert_with(|| self.alloc_ctx_pair())
     }
 
     /// The failure detector's current view of a world rank.
@@ -237,6 +248,7 @@ impl Universe {
             network: NetworkState::new(self.cluster.contention(), self.cluster.len()),
             liveness: Mutex::new(vec![RankState::Alive; n]),
             next_ctx: AtomicU64::new(2),
+            local_dups: Mutex::new(std::collections::HashMap::new()),
             tracer: self.tracer.clone(),
             coll_policy: self.coll_policy,
         });

@@ -1,0 +1,179 @@
+//! Property coverage for `mpisim::cart`: rank/coordinate translation is a
+//! bijection on arbitrary grids, shifts are antisymmetric and respect
+//! periodicity, `dims_create` factorisations are exact and balanced, and
+//! `cart_sub` slices carve the grid into consistent subcommunicators.
+
+use hetsim::{ClusterBuilder, Link, Protocol};
+use mpisim::cart::{dims_create, CartComm};
+use mpisim::{MpiError, Universe};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn cluster(n: usize) -> Arc<hetsim::Cluster> {
+    let mut b = ClusterBuilder::new();
+    for i in 0..n {
+        b = b.node(format!("h{i}"), 100.0);
+    }
+    Arc::new(b.all_to_all(Link::new(1e-4, 1e7, Protocol::Tcp)).build())
+}
+
+/// Small grids: 1–3 dimensions, extents 1–3, so worlds stay ≤ 27 ranks.
+fn dims_strategy() -> BoxedStrategy<Vec<usize>> {
+    proptest::collection::vec(1usize..4, 1..4).boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn dims_create_products_and_ordering(nnodes in 1usize..120, ndims in 1usize..5) {
+        let dims = dims_create(nnodes, ndims);
+        prop_assert_eq!(dims.len(), ndims);
+        prop_assert_eq!(dims.iter().product::<usize>(), nnodes);
+        prop_assert!(dims.windows(2).all(|w| w[0] >= w[1]), "not sorted: {:?}", dims);
+        // "As square as possible" in the exact sense MPI promises: no
+        // factor of the largest dim can move to the smallest and reduce
+        // the spread... pinned loosely: max/min ratio no worse than nnodes.
+        prop_assert!(dims[0] <= nnodes.max(1));
+    }
+
+    #[test]
+    fn rank_coords_bijection_and_shift_antisymmetry(
+        dims in dims_strategy(),
+        periodic_bits in 0usize..8,
+        disp in -3isize..4,
+    ) {
+        let p: usize = dims.iter().product();
+        let periodic: Vec<bool> =
+            (0..dims.len()).map(|d| periodic_bits >> d & 1 == 1).collect();
+        let u = Universe::new(cluster(p));
+        let dims2 = dims.clone();
+        let report = u.run(move |proc| {
+            let cart = CartComm::new(proc.world(), &dims2, &periodic).unwrap();
+            // Bijection: every rank's coordinates map back to it, distinct
+            // ranks get distinct coordinates.
+            let mut seen = std::collections::HashSet::new();
+            for r in 0..p {
+                let c = cart.coords_of(r);
+                assert!(
+                    c.iter().zip(cart.dims()).all(|(&x, &e)| x < e),
+                    "coords {c:?} outside dims {:?}",
+                    cart.dims()
+                );
+                assert!(seen.insert(c.clone()), "duplicate coords {c:?}");
+                let signed: Vec<isize> = c.iter().map(|&x| x as isize).collect();
+                assert_eq!(cart.rank_of(&signed).unwrap(), r);
+            }
+            // Shift antisymmetry: whom I receive from at +disp is whom I
+            // send to at -disp, per dimension.
+            for d in 0..cart.ndims() {
+                let (src_pos, dst_pos) = cart.shift(d, disp);
+                let (src_neg, dst_neg) = cart.shift(d, -disp);
+                assert_eq!(src_pos, dst_neg, "dim {d} disp {disp}");
+                assert_eq!(dst_pos, src_neg, "dim {d} disp {disp}");
+            }
+            // Periodic dimensions never hit an edge.
+            for d in 0..cart.ndims() {
+                let (src, dst) = cart.shift(d, 1);
+                if cart.dims()[d] > 1 {
+                    let periodic_d = periodic_bits >> d & 1 == 1;
+                    if periodic_d {
+                        assert!(src.is_some() && dst.is_some());
+                    }
+                } else if periodic_bits >> d & 1 == 1 {
+                    // Extent-1 periodic dim: everyone is its own neighbour.
+                    assert_eq!(src, Some(cart.comm().rank()));
+                    assert_eq!(dst, Some(cart.comm().rank()));
+                }
+            }
+        });
+        prop_assert_eq!(report.results.len(), p);
+    }
+
+    #[test]
+    fn cart_sub_slices_partition_the_grid(
+        dims in dims_strategy(),
+        keep_bits in 0usize..8,
+    ) {
+        let p: usize = dims.iter().product();
+        let keep: Vec<bool> = (0..dims.len()).map(|d| keep_bits >> d & 1 == 1).collect();
+        let kept_product: usize = dims
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| k)
+            .map(|(&d, _)| d)
+            .product();
+        let u = Universe::new(cluster(p));
+        let (dims2, keep2) = (dims.clone(), keep.clone());
+        let report = u.run(move |proc| {
+            let flags = vec![false; dims2.len()];
+            let cart = CartComm::new(proc.world(), &dims2, &flags).unwrap();
+            let sub = cart.sub(&keep2).unwrap();
+            // The slice keeps exactly the kept extents; my dropped
+            // coordinates identify the slice, so gather them for checking.
+            let my_dropped: Vec<usize> = cart
+                .coords()
+                .iter()
+                .zip(&keep2)
+                .filter(|(_, &k)| !k)
+                .map(|(&c, _)| c)
+                .collect();
+            (sub.comm().size(), sub.comm().rank(), my_dropped)
+        });
+        let mut slices = std::collections::HashMap::new();
+        for (size, sub_rank, dropped) in &report.results {
+            assert_eq!(*size, kept_product.max(1), "wrong slice size");
+            let ranks: &mut Vec<usize> = slices.entry(dropped.clone()).or_default();
+            ranks.push(*sub_rank);
+        }
+        // Each slice holds each sub-rank exactly once.
+        for (dropped, mut ranks) in slices {
+            ranks.sort_unstable();
+            prop_assert_eq!(
+                ranks,
+                (0..kept_product.max(1)).collect::<Vec<_>>(),
+                "slice {:?} mis-ranked",
+                dropped
+            );
+        }
+    }
+}
+
+#[test]
+fn rank_of_rejects_bad_arity_and_range() {
+    let u = Universe::new(cluster(6));
+    u.run(|proc| {
+        let cart = CartComm::new(proc.world(), &[2, 3], &[false, true]).unwrap();
+        // Arity mismatch is a typed error.
+        assert!(matches!(
+            cart.rank_of(&[0]).unwrap_err(),
+            MpiError::InvalidCounts(_)
+        ));
+        // Out of range on the non-periodic dimension.
+        assert!(matches!(
+            cart.rank_of(&[2, 0]).unwrap_err(),
+            MpiError::InvalidRank { rank: 2, comm_size: 2 }
+        ));
+        assert!(matches!(
+            cart.rank_of(&[-1, 0]).unwrap_err(),
+            MpiError::InvalidRank { rank: -1, .. }
+        ));
+        // The periodic dimension wraps instead.
+        assert_eq!(cart.rank_of(&[0, -1]).unwrap(), 2);
+        assert_eq!(cart.rank_of(&[1, 4]).unwrap(), 4);
+    });
+}
+
+#[test]
+fn degenerate_grids_work() {
+    // 1x1 grid: a single rank is its own row, column and neighbour set.
+    let u = Universe::new(cluster(1));
+    u.run(|proc| {
+        let cart = CartComm::new(proc.world(), &[1, 1], &[true, true]).unwrap();
+        assert_eq!(cart.coords(), vec![0, 0]);
+        assert_eq!(cart.shift(0, 1), (Some(0), Some(0)));
+        let sub = cart.sub(&[false, false]).unwrap();
+        assert_eq!(sub.comm().size(), 1);
+        assert_eq!(sub.dims(), &[1]);
+    });
+}

@@ -292,9 +292,12 @@ fn auto_selection_beats_linear_at_large_sizes() {
     let u = Universe::new(cluster(p));
     let report = u.run(move |proc| {
         let world = proc.world();
-        let (bcast_algo, bcast_t) =
-            world.predict_collective(CollectiveKind::Bcast, 0, elems, 8);
-        let (ar_algo, ar_t) = world.predict_collective(CollectiveKind::Allreduce, 0, elems, 8);
+        let (bcast_algo, bcast_t) = world
+            .predict_collective(CollectiveKind::Bcast, 0, elems, 8)
+            .unwrap();
+        let (ar_algo, ar_t) = world
+            .predict_collective(CollectiveKind::Allreduce, 0, elems, 8)
+            .unwrap();
         let lin_bcast = world
             .predict_collective_with(CollectiveKind::Bcast, CollectiveAlgo::Linear, 0, elems, 8)
             .unwrap();
@@ -481,5 +484,52 @@ fn single_rank_and_empty_payload_edge_cases() {
                 .unwrap()
         });
         assert!(report.results.iter().all(Vec::is_empty), "{}", algo.name());
+    }
+}
+
+/// Out-of-range roots are typed errors everywhere the engine accepts a
+/// root — including the `Auto` paths that price algorithms before running
+/// (an unvalidated root used to reach `perfmodel::collective::select` and
+/// panic there).
+#[test]
+fn bad_root_is_invalid_rank_not_a_panic() {
+    let report = Universe::new(cluster(3)).run(|proc| {
+        let world = proc.world();
+        let bad = world.size(); // first out-of-range rank
+        let as_invalid = |e: MpiError| match e {
+            MpiError::InvalidRank { rank, comm_size } => (rank, comm_size),
+            other => panic!("expected InvalidRank, got {other:?}"),
+        };
+        let mut seen = Vec::new();
+        // Auto dispatch (selection runs before execution).
+        let mut buf = [1.0f64; 4];
+        seen.push(as_invalid(world.bcast_into(&mut buf, bad).unwrap_err()));
+        seen.push(as_invalid(
+            world
+                .reduce_eq_f64(&buf, ReduceOp::Sum, bad)
+                .unwrap_err(),
+        ));
+        seen.push(as_invalid(
+            world
+                .reduce_eq_i64(&[1, 2], ReduceOp::Sum, bad)
+                .unwrap_err(),
+        ));
+        // Prediction entry points.
+        seen.push(as_invalid(
+            world
+                .predict_collective(CollectiveKind::Bcast, bad, 4, 8)
+                .unwrap_err(),
+        ));
+        seen.push(as_invalid(
+            world
+                .predict_collective_with(CollectiveKind::Bcast, CollectiveAlgo::Linear, bad, 4, 8)
+                .unwrap_err(),
+        ));
+        seen
+    });
+    for r in &report.results {
+        for &(rank, comm_size) in r {
+            assert_eq!((rank, comm_size), (3, 3));
+        }
     }
 }

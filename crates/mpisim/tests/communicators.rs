@@ -254,3 +254,56 @@ fn split_single_member_color_gives_singleton_comm() {
         assert_eq!(r, (0, 1));
     }
 }
+
+#[test]
+fn dup_local_agrees_without_communicating() {
+    let u = Universe::new(cluster(3));
+    u.run(|p| {
+        let world = p.world();
+        let a = world.dup_local(0);
+        let b = world.dup_local(1);
+        // Same (parent, seq) on every rank lands on the same context;
+        // distinct seqs are isolated from each other and from the parent.
+        if world.rank() == 0 {
+            world.send(&[1i64], 1, 0).unwrap();
+            a.send(&[2i64], 1, 0).unwrap();
+            b.send(&[3i64], 1, 0).unwrap();
+        } else if world.rank() == 1 {
+            assert_eq!(b.recv::<i64>(0, 0).unwrap().0, vec![3]);
+            assert_eq!(a.recv::<i64>(0, 0).unwrap().0, vec![2]);
+            assert_eq!(world.recv::<i64>(0, 0).unwrap().0, vec![1]);
+        }
+    });
+}
+
+#[test]
+fn dup_local_works_while_a_node_is_dead() {
+    use hetsim::{FaultEvent, FaultPlan, NodeId, SimTime};
+    let mut b = ClusterBuilder::new();
+    for i in 0..3 {
+        b = b.node(format!("h{i}"), 100.0);
+    }
+    let cluster = Arc::new(
+        b.all_to_all(Link::new(1e-4, 1e7, Protocol::Tcp))
+            .faults(FaultPlan::new(vec![FaultEvent::NodeCrash {
+                node: NodeId(2),
+                at: SimTime::from_secs(0.0),
+            }]))
+            .build(),
+    );
+    let report = Universe::new(cluster).run(|p| {
+        let world = p.world();
+        // A collective dup would need rank 2's cooperation; the local dup
+        // must succeed on the survivors regardless.
+        let control = world.dup_local(0);
+        if world.rank() == 0 {
+            control.send(&[7i64], 1, 0).map(|_| 7)
+        } else if world.rank() == 1 {
+            control.recv::<i64>(0, 0).map(|(v, _)| v[0])
+        } else {
+            Ok(0)
+        }
+    });
+    assert_eq!(*report.results[0].as_ref().unwrap(), 7);
+    assert_eq!(*report.results[1].as_ref().unwrap(), 7);
+}

@@ -118,6 +118,96 @@ impl ModelBuilder {
         self
     }
 
+    /// Draws an arbitrary valid model with `1..=max_p` abstract processors:
+    /// random volumes, a random-density communication matrix, a random
+    /// parent, and — half the time — a random explicit interaction scheme
+    /// mixing serial activities with `par` blocks. The same
+    /// `(seed, max_p)` always produces the identical model; this is the
+    /// scheme generator backing the scenario fuzzer.
+    ///
+    /// # Panics
+    /// Panics if `max_p == 0`.
+    pub fn random(seed: u64, max_p: usize) -> BuiltModel {
+        use rand::{Rng, SeedableRng, StdRng};
+        assert!(max_p > 0, "need room for at least one processor");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = rng.random_range(0..max_p) + 1;
+        let volumes: Vec<f64> = (0..p).map(|_| rng.random_range(1.0..100.0)).collect();
+        let density = rng.random_range(0.0..1.0);
+        let comm: Vec<Vec<f64>> = (0..p)
+            .map(|s| {
+                (0..p)
+                    .map(|d| {
+                        if s != d && rng.random_range(0.0..1.0) < density {
+                            rng.random_range(64.0..65536.0)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut b = ModelBuilder::new(format!("random-{seed:#x}"))
+            .processors(p)
+            .volumes(volumes)
+            .comm(comm)
+            .parent(rng.random_range(0..p));
+        if rng.random_range(0u32..2) == 0 {
+            // An explicit scheme, precomputed as an op list so the replaying
+            // closure stays `Fn` (no RNG state mutated at run time).
+            #[derive(Clone)]
+            enum Op {
+                Compute(usize, f64),
+                Transfer(usize, usize, f64),
+                ParBegin,
+                ParBranch,
+                ParEnd,
+            }
+            let activity = |rng: &mut StdRng, ops: &mut Vec<Op>| {
+                if p >= 2 && rng.random_range(0u32..2) == 0 {
+                    let src = rng.random_range(0..p);
+                    let mut dst = rng.random_range(0..p);
+                    while dst == src {
+                        dst = rng.random_range(0..p);
+                    }
+                    ops.push(Op::Transfer(src, dst, rng.random_range(1.0..100.0)));
+                } else {
+                    ops.push(Op::Compute(
+                        rng.random_range(0..p),
+                        rng.random_range(1.0..100.0),
+                    ));
+                }
+            };
+            let mut ops = Vec::new();
+            for _ in 0..rng.random_range(1..4) {
+                if rng.random_range(0u32..2) == 0 {
+                    for _ in 0..rng.random_range(1..4) {
+                        activity(&mut rng, &mut ops);
+                    }
+                } else {
+                    ops.push(Op::ParBegin);
+                    for _ in 0..rng.random_range(1..4) {
+                        activity(&mut rng, &mut ops);
+                        ops.push(Op::ParBranch);
+                    }
+                    ops.push(Op::ParEnd);
+                }
+            }
+            b = b.scheme(move |sink| {
+                for op in &ops {
+                    match *op {
+                        Op::Compute(proc, pct) => sink.compute(proc, pct),
+                        Op::Transfer(src, dst, pct) => sink.transfer(src, dst, pct),
+                        Op::ParBegin => sink.par_begin(),
+                        Op::ParBranch => sink.par_branch(),
+                        Op::ParEnd => sink.par_end(),
+                    }
+                }
+            });
+        }
+        b.build().expect("generator always satisfies build validation")
+    }
+
     /// Validates and builds.
     ///
     /// # Errors
@@ -324,6 +414,23 @@ mod tests {
             .unwrap();
         let t = m.predict_time(&CostModel::homogeneous(2, 30.0, 0.0, 1e9)).unwrap();
         assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_model_is_deterministic_and_evaluable() {
+        for seed in 0..40u64 {
+            let a = ModelBuilder::random(seed, 8);
+            let b = ModelBuilder::random(seed, 8);
+            assert_eq!(a.num_processors(), b.num_processors());
+            assert_eq!(a.volumes(), b.volumes());
+            assert_eq!(a.comm_bytes(), b.comm_bytes());
+            assert!((1..=8).contains(&a.num_processors()));
+            assert!(a.parent() < a.num_processors());
+            let cost = CostModel::homogeneous(a.num_processors(), 50.0, 1e-4, 1e8);
+            let (ta, tb) = (a.predict_time(&cost).unwrap(), b.predict_time(&cost).unwrap());
+            assert!(ta.is_finite() && ta >= 0.0, "seed {seed} predicted {ta}");
+            assert_eq!(ta, tb, "seed {seed} prediction not reproducible");
+        }
     }
 
     #[test]

@@ -499,6 +499,11 @@ pub fn price(
 /// with its predicted time. Ties break toward the earlier entry of
 /// [`CollectiveAlgo::ALL`], so selection is deterministic — every rank that
 /// evaluates the same inputs picks the same algorithm.
+///
+/// # Panics
+/// Panics if `root >= p` (no schedule exists for an out-of-range root);
+/// callers with user-supplied roots must validate at their API boundary —
+/// the mpisim engine returns `MpiError::InvalidRank` before reaching here.
 pub fn select(
     kind: CollectiveKind,
     p: usize,
@@ -508,6 +513,7 @@ pub fn select(
     cost: &impl PairCost,
     sharing: LinkSharing,
 ) -> (CollectiveAlgo, f64) {
+    assert!(root < p, "select: root {root} outside 0..{p}");
     let mut best: Option<(CollectiveAlgo, f64)> = None;
     for algo in algos_for(kind, p) {
         let rounds = schedule(kind, algo, p, root, n).expect("eligible algorithm");

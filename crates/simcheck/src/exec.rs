@@ -1,0 +1,762 @@
+//! Scenario execution and the invariants it checks.
+//!
+//! [`check`] builds the scenario's cluster, runs its workload, and
+//! verifies the global invariants of the stack:
+//!
+//! * **no-panic / no-hang** — whatever the scenario does, the stack
+//!   terminates and reports typed errors; any panic that reaches the
+//!   harness (including the deadlock watchdog's) is a violation;
+//! * **fault-free completion** — with no injected faults, every rank
+//!   finishes without error;
+//! * **value integrity** — payloads arrive bit-exact, reductions agree
+//!   bit-for-bit with a serial ascending-rank fold across *every*
+//!   eligible algorithm, and HMPI group selection never changes an
+//!   application kernel's numerics (placement neutrality);
+//! * **timeof parity** — fault-free under `ParallelLinks`, the engine's
+//!   `predict_collective` price tracks the measured virtual makespan
+//!   within [`TIMEOF_REL_BOUND`];
+//! * **engine/naive equivalence** — the compiled selection engine picks
+//!   exactly the mapping of the naive interpreter path;
+//! * **trace well-formedness** — Chrome exports parse, timestamps are
+//!   monotone and spans nest (container-first at start ties);
+//! * **estimate discipline** — recon advances the estimate generation
+//!   (exactly +1 fault-free; more when deaths are also recorded) and
+//!   leaves finite, positive speeds for available nodes.
+
+use crate::scenario::{AppKind, Scenario, Workload};
+use hetsim::{
+    Cluster, ClusterBuilder, ContentionModel, FaultEvent, FaultPlan, Link, NodeId, Protocol,
+    SpeedEstimates, Trace,
+};
+use hmpi::{select_mapping, select_mapping_naive, HmpiRuntime, MappingAlgorithm, SelectionCtx};
+use mpisim::{CollectiveAlgo, CollectiveKind, ReduceOp, Universe};
+use perfmodel::collective::algos_for;
+use perfmodel::ModelBuilder;
+use rand::{Rng, SeedableRng, StdRng};
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Relative `timeof`-vs-measured bound for fault-free `ParallelLinks`
+/// collectives (matches the collectives bench's CI gate).
+pub const TIMEOF_REL_BOUND: f64 = 0.05;
+
+/// A violated invariant: what broke and how.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Which invariant (stable kebab-case label).
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+fn viol(invariant: &'static str, detail: impl Into<String>) -> Violation {
+    Violation {
+        invariant,
+        detail: detail.into(),
+    }
+}
+
+/// A per-rank workload failure: either a genuine value bug (always a
+/// violation) or a typed runtime error (allowed when faults are injected).
+type RankFail = (bool, String);
+
+fn value_bug(msg: impl Into<String>) -> RankFail {
+    (true, msg.into())
+}
+
+fn typed(msg: impl fmt::Debug) -> RankFail {
+    (false, format!("{msg:?}"))
+}
+
+/// Runs the scenario and checks every applicable invariant.
+///
+/// # Errors
+/// The first [`Violation`] found. Panics anywhere in the stack (including
+/// the simulator's deadlock watchdog) are caught and reported as
+/// `no-panic` violations rather than unwinding into the harness.
+pub fn check(sc: &Scenario) -> Result<(), Violation> {
+    match panic::catch_unwind(AssertUnwindSafe(|| run_workload(sc))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            Err(viol("no-panic", msg.to_string()))
+        }
+    }
+}
+
+fn build_cluster(sc: &Scenario) -> Arc<Cluster> {
+    let mut b = ClusterBuilder::new();
+    for (i, &s) in sc.speeds.iter().enumerate() {
+        b = b.node(format!("f{i:02}"), s);
+    }
+    b = b.all_to_all(Link::new(sc.base_lat, sc.base_bw, Protocol::Tcp));
+    for o in &sc.overrides {
+        b = b.link_between(o.a, o.b, Link::new(o.lat, o.bw, Protocol::Tcp));
+    }
+    Arc::new(
+        b.contention(sc.contention)
+            .faults(FaultPlan::new(sc.faults.clone()))
+            .build(),
+    )
+}
+
+fn run_workload(sc: &Scenario) -> Result<(), Violation> {
+    match sc.workload.clone() {
+        Workload::P2pRing { elems, rounds } => check_ring(sc, elems, rounds),
+        Workload::P2pRandom {
+            pattern_seed,
+            msgs,
+            max_elems,
+        } => check_rand(sc, pattern_seed, msgs, max_elems),
+        Workload::Collective { kind, elems, root } => check_collective(sc, kind, elems, root),
+        Workload::GroupCycle { model_seed, cycles } => check_group_cycle(sc, model_seed, cycles),
+        Workload::ReconRounds { units, rounds } => check_recon(sc, units, rounds),
+        Workload::Selection {
+            model_seed,
+            est_seed,
+        } => check_selection(sc, model_seed, est_seed),
+        Workload::ShrinkRecovery { rounds, units } => check_shrink(sc, rounds, units),
+        Workload::AppKernel { app } => check_app(sc, app),
+    }
+}
+
+/// Turns per-rank results into violations: value bugs always, typed
+/// errors only when the scenario is fault-free.
+fn judge_ranks(sc: &Scenario, results: &[Result<(), RankFail>]) -> Result<(), Violation> {
+    for (rank, r) in results.iter().enumerate() {
+        match r {
+            Ok(()) => {}
+            Err((true, msg)) => {
+                return Err(viol("value-integrity", format!("rank {rank}: {msg}")))
+            }
+            Err((false, msg)) if sc.faults.is_empty() => {
+                return Err(viol(
+                    "fault-free-completion",
+                    format!("rank {rank} errored on a fault-free run: {msg}"),
+                ))
+            }
+            Err(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Chrome-trace well-formedness: the export parses, carries the complete
+/// per-event field set, timestamps are monotone, and per-rank spans nest
+/// once start ties are canonicalised container-first.
+fn validate_trace(trace: &Trace, ranks: usize) -> Result<(), Violation> {
+    use hetsim::json::{parse, JsonValue};
+    let doc = parse(&trace.to_chrome_json())
+        .map_err(|e| viol("trace-export", format!("export does not parse: {e}")))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| viol("trace-export", "missing traceEvents array"))?;
+    if events.len() != trace.events.len() {
+        return Err(viol(
+            "trace-export",
+            format!(
+                "exported {} events, trace holds {}",
+                events.len(),
+                trace.events.len()
+            ),
+        ));
+    }
+    let mut global_last = 0.0f64;
+    for ev in events {
+        let field = |k: &str| {
+            ev.get(k)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| viol("trace-export", format!("event missing numeric {k:?}")))
+        };
+        if ev.get("ph").and_then(JsonValue::as_str) != Some("X") {
+            return Err(viol("trace-export", "event is not a complete-span (ph X)"));
+        }
+        let tid = field("tid")?;
+        let (ts, dur) = (field("ts")?, field("dur")?);
+        if tid.fract() != 0.0 || (tid as usize) >= ranks {
+            return Err(viol("trace-export", format!("bad tid {tid}")));
+        }
+        if ts < 0.0 || dur < 0.0 {
+            return Err(viol("trace-export", format!("negative ts/dur: {ts}/{dur}")));
+        }
+        if ts < global_last {
+            return Err(viol("trace-export", format!("ts {ts} not monotone")));
+        }
+        global_last = ts;
+    }
+    // Span nesting per rank, on the raw trace (exact virtual times).
+    let eps = 1e-9;
+    for rank in 0..ranks {
+        let mut spans: Vec<(f64, f64)> = trace
+            .events
+            .iter()
+            .filter(|e| e.rank == rank)
+            .map(|e| (e.start.as_secs(), (e.start + e.dur).as_secs()))
+            .collect();
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.total_cmp(&a.1)));
+        let mut open: Vec<f64> = Vec::new();
+        for &(s, e) in &spans {
+            while open.last().is_some_and(|&oe| s >= oe - eps) {
+                open.pop();
+            }
+            if let Some(&oe) = open.last() {
+                if e > oe + eps {
+                    return Err(viol(
+                        "trace-nesting",
+                        format!("rank {rank}: span [{s}, {e}] partially overlaps [.., {oe}]"),
+                    ));
+                }
+            }
+            open.push(e);
+        }
+    }
+    Ok(())
+}
+
+fn ring_payload(rank: usize, elems: usize) -> Vec<i64> {
+    (0..elems).map(|i| (rank * 1_000_003 + i) as i64).collect()
+}
+
+fn f64_payload(rank: usize, elems: usize) -> Vec<f64> {
+    (0..elems)
+        .map(|i| ((rank * 31 + i) % 97) as f64 * 0.5 + 1.0)
+        .collect()
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn check_ring(sc: &Scenario, elems: usize, rounds: usize) -> Result<(), Violation> {
+    let n = sc.nodes();
+    let u = Universe::new(build_cluster(sc)).with_tracing();
+    let report = u.run(move |proc| -> Result<(), RankFail> {
+        let world = proc.world();
+        let me = world.rank();
+        let (right, left) = ((me + 1) % n, (me + n - 1) % n);
+        for round in 0..rounds {
+            let (rx, _) = world
+                .sendrecv::<i64, i64>(&ring_payload(me, elems), right, round as i32, left, round as i32)
+                .map_err(typed)?;
+            if rx != ring_payload(left, elems) {
+                return Err(value_bug(format!(
+                    "round {round}: payload from {left} corrupted"
+                )));
+            }
+        }
+        Ok(())
+    });
+    judge_ranks(sc, &report.results)?;
+    validate_trace(report.trace.as_ref().expect("tracing enabled"), n)
+}
+
+fn check_rand(
+    sc: &Scenario,
+    pattern_seed: u64,
+    msgs: usize,
+    max_elems: usize,
+) -> Result<(), Violation> {
+    let n = sc.nodes();
+    if n < 2 {
+        return Ok(()); // no pairs to message
+    }
+    // The pattern every rank walks in the same global order: (src, dst,
+    // elems, tag). Sends are eager, so walking in order cannot deadlock.
+    let mut rng = StdRng::seed_from_u64(pattern_seed);
+    let pattern: Vec<(usize, usize, usize)> = (0..msgs)
+        .map(|_| {
+            let src = rng.random_range(0..n);
+            let dst = (src + rng.random_range(1..n)) % n;
+            (src, dst, rng.random_range(1..max_elems + 1))
+        })
+        .collect();
+    let u = Universe::new(build_cluster(sc)).with_tracing();
+    let pat = pattern.clone();
+    let report = u.run(move |proc| -> Result<(), RankFail> {
+        let world = proc.world();
+        let me = world.rank();
+        for (i, &(src, dst, elems)) in pat.iter().enumerate() {
+            if me == src {
+                world
+                    .send(&ring_payload(i, elems), dst, i as i32)
+                    .map_err(typed)?;
+            } else if me == dst {
+                let (rx, status) = world.recv::<i64>(src, i as i32).map_err(typed)?;
+                if rx != ring_payload(i, elems) {
+                    return Err(value_bug(format!("msg {i}: payload corrupted")));
+                }
+                if status.source != src || status.tag != i as i32 {
+                    return Err(value_bug(format!(
+                        "msg {i}: status says ({}, {}), expected ({src}, {i})",
+                        status.source, status.tag
+                    )));
+                }
+            }
+        }
+        Ok(())
+    });
+    judge_ranks(sc, &report.results)?;
+    validate_trace(report.trace.as_ref().expect("tracing enabled"), n)
+}
+
+/// Serial ascending-rank left fold — the reduction reference every
+/// algorithm must match bit-for-bit.
+fn serial_fold(n: usize, elems: usize) -> Vec<f64> {
+    let mut acc = f64_payload(0, elems);
+    for r in 1..n {
+        let p = f64_payload(r, elems);
+        for (a, b) in acc.iter_mut().zip(&p) {
+            *a += b;
+        }
+    }
+    acc
+}
+
+fn check_collective(
+    sc: &Scenario,
+    kind: CollectiveKind,
+    elems: usize,
+    root: usize,
+) -> Result<(), Violation> {
+    let n = sc.nodes();
+    let root = root % n; // the shrinker may have dropped the root's node
+    let cluster = build_cluster(sc);
+    // Per-rank contribution length and the element count the predictor is
+    // asked to price (total payload for allgather, as in the bench).
+    let contrib_len = match kind {
+        CollectiveKind::Allgather => (elems / n).max(1),
+        _ => elems,
+    };
+    let pred_elems = match kind {
+        CollectiveKind::Allgather => contrib_len * n,
+        _ => elems,
+    };
+    let expected: Vec<f64> = match kind {
+        CollectiveKind::Bcast => f64_payload(root, contrib_len),
+        CollectiveKind::Reduce | CollectiveKind::Allreduce => serial_fold(n, contrib_len),
+        CollectiveKind::Allgather => (0..n).flat_map(|r| f64_payload(r, contrib_len)).collect(),
+    };
+
+    let mut predictions: Vec<(CollectiveAlgo, f64)> = Vec::new();
+    for algo in algos_for(kind, n) {
+        let u = Universe::new(cluster.clone()).with_tracing();
+        let exp = expected.clone();
+        let report = u.run(move |proc| -> Result<f64, RankFail> {
+            let world = proc.world();
+            let me = world.rank();
+            let predicted = world
+                .predict_collective_with(kind, algo, root, pred_elems, 8)
+                .map_err(typed)?;
+            let out: Option<Vec<f64>> = match kind {
+                CollectiveKind::Bcast => {
+                    let mut buf = f64_payload(me, contrib_len);
+                    world.bcast_into_with(algo, &mut buf, root).map_err(typed)?;
+                    Some(buf)
+                }
+                CollectiveKind::Reduce => world
+                    .reduce_eq_f64_with(algo, &f64_payload(me, contrib_len), ReduceOp::Sum, root)
+                    .map_err(typed)?,
+                CollectiveKind::Allreduce => Some(
+                    world
+                        .allreduce_eq_f64_with(algo, &f64_payload(me, contrib_len), ReduceOp::Sum)
+                        .map_err(typed)?,
+                ),
+                CollectiveKind::Allgather => Some(
+                    world
+                        .allgather_eq_with(algo, &f64_payload(me, contrib_len))
+                        .map_err(typed)?,
+                ),
+            };
+            let should_have_output = !matches!(kind, CollectiveKind::Reduce) || me == root;
+            match out {
+                Some(v) if should_have_output => {
+                    if bits(&v) != bits(&exp) {
+                        return Err(value_bug(format!(
+                            "{}/{} diverges from the serial reference",
+                            kind.name(),
+                            algo.name()
+                        )));
+                    }
+                }
+                None if !should_have_output => {}
+                _ => {
+                    return Err(value_bug(format!(
+                        "{}/{}: output presence wrong for rank {me} (root {root})",
+                        kind.name(),
+                        algo.name()
+                    )))
+                }
+            }
+            Ok(predicted)
+        });
+        let results: Vec<Result<(), RankFail>> = report
+            .results
+            .iter()
+            .map(|r| r.as_ref().map(|_| ()).map_err(Clone::clone))
+            .collect();
+        judge_ranks(sc, &results)?;
+        validate_trace(report.trace.as_ref().expect("tracing enabled"), n)?;
+        if let Ok(predicted) = &report.results[0] {
+            predictions.push((algo, *predicted));
+            // `timeof` parity: prediction replays the exact schedule, so
+            // fault-free under parallel links it must track the measured
+            // virtual makespan.
+            if sc.faults.is_empty() && sc.contention == ContentionModel::ParallelLinks {
+                let measured = report.makespan.as_secs();
+                if (predicted - measured).abs() > TIMEOF_REL_BOUND * measured + 1e-9 {
+                    return Err(viol(
+                        "timeof-parity",
+                        format!(
+                            "{}/{} on {n} ranks, {pred_elems} elems: predicted {predicted:.6e}s, \
+                             measured {measured:.6e}s",
+                            kind.name(),
+                            algo.name()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // The Auto selector must pick the cheapest priced algorithm (first in
+    // tie-break order), and running it must preserve the values too.
+    if !predictions.is_empty() {
+        let best = predictions
+            .iter()
+            .copied()
+            .reduce(|acc, cand| if cand.1 < acc.1 { cand } else { acc })
+            .expect("non-empty");
+        let u = Universe::new(cluster);
+        let report = u.run(move |proc| {
+            proc.world()
+                .predict_collective(kind, root, pred_elems, 8)
+                .map_err(typed)
+        });
+        match &report.results[0] {
+            Ok((algo, t)) => {
+                if *algo != best.0 || t.to_bits() != best.1.to_bits() {
+                    return Err(viol(
+                        "auto-selection",
+                        format!(
+                            "Auto picked {}@{t:.6e}, manual argmin is {}@{:.6e}",
+                            algo.name(),
+                            best.0.name(),
+                            best.1
+                        ),
+                    ));
+                }
+            }
+            Err((_, msg)) => {
+                return Err(viol(
+                    "auto-selection",
+                    format!("Auto pricing failed: {msg}"),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_group_cycle(sc: &Scenario, model_seed: u64, cycles: usize) -> Result<(), Violation> {
+    let n = sc.nodes();
+    let rt = HmpiRuntime::new(build_cluster(sc));
+    let report = rt.run(move |h| -> Result<(), RankFail> {
+        if let Err(e) = h.recon(1.0) {
+            // Typed failures are legal under faults; every rank sees the
+            // same verdict, so returning keeps the run collective.
+            return Err(typed(e));
+        }
+        for c in 0..cycles {
+            let model = ModelBuilder::random(model_seed.wrapping_add(c as u64), n.min(5));
+            match h.group_create(&model) {
+                Ok(g) => {
+                    let members = g.members().to_vec();
+                    let mut seen = std::collections::HashSet::new();
+                    for &m in &members {
+                        if m >= n || !seen.insert(m) {
+                            return Err(value_bug(format!(
+                                "cycle {c}: bad member list {members:?} (world size {n})"
+                            )));
+                        }
+                    }
+                    if !g.predicted_time().is_finite() || g.predicted_time() < 0.0 {
+                        return Err(value_bug(format!(
+                            "cycle {c}: predicted time {} is not a sane duration",
+                            g.predicted_time()
+                        )));
+                    }
+                    let me_in = members.contains(&h.world().rank());
+                    if me_in != g.is_member() {
+                        return Err(value_bug(format!(
+                            "cycle {c}: is_member() disagrees with the member list"
+                        )));
+                    }
+                    if g.is_member() {
+                        h.group_free(g).map_err(typed)?;
+                    }
+                }
+                Err(e) => return Err(typed(e)),
+            }
+        }
+        Ok(())
+    });
+    judge_ranks(sc, &report.results)
+}
+
+fn check_recon(sc: &Scenario, units: f64, rounds: usize) -> Result<(), Violation> {
+    let n = sc.nodes();
+    let rt = HmpiRuntime::new(build_cluster(sc));
+    let report = rt.run(move |h| -> Result<(), RankFail> {
+        let mut last_gen = h.estimates().generation();
+        let mut failed = false;
+        for round in 0..rounds {
+            match h.recon(units) {
+                Ok(()) => {
+                    // The generation is a *change* counter: the refresh
+                    // bumps it once, and each death the failure detector
+                    // observes bumps it again. Fault-free that means
+                    // exactly +1 per recon; with faults it must still
+                    // strictly increase.
+                    let gen = h.estimates().generation();
+                    let ok = if sc.faults.is_empty() {
+                        gen == last_gen + 1
+                    } else {
+                        gen > last_gen
+                    };
+                    if !ok {
+                        return Err(value_bug(format!(
+                            "round {round}: generation went {last_gen} -> {gen}"
+                        )));
+                    }
+                    last_gen = gen;
+                    let snap = h.estimates().snapshot();
+                    if snap.len() != n {
+                        return Err(value_bug(format!(
+                            "round {round}: snapshot has {} entries for {n} nodes",
+                            snap.len()
+                        )));
+                    }
+                    for (i, &s) in snap.iter().enumerate() {
+                        if !s.is_finite() {
+                            return Err(value_bug(format!(
+                                "round {round}: estimate for node {i} is {s}"
+                            )));
+                        }
+                        if h.estimates().is_available(NodeId(i)) && s <= 0.0 {
+                            return Err(value_bug(format!(
+                                "round {round}: available node {i} estimated at {s}"
+                            )));
+                        }
+                    }
+                }
+                Err(e) => {
+                    failed = true;
+                    let _ = e;
+                }
+            }
+        }
+        if failed {
+            Err(typed("recon round failed"))
+        } else {
+            Ok(())
+        }
+    });
+    judge_ranks(sc, &report.results)
+}
+
+fn check_selection(sc: &Scenario, model_seed: u64, est_seed: u64) -> Result<(), Violation> {
+    let n = sc.nodes();
+    let cluster = build_cluster(sc);
+    let placement: Vec<NodeId> = (0..n).map(NodeId).collect();
+    let mut erng = StdRng::seed_from_u64(est_seed);
+    let estimates =
+        SpeedEstimates::from_speeds((0..n).map(|_| erng.random_range(1.0..300.0)).collect());
+    let ctx = SelectionCtx {
+        cluster: &cluster,
+        placement: &placement,
+        estimates: &estimates,
+        candidates: (0..n).collect(),
+        pinned_parent: est_seed.is_multiple_of(2).then_some(0),
+    };
+    let model = ModelBuilder::random(model_seed, n.min(4));
+    let mut algos = vec![
+        MappingAlgorithm::Greedy,
+        MappingAlgorithm::GreedyRefined { max_rounds: 2 },
+        MappingAlgorithm::Annealing {
+            seed: model_seed,
+            iters: 30,
+        },
+    ];
+    if n <= 6 {
+        algos.push(MappingAlgorithm::Exhaustive);
+    }
+    for algo in algos {
+        let fast = select_mapping(algo, &model, &ctx);
+        let naive = select_mapping_naive(algo, &model, &ctx);
+        let agree = match (&fast, &naive) {
+            (Ok(a), Ok(b)) => {
+                a.assignment == b.assignment && a.predicted.to_bits() == b.predicted.to_bits()
+            }
+            (Err(a), Err(b)) => format!("{a:?}") == format!("{b:?}"),
+            _ => false,
+        };
+        if !agree {
+            return Err(viol(
+                "engine-naive-equivalence",
+                format!("{algo:?}: engine {fast:?} vs naive {naive:?}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_shrink(sc: &Scenario, rounds: usize, units: f64) -> Result<(), Violation> {
+    let n = sc.nodes();
+    let crashed: Vec<usize> = sc
+        .faults
+        .iter()
+        .filter_map(|ev| match ev {
+            FaultEvent::NodeCrash { node, .. } => Some(node.0),
+            _ => None,
+        })
+        .collect();
+    let rt = HmpiRuntime::new(build_cluster(sc));
+    let crashed2 = crashed.clone();
+    let report = rt.run(move |h| -> Result<(), RankFail> {
+        let model_for = |p: usize| {
+            ModelBuilder::new("shrink")
+                .processors(p)
+                .volumes(vec![units; p])
+                .build()
+                .expect("uniform model always builds")
+        };
+        let group = match h.group_create(&model_for(n)) {
+            Ok(g) => g,
+            Err(e) => return Err(typed(e)), // crash may predate the create
+        };
+        // A p == n model places every live rank; with everyone alive at
+        // create time that is all of us.
+        let comm = match group.comm() {
+            Some(c) => c.clone(),
+            None => return Err(typed("not a member of the full group")),
+        };
+        let mut saw_failure = false;
+        for _ in 0..rounds {
+            if h.try_compute(units).is_err() {
+                return Err(typed("own node crashed")); // this rank died
+            }
+            if comm.barrier().is_err() {
+                saw_failure = true;
+                break;
+            }
+        }
+        if !saw_failure {
+            h.group_free(group).map_err(typed)?;
+            return Ok(());
+        }
+        match h.rebuild_group(group, |survivors| Ok(model_for(survivors.len()))) {
+            Ok(rebuilt) => {
+                let members = rebuilt.members().to_vec();
+                if let Some(&dead) = members.iter().find(|m| crashed2.contains(m)) {
+                    return Err(value_bug(format!(
+                        "rebuilt group contains crashed rank {dead}: {members:?}"
+                    )));
+                }
+                if rebuilt.is_member() {
+                    let c = rebuilt.comm().expect("members have a comm").clone();
+                    c.barrier().map_err(typed)?;
+                }
+                h.group_free(rebuilt).map_err(typed)?;
+                Ok(())
+            }
+            Err(e) => Err(typed(e)),
+        }
+    });
+    judge_ranks(sc, &report.results)
+}
+
+fn check_app(sc: &Scenario, app: AppKind) -> Result<(), Violation> {
+    let n = sc.nodes();
+    let cluster = build_cluster(sc);
+    match app {
+        AppKind::Em3d => {
+            let p = n.min(3);
+            let cfg = hmpi_apps::em3d::Em3dConfig::ramp(p, 6, 2.0, sc.seed);
+            let mpi = hmpi_apps::em3d::run_mpi(cluster.clone(), &cfg, 2);
+            let hmpi = hmpi_apps::em3d::run_hmpi(cluster, &cfg, 2, 8);
+            check_members("em3d", &hmpi.members, n)?;
+            if mpi.fields != hmpi.fields {
+                return Err(viol(
+                    "placement-neutrality",
+                    "EM3D fields differ between the MPI and HMPI placements",
+                ));
+            }
+            check_app_times("em3d", &[mpi.time, hmpi.time])
+        }
+        AppKind::Matmul => {
+            let m = if n >= 4 { 2 } else { 1 };
+            let (size, r) = (2 * m, 2);
+            let mpi = hmpi_apps::matmul::run_mpi(cluster.clone(), m, size, r, Some(m));
+            let hmpi = hmpi_apps::matmul::run_hmpi(cluster, m, size, r, Some(m));
+            check_members("matmul", &hmpi.members, n)?;
+            if mpi.c != hmpi.c {
+                return Err(viol(
+                    "placement-neutrality",
+                    "matmul products differ between the MPI and HMPI placements",
+                ));
+            }
+            check_app_times("matmul", &[mpi.time, hmpi.time])
+        }
+        AppKind::Nbody => {
+            let p = n.min(3);
+            let cfg = hmpi_apps::nbody::NbodyConfig::ramp(p, 2, 2.0, sc.seed);
+            let mpi = hmpi_apps::nbody::run_mpi(cluster.clone(), &cfg, 2, 1);
+            let hmpi = hmpi_apps::nbody::run_hmpi(cluster, &cfg, 2, 1);
+            check_members("nbody", &hmpi.members, n)?;
+            if mpi.groups != hmpi.groups {
+                return Err(viol(
+                    "placement-neutrality",
+                    "N-body trajectories differ between the MPI and HMPI placements",
+                ));
+            }
+            check_app_times("nbody", &[mpi.time, hmpi.time])
+        }
+    }
+}
+
+fn check_members(app: &str, members: &[usize], n: usize) -> Result<(), Violation> {
+    let mut seen = std::collections::HashSet::new();
+    for &m in members {
+        if m >= n || !seen.insert(m) {
+            return Err(viol(
+                "value-integrity",
+                format!("{app}: HMPI member list {members:?} invalid for world size {n}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_app_times(app: &str, times: &[f64]) -> Result<(), Violation> {
+    for &t in times {
+        if !t.is_finite() || t < 0.0 {
+            return Err(viol(
+                "value-integrity",
+                format!("{app}: virtual time {t} is not a sane duration"),
+            ));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,226 @@
+//! Seed → scenario: the random test-case generator.
+//!
+//! All randomness flows from the single `u64` seed through a [`StdRng`],
+//! so the same seed always yields the same scenario — a failing seed
+//! printed by the CLI *is* the repro. The generator materialises every
+//! drawn value into the [`Scenario`] (rather than re-deriving it at
+//! execution time) so the shrinker can edit the case afterwards.
+
+use crate::scenario::{AppKind, LinkOverride, Scenario, Workload};
+use hetsim::{ContentionModel, FaultEvent, NodeId, SimTime};
+use mpisim::CollectiveKind;
+use rand::{Rng, SeedableRng, StdRng};
+
+fn log_uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    lo * (hi / lo).powf(rng.random())
+}
+
+fn draw_contention(rng: &mut StdRng) -> ContentionModel {
+    match rng.random_range(0u32..3) {
+        0 => ContentionModel::ParallelLinks,
+        1 => ContentionModel::SerializedNic,
+        _ => ContentionModel::SharedBus,
+    }
+}
+
+fn draw_workload(rng: &mut StdRng, n: usize) -> Workload {
+    match rng.random_range(0u32..8) {
+        0 => Workload::P2pRing {
+            elems: log_uniform(rng, 1.0, 4096.0) as usize + 1,
+            rounds: rng.random_range(1..4),
+        },
+        1 => Workload::P2pRandom {
+            pattern_seed: rng.random_range(0..u64::MAX),
+            msgs: rng.random_range(1..17),
+            max_elems: log_uniform(rng, 1.0, 2048.0) as usize + 1,
+        },
+        2 => Workload::Collective {
+            kind: match rng.random_range(0u32..4) {
+                0 => CollectiveKind::Bcast,
+                1 => CollectiveKind::Reduce,
+                2 => CollectiveKind::Allreduce,
+                _ => CollectiveKind::Allgather,
+            },
+            elems: log_uniform(rng, 1.0, 4096.0) as usize + 1,
+            root: rng.random_range(0..n),
+        },
+        3 => Workload::GroupCycle {
+            model_seed: rng.random_range(0..u64::MAX),
+            cycles: rng.random_range(1..4),
+        },
+        4 => Workload::ReconRounds {
+            units: rng.random_range(0.5..20.0),
+            rounds: rng.random_range(1..4),
+        },
+        5 => Workload::Selection {
+            model_seed: rng.random_range(0..u64::MAX),
+            est_seed: rng.random_range(0..u64::MAX),
+        },
+        6 => Workload::ShrinkRecovery {
+            rounds: rng.random_range(2..5),
+            units: rng.random_range(10.0..100.0),
+        },
+        _ => Workload::AppKernel {
+            app: match rng.random_range(0u32..3) {
+                0 => AppKind::Em3d,
+                1 => AppKind::Matmul,
+                _ => AppKind::Nbody,
+            },
+        },
+    }
+}
+
+/// Whether a workload tolerates injected faults. The kernels and the
+/// collective invariants (bit-exactness vs a serial reference, `timeof`
+/// parity) are checked fault-free; the pure selection check has no
+/// simulation for faults to touch.
+fn faultable(w: &Workload) -> bool {
+    !matches!(
+        w,
+        Workload::AppKernel { .. } | Workload::Collective { .. } | Workload::Selection { .. }
+    )
+}
+
+/// Materialises 1..=`max_events` random fault events. Node 0 is exempt
+/// from crashes (it hosts HMPI's parent rank; a run where the host dies at
+/// t=0 exercises nothing), mirroring `FaultPlan::random_mixed`'s survivor.
+fn draw_faults(rng: &mut StdRng, n: usize, horizon: f64) -> Vec<FaultEvent> {
+    let mut events = Vec::new();
+    let mut crashed = vec![false; n];
+    for _ in 0..rng.random_range(1..5) {
+        let at = SimTime::from_secs(rng.random_range(0.0..horizon).max(1e-9));
+        let node = NodeId(rng.random_range(0..n));
+        match rng.random_range(0u32..4) {
+            0 if node.0 != 0 && !crashed[node.0] => {
+                crashed[node.0] = true;
+                events.push(FaultEvent::NodeCrash { node, at });
+            }
+            1 => {
+                let span = rng.random_range(0.05..horizon);
+                events.push(FaultEvent::NodeSlowdown {
+                    node,
+                    from: at,
+                    until: at + SimTime::from_secs(span),
+                    factor: rng.random_range(0.05..1.0),
+                });
+            }
+            2 if n >= 2 => {
+                let to = NodeId((node.0 + rng.random_range(1..n)) % n);
+                events.push(FaultEvent::LinkDegrade {
+                    from: node,
+                    to,
+                    at,
+                    bandwidth_factor: rng.random_range(0.05..1.0),
+                });
+            }
+            3 if n >= 2 => {
+                let to = NodeId((node.0 + rng.random_range(1..n)) % n);
+                events.push(FaultEvent::LinkDrop { from: node, to, at });
+            }
+            _ => {}
+        }
+    }
+    events
+}
+
+/// Generates the scenario for `seed`.
+pub fn generate(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Node count 1..=32, quadratically skewed towards small clusters so
+    // the seed budget spends most of its time on fast cases while still
+    // reaching paper-scale (9 nodes) and beyond regularly.
+    let r: f64 = rng.random();
+    let n = 1 + (r * r * 31.0) as usize;
+
+    let speeds: Vec<f64> = (0..n).map(|_| rng.random_range(5.0..500.0)).collect();
+    let base_lat = log_uniform(&mut rng, 1e-6, 1e-3);
+    let base_bw = log_uniform(&mut rng, 1e6, 1e9);
+
+    let mut overrides = Vec::new();
+    if n >= 2 {
+        for _ in 0..rng.random_range(0..n) {
+            let a = rng.random_range(0..n);
+            let b = (a + rng.random_range(1..n)) % n;
+            overrides.push(LinkOverride {
+                a,
+                b,
+                lat: log_uniform(&mut rng, 1e-6, 1e-2),
+                bw: log_uniform(&mut rng, 1e5, 1e9),
+            });
+        }
+    }
+
+    let contention = draw_contention(&mut rng);
+    let workload = draw_workload(&mut rng, n);
+
+    let mut faults = Vec::new();
+    if let Workload::ShrinkRecovery { rounds, units } = workload {
+        // The crash must land inside the compute window so the shrink
+        // path actually runs; aim for the middle rounds. Speeds are at
+        // least 5, so `units / 5` bounds one round's duration above.
+        if n >= 2 {
+            let round_time = units / 5.0;
+            let at = rng.random_range(0.2..rounds as f64 - 0.2) * round_time;
+            faults.push(FaultEvent::NodeCrash {
+                node: NodeId(rng.random_range(1..n)),
+                at: SimTime::from_secs(at),
+            });
+        }
+    } else if faultable(&workload) && rng.random_range(0u32..5) < 2 {
+        faults = draw_faults(&mut rng, n, 10.0);
+    }
+
+    Scenario {
+        seed,
+        speeds,
+        base_lat,
+        base_bw,
+        overrides,
+        contention,
+        faults,
+        workload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::parse;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..200 {
+            assert_eq!(generate(seed), generate(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_scenario_round_trips_through_its_line() {
+        for seed in 0..500 {
+            let sc = generate(seed);
+            let line = sc.to_string();
+            let back = parse(&line).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{line}"));
+            assert_eq!(sc, back, "seed {seed} did not round-trip:\n{line}");
+        }
+    }
+
+    #[test]
+    fn the_generator_covers_the_space() {
+        let mut workloads = HashSet::new();
+        let mut contentions = HashSet::new();
+        let mut any_faults = false;
+        let mut max_n = 0;
+        for seed in 0..400 {
+            let sc = generate(seed);
+            workloads.insert(sc.workload.label());
+            contentions.insert(format!("{:?}", sc.contention));
+            any_faults |= !sc.faults.is_empty();
+            max_n = max_n.max(sc.nodes());
+        }
+        assert_eq!(workloads.len(), 8, "missing workloads: {workloads:?}");
+        assert_eq!(contentions.len(), 3);
+        assert!(any_faults, "no faulty scenario in 400 seeds");
+        assert!(max_n >= 16, "clusters never got large: max {max_n}");
+    }
+}

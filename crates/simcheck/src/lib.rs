@@ -1,0 +1,34 @@
+//! # simcheck — deterministic scenario fuzzing for the HMPI stack
+//!
+//! The workspace's layers (hetsim's network model, mpisim's virtual-time
+//! MPI, hmpi's recon/selection runtime, perfmodel's cost engine, the
+//! application kernels) are unit-tested in isolation; this crate tests
+//! them *together*, the way a randomised integration suite would: draw a
+//! random heterogeneous cluster, a random fault schedule and a random
+//! workload from a seed, execute the whole stack, and check global
+//! invariants that must hold for **every** scenario (see [`exec::check`]).
+//!
+//! Everything is reproducible from the seed:
+//!
+//! ```text
+//! cargo run -p simcheck -- --seeds 500          # fuzz a seed range
+//! cargo run -p simcheck -- --seed 0x1f2e        # re-run one seed
+//! cargo run -p simcheck -- --replay corpus/     # replay saved repros
+//! ```
+//!
+//! A failing seed is auto-[`shrink`]ed (drop nodes → drop fault events →
+//! drop link overrides → halve sizes) to a minimal one-line repro and
+//! written to `corpus/`; the committed corpus replays as an ordinary
+//! `cargo test -p simcheck` (see `tests/corpus.rs`).
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod gen;
+pub mod scenario;
+pub mod shrink;
+
+pub use exec::{check, Violation, TIMEOF_REL_BOUND};
+pub use gen::generate;
+pub use scenario::{parse, AppKind, LinkOverride, ParseError, Scenario, Workload};
+pub use shrink::shrink;

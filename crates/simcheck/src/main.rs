@@ -1,0 +1,205 @@
+//! The simcheck CLI: fuzz a seed range, re-run one seed, or replay the
+//! committed corpus. See the crate docs for the invariants checked.
+
+use simcheck::{check, generate, parse, shrink, Scenario};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Opts {
+    seed: Option<u64>,
+    seeds: Option<u64>,
+    base: u64,
+    replay: Option<PathBuf>,
+    out: PathBuf,
+    no_shrink: bool,
+    print_only: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simcheck [--seeds N] [--base SEED] [--seed SEED] [--replay PATH]\n\
+         \x20               [--out DIR] [--no-shrink] [--print]\n\
+         \n\
+         --seeds N     fuzz N consecutive seeds starting at --base (default 500)\n\
+         --base SEED   first seed of the range (default 0; hex with 0x prefix)\n\
+         --seed SEED   run exactly one seed, verbosely\n\
+         --replay PATH re-run every scenario line in a .scn file or directory\n\
+         --out DIR     where minimized repros are written (default: the crate's corpus/)\n\
+         --no-shrink   report failures without minimising them\n\
+         --print       print the generated scenario line(s) without executing"
+    );
+    std::process::exit(2)
+}
+
+fn parse_seed_arg(s: &str) -> u64 {
+    let r = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.unwrap_or_else(|_| usage())
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        seed: None,
+        seeds: None,
+        base: 0,
+        replay: None,
+        out: PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus")),
+        no_shrink: false,
+        print_only: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--seed" => opts.seed = Some(parse_seed_arg(&val())),
+            "--seeds" => opts.seeds = Some(parse_seed_arg(&val())),
+            "--base" => opts.base = parse_seed_arg(&val()),
+            "--replay" => opts.replay = Some(PathBuf::from(val())),
+            "--out" => opts.out = PathBuf::from(val()),
+            "--no-shrink" => opts.no_shrink = true,
+            "--print" => opts.print_only = true,
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+/// Runs one scenario; on violation, optionally shrinks and writes the
+/// repro. Returns false on failure.
+fn run_scenario(sc: &Scenario, opts: &Opts) -> bool {
+    let Err(v) = check(sc) else { return true };
+    eprintln!("FAIL seed {:#x}: {v}", sc.seed);
+    eprintln!("  scenario: {sc}");
+    let minimal = if opts.no_shrink {
+        sc.clone()
+    } else {
+        let m = shrink(sc, &|cand| check(cand).is_err());
+        eprintln!("  shrunk:   {m}");
+        m
+    };
+    let final_v = check(&minimal).err().unwrap_or(v);
+    let _ = std::fs::create_dir_all(&opts.out);
+    let path = opts.out.join(format!("repro-{:016x}.scn", sc.seed));
+    let body = format!(
+        "# auto-minimised repro for seed {:#x}\n# violation: {final_v}\n{minimal}\n",
+        sc.seed
+    );
+    match std::fs::write(&path, body) {
+        Ok(()) => eprintln!("  repro written to {}", path.display()),
+        Err(e) => eprintln!("  could not write repro: {e}"),
+    }
+    false
+}
+
+fn replay_file(path: &Path) -> Result<usize, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut ran = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let sc = parse(line)
+            .map_err(|e| format!("{}:{}: {e}", path.display(), lineno + 1))?;
+        if let Err(v) = check(&sc) {
+            return Err(format!("{}:{}: {v}\n  {sc}", path.display(), lineno + 1));
+        }
+        ran += 1;
+    }
+    Ok(ran)
+}
+
+fn replay(path: &Path) -> ExitCode {
+    let files: Vec<PathBuf> = if path.is_dir() {
+        let mut v: Vec<PathBuf> = std::fs::read_dir(path)
+            .unwrap_or_else(|e| {
+                eprintln!("{}: {e}", path.display());
+                std::process::exit(2)
+            })
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "scn"))
+            .collect();
+        v.sort();
+        v
+    } else {
+        vec![path.to_path_buf()]
+    };
+    let mut total = 0;
+    for f in &files {
+        match replay_file(f) {
+            Ok(n) => total += n,
+            Err(msg) => {
+                eprintln!("FAIL {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "replayed {total} scenario(s) from {} file(s): all invariants hold",
+        files.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let opts = parse_opts();
+
+    if let Some(path) = &opts.replay {
+        return replay(path);
+    }
+
+    let seeds: Vec<u64> = match (opts.seed, opts.seeds) {
+        (Some(s), _) => vec![s],
+        (None, n) => {
+            let n = n.unwrap_or(500);
+            (0..n).map(|i| opts.base.wrapping_add(i)).collect()
+        }
+    };
+
+    if opts.print_only {
+        for &seed in &seeds {
+            println!("{}", generate(seed));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Rank threads legitimately unwind through the deadlock watchdog and
+    // crash-injection paths; the harness reports those as violations, so
+    // silence the per-thread panic spew.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let started = Instant::now();
+    let mut by_workload: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut failures = 0usize;
+    for &seed in &seeds {
+        let sc = generate(seed);
+        *by_workload.entry(sc.workload.label()).or_default() += 1;
+        if !run_scenario(&sc, &opts) {
+            failures += 1;
+            break; // first failure wins; its seed reproduces it
+        }
+    }
+    let elapsed = started.elapsed();
+    let mix: Vec<String> = by_workload
+        .iter()
+        .map(|(k, v)| format!("{k}:{v}"))
+        .collect();
+    println!(
+        "simcheck: {} scenario(s) in {:.1}s  [{}]",
+        seeds.len().min(by_workload.values().sum::<usize>()),
+        elapsed.as_secs_f64(),
+        mix.join(" ")
+    );
+    if failures == 0 {
+        println!("all invariants hold");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

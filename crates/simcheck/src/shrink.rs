@@ -1,0 +1,224 @@
+//! Scenario minimisation: once a seed fails, boil the case down.
+//!
+//! Greedy delta-debugging over the materialised scenario: try dropping
+//! whole nodes (remapping links, faults and roots), then dropping fault
+//! events, then dropping link overrides, then halving workload sizes —
+//! keeping any edit under which the scenario *still fails*. The result is
+//! the one-line repro written to the corpus. The failure predicate is
+//! whatever the caller passes (usually `check(sc).is_err()`), so a shrink
+//! step may land on a *different* violation — any failure is worth
+//! keeping, as in classic shrinking.
+
+use crate::scenario::{Scenario, Workload};
+use hetsim::{FaultEvent, NodeId};
+
+fn remap(id: NodeId, dropped: usize) -> NodeId {
+    NodeId(if id.0 > dropped { id.0 - 1 } else { id.0 })
+}
+
+/// The scenario with node `i` removed: links, faults and workload
+/// references are remapped; anything touching the node is dropped.
+fn drop_node(sc: &Scenario, i: usize) -> Scenario {
+    let mut out = sc.clone();
+    out.speeds.remove(i);
+    let n = out.speeds.len();
+    out.overrides.retain(|o| o.a != i && o.b != i);
+    for o in &mut out.overrides {
+        if o.a > i {
+            o.a -= 1;
+        }
+        if o.b > i {
+            o.b -= 1;
+        }
+    }
+    out.faults.retain(|ev| match ev {
+        FaultEvent::NodeCrash { node, .. } | FaultEvent::NodeSlowdown { node, .. } => node.0 != i,
+        FaultEvent::LinkDegrade { from, to, .. } | FaultEvent::LinkDrop { from, to, .. } => {
+            from.0 != i && to.0 != i
+        }
+    });
+    for ev in &mut out.faults {
+        match ev {
+            FaultEvent::NodeCrash { node, .. } | FaultEvent::NodeSlowdown { node, .. } => {
+                *node = remap(*node, i)
+            }
+            FaultEvent::LinkDegrade { from, to, .. } | FaultEvent::LinkDrop { from, to, .. } => {
+                *from = remap(*from, i);
+                *to = remap(*to, i);
+            }
+        }
+    }
+    if let Workload::Collective { root, .. } = &mut out.workload {
+        *root %= n;
+    }
+    out
+}
+
+fn half(x: usize) -> Option<usize> {
+    (x > 1).then_some(x / 2)
+}
+
+/// Smaller-workload variants, cheapest reductions first.
+fn workload_shrinks(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let mut push = |w: Workload| {
+        let mut cand = sc.clone();
+        cand.workload = w;
+        out.push(cand);
+    };
+    match sc.workload {
+        Workload::P2pRing { elems, rounds } => {
+            if let Some(e) = half(elems) {
+                push(Workload::P2pRing { elems: e, rounds });
+            }
+            if let Some(r) = half(rounds) {
+                push(Workload::P2pRing { elems, rounds: r });
+            }
+        }
+        Workload::P2pRandom {
+            pattern_seed,
+            msgs,
+            max_elems,
+        } => {
+            if let Some(m) = half(msgs) {
+                push(Workload::P2pRandom {
+                    pattern_seed,
+                    msgs: m,
+                    max_elems,
+                });
+            }
+            if let Some(e) = half(max_elems) {
+                push(Workload::P2pRandom {
+                    pattern_seed,
+                    msgs,
+                    max_elems: e,
+                });
+            }
+        }
+        Workload::Collective { kind, elems, root } => {
+            if let Some(e) = half(elems) {
+                push(Workload::Collective {
+                    kind,
+                    elems: e,
+                    root,
+                });
+            }
+        }
+        Workload::GroupCycle { model_seed, cycles } => {
+            if let Some(c) = half(cycles) {
+                push(Workload::GroupCycle {
+                    model_seed,
+                    cycles: c,
+                });
+            }
+        }
+        Workload::ReconRounds { units, rounds } => {
+            if let Some(r) = half(rounds) {
+                push(Workload::ReconRounds { units, rounds: r });
+            }
+        }
+        Workload::ShrinkRecovery { rounds, units } => {
+            if let Some(r) = half(rounds) {
+                push(Workload::ShrinkRecovery { rounds: r, units });
+            }
+        }
+        Workload::Selection { .. } | Workload::AppKernel { .. } => {}
+    }
+    out
+}
+
+fn candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    if sc.nodes() > 1 {
+        for i in (0..sc.nodes()).rev() {
+            out.push(drop_node(sc, i));
+        }
+    }
+    for j in (0..sc.faults.len()).rev() {
+        let mut cand = sc.clone();
+        cand.faults.remove(j);
+        out.push(cand);
+    }
+    for j in (0..sc.overrides.len()).rev() {
+        let mut cand = sc.clone();
+        cand.overrides.remove(j);
+        out.push(cand);
+    }
+    out.extend(workload_shrinks(sc));
+    out
+}
+
+/// Greedily minimises `sc` under `fails`, re-running the checker after
+/// every candidate edit. Bounded by a fixed probe budget so shrinking a
+/// slow scenario cannot run away.
+pub fn shrink(sc: &Scenario, fails: &dyn Fn(&Scenario) -> bool) -> Scenario {
+    let mut current = sc.clone();
+    let mut budget = 300usize;
+    'outer: loop {
+        for cand in candidates(&current) {
+            if budget == 0 {
+                return current;
+            }
+            budget -= 1;
+            if fails(&cand) {
+                current = cand;
+                continue 'outer;
+            }
+        }
+        return current;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    /// An artificial failure predicate: "fails whenever node count >= 2 or
+    /// any fault is scheduled". The only fixed points are (2 nodes, no
+    /// faults) and (1 node, exactly 1 fault); the shrinker must land on
+    /// one, and every intermediate must stay well-formed.
+    #[test]
+    fn shrinks_to_a_minimal_failing_case() {
+        let fails = |s: &Scenario| s.nodes() >= 2 || !s.faults.is_empty();
+        for seed in 0..60 {
+            let sc = generate(seed);
+            if !fails(&sc) {
+                continue;
+            }
+            let min = shrink(&sc, &fails);
+            assert!(fails(&min), "seed {seed}: shrank past the failure");
+            assert!(
+                (min.nodes() == 2 && min.faults.is_empty())
+                    || (min.nodes() == 1 && min.faults.len() == 1),
+                "seed {seed}: not minimal: {min}"
+            );
+            // The repro line round-trips.
+            assert_eq!(crate::scenario::parse(&min.to_string()).unwrap(), min);
+        }
+    }
+
+    #[test]
+    fn dropping_nodes_keeps_references_in_range() {
+        for seed in 0..120 {
+            let sc = generate(seed);
+            if sc.nodes() < 2 {
+                continue;
+            }
+            let smaller = drop_node(&sc, sc.nodes() / 2);
+            let n = smaller.nodes();
+            for o in &smaller.overrides {
+                assert!(o.a < n && o.b < n && o.a != o.b, "seed {seed}: {smaller}");
+            }
+            for ev in &smaller.faults {
+                let ok = match ev {
+                    FaultEvent::NodeCrash { node, .. }
+                    | FaultEvent::NodeSlowdown { node, .. } => node.0 < n,
+                    FaultEvent::LinkDegrade { from, to, .. }
+                    | FaultEvent::LinkDrop { from, to, .. } => from.0 < n && to.0 < n,
+                };
+                assert!(ok, "seed {seed}: fault out of range in {smaller}");
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Replays the committed corpus as an ordinary test, so every curated
+//! scenario (and every minimised repro of a past failure) is re-checked
+//! by `cargo test`. Lines starting with `#` are comments; each other
+//! line is one scenario in the `v1 seed=...` encoding.
+
+use simcheck::{check, generate, parse};
+use std::path::Path;
+
+#[test]
+fn the_committed_corpus_holds_every_invariant() {
+    let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus"));
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("corpus directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "scn"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "corpus has no .scn files");
+
+    let mut scenarios = 0;
+    for file in &files {
+        let text = std::fs::read_to_string(file).unwrap();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let sc = parse(line).unwrap_or_else(|e| {
+                panic!("{}:{}: parse error: {e}", file.display(), lineno + 1)
+            });
+            if let Err(v) = check(&sc) {
+                panic!("{}:{}: {v}\n  scenario: {sc}", file.display(), lineno + 1);
+            }
+            scenarios += 1;
+        }
+    }
+    assert!(
+        scenarios >= 10,
+        "corpus has only {scenarios} scenarios; keep at least 10 curated cases"
+    );
+}
+
+/// A fixed-seed smoke slice of the fuzzer itself, so `cargo test` alone
+/// exercises generation + execution end to end even if the corpus is
+/// ever pruned.
+#[test]
+fn a_fixed_seed_slice_of_the_fuzzer_passes() {
+    for seed in 0..25 {
+        let sc = generate(seed);
+        if let Err(v) = check(&sc) {
+            panic!("seed {seed}: {v}\n  scenario: {sc}");
+        }
+    }
+}
