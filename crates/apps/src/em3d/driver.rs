@@ -13,8 +13,8 @@ use crate::em3d::body::{Em3dConfig, Em3dSystem};
 use crate::em3d::model::em3d_model;
 use crate::em3d::parallel::ParallelBody;
 use hetsim::{Cluster, SimTime};
-use hmpi::{HmpiError, HmpiRuntime, MappingAlgorithm, Recon};
-use mpisim::{MpiError, Universe};
+use hmpi::{HmpiError, HmpiGroup, HmpiRuntime, MappingAlgorithm, Recon, RecoveryPolicy};
+use mpisim::{MpiResult, Universe};
 use std::sync::Arc;
 
 /// Outcome of one EM3D execution.
@@ -255,9 +255,11 @@ fn shrunk(cfg: &Em3dConfig, p: usize) -> Em3dConfig {
     c
 }
 
-/// The fault-tolerant HMPI program: FT recon, `group_create`, run — and on
-/// any failure, `rebuild_group` over the survivors and restart the
-/// (shrunk) computation from scratch.
+/// The fault-tolerant HMPI program: FT recon, `group_create`, then the
+/// computation under a [`RecoveryPolicy`] — every attempt ends in an
+/// agreement round, and a failure verdict answers with `rebuild_group`
+/// over the survivors and a restart of the (shrunk) computation from
+/// scratch.
 ///
 /// Each attempt regenerates the system for the current group size, so the
 /// result after a mid-run crash equals a clean run of the shrunk problem.
@@ -286,7 +288,6 @@ pub fn run_hmpi_ft(
         runtime.universe().size()
     );
     let report = runtime.run(|h| -> (RankOutcome, Option<FtMeta>) {
-        let my_world = h.rank();
         // On a faulty cluster this takes the fault-tolerant path (doubling
         // as the failure detector); fault-free it is the classic collective
         // recon — the options struct dispatches exactly like the old
@@ -303,7 +304,7 @@ pub fn run_hmpi_ft(
             Ok(m) => m,
             Err(_) => return (None, None),
         };
-        let mut group = match h.group_create(&model) {
+        let group = match h.group_create(&model) {
             Ok(g) => g,
             Err(_) => return (None, None), // infeasible from the start
         };
@@ -312,56 +313,55 @@ pub fn run_hmpi_ft(
             fin: None,
             rebuilds: 0,
         });
+        if !group.is_member() {
+            return (None, meta); // never selected; free processes stand by
+        }
 
-        let mut outcome: RankOutcome = None;
-        loop {
-            if !group.is_member() {
-                break; // never selected; free processes just stand by
-            }
-            let comm = group.comm().expect("member has a comm").clone();
+        // One attempt = the whole (shrunk) computation from scratch; the
+        // policy answers each failure verdict with agree + backoff +
+        // rebuild + retry. The group cannot shrink more times than there
+        // are processes.
+        let policy = RecoveryPolicy::new().with_max_rebuilds(h.size());
+        let attempt = |group: &HmpiGroup, _round: usize| -> MpiResult<_> {
+            let comm = group.comm().expect("member has a comm");
             let sys = Em3dSystem::generate(&shrunk(cfg, group.size()));
             let mut pb = ParallelBody::new(&sys, comm.rank());
             // Per-iteration deadline: generous versus the prediction, tiny
             // versus the deadlock timeout.
             let budget = (group.predicted_time() * 10.0).max(1.0);
             let t0 = comm.clock().now();
-            let attempt = (0..niter)
-                .try_for_each(|_| {
-                    let deadline =
-                        SimTime::from_secs(comm.clock().now().as_secs() + budget);
-                    pb.step_by(&comm, deadline)
-                })
-                .and_then(|()| comm.barrier());
-            match attempt {
-                Ok(()) => {
-                    let dur = (comm.clock().now() - t0).as_secs();
-                    outcome = Some((dur, pb.body.e_values, pb.body.h_values));
-                    if let Some(m) = meta.as_mut() {
-                        m.fin = Some((group.members().to_vec(), group.predicted_time()));
-                    }
-                    // Lenient free: a peer may die between the closing
-                    // barrier and the free barriers.
-                    let _ = h.group_free(group);
-                    return (outcome, meta);
+            (0..niter).try_for_each(|_| {
+                let deadline = SimTime::from_secs(comm.clock().now().as_secs() + budget);
+                pb.step_by(comm, deadline)
+            })?;
+            comm.barrier()?;
+            let dur = (comm.clock().now() - t0).as_secs();
+            Ok((dur, pb.body.e_values, pb.body.h_values))
+        };
+        let model_for = |survivors: &[usize]| {
+            let sys2 = Em3dSystem::generate(&shrunk(cfg, survivors.len()));
+            em3d_model(&sys2, k).map_err(|_| HmpiError::Aborted)
+        };
+        match policy.run(h, group, model_for, attempt) {
+            Ok(rec) => {
+                if let Some(m) = meta.as_mut() {
+                    m.fin = Some((rec.group.members().to_vec(), rec.group.predicted_time()));
+                    m.rebuilds = rec.rebuilds;
                 }
-                Err(MpiError::NodeFailed { world_rank }) if world_rank == my_world => {
-                    return (None, meta); // our own node fail-stopped
+                // Lenient free: a peer may die between the success verdict
+                // and the free barriers.
+                let _ = h.group_free(rec.group);
+                (Some(rec.result), meta)
+            }
+            Err(e) => {
+                // Own node fail-stopped, no feasible shrink remained, or the
+                // rebuilt selection left this process out.
+                if let Some(m) = meta.as_mut() {
+                    m.rebuilds = e.rebuilds;
                 }
-                Err(_) => {
-                    if let Some(m) = meta.as_mut() {
-                        m.rebuilds += 1;
-                    }
-                    group = match h.rebuild_group(group, |survivors| {
-                        let sys2 = Em3dSystem::generate(&shrunk(cfg, survivors.len()));
-                        em3d_model(&sys2, k).map_err(|_| HmpiError::Aborted)
-                    }) {
-                        Ok(g) => g,
-                        Err(_) => return (None, meta), // no feasible shrink
-                    };
-                }
+                (None, meta)
             }
         }
-        (outcome, meta)
     });
 
     let mut outcomes = Vec::with_capacity(report.results.len());

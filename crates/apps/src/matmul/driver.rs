@@ -13,8 +13,8 @@ use crate::matmul::dist::GeneralizedBlockDist;
 use crate::matmul::model::matmul_model;
 use crate::matmul::parallel::DistributedMatmul;
 use hetsim::Cluster;
-use hmpi::{HmpiRuntime, MappingAlgorithm, Recon};
-use mpisim::Universe;
+use hmpi::{HmpiError, HmpiGroup, HmpiRuntime, MappingAlgorithm, Recon, RecoveryPolicy};
+use mpisim::{MpiResult, Universe};
 use std::sync::Arc;
 
 /// Seeds for the deterministic input matrices (shared by every driver so
@@ -281,6 +281,218 @@ fn run_hmpi_inner(
     )
 }
 
+/// Outcome of one fault-tolerant matrix multiplication ([`run_hmpi_ft`]).
+///
+/// Unlike EM3D, the *problem* never shrinks — only the process grid does: a
+/// rebuild drops to the largest `m' x m'` grid the survivors can fill, so
+/// the final `C` always equals the full serial product.
+#[derive(Debug, Clone)]
+pub struct MatmulFtRun {
+    /// The grid `HMPI_Group_create` originally selected.
+    pub initial_members: Vec<usize>,
+    /// Predicted time of the initial grid, seconds.
+    pub initial_predicted: f64,
+    /// The grid that completed the run (== initial when nothing failed).
+    pub final_members: Vec<usize>,
+    /// Predicted time of the final grid, seconds.
+    pub final_predicted: f64,
+    /// How many times the grid was shrunk with `rebuild_group`.
+    pub rebuilds: usize,
+    /// Side of the final process grid (`final_members.len() == final_m²`).
+    pub final_m: usize,
+    /// Generalised block size of the final attempt.
+    pub l: usize,
+    /// Virtual time of the final, successful attempt, seconds.
+    pub time: f64,
+    /// Virtual time of the whole run including failed attempts, seconds.
+    pub makespan: f64,
+    /// The gathered result matrix (from the final grid root).
+    pub c: Option<BlockMatrix>,
+}
+
+/// What the host learned over the FT run; `None` on every other rank.
+#[derive(Debug, Clone)]
+struct MmFtMeta {
+    initial: (Vec<usize>, f64),
+    fin: Option<(Vec<usize>, f64)>,
+    rebuilds: usize,
+}
+
+/// The largest grid side `m' <= m_max` with `m'²` processes available.
+fn grid_for(m_max: usize, procs: usize) -> usize {
+    (1..=m_max).rev().find(|&mm| mm * mm <= procs).unwrap_or(0)
+}
+
+/// The generalised block size for an `m_eff` grid: the requested `l`
+/// clamped into the feasible `[m_eff, n]` range (default fully blocked).
+fn block_for(l: Option<usize>, m_eff: usize, n: usize) -> usize {
+    l.unwrap_or(n).clamp(m_eff, n)
+}
+
+/// Exact integer square root of a perfect square (group sizes are `m'²`).
+fn grid_side(procs: usize) -> usize {
+    let s = (procs as f64).sqrt().round() as usize;
+    debug_assert_eq!(s * s, procs, "FT grids are always square");
+    s
+}
+
+/// The fault-tolerant HMPI matmul: FT recon, `group_create`, then the
+/// multiplication under a [`RecoveryPolicy`] — every attempt ends in an
+/// agreement round, and a failure verdict answers with `rebuild_group`
+/// and a restart on a smaller grid.
+///
+/// Each attempt rebuilds the distribution for the current grid from the
+/// shared speed estimates (grid position `i` holds group member `i`), so
+/// every member derives the identical partitioning without a broadcast on
+/// a possibly-dirty communicator. The matrices are regenerated from their
+/// seeds, so the result after any number of mid-run crashes equals the
+/// full serial product.
+///
+/// Returns `None` when the run could not complete at all: the host's node
+/// died (host failure is unrecoverable), or too few nodes survived to fill
+/// even a 1 x 1 grid.
+///
+/// # Panics
+/// Panics if the cluster hosts fewer than `m²` processes.
+pub fn run_hmpi_ft(
+    cluster: Arc<Cluster>,
+    m: usize,
+    n: usize,
+    r: usize,
+    l: Option<usize>,
+) -> Option<MatmulFtRun> {
+    let runtime = HmpiRuntime::new(cluster);
+    assert!(m * m <= runtime.universe().size());
+
+    type Out = (Option<(f64, Option<BlockMatrix>)>, Option<MmFtMeta>);
+    let report = runtime.run(|h| -> Out {
+        // FT recon on a faulty cluster doubles as the failure detector.
+        if h
+            .recon_opts(Recon::new(1.0).bench(|hh: &hmpi::Hmpi| hh.compute(1.0)))
+            .is_err()
+        {
+            return (None, None); // this rank's own node died during recon
+        }
+
+        let placement = h.process().placement().to_vec();
+        let est = h.estimates();
+        // The model factory runs on the host with the roll-call survivors
+        // (host first); at creation time every rank evaluates it with the
+        // same alive list, computed from the shared estimates.
+        let mut model_for = |survivors: &[usize]| {
+            let m_eff = grid_for(m, survivors.len());
+            if m_eff == 0 {
+                return Err(HmpiError::Aborted);
+            }
+            let l_eff = block_for(l, m_eff, n);
+            let mut others: Vec<f64> = survivors[1..]
+                .iter()
+                .map(|&w| est.speed(placement[w]))
+                .collect();
+            others.sort_by(|a, b| b.total_cmp(a));
+            let mut grid_speeds = Vec::with_capacity(m_eff * m_eff);
+            grid_speeds.push(est.speed(placement[survivors[0]]));
+            grid_speeds.extend(others.into_iter().take(m_eff * m_eff - 1));
+            let dist = GeneralizedBlockDist::heterogeneous(m_eff, l_eff, &grid_speeds);
+            matmul_model(&dist, r, n).map_err(|_| HmpiError::Aborted)
+        };
+
+        let alive = h.alive_world_ranks();
+        if alive.first() != Some(&0) {
+            return (None, None); // the host's node is gone: unrecoverable
+        }
+        let model = match model_for(&alive) {
+            Ok(mo) => mo,
+            Err(_) => return (None, None),
+        };
+        let group = match h.group_create(&model) {
+            Ok(g) => g,
+            Err(_) => return (None, None), // infeasible from the start
+        };
+        let mut meta = h.is_host().then(|| MmFtMeta {
+            initial: (group.members().to_vec(), group.predicted_time()),
+            fin: None,
+            rebuilds: 0,
+        });
+        if !group.is_member() {
+            return (None, meta); // never selected; free processes stand by
+        }
+
+        let policy = RecoveryPolicy::new().with_max_rebuilds(h.size());
+        let attempt = |group: &HmpiGroup, _round: usize| -> MpiResult<_> {
+            let comm = group.comm().expect("member has a comm");
+            let m_eff = grid_side(group.size());
+            let l_eff = block_for(l, m_eff, n);
+            // Grid position i = group member i: the same distribution on
+            // every member, derived purely from shared state.
+            let grid_speeds: Vec<f64> = group
+                .members()
+                .iter()
+                .map(|&w| est.speed(placement[w]))
+                .collect();
+            let dist = GeneralizedBlockDist::heterogeneous(m_eff, l_eff, &grid_speeds);
+            let mut mm = DistributedMatmul::new(dist, n, r, comm.rank(), SEED_A, SEED_B);
+            let t0 = comm.clock().now();
+            mm.run(comm)?;
+            comm.barrier()?;
+            let dur = (comm.clock().now() - t0).as_secs();
+            let c = mm.gather_c(comm)?;
+            Ok((dur, c))
+        };
+        match policy.run(h, group, &mut model_for, attempt) {
+            Ok(rec) => {
+                if let Some(meta) = meta.as_mut() {
+                    meta.fin = Some((rec.group.members().to_vec(), rec.group.predicted_time()));
+                    meta.rebuilds = rec.rebuilds;
+                }
+                // Lenient free: a peer may die between the success verdict
+                // and the free barriers.
+                let _ = h.group_free(rec.group);
+                (Some(rec.result), meta)
+            }
+            Err(e) => {
+                if let Some(meta) = meta.as_mut() {
+                    meta.rebuilds = e.rebuilds;
+                }
+                (None, meta)
+            }
+        }
+    });
+
+    let mut outcomes = Vec::with_capacity(report.results.len());
+    let mut meta = None;
+    for (o, m_) in report.results {
+        outcomes.push(o);
+        if m_.is_some() {
+            meta = m_;
+        }
+    }
+    let meta = meta?;
+    let (final_members, final_predicted) = meta.fin?;
+    let mut time = 0.0f64;
+    let mut c = None;
+    for &w in &final_members {
+        let (dur, cm) = outcomes[w].clone()?;
+        time = time.max(dur);
+        if cm.is_some() {
+            c = cm;
+        }
+    }
+    let final_m = grid_side(final_members.len());
+    Some(MatmulFtRun {
+        initial_members: meta.initial.0,
+        initial_predicted: meta.initial.1,
+        final_members,
+        final_predicted,
+        rebuilds: meta.rebuilds,
+        final_m,
+        l: block_for(l, final_m, n),
+        time,
+        makespan: report.makespan.as_secs(),
+        c,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +569,52 @@ mod tests {
         assert!(rep.predicted > 0.0 && rep.measured > 0.0);
         let compute: f64 = rep.phases.iter().map(|p| p.compute.as_secs()).sum();
         assert!(compute > 0.0);
+    }
+
+    #[test]
+    fn ft_driver_is_exact_without_faults() {
+        // With an empty fault plan the FT driver completes on the full
+        // 3 x 3 grid with zero rebuilds and an exact product.
+        let n = 9;
+        let r = 4;
+        let ft = run_hmpi_ft(paper_cluster(), 3, n, r, Some(9)).expect("fault-free run");
+        assert_eq!(ft.rebuilds, 0);
+        assert_eq!(ft.final_m, 3);
+        assert_eq!(ft.initial_members, ft.final_members);
+        assert_matches(ft.c.as_ref().unwrap(), &reference(n, r));
+    }
+
+    #[test]
+    fn ft_driver_recovers_onto_a_smaller_grid() {
+        // Node 7 (speed 106) fail-stops at t=1.5 — mid-multiplication (the
+        // fault-free kernel spans roughly t=0.12..3.1). Eight survivors
+        // cannot fill a 3 x 3 grid, so recovery drops to 2 x 2 — and the
+        // product is still the exact full-problem result, because the
+        // problem never shrinks, only the grid does.
+        use hetsim::{FaultEvent, FaultPlan, NodeId, SimTime};
+        let plan = FaultPlan::none().with(FaultEvent::NodeCrash {
+            node: NodeId(7),
+            at: SimTime::from_secs(1.5),
+        });
+        let speeds = [46.0, 46.0, 46.0, 46.0, 46.0, 46.0, 176.0, 106.0, 9.0];
+        let cluster = Arc::new(Cluster::paper_lan_with_faults(&speeds, plan));
+        let n = 9;
+        let r = 4;
+        let ft = run_hmpi_ft(cluster, 3, n, r, Some(9)).expect("survivors complete");
+
+        assert!(ft.rebuilds >= 1, "the crash must force a rebuild");
+        assert_eq!(ft.initial_members.len(), 9, "everyone starts on the grid");
+        assert_eq!(ft.final_m, 2, "eight survivors fill a 2x2 grid");
+        assert_eq!(ft.final_members.len(), 4);
+        assert!(
+            !ft.final_members.contains(&7),
+            "the dead node must be excluded, got {:?}",
+            ft.final_members
+        );
+        // The survivors still computed the *full* product, exactly.
+        assert_matches(ft.c.as_ref().unwrap(), &reference(n, r));
+        // The makespan pays for the aborted attempt and the recovery.
+        assert!(ft.makespan > ft.time);
     }
 
     #[test]

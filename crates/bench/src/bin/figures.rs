@@ -8,8 +8,8 @@
 //! ```
 
 use hmpi_bench::{
-    ablation, collectives, extension, faults, fig10, fig11, fig9, render_csv, render_table,
-    selection, trace, ComparisonPoint,
+    ablation, collectives, deadlock, extension, faults, fig10, fig11, fig9, render_csv,
+    render_table, selection, trace, ComparisonPoint,
 };
 
 struct Options {
@@ -60,7 +60,7 @@ fn main() {
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec![
             "fig9a", "fig9b", "fig10", "fig11a", "fig11b", "ablations", "ext-nbody", "faults",
-            "selection", "trace", "collectives",
+            "selection", "trace", "collectives", "deadlock",
         ];
     }
 
@@ -252,8 +252,29 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "deadlock" => {
+                let b = deadlock::run(opts.quick);
+                print!("{}", deadlock::render(&b));
+                println!();
+                if !opts.quick {
+                    let path = "BENCH_deadlock.json";
+                    std::fs::write(path, deadlock::to_json(&b)).expect("write bench JSON");
+                    println!("wrote {path}\n");
+                }
+                if !b.all_typed() {
+                    eprintln!("a seeded wedge surfaced the wrong error type");
+                    std::process::exit(1);
+                }
+                let wall = b.max_wall_s();
+                if wall >= 1.0 {
+                    eprintln!(
+                        "slowest deadlock detection {wall:.3}s breaches the 1s wall-clock gate"
+                    );
+                    std::process::exit(1);
+                }
+            }
             other => {
-                eprintln!("unknown figure `{other}`; known: fig9a fig9b fig10 fig11a fig11b ablations ext-nbody faults selection trace collectives all");
+                eprintln!("unknown figure `{other}`; known: fig9a fig9b fig10 fig11a fig11b ablations ext-nbody faults selection trace collectives deadlock all");
                 std::process::exit(2);
             }
         }

@@ -20,6 +20,10 @@
 //!   paper): compiled-evaluator and incremental-probe throughput vs the
 //!   naive objective path, and end-to-end `select_mapping` wall times,
 //!   written to `BENCH_selection.json`;
+//! * [`deadlock`] — the robustness benchmark (beyond the paper): seeded
+//!   wedges (receive cycles, crash-orphaned waits) measured from launch to
+//!   every rank holding its typed verdict, gating the quiescence detector's
+//!   sub-second wall-clock detection, written to `BENCH_deadlock.json`;
 //! * [`trace`] — the observability benchmark (beyond the paper): tracing
 //!   overhead (disabled vs enabled) on the EM3D selection workload, and
 //!   `HMPI_Timeof` prediction error with per-phase compute/comm/wait
@@ -40,6 +44,7 @@
 
 pub mod ablation;
 pub mod collectives;
+pub mod deadlock;
 pub mod extension;
 pub mod faults;
 pub mod fig10;

@@ -258,6 +258,23 @@ impl FaultPlan {
             .min()
     }
 
+    /// Crash times of every node in `0..n_nodes`, in one pass over the
+    /// plan: entry `i` is the earliest scheduled crash of node `i`, `None`
+    /// if it never fail-stops. The bulk form of [`FaultPlan::crash_time`],
+    /// for callers building per-rank doom tables.
+    pub fn crash_times(&self, n_nodes: usize) -> Vec<Option<SimTime>> {
+        let mut times = vec![None; n_nodes];
+        for e in &self.events {
+            if let FaultEvent::NodeCrash { node, at } = *e {
+                if node.index() < n_nodes {
+                    let slot: &mut Option<SimTime> = &mut times[node.index()];
+                    *slot = Some(slot.map_or(at, |t: SimTime| t.min(at)));
+                }
+            }
+        }
+        times
+    }
+
     /// True if `node` has not crashed strictly before or at `t`.
     pub fn node_available(&self, node: NodeId, t: SimTime) -> bool {
         match self.crash_time(node) {

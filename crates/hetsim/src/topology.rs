@@ -222,6 +222,12 @@ impl Cluster {
         self.faults.crash_time(id)
     }
 
+    /// Crash times of every node, indexed by node: one pass over the fault
+    /// plan instead of a scan per node.
+    pub fn crash_times(&self) -> Vec<Option<SimTime>> {
+        self.faults.crash_times(self.nodes.len())
+    }
+
     /// True if the directed link `from -> to` is carrying traffic at `t`.
     #[inline]
     pub fn link_available(&self, from: NodeId, to: NodeId, t: SimTime) -> bool {

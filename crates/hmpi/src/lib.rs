@@ -31,6 +31,7 @@
 //! | Group shrink recovery       | [`Hmpi::rebuild_group`]                      |
 //! | Liveness helpers            | [`Hmpi::try_compute`], [`Hmpi::alive_world_ranks`] |
 //! | Collective-engine timing    | [`Hmpi::timeof_collective`], [`HmpiRuntime::with_collective_policy`] |
+//! | Recover-and-retry loop      | [`RecoveryPolicy::run`] (agreement + bounded rebuilds, DESIGN.md §12) |
 //!
 //! The group-selection problem — map each *abstract processor* of the model
 //! onto a physical process so the predicted execution time is minimal — is
@@ -50,6 +51,7 @@ pub mod engine;
 pub mod estimate;
 pub mod group;
 pub mod mapping;
+pub mod recovery;
 pub mod runtime;
 pub mod spec;
 
@@ -61,5 +63,6 @@ pub use mapping::{
     SelectionCtx,
 };
 pub use mpisim::{CollectiveAlgo, CollectiveKind, CollectivePolicy};
+pub use recovery::{Recovered, RecoveryError, RecoveryPolicy};
 pub use runtime::{Hmpi, HmpiError, HmpiResult, HmpiRuntime};
 pub use spec::{DefaultBench, GroupSpec, Recon};

@@ -6,16 +6,20 @@
 //! clock. Constructors mirror MPI: [`Comm::dup`], [`Comm::split`],
 //! [`Comm::create`].
 
+use crate::agree::Agreement;
 use crate::datatype::{decode, decode_into, encode, MpiType};
-use crate::error::{MpiError, MpiResult};
+use crate::error::{MpiError, MpiResult, WaitGraph};
 use crate::group::Group;
-use crate::p2p::{Envelope, Pattern, Status, DEADLOCK_TIMEOUT, TIMEOUT_GRACE};
+use crate::p2p::{Claim, Envelope, Pattern, Status, GUARD_POLL};
+use crate::quiesce::{WaitKind, WaitRecord};
 use crate::runtime::{RankState, SharedState};
 use crate::vtime::LocalClock;
 use hetsim::trace::{TraceEvent, TraceKind};
 use hetsim::{NodeId, SimTime};
+use std::cell::Cell;
+use std::rc::Rc;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::Instant;
 
 /// A communicator: an isolated communication context over a group of ranks.
 ///
@@ -30,6 +34,12 @@ pub struct Comm {
     /// Calling process's rank within this communicator.
     rank: usize,
     pub(crate) clock: LocalClock,
+    /// Rank-local count of [`Comm::agree`] rounds issued on this
+    /// communicator; every member counts its own calls, so the `n`-th call
+    /// on each member lands in the same shared agreement slot. Shared
+    /// between clones of one handle (cloning a communicator does not fork
+    /// its round numbering).
+    agree_seq: Rc<Cell<u64>>,
 }
 
 impl Comm {
@@ -41,6 +51,7 @@ impl Comm {
             ctx: 0,
             rank: world_rank,
             clock,
+            agree_seq: Rc::new(Cell::new(0)),
         }
     }
 
@@ -293,7 +304,50 @@ impl Comm {
         src: Option<usize>,
         tag: Option<i32>,
     ) -> MpiResult<(Vec<u8>, Status)> {
-        self.recv_bytes_deadline(plane, src, tag, None, DEADLOCK_TIMEOUT)
+        let collective = plane == self.coll_plane();
+        self.recv_bytes_opts(plane, src, tag, None, collective)
+    }
+
+    /// [`Comm::recv_bytes`] with *point-to-point* abort semantics even on
+    /// the collective plane: the wait aborts only when the awaited sender
+    /// itself is dead, not when any group member is. The schedule engine
+    /// uses this so a fault propagates along schedule edges — a rank whose
+    /// data path does not touch the dead rank finishes its receives and
+    /// learns of the failure deterministically, at its next dependence on
+    /// the failure, rather than via a real-time race.
+    pub(crate) fn recv_bytes_from(
+        &self,
+        plane: u64,
+        src: usize,
+        tag: Option<i32>,
+    ) -> MpiResult<(Vec<u8>, Status)> {
+        self.recv_bytes_opts(plane, Some(src), tag, None, false)
+    }
+
+    /// Resolution of a provably-missed receive deadline: a doomed rank dies
+    /// (the crash time was the binding deadline); otherwise the clock
+    /// advances to the deadline and [`MpiError::Timeout`] is returned.
+    fn resolve_timeout(
+        &self,
+        death_binding: bool,
+        own_tc: Option<SimTime>,
+        deadline: Option<SimTime>,
+    ) -> MpiError {
+        let my_world = self.my_world_rank();
+        if death_binding {
+            // Nothing can reach this rank before its node dies.
+            let tc = own_tc.expect("death_binding implies a crash time");
+            self.clock.merge(tc);
+            self.shared.mark_failed(my_world, tc);
+            MpiError::NodeFailed {
+                world_rank: my_world,
+            }
+        } else {
+            if let Some(d) = deadline {
+                self.clock.merge(d);
+            }
+            MpiError::Timeout
+        }
     }
 
     /// Internal transport: matched receive with failure detection and an
@@ -302,10 +356,13 @@ impl Comm {
     /// * A message already queued from a now-dead sender is still delivered
     ///   (it was sent before the sender died).
     /// * Blocked with the awaited peer dead → [`MpiError::NodeFailed`] /
-    ///   [`MpiError::PeerTerminated`]; on the collective plane any dead group
-    ///   member aborts the wait (see [`Comm::peer_abort`]).
+    ///   [`MpiError::PeerTerminated`]; with `collective_abort` any dead
+    ///   group member aborts the wait (see [`Comm::peer_abort`]).
     /// * `deadline` exceeded → [`MpiError::Timeout`], with the clock advanced
-    ///   to the deadline and any late message left queued.
+    ///   to the deadline and any late message left queued. The miss is
+    ///   concluded *exactly*: either a provably-late message is queued
+    ///   (specific source, non-overtaking), or the quiescence detector
+    ///   proves no qualifying message can be sent any more.
     /// * If the matched message would arrive after this rank's own node
     ///   crashes, the rank dies first: clock clamps to the crash time and
     ///   [`MpiError::NodeFailed`] (own rank) is returned.
@@ -314,60 +371,139 @@ impl Comm {
     ///   (a fail-stopped machine cannot sit in `MPI_Recv` forever), so a
     ///   message that will never come resolves as the rank's own failure
     ///   rather than a deadlock.
-    pub(crate) fn recv_bytes_deadline(
+    ///
+    /// While blocked, the rank is registered with the quiescence detector
+    /// ([`crate::quiesce`]); if the whole universe is stuck, classification
+    /// delivers a typed verdict ([`MpiError::Timeout`],
+    /// [`MpiError::NodeFailed`], or [`MpiError::Deadlock`] with the wait
+    /// graph) in milliseconds. The universe's wall-clock watchdog remains as
+    /// a backstop.
+    pub(crate) fn recv_bytes_opts(
         &self,
         plane: u64,
         src: Option<usize>,
         tag: Option<i32>,
         deadline: Option<SimTime>,
-        grace: Duration,
+        collective_abort: bool,
     ) -> MpiResult<(Vec<u8>, Status)> {
         self.check_self_alive()?;
         let my_world = self.my_world_rank();
-        let my_node = self.shared.placement[my_world];
         let pat = Pattern {
             ctx: plane,
             src_world: src.map(|r| self.world_rank_of(r)),
             tag,
         };
-        let collective = plane == self.coll_plane();
-        let own_tc = self.shared.cluster.crash_time(my_node);
+        let own_tc = self.shared.doom[my_world];
         let death_binding = own_tc.is_some_and(|tc| deadline.is_none_or(|d| tc <= d));
-        let (eff_deadline, eff_grace) = if death_binding {
-            // Waiting unbounded on a doomed node would deadlock; give the
-            // awaited message a real-time grace to materialise, then die.
-            let g = if deadline.is_none() {
-                TIMEOUT_GRACE + TIMEOUT_GRACE
-            } else {
-                grace
-            };
-            (own_tc, g)
-        } else {
-            (deadline, grace)
+        let eff_deadline = if death_binding { own_tc } else { deadline };
+        let mb = &self.shared.mailboxes[my_world];
+        let reg = &self.shared.quiesce;
+
+        // The registry record: who could unblock us, and whether one death
+        // among them (or only all of them) aborts the wait. Must mirror
+        // `peer_abort` exactly, or the quiescence stability check diverges
+        // from what this loop actually does.
+        let others = || -> Vec<usize> {
+            self.group
+                .world_ranks()
+                .iter()
+                .copied()
+                .filter(|&w| w != my_world)
+                .collect()
         };
-        let env = match self.shared.mailboxes[my_world].recv_match_guarded(
-            pat,
-            eff_deadline,
-            eff_grace,
-            || self.peer_abort(pat.src_world, collective),
-        ) {
-            Ok(env) => env,
-            Err(MpiError::Timeout) => {
-                if death_binding {
-                    // Nothing can reach this rank before its node dies.
-                    let tc = own_tc.expect("death_binding implies a crash time");
-                    self.clock.merge(tc);
-                    self.shared.mark_failed(my_world, tc);
-                    return Err(MpiError::NodeFailed {
-                        world_rank: my_world,
+        let (waiting_on, abort_any) = if collective_abort {
+            (others(), true)
+        } else {
+            match pat.src_world {
+                Some(s) => (vec![s], true),
+                None => (others(), false),
+            }
+        };
+
+        let env = 'matched: {
+            // Fast path: deliverable (or provably late) message already queued.
+            match mb.claim(pat, eff_deadline) {
+                Claim::Matched(env) => break 'matched env,
+                Claim::DeadlineMissed => {
+                    return Err(self.resolve_timeout(death_binding, own_tc, deadline))
+                }
+                Claim::Nothing => {}
+            }
+            if let Some(err) = self.peer_abort(pat.src_world, collective_abort) {
+                // A sender may have posted its message and *then* died;
+                // the queued match wins over the abort.
+                match mb.claim(pat, eff_deadline) {
+                    Claim::Matched(env) => break 'matched env,
+                    Claim::DeadlineMissed => {
+                        return Err(self.resolve_timeout(death_binding, own_tc, deadline))
+                    }
+                    Claim::Nothing => return Err(err),
+                }
+            }
+            let rec = WaitRecord {
+                waiting_on: waiting_on.clone(),
+                abort_any,
+                deadline: eff_deadline,
+                kind: WaitKind::Mailbox { pats: vec![pat] },
+            };
+            let start = Instant::now();
+            // Classification triggered by our own block may verdict us
+            // immediately (taking the verdict resets us to Active).
+            if let Some(v) = reg.block(my_world, rec) {
+                return Err(match v {
+                    MpiError::Timeout => self.resolve_timeout(death_binding, own_tc, deadline),
+                    other => other,
+                });
+            }
+            loop {
+                mb.wait_deliverable(std::slice::from_ref(&pat), eff_deadline, GUARD_POLL);
+                // Claim atomically with the registry so the classifier can
+                // never see us blocked *after* we consumed our message.
+                match reg.claim_for(my_world, pat, eff_deadline) {
+                    Claim::Matched(env) => break 'matched env,
+                    Claim::DeadlineMissed => {
+                        return Err(self.resolve_timeout(death_binding, own_tc, deadline));
+                    }
+                    Claim::Nothing => {}
+                }
+                if let Some(v) = reg.check(my_world) {
+                    return Err(match v {
+                        MpiError::Timeout => {
+                            self.resolve_timeout(death_binding, own_tc, deadline)
+                        }
+                        other => other,
                     });
                 }
-                if let Some(d) = deadline {
-                    self.clock.merge(d);
+                if let Some(err) = self.peer_abort(pat.src_world, collective_abort) {
+                    // A sender may have posted its message and *then* died;
+                    // the queued match wins over the abort.
+                    match reg.claim_for(my_world, pat, eff_deadline) {
+                        Claim::Matched(env) => break 'matched env,
+                        Claim::DeadlineMissed => {
+                            return Err(self.resolve_timeout(death_binding, own_tc, deadline));
+                        }
+                        Claim::Nothing => {
+                            reg.unblock(my_world);
+                            return Err(err);
+                        }
+                    }
                 }
-                return Err(MpiError::Timeout);
+                if start.elapsed() >= self.shared.watchdog {
+                    // Belt-and-braces backstop: the quiescence detector
+                    // should have classified this state long ago.
+                    reg.unblock(my_world);
+                    return Err(match eff_deadline {
+                        Some(_) => self.resolve_timeout(death_binding, own_tc, deadline),
+                        None => MpiError::Deadlock {
+                            waiting: my_world,
+                            on: waiting_on.clone(),
+                            graph: WaitGraph {
+                                edges: vec![(my_world, waiting_on)],
+                            },
+                        },
+                    });
+                }
             }
-            Err(e) => return Err(e),
         };
         if let Some(tc) = own_tc {
             if env.arrival >= tc {
@@ -389,7 +525,7 @@ impl Comm {
             ev.wait = (env.sent_at.max(before) - before).min(dur);
             ev.bytes = env.data.len() as u64;
             ev.peer = Some(env.src_world);
-            ev.collective = collective;
+            ev.collective = plane & 1 == 1;
             tracer.record(ev);
         }
         let source = self
@@ -434,9 +570,11 @@ impl Comm {
     /// message stays queued for a later receive). Peer death is still
     /// reported as [`MpiError::NodeFailed`] / [`MpiError::PeerTerminated`].
     ///
-    /// Because virtual and real time are decoupled, "no message by the
-    /// deadline" is concluded after [`TIMEOUT_GRACE`] of real time without a
-    /// qualifying arrival.
+    /// The miss is concluded *exactly* in virtual time: either a queued
+    /// later message proves the deadline unreachable (non-overtaking), or
+    /// the quiescence detector proves no qualifying message can be sent any
+    /// more. Real elapsed time plays no part, so a slow host cannot turn a
+    /// would-be delivery into a timeout.
     ///
     /// # Errors
     /// As [`Comm::recv`], plus [`MpiError::Timeout`].
@@ -447,13 +585,8 @@ impl Comm {
         deadline: SimTime,
     ) -> MpiResult<(Vec<T>, Status)> {
         self.check_rank(src)?;
-        let (bytes, status) = self.recv_bytes_deadline(
-            self.ctx,
-            Some(src),
-            Some(tag),
-            Some(deadline),
-            TIMEOUT_GRACE,
-        )?;
+        let (bytes, status) =
+            self.recv_bytes_opts(self.ctx, Some(src), Some(tag), Some(deadline), false)?;
         Ok((decode(&bytes)?, status))
     }
 
@@ -550,17 +683,97 @@ impl Comm {
 
     /// Blocking probe (`MPI_Probe`): metadata of the next matching message
     /// without receiving it. Advances the clock to the message arrival.
+    ///
+    /// Failure-aware like [`Comm::recv`]: a dead awaited peer (or, for a
+    /// doomed caller, its own crash) resolves the wait with a typed error
+    /// instead of hanging, and the wait is registered with the quiescence
+    /// detector.
     pub fn probe(&self, src: Option<usize>, tag: Option<i32>) -> MpiResult<Status> {
         if let Some(s) = src {
             self.check_rank(s)?;
         }
+        self.check_self_alive()?;
         let my_world = self.my_world_rank();
         let pat = Pattern {
             ctx: self.ctx,
             src_world: src.map(|r| self.world_rank_of(r)),
             tag,
         };
-        let (src_world, tag, bytes, arrival) = self.shared.mailboxes[my_world].probe_match(pat);
+        let own_tc = self.shared.doom[my_world];
+        let mb = &self.shared.mailboxes[my_world];
+        let reg = &self.shared.quiesce;
+        let (waiting_on, abort_any) = match pat.src_world {
+            Some(s) => (vec![s], true),
+            None => (
+                self.group
+                    .world_ranks()
+                    .iter()
+                    .copied()
+                    .filter(|&w| w != my_world)
+                    .collect(),
+                false,
+            ),
+        };
+        let hit = 'found: {
+            if let Some(hit) = mb.try_probe(pat) {
+                break 'found hit;
+            }
+            if let Some(err) = self.peer_abort(pat.src_world, false) {
+                match mb.try_probe(pat) {
+                    Some(hit) => break 'found hit,
+                    None => return Err(err),
+                }
+            }
+            let rec = WaitRecord {
+                waiting_on: waiting_on.clone(),
+                abort_any,
+                deadline: own_tc,
+                kind: WaitKind::Mailbox { pats: vec![pat] },
+            };
+            let start = Instant::now();
+            let mut verdict = reg.block(my_world, rec);
+            loop {
+                if let Some(v) = verdict.take() {
+                    return Err(match v {
+                        MpiError::Timeout => self.resolve_timeout(true, own_tc, None),
+                        other => other,
+                    });
+                }
+                if let Some(hit) = mb.wait_or_peek(pat, GUARD_POLL) {
+                    reg.unblock(my_world);
+                    break 'found hit;
+                }
+                if let Some(err) = self.peer_abort(pat.src_world, false) {
+                    let late = mb.try_probe(pat);
+                    reg.unblock(my_world);
+                    match late {
+                        Some(hit) => break 'found hit,
+                        None => return Err(err),
+                    }
+                }
+                if start.elapsed() >= self.shared.watchdog {
+                    reg.unblock(my_world);
+                    return Err(MpiError::Deadlock {
+                        waiting: my_world,
+                        on: waiting_on.clone(),
+                        graph: WaitGraph {
+                            edges: vec![(my_world, waiting_on)],
+                        },
+                    });
+                }
+                verdict = reg.check(my_world);
+            }
+        };
+        let (src_world, tag, bytes, arrival) = hit;
+        if let Some(tc) = own_tc {
+            if arrival >= tc {
+                self.clock.merge(tc);
+                self.shared.mark_failed(my_world, tc);
+                return Err(MpiError::NodeFailed {
+                    world_rank: my_world,
+                });
+            }
+        }
         self.clock.merge(arrival);
         Ok(Status {
             source: self
@@ -616,6 +829,7 @@ impl Comm {
             ctx,
             rank: self.rank,
             clock: self.clock.clone(),
+            agree_seq: Rc::new(Cell::new(0)),
         })
     }
 
@@ -639,6 +853,7 @@ impl Comm {
             ctx,
             rank: self.rank,
             clock: self.clock.clone(),
+            agree_seq: Rc::new(Cell::new(0)),
         }
     }
 
@@ -675,6 +890,7 @@ impl Comm {
             ctx,
             rank,
             clock: self.clock.clone(),
+            agree_seq: Rc::new(Cell::new(0)),
         }))
     }
 
@@ -709,6 +925,7 @@ impl Comm {
             ctx,
             rank,
             clock: self.clock.clone(),
+            agree_seq: Rc::new(Cell::new(0)),
         }))
     }
 
@@ -774,7 +991,148 @@ impl Comm {
             ctx,
             rank,
             clock: self.clock.clone(),
+            agree_seq: Rc::new(Cell::new(0)),
         }))
+    }
+
+    // ----- fault-tolerant agreement -----------------------------------------
+
+    /// ULFM-style agreement (`MPIX_Comm_agree`): every *live* member
+    /// contributes a boolean; the call returns the AND-fold of the
+    /// contributions plus the exact set of members that died without
+    /// contributing. Unlike the data collectives, agreement **tolerates
+    /// failures mid-flight**: dead members are excluded rather than
+    /// aborting the round, so it is the primitive survivors use to reach a
+    /// consistent verdict after a failed collective.
+    ///
+    /// Guarantees:
+    /// * every survivor returns the *same* [`Agreement`] — the outcome is
+    ///   computed from one shared round slot, so unanimity is structural;
+    /// * a member that deposited and died afterwards still counts as agreed
+    ///   (its contribution was made); `failed` lists only members that died
+    ///   *without* contributing;
+    /// * the round is a virtual-time synchronisation point among survivors:
+    ///   the caller's clock advances to the latest deposit time;
+    /// * deterministic: whether a member deposits or dies first is decided
+    ///   by the fault plan in virtual time, so the same seed yields the
+    ///   same verdict and failed set.
+    ///
+    /// Every member must call `agree` the same number of times on a given
+    /// communicator (the `n`-th calls form one round).
+    ///
+    /// # Errors
+    /// [`MpiError::NodeFailed`] (own rank) if the caller's node crashes
+    /// before the round completes.
+    pub fn agree(&self, flag: bool) -> MpiResult<Agreement> {
+        self.agree_inner(flag).map(|(a, _)| a)
+    }
+
+    fn agree_inner(&self, flag: bool) -> MpiResult<(Agreement, u64)> {
+        self.check_self_alive()?;
+        let my_world = self.my_world_rank();
+        let seq = self.agree_seq.get();
+        self.agree_seq.set(seq + 1);
+        let key = (self.coll_plane(), seq);
+        let members = self.group.world_ranks();
+        let table = &self.shared.agreements;
+        let reg = &self.shared.quiesce;
+        let mb = &self.shared.mailboxes[my_world];
+        let own_tc = self.shared.doom[my_world];
+        table.deposit(key, members, my_world, flag, self.clock.now(), || {
+            self.shared.alloc_ctx_pair()
+        });
+        // Members blocked in their own poll sleep on their mailboxes.
+        for &w in members {
+            self.shared.mailboxes[w].wake_all();
+        }
+        let is_dead =
+            |w: usize| w != my_world && self.shared.rank_state(w) != RankState::Alive;
+        let finish = |a: Agreement, ctx: u64| -> MpiResult<(Agreement, u64)> {
+            if let Some(tc) = own_tc {
+                if a.at >= tc {
+                    // The round completed after this rank's own death.
+                    self.clock.merge(tc);
+                    self.shared.mark_failed(my_world, tc);
+                    return Err(MpiError::NodeFailed {
+                        world_rank: my_world,
+                    });
+                }
+            }
+            self.clock.merge(a.at);
+            Ok((a, ctx))
+        };
+        if let Some((a, ctx)) = table.try_outcome(key, is_dead) {
+            return finish(a, ctx);
+        }
+        let start = Instant::now();
+        let mut verdict = None;
+        loop {
+            let rec = WaitRecord {
+                waiting_on: table.pending_live(key, is_dead),
+                abort_any: false,
+                deadline: own_tc,
+                kind: WaitKind::Agreement { key },
+            };
+            if verdict.is_none() {
+                verdict = reg.block(my_world, rec);
+            }
+            if let Some(v) = verdict.take() {
+                return Err(match v {
+                    MpiError::Timeout => self.resolve_timeout(true, own_tc, None),
+                    other => other,
+                });
+            }
+            mb.wait_deliverable(&[], None, GUARD_POLL);
+            verdict = reg.check(my_world);
+            if let Some((a, ctx)) = table.try_outcome(key, is_dead) {
+                reg.unblock(my_world);
+                return finish(a, ctx);
+            }
+            if start.elapsed() >= self.shared.watchdog {
+                let on = table.pending_live(key, is_dead);
+                reg.unblock(my_world);
+                return Err(MpiError::Deadlock {
+                    waiting: my_world,
+                    on: on.clone(),
+                    graph: WaitGraph {
+                        edges: vec![(my_world, on)],
+                    },
+                });
+            }
+        }
+    }
+
+    /// Shrinks the communicator to its survivors (`MPIX_Comm_shrink`): runs
+    /// an agreement round and builds a new communicator over exactly the
+    /// members that completed it. Every survivor gets a handle over the
+    /// *same* group with the *same* (pre-reserved) context, so the result
+    /// is immediately usable for collectives — the recovery step after a
+    /// failed collective.
+    ///
+    /// # Errors
+    /// [`MpiError::NodeFailed`] (own rank) if the caller dies during the
+    /// round.
+    pub fn shrink(&self) -> MpiResult<Comm> {
+        let (agreement, ctx) = self.agree_inner(true)?;
+        let survivors: Vec<usize> = self
+            .group
+            .world_ranks()
+            .iter()
+            .copied()
+            .filter(|w| !agreement.failed.contains(w))
+            .collect();
+        let group = Group::from_world_ranks(survivors)?;
+        let rank = group
+            .rank_of_world(self.my_world_rank())
+            .expect("a completed agreement includes the caller among survivors");
+        Ok(Comm {
+            shared: self.shared.clone(),
+            group: Arc::new(group),
+            ctx,
+            rank,
+            clock: self.clock.clone(),
+            agree_seq: Rc::new(Cell::new(0)),
+        })
     }
 }
 
@@ -791,10 +1149,16 @@ pub fn wait_all<T: MpiType>(
 
 /// Completes exactly one of the outstanding receives (`MPI_Waitany`),
 /// returning its index, payload and status plus the still-pending requests.
-/// Polls fairly across the requests, yielding between sweeps.
+/// Polls fairly across the requests.
+///
+/// Failure-aware: if *every* request is dead-ended (its awaited sender —
+/// or, for `ANY_SOURCE`, every other member — is dead with nothing queued),
+/// the first request's abort error is returned instead of spinning forever.
+/// While blocked, the rank is registered with the quiescence detector, so a
+/// universe-wide stuck state resolves with a typed verdict in milliseconds.
 ///
 /// # Errors
-/// Propagates decode errors.
+/// Propagates decode errors and failure-detector errors.
 ///
 /// # Panics
 /// Panics if `reqs` is empty.
@@ -803,15 +1167,141 @@ pub fn wait_any<T: MpiType>(
     comm: &Comm,
 ) -> MpiResult<(usize, Vec<T>, Status, Vec<RecvRequest>)> {
     assert!(!reqs.is_empty(), "wait_any needs at least one request");
+    let my_world = comm.my_world_rank();
+    let mb = &comm.shared.mailboxes[my_world];
+    let reg = &comm.shared.quiesce;
+    let own_tc = comm.shared.doom[my_world];
+    let pats: Vec<Pattern> = reqs
+        .iter()
+        .map(|r| Pattern {
+            ctx: comm.ctx,
+            src_world: r.src.map(|s| comm.world_rank_of(s)),
+            tag: r.tag,
+        })
+        .collect();
+    // Union of every request's awaited set; the wait dead-ends only when
+    // all of them are gone, so `abort_any` is false.
+    let mut waiting_on: Vec<usize> = Vec::new();
+    for p in &pats {
+        match p.src_world {
+            Some(s) => {
+                if s != my_world && !waiting_on.contains(&s) {
+                    waiting_on.push(s);
+                }
+            }
+            None => {
+                for &w in comm.group.world_ranks() {
+                    if w != my_world && !waiting_on.contains(&w) {
+                        waiting_on.push(w);
+                    }
+                }
+            }
+        }
+    }
+    waiting_on.sort_unstable();
+    let start = Instant::now();
     loop {
+        // The sweep runs while registered Active, so the classifier never
+        // misreads a consumed message as a stuck wait.
+        comm.check_self_alive()?;
         for i in 0..reqs.len() {
-            if reqs[i].test(comm) {
+            if reqs[i].done.is_some() {
                 let req = reqs.remove(i);
                 let (data, status) = req.wait(comm)?;
                 return Ok((i, data, status, reqs));
             }
+            match mb.claim(pats[i], own_tc) {
+                Claim::Matched(env) => {
+                    if let Some(tc) = own_tc {
+                        if env.arrival >= tc {
+                            comm.clock.merge(tc);
+                            comm.shared.mark_failed(my_world, tc);
+                            return Err(MpiError::NodeFailed {
+                                world_rank: my_world,
+                            });
+                        }
+                    }
+                    let before = comm.clock.now();
+                    comm.clock.merge(env.arrival);
+                    if let Some(tracer) = &comm.shared.tracer {
+                        let dur = env.arrival.max(before) - before;
+                        let mut ev =
+                            TraceEvent::new(my_world, TraceKind::Recv, "recv", before);
+                        ev.dur = dur;
+                        ev.wait = (env.sent_at.max(before) - before).min(dur);
+                        ev.bytes = env.data.len() as u64;
+                        ev.peer = Some(env.src_world);
+                        tracer.record(ev);
+                    }
+                    let source = comm
+                        .group
+                        .rank_of_world(env.src_world)
+                        .expect("sender is a member");
+                    let status = Status {
+                        source,
+                        tag: env.tag,
+                        bytes: env.data.len(),
+                    };
+                    reqs.remove(i);
+                    return Ok((i, decode(&env.data)?, status, reqs));
+                }
+                Claim::DeadlineMissed => {
+                    // The awaited message arrives only after our own node's
+                    // crash: the rank dies first.
+                    return Err(comm.resolve_timeout(true, own_tc, None));
+                }
+                Claim::Nothing => {}
+            }
         }
-        std::thread::yield_now();
+        // Dead-ended: every request's awaited sender (or, for ANY_SOURCE,
+        // every other member) is dead with nothing queued.
+        let mut dead_end = None;
+        let mut all_dead = true;
+        for r in &reqs {
+            let src_world = r.src.map(|s| comm.world_rank_of(s));
+            match comm.peer_abort(src_world, false) {
+                Some(err) => dead_end = dead_end.or(Some(err)),
+                None => {
+                    all_dead = false;
+                    break;
+                }
+            }
+        }
+        if all_dead {
+            if let Some(err) = dead_end {
+                return Err(err);
+            }
+        }
+        let rec = WaitRecord {
+            waiting_on: waiting_on.clone(),
+            abort_any: false,
+            deadline: own_tc,
+            kind: WaitKind::Mailbox { pats: pats.clone() },
+        };
+        if let Some(v) = reg.block(my_world, rec) {
+            return Err(match v {
+                MpiError::Timeout => comm.resolve_timeout(true, own_tc, None),
+                other => other,
+            });
+        }
+        mb.wait_deliverable(&pats, own_tc, GUARD_POLL);
+        if let Some(v) = reg.check(my_world) {
+            return Err(match v {
+                MpiError::Timeout => comm.resolve_timeout(true, own_tc, None),
+                other => other,
+            });
+        }
+        // Back to Active for the next sweep.
+        reg.unblock(my_world);
+        if start.elapsed() >= comm.shared.watchdog {
+            return Err(MpiError::Deadlock {
+                waiting: my_world,
+                on: waiting_on.clone(),
+                graph: WaitGraph {
+                    edges: vec![(my_world, waiting_on)],
+                },
+            });
+        }
     }
 }
 
@@ -855,17 +1345,30 @@ impl RecvRequest {
 
     /// Polls for completion without blocking; after `test` returns true,
     /// `wait` returns instantly.
+    ///
+    /// A doomed rank never completes a receive whose message arrives at or
+    /// after its own node's crash time — such a message is left queued (or
+    /// dropped) and `test` stays false; the blocking paths then report the
+    /// rank's own failure.
     pub fn test(&mut self, comm: &Comm) -> bool {
         if self.done.is_some() {
             return true;
         }
         let my_world = comm.my_world_rank();
+        let own_tc = comm.shared.doom[my_world];
+        if own_tc.is_some_and(|tc| comm.clock.now() >= tc) {
+            return false;
+        }
         let pat = Pattern {
             ctx: comm.ctx,
             src_world: self.src.map(|r| comm.world_rank_of(r)),
             tag: self.tag,
         };
-        if let Some(env) = comm.shared.mailboxes[my_world].try_recv_match(pat) {
+        let claimed = match comm.shared.mailboxes[my_world].claim(pat, own_tc) {
+            Claim::Matched(env) if own_tc.is_none_or(|tc| env.arrival < tc) => Some(env),
+            _ => None,
+        };
+        if let Some(env) = claimed {
             let before = comm.clock.now();
             comm.clock.merge(env.arrival);
             if let Some(tracer) = &comm.shared.tracer {

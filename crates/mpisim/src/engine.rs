@@ -7,9 +7,17 @@
 //! mpisim uses, on the communicator's collective plane. That buys three
 //! properties for free:
 //!
-//! * **fault awareness** — a blocked schedule receive aborts with
-//!   [`MpiError::NodeFailed`] as soon as any group member fail-stops, so no
-//!   engine collective can hang on a dead peer;
+//! * **a fault contract** — under fail-stop faults every surviving member
+//!   returns either the *complete, correct* result or a typed
+//!   [`MpiError::NodeFailed`]; never a torn buffer and never a hang.
+//!   Faults propagate *along schedule edges*: a receive aborts when its
+//!   specific scheduled sender is dead ([`Comm::recv_bytes_from`]), and a
+//!   rank that aborts mid-schedule first *poisons* every scheduled transfer
+//!   it has not yet sent (a [`TAG_POISON`] message naming the failed world
+//!   rank), so downstream ranks fail fast with the same root cause instead
+//!   of blocking on a live-but-aborted peer. The whole error surface is a
+//!   deterministic function of the fault plan — same seed, same survivor
+//!   set — and is predicted offline by [`perfmodel::collective::fault_impact`];
 //! * **tracing** — the inner sends/receives appear in the virtual-time
 //!   trace, and the engine wraps each call in a [`TraceKind::Collective`]
 //!   span named after the algorithm that ran;
@@ -35,6 +43,7 @@ use crate::comm::Comm;
 use crate::datatype::{decode, decode_into, encode, MpiType};
 use crate::error::{MpiError, MpiResult};
 use crate::op::ReduceOp;
+use std::cell::Cell;
 use hetsim::trace::{TraceEvent, TraceKind};
 use hetsim::{ContentionModel, NodeId, PairTable, SimTime};
 use perfmodel::collective::{
@@ -48,6 +57,27 @@ use perfmodel::PairCost;
 /// FIFO (non-overtaking) guarantee plus the schedules' fixed per-pair send
 /// order make matching unambiguous.
 pub(crate) const TAG_COLL: i32 = 9;
+
+/// Tag of a *poison* message: a rank aborting out of a schedule posts one of
+/// these in place of every scheduled transfer it will no longer send. The
+/// payload is the world rank of the failed node being blamed (one `i64`).
+/// Because each scheduled edge carries exactly one message — data or poison
+/// — the collective plane stays balanced and per-pair FIFO keeps matching
+/// unambiguous.
+pub(crate) const TAG_POISON: i32 = 10;
+
+/// The world rank an engine collective should propagate blame for, if the
+/// error is a fail-stop fault. Non-fault errors (count mismatches, link
+/// drops) are not poisoned: their stuck peers are resolved by the
+/// quiescence detector instead.
+fn fault_blame(e: &MpiError) -> Option<usize> {
+    match *e {
+        MpiError::NodeFailed { world_rank } | MpiError::PeerTerminated { world_rank } => {
+            Some(world_rank)
+        }
+        _ => None,
+    }
+}
 
 /// How the engine picks an algorithm for each collective call.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -226,20 +256,106 @@ impl Comm {
         }
     }
 
+    /// Posts one scheduled data transfer and counts it, so an abort knows
+    /// exactly which scheduled sends remain to be poisoned.
+    fn post_sched(&self, bytes: Vec<u8>, dst: usize, sent: &Cell<usize>) -> MpiResult<()> {
+        self.post_bytes(self.coll_plane(), bytes, dst, TAG_COLL)?;
+        sent.set(sent.get() + 1);
+        Ok(())
+    }
+
+    /// Completes one scheduled receive from comm rank `src`: the data
+    /// payload, or the failure the sender propagated in its place.
+    ///
+    /// The wait uses point-to-point abort semantics (only `src`'s own death
+    /// aborts it), so the failure surface follows schedule edges
+    /// deterministically instead of racing a real-time failure detector. A
+    /// [`TAG_POISON`] message decodes to [`MpiError::NodeFailed`] blaming
+    /// the world rank it carries; a terminated peer is normalised to
+    /// [`MpiError::NodeFailed`] too, so the engine's fault contract exposes
+    /// a single error type.
+    fn recv_sched(&self, src: usize) -> MpiResult<Vec<u8>> {
+        match self.recv_bytes_from(self.coll_plane(), src, None) {
+            Ok((bytes, st)) if st.tag == TAG_POISON => {
+                let v: Vec<i64> = decode(&bytes)?;
+                let world_rank = v
+                    .first()
+                    .map(|&w| w as usize)
+                    .unwrap_or_else(|| self.world_rank_of(src));
+                Err(MpiError::NodeFailed { world_rank })
+            }
+            Ok((bytes, _)) => Ok(bytes),
+            Err(MpiError::PeerTerminated { world_rank }) => {
+                Err(MpiError::NodeFailed { world_rank })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Posts a poison message for every scheduled send of this rank that was
+    /// never issued (`sent` were). Posts to already-dead destinations fail
+    /// and are dropped — those ranks need no notification.
+    fn poison_rest(&self, rounds: &[Vec<Xfer>], sent: usize, blame: usize) {
+        let me = self.rank();
+        for (i, x) in rounds
+            .iter()
+            .flatten()
+            .filter(|x| x.src == me)
+            .enumerate()
+        {
+            if i >= sent {
+                let _ = self.post_bytes(
+                    self.coll_plane(),
+                    encode(&[blame as i64]),
+                    x.dst,
+                    TAG_POISON,
+                );
+            }
+        }
+    }
+
+    /// Runs one engine collective under the fault contract: `body` threads
+    /// the issued-send counter through the algorithm, and on a fail-stop
+    /// error the un-issued remainder of this rank's schedule is poisoned so
+    /// every downstream rank aborts with the same blamed world rank.
+    fn with_fault_contract<R>(
+        &self,
+        rounds: &[Vec<Xfer>],
+        body: impl FnOnce(&Cell<usize>) -> MpiResult<R>,
+    ) -> MpiResult<R> {
+        let sent = Cell::new(0usize);
+        let out = body(&sent);
+        if let Err(e) = &out {
+            if let Some(blame) = fault_blame(e) {
+                self.poison_rest(rounds, sent.get(), blame);
+            }
+        }
+        out
+    }
+
     /// Executes a data-movement schedule over `buf`: within each round, this
     /// rank issues all its sends in schedule order, then completes all its
     /// receives. A received payload whose size disagrees with the scheduled
     /// range is [`MpiError::InvalidCounts`] — the hallmark of ranks calling
     /// the collective with different buffer lengths.
-    fn run_movement<T: MpiType>(&self, rounds: &[Vec<Xfer>], buf: &mut [T]) -> MpiResult<()> {
+    ///
+    /// All receives land in a scratch copy that is committed to `buf` only
+    /// when the whole schedule has run: an abort part-way through leaves
+    /// `buf` exactly as the caller passed it (no torn results).
+    fn run_movement<T: MpiType>(
+        &self,
+        rounds: &[Vec<Xfer>],
+        buf: &mut [T],
+        sent: &Cell<usize>,
+    ) -> MpiResult<()> {
         let me = self.rank();
-        let plane = self.coll_plane();
+        let mut scratch: Vec<T> = buf.to_vec();
         for round in rounds {
             for x in round.iter().filter(|x| x.src == me) {
-                self.post_bytes(plane, encode(&buf[x.lo..x.hi]), x.dst, TAG_COLL)?;
+                self.post_sched(encode(&scratch[x.lo..x.hi]), x.dst, sent)?;
             }
             for x in round.iter().filter(|x| x.dst == me) {
-                let (bytes, _) = self.recv_bytes(plane, Some(x.src), Some(TAG_COLL))?;
+                let bytes = self.recv_sched(x.src)?;
                 let want = x.elems() * T::WIRE_SIZE;
                 if bytes.len() != want {
                     return Err(MpiError::InvalidCounts(format!(
@@ -248,9 +364,10 @@ impl Comm {
                         bytes.len()
                     )));
                 }
-                decode_into(&bytes, &mut buf[x.lo..x.hi])?;
+                decode_into(&bytes, &mut scratch[x.lo..x.hi])?;
             }
         }
+        buf.copy_from_slice(&scratch);
         Ok(())
     }
 
@@ -263,7 +380,9 @@ impl Comm {
     /// # Errors
     /// [`MpiError::InvalidRank`] for a bad root; [`MpiError::InvalidCounts`]
     /// for mismatched buffer lengths or an ineligible pinned algorithm;
-    /// [`MpiError::NodeFailed`] if any group member fail-stops.
+    /// [`MpiError::NodeFailed`] if this rank's data path depends on a
+    /// fail-stopped member — the fault contract guarantees every survivor
+    /// returns the complete result or this error, never a torn buffer.
     pub fn bcast_into<T: MpiType>(&self, buf: &mut [T], root: usize) -> MpiResult<()> {
         let algo =
             self.resolve_algo(CollectiveKind::Bcast, None, root, buf.len(), T::WIRE_SIZE)?;
@@ -298,7 +417,7 @@ impl Comm {
                 },
             )?;
         let start = self.clock.now();
-        self.run_movement(&rounds, buf)?;
+        self.with_fault_contract(&rounds, |sent| self.run_movement(&rounds, buf, sent))?;
         self.trace_collective(CollectiveKind::Bcast, algo, buf.len(), T::WIRE_SIZE, start);
         Ok(())
     }
@@ -310,8 +429,9 @@ impl Comm {
     ///
     /// # Errors
     /// [`MpiError::InvalidCounts`] for mismatched contribution lengths or an
-    /// ineligible pinned algorithm; [`MpiError::NodeFailed`] if any group
-    /// member fail-stops.
+    /// ineligible pinned algorithm; [`MpiError::NodeFailed`] if this rank's
+    /// data path depends on a fail-stopped member (every survivor returns
+    /// the complete result or that error, never a torn buffer).
     pub fn allgather_eq<T: MpiType + Copy + Default>(&self, contrib: &[T]) -> MpiResult<Vec<T>> {
         let total = contrib.len() * self.size();
         let algo =
@@ -341,7 +461,7 @@ impl Comm {
         let (lo, hi) = chunk_bounds(total, p, self.rank());
         buf[lo..hi].copy_from_slice(contrib);
         let start = self.clock.now();
-        self.run_movement(&rounds, &mut buf)?;
+        self.with_fault_contract(&rounds, |sent| self.run_movement(&rounds, &mut buf, sent))?;
         self.trace_collective(CollectiveKind::Allgather, algo, total, T::WIRE_SIZE, start);
         Ok(buf)
     }
@@ -358,7 +478,7 @@ macro_rules! impl_engine_reductions {
             /// Receives one scheduled reduction payload and checks its
             /// element count.
             fn $recv_contribs(&self, src: usize, want: usize) -> MpiResult<Vec<$t>> {
-                let (bytes, _) = self.recv_bytes(self.coll_plane(), Some(src), Some(TAG_COLL))?;
+                let bytes = self.recv_sched(src)?;
                 let v: Vec<$t> = decode(&bytes)?;
                 if v.len() != want {
                     return Err(MpiError::InvalidCounts(format!(
@@ -377,12 +497,18 @@ macro_rules! impl_engine_reductions {
                 contrib: &[$t],
                 op: ReduceOp,
                 root: usize,
+                sent: &Cell<usize>,
             ) -> MpiResult<Option<Vec<$t>>> {
                 let p = self.size();
                 let me = self.rank();
                 let n = contrib.len();
                 if me != root {
-                    self.post_bytes(self.coll_plane(), encode(contrib), root, TAG_COLL)?;
+                    // An empty contribution is not scheduled (and the root
+                    // never receives it) — posting one would leak a stray
+                    // envelope onto the collective plane.
+                    if n > 0 {
+                        self.post_sched(encode(contrib), root, sent)?;
+                    }
                     return Ok(None);
                 }
                 let mut raw: Vec<Option<Vec<$t>>> = vec![None; p];
@@ -411,6 +537,7 @@ macro_rules! impl_engine_reductions {
                 contrib: &[$t],
                 op: ReduceOp,
                 root: usize,
+                sent: &Cell<usize>,
             ) -> MpiResult<Option<Vec<$t>>> {
                 let p = self.size();
                 let n = contrib.len();
@@ -427,12 +554,7 @@ macro_rules! impl_engine_reductions {
                             payload.extend_from_slice(held[o].as_ref().expect("subtree held"));
                         }
                         if !payload.is_empty() {
-                            self.post_bytes(
-                                self.coll_plane(),
-                                encode(&payload),
-                                abs(rel - span),
-                                TAG_COLL,
-                            )?;
+                            self.post_sched(encode(&payload), abs(rel - span), sent)?;
                         }
                         return Ok(None); // a sender's part in the gather is over
                     }
@@ -467,12 +589,16 @@ macro_rules! impl_engine_reductions {
             /// travel the chain forward chunk by chunk, finished chunks
             /// travel it backward, both directions pipelined through shared
             /// global rounds (mirroring the schedule generator exactly).
-            fn $ring_allreduce(&self, contrib: &[$t], op: ReduceOp) -> MpiResult<Vec<$t>> {
+            fn $ring_allreduce(
+                &self,
+                contrib: &[$t],
+                op: ReduceOp,
+                sent: &Cell<usize>,
+            ) -> MpiResult<Vec<$t>> {
                 let p = self.size();
                 let r = self.rank();
                 let n = contrib.len();
                 let nchunks = p;
-                let plane = self.coll_plane();
                 let mut result = contrib.to_vec();
                 let mut partial: Vec<Option<Vec<$t>>> = vec![None; nchunks];
                 for g in 0..nchunks + 2 * p - 3 {
@@ -488,7 +614,7 @@ macro_rules! impl_engine_reductions {
                                     } else {
                                         partial[c].take().expect("folded last round")
                                     };
-                                    self.post_bytes(plane, encode(&payload), r + 1, TAG_COLL)?;
+                                    self.post_sched(encode(&payload), r + 1, sent)?;
                                 }
                             }
                         }
@@ -498,12 +624,7 @@ macro_rules! impl_engine_reductions {
                             if c < nchunks {
                                 let (lo, hi) = chunk_bounds(n, nchunks, c);
                                 if hi > lo {
-                                    self.post_bytes(
-                                        plane,
-                                        encode(&result[lo..hi]),
-                                        r - 1,
-                                        TAG_COLL,
-                                    )?;
+                                    self.post_sched(encode(&result[lo..hi]), r - 1, sent)?;
                                 }
                             }
                         }
@@ -544,11 +665,15 @@ macro_rules! impl_engine_reductions {
             /// partner holds (aligned blocks), and every rank folds all `p`
             /// contributions locally in ascending rank order. Requires a
             /// power-of-two communicator.
-            fn $rd_allreduce(&self, contrib: &[$t], op: ReduceOp) -> MpiResult<Vec<$t>> {
+            fn $rd_allreduce(
+                &self,
+                contrib: &[$t],
+                op: ReduceOp,
+                sent: &Cell<usize>,
+            ) -> MpiResult<Vec<$t>> {
                 let p = self.size();
                 let r = self.rank();
                 let n = contrib.len();
-                let plane = self.coll_plane();
                 let mut held: Vec<Option<Vec<$t>>> = vec![None; p];
                 held[r] = Some(contrib.to_vec());
                 let mut span = 1;
@@ -560,7 +685,7 @@ macro_rules! impl_engine_reductions {
                         for o in base..base + span {
                             payload.extend_from_slice(held[o].as_ref().expect("aligned block"));
                         }
-                        self.post_bytes(plane, encode(&payload), partner, TAG_COLL)?;
+                        self.post_sched(encode(&payload), partner, sent)?;
                         let pbase = partner & !(span - 1);
                         let v = self.$recv_contribs(partner, span * n)?;
                         for i in 0..span {
@@ -585,16 +710,20 @@ macro_rules! impl_engine_reductions {
             /// chunks (rank `j` folds every rank's copy of chunk `j`, in
             /// ascending rank order) followed by a direct allgather of the
             /// reduced chunks.
-            fn $sag_allreduce(&self, contrib: &[$t], op: ReduceOp) -> MpiResult<Vec<$t>> {
+            fn $sag_allreduce(
+                &self,
+                contrib: &[$t],
+                op: ReduceOp,
+                sent: &Cell<usize>,
+            ) -> MpiResult<Vec<$t>> {
                 let p = self.size();
                 let me = self.rank();
                 let n = contrib.len();
-                let plane = self.coll_plane();
                 for dst in 0..p {
                     if dst != me {
                         let (lo, hi) = chunk_bounds(n, p, dst);
                         if hi > lo {
-                            self.post_bytes(plane, encode(&contrib[lo..hi]), dst, TAG_COLL)?;
+                            self.post_sched(encode(&contrib[lo..hi]), dst, sent)?;
                         }
                     }
                 }
@@ -616,7 +745,7 @@ macro_rules! impl_engine_reductions {
                 result[mlo..mhi].copy_from_slice(&acc);
                 for dst in 0..p {
                     if dst != me && mhi > mlo {
-                        self.post_bytes(plane, encode(&acc), dst, TAG_COLL)?;
+                        self.post_sched(encode(&acc), dst, sent)?;
                     }
                 }
                 for src in 0..p {
@@ -641,7 +770,9 @@ macro_rules! impl_engine_reductions {
             /// [`MpiError::InvalidRank`] for a bad root;
             /// [`MpiError::InvalidCounts`] for mismatched contribution
             /// lengths or an ineligible pinned algorithm;
-            /// [`MpiError::NodeFailed`] if any group member fail-stops.
+            /// [`MpiError::NodeFailed`] if this rank's data path depends on
+            /// a fail-stopped member (every survivor returns the complete
+            /// result or that error, never a torn result).
             pub fn $reduce(
                 &self,
                 contrib: &[$t],
@@ -688,11 +819,18 @@ macro_rules! impl_engine_reductions {
                     op.$fold(&mut acc, contrib);
                     Some(acc)
                 } else {
-                    match algo {
-                        CollectiveAlgo::Linear => self.$linear_reduce(contrib, op, root)?,
-                        CollectiveAlgo::Binomial => self.$binomial_reduce(contrib, op, root)?,
+                    let rounds =
+                        schedule(CollectiveKind::Reduce, algo, p, root, contrib.len())
+                            .expect("eligibility checked above");
+                    self.with_fault_contract(&rounds, |sent| match algo {
+                        CollectiveAlgo::Linear => {
+                            self.$linear_reduce(contrib, op, root, sent)
+                        }
+                        CollectiveAlgo::Binomial => {
+                            self.$binomial_reduce(contrib, op, root, sent)
+                        }
                         _ => unreachable!("eligibility checked above"),
-                    }
+                    })?
                 };
                 self.trace_collective(
                     CollectiveKind::Reduce,
@@ -713,7 +851,9 @@ macro_rules! impl_engine_reductions {
             /// # Errors
             /// [`MpiError::InvalidCounts`] for mismatched contribution
             /// lengths or an ineligible pinned algorithm;
-            /// [`MpiError::NodeFailed`] if any group member fail-stops.
+            /// [`MpiError::NodeFailed`] if this rank's data path depends on
+            /// a fail-stopped member (every survivor returns the complete
+            /// result or that error, never a torn result).
             pub fn $allreduce(&self, contrib: &[$t], op: ReduceOp) -> MpiResult<Vec<$t>> {
                 let algo = self.resolve_algo(
                     CollectiveKind::Allreduce,
@@ -748,16 +888,22 @@ macro_rules! impl_engine_reductions {
                     op.$fold(&mut acc, contrib);
                     acc
                 } else {
-                    match algo {
+                    // The allreduce schedule (reduce rounds then bcast
+                    // rounds for linear/binomial) is the poison reference:
+                    // the send counter runs through both phases.
+                    let all_rounds =
+                        schedule(CollectiveKind::Allreduce, algo, p, 0, contrib.len())
+                            .expect("eligibility checked above");
+                    self.with_fault_contract(&all_rounds, |sent| match algo {
                         CollectiveAlgo::Linear | CollectiveAlgo::Binomial => {
                             // reduce-to-0 then bcast-from-0, both with the
                             // same algorithm, mirroring the schedule
                             // generator's concatenated rounds.
                             let red = match algo {
                                 CollectiveAlgo::Linear => {
-                                    self.$linear_reduce(contrib, op, 0)?
+                                    self.$linear_reduce(contrib, op, 0, sent)?
                                 }
-                                _ => self.$binomial_reduce(contrib, op, 0)?,
+                                _ => self.$binomial_reduce(contrib, op, 0, sent)?,
                             };
                             let mut buf = red
                                 .unwrap_or_else(|| vec![<$t>::default(); contrib.len()]);
@@ -769,13 +915,17 @@ macro_rules! impl_engine_reductions {
                                 contrib.len(),
                             )
                             .expect("linear/binomial bcast is always eligible");
-                            self.run_movement(&rounds, &mut buf)?;
-                            buf
+                            self.run_movement(&rounds, &mut buf, sent)?;
+                            Ok(buf)
                         }
-                        CollectiveAlgo::Ring => self.$ring_allreduce(contrib, op)?,
-                        CollectiveAlgo::RecursiveDoubling => self.$rd_allreduce(contrib, op)?,
-                        CollectiveAlgo::ScatterAllgather => self.$sag_allreduce(contrib, op)?,
-                    }
+                        CollectiveAlgo::Ring => self.$ring_allreduce(contrib, op, sent),
+                        CollectiveAlgo::RecursiveDoubling => {
+                            self.$rd_allreduce(contrib, op, sent)
+                        }
+                        CollectiveAlgo::ScatterAllgather => {
+                            self.$sag_allreduce(contrib, op, sent)
+                        }
+                    })?
                 };
                 self.trace_collective(
                     CollectiveKind::Allreduce,

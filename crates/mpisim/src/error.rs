@@ -5,6 +5,32 @@ use std::fmt;
 /// Result alias used throughout `mpisim`.
 pub type MpiResult<T> = Result<T, MpiError>;
 
+/// The blocked-receive wait graph at the moment a deadlock was detected.
+///
+/// One entry per *stuck* world rank: `(rank, ranks whose send could have
+/// unblocked it)`. Built by the quiescence detector when every live rank is
+/// blocked and no queued message can unblock any of them, so the edges are
+/// exact, not sampled. Entries are in world-rank order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WaitGraph {
+    /// `(waiting rank, ranks it was waiting on)`, in waiting-rank order.
+    pub edges: Vec<(usize, Vec<usize>)>,
+}
+
+impl fmt::Display for WaitGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (r, on) in &self.edges {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{r}->{on:?}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Errors the message-passing layer can report. Where real MPI would call
 /// the error handler and usually abort, we return these so tests can assert
 /// on misuse.
@@ -68,10 +94,19 @@ pub enum MpiError {
         /// Destination node index.
         to: usize,
     },
-    /// A blocking receive made no progress for the real-time deadlock grace
-    /// period ([`crate::p2p::DEADLOCK_TIMEOUT`]): the surrounding SPMD
-    /// program is stuck. Carries diagnostics about the unmatched queue.
-    Deadlock(String),
+    /// The program is stuck: every live rank is blocked and no queued
+    /// message can unblock any of them. Detected by the virtual-time
+    /// quiescence detector (exactly, in milliseconds of real time) or, as a
+    /// belt-and-braces backstop, by the configurable wall-clock watchdog.
+    /// Carries the exact wait graph at detection time.
+    Deadlock {
+        /// The caller's world rank.
+        waiting: usize,
+        /// World ranks whose send could have unblocked the caller.
+        on: Vec<usize>,
+        /// The full wait graph over every stuck rank.
+        graph: WaitGraph,
+    },
 }
 
 impl fmt::Display for MpiError {
@@ -110,7 +145,10 @@ impl fmt::Display for MpiError {
             MpiError::LinkDown { from, to } => {
                 write!(f, "link n{from} -> n{to} is down")
             }
-            MpiError::Deadlock(msg) => write!(f, "deadlock: {msg}"),
+            MpiError::Deadlock { waiting, on, graph } => write!(
+                f,
+                "deadlock: rank {waiting} waiting on {on:?}; wait graph: [{graph}]"
+            ),
         }
     }
 }

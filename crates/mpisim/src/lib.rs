@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod agree;
 pub mod cart;
 pub mod collective;
 pub mod comm;
@@ -44,14 +45,16 @@ pub mod error;
 pub mod group;
 pub mod op;
 pub mod p2p;
+mod quiesce;
 pub mod runtime;
 pub mod vtime;
 
+pub use agree::Agreement;
 pub use cart::{dims_create, CartComm};
 pub use comm::{wait_all, wait_any, Comm, RecvRequest, SendRequest};
 pub use datatype::MpiType;
 pub use engine::CollectivePolicy;
-pub use error::{MpiError, MpiResult};
+pub use error::{MpiError, MpiResult, WaitGraph};
 pub use perfmodel::collective::{CollectiveAlgo, CollectiveKind};
 pub use group::{Group, GroupCompare};
 pub use op::ReduceOp;

@@ -8,37 +8,37 @@
 //! guarantee: two messages from the same sender on the same communicator
 //! that both match a receive are matched in the order they were sent.
 
-use crate::error::{MpiError, MpiResult};
 use hetsim::SimTime;
 use parking_lot::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Wildcard source (`MPI_ANY_SOURCE`).
 pub const ANY_SOURCE: isize = -1;
 /// Wildcard tag (`MPI_ANY_TAG`).
 pub const ANY_TAG: i32 = -1;
 
-/// How long a blocked receive waits (in real time) before concluding the
-/// program has deadlocked. The raw [`Mailbox::recv_match`] panics with
-/// diagnostics; the guarded path used by [`crate::Comm`] returns
-/// [`MpiError::Deadlock`] so rank threads unwind cleanly. Virtual time is
-/// unaffected; this is purely a developer-experience safety net.
+/// Default wall-clock watchdog: how long a blocked receive waits in real
+/// time before giving up. Since the virtual-time quiescence detector
+/// ([`crate::quiesce`]) classifies stuck states in milliseconds, this is a
+/// belt-and-braces backstop that should never fire in practice — it only
+/// catches programs that defeat the detector (e.g. a rank busy-polling
+/// outside the runtime forever). Configurable per universe with
+/// [`crate::Universe::with_deadlock_timeout`] or the
+/// `MPISIM_DEADLOCK_TIMEOUT` environment variable (seconds); the raw
+/// panicking [`Mailbox::recv_match`] always uses this default.
 pub const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
 
-/// Real-time grace a *deadline* receive (`recv_deadline` / `recv_timeout`)
-/// waits for a matching message before declaring [`MpiError::Timeout`].
-///
-/// Virtual time and real time are decoupled: a sender whose virtual send
-/// time is well before the receiver's virtual deadline may still be running
-/// behind in real time, so a deadline receive cannot conclude "no message by
-/// virtual time `d`" instantly — it waits this long in real time for one to
-/// show up (liveness changes and posts cut the wait short).
+/// Historical real-time grace of a *deadline* receive (`recv_deadline` /
+/// `recv_timeout`). Deadline receives are now exact: they time out when the
+/// quiescence detector proves no qualifying message can arrive, not after a
+/// fixed real-time wait. The constant remains as public API and as the
+/// spacing of a few internal retry heuristics.
 pub const TIMEOUT_GRACE: Duration = Duration::from_millis(500);
 
 /// Polling slice for guarded receives: an upper bound on how long a blocked
 /// receive sleeps before re-checking its abort condition, which caps the
 /// latency of noticing a peer-failure transition even if a wakeup is lost.
-const GUARD_POLL: Duration = Duration::from_millis(25);
+pub(crate) const GUARD_POLL: Duration = Duration::from_millis(25);
 
 /// A message in flight or queued at the receiver.
 #[derive(Debug, Clone)]
@@ -85,6 +85,20 @@ impl Pattern {
             && self.src_world.is_none_or(|s| s == env.src_world)
             && self.tag.is_none_or(|t| t == env.tag)
     }
+}
+
+/// What one atomic scan of the queue concluded for a (possibly
+/// deadline-bounded) receive.
+#[derive(Debug)]
+pub(crate) enum Claim {
+    /// A qualifying envelope was removed from the queue.
+    Matched(Envelope),
+    /// A matching envelope from the *specific* awaited source is queued
+    /// with `arrival > deadline`: non-overtaking means nothing earlier can
+    /// follow, so the deadline is provably missed.
+    DeadlineMissed,
+    /// Nothing qualifying is queued (yet).
+    Nothing,
 }
 
 /// One rank's incoming-message queue.
@@ -138,69 +152,96 @@ impl Mailbox {
         self.cond.notify_all();
     }
 
-    /// Failure-aware matched receive. Blocks until one of:
-    ///
-    /// * a matching envelope is queued (with `arrival <= deadline`, if a
-    ///   virtual-time deadline is given) — returns it;
-    /// * `abort()` reports an error (a peer died, the caller's own node
-    ///   crashed, …) — returns that error;
-    /// * a virtual-time deadline is given and provably cannot be met —
-    ///   returns [`MpiError::Timeout`]. "Provably" means either a matching
-    ///   envelope from the specific source is queued with a later arrival
-    ///   (non-overtaking: nothing earlier can follow), or `grace` of real
-    ///   time passed with no qualifying message;
-    /// * no deadline is given and `grace` of real time passes with no match —
-    ///   returns [`MpiError::Deadlock`] with queue diagnostics.
-    ///
-    /// The abort check is re-evaluated at least every `GUARD_POLL` (25 ms) of real
-    /// time, so progress does not depend on wakeups being delivered.
-    pub fn recv_match_guarded(
-        &self,
-        pat: Pattern,
-        deadline: Option<SimTime>,
-        grace: Duration,
-        mut abort: impl FnMut() -> Option<MpiError>,
-    ) -> MpiResult<Envelope> {
-        let start = Instant::now();
+    /// One atomic scan-and-remove attempt for a (possibly deadline-bounded)
+    /// receive.
+    pub(crate) fn claim(&self, pat: Pattern, deadline: Option<SimTime>) -> Claim {
         let mut q = self.inner.lock();
-        loop {
-            match deadline {
-                None => {
-                    if let Some(i) = q.iter().position(|e| pat.matches(e)) {
-                        return Ok(q.remove(i));
-                    }
-                }
-                Some(d) => {
-                    if let Some(i) = q.iter().position(|e| pat.matches(e) && e.arrival <= d) {
-                        return Ok(q.remove(i));
-                    }
+        Self::claim_locked(&mut q, pat, deadline)
+    }
+
+    fn claim_locked(q: &mut Vec<Envelope>, pat: Pattern, deadline: Option<SimTime>) -> Claim {
+        let pos = match deadline {
+            None => q.iter().position(|e| pat.matches(e)),
+            Some(d) => {
+                let hit = q.iter().position(|e| pat.matches(e) && e.arrival <= d);
+                if hit.is_none() && pat.src_world.is_some() && q.iter().any(|e| pat.matches(e)) {
                     // A queued match must have arrival > d. For a specific
                     // source, non-overtaking means no earlier arrival can
                     // follow it: the deadline is already missed.
-                    if pat.src_world.is_some() && q.iter().any(|e| pat.matches(e)) {
-                        return Err(MpiError::Timeout);
-                    }
+                    return Claim::DeadlineMissed;
                 }
+                hit
             }
-            if let Some(err) = abort() {
-                return Err(err);
-            }
-            let Some(remaining) = grace.checked_sub(start.elapsed()).filter(|r| !r.is_zero())
-            else {
-                return Err(match deadline {
-                    Some(_) => MpiError::Timeout,
-                    None => MpiError::Deadlock(format!(
-                        "receive {pat:?} matched nothing for {grace:?}; \
-                         {} unmatched message(s) queued: {:?}",
-                        q.len(),
-                        q.iter()
-                            .map(|e| (e.ctx, e.src_world, e.tag, e.data.len()))
-                            .collect::<Vec<_>>()
-                    )),
-                });
-            };
-            self.cond.wait_for(&mut q, remaining.min(GUARD_POLL));
+        };
+        match pos {
+            Some(i) => Claim::Matched(q.remove(i)),
+            None => Claim::Nothing,
         }
+    }
+
+    /// The quiescence-relevant progress predicate for one pattern: a
+    /// deliverable match is queued (`arrival <= deadline` when bounded), or
+    /// a provably-late specific-source match lets the receive resolve as a
+    /// missed deadline.
+    fn progressable(q: &[Envelope], pat: &Pattern, deadline: Option<SimTime>) -> bool {
+        match deadline {
+            None => q.iter().any(|e| pat.matches(e)),
+            Some(d) => {
+                q.iter().any(|e| pat.matches(e) && e.arrival <= d)
+                    || (pat.src_world.is_some() && q.iter().any(|e| pat.matches(e)))
+            }
+        }
+    }
+
+    /// Like a claiming receive's wait but leaves the message queued
+    /// (probe). Returns the matched envelope's metadata, or `None` after
+    /// the bounded wait.
+    pub(crate) fn wait_or_peek(
+        &self,
+        pat: Pattern,
+        timeout: Duration,
+    ) -> Option<(usize, i32, usize, SimTime)> {
+        let peek = |q: &[Envelope]| {
+            q.iter()
+                .find(|e| pat.matches(e))
+                .map(|e| (e.src_world, e.tag, e.data.len(), e.arrival))
+        };
+        let mut q = self.inner.lock();
+        if let Some(hit) = peek(&q) {
+            return Some(hit);
+        }
+        self.cond.wait_for(&mut q, timeout);
+        peek(&q)
+    }
+
+    /// Bounded wait until some pattern in `pats` could make progress under
+    /// `deadline` (per [`Mailbox::progressable`]), a wakeup arrives, or
+    /// `timeout` elapses — the sleep primitive of every guarded wait loop.
+    /// With empty `pats` this is a pure interruptible sleep (used by
+    /// agreement polls). Returns true if progress is possible.
+    pub(crate) fn wait_deliverable(
+        &self,
+        pats: &[Pattern],
+        deadline: Option<SimTime>,
+        timeout: Duration,
+    ) -> bool {
+        let hit = |q: &[Envelope]| pats.iter().any(|p| Self::progressable(q, p, deadline));
+        let mut q = self.inner.lock();
+        if hit(&q) {
+            return true;
+        }
+        self.cond.wait_for(&mut q, timeout);
+        hit(&q)
+    }
+
+    /// True if a blocked receive over `pats` could make progress on its
+    /// own: a deliverable match is queued, or (deadline-bounded,
+    /// specific-source) a provably-late match lets it return `Timeout`.
+    /// Used by the quiescence classifier, which must observe the exact
+    /// conditions the receive loop itself checks.
+    pub(crate) fn can_progress(&self, pats: &[Pattern], deadline: Option<SimTime>) -> bool {
+        let q = self.inner.lock();
+        pats.iter().any(|p| Self::progressable(&q, p, deadline))
     }
 
     /// Like [`Mailbox::recv_match`] but leaves the message queued

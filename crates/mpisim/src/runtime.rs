@@ -1,15 +1,18 @@
 //! The SPMD runtime: launching ranks as threads over a simulated cluster.
 
+use crate::agree::AgreeTable;
 use crate::comm::Comm;
 use crate::engine::CollectivePolicy;
 use crate::error::{MpiError, MpiResult};
-use crate::p2p::Mailbox;
+use crate::p2p::{Mailbox, DEADLOCK_TIMEOUT};
+use crate::quiesce::Registry;
 use crate::vtime::{LocalClock, NetworkState};
 use hetsim::trace::{Trace, TraceEvent, TraceKind, Tracer};
 use hetsim::{Cluster, NodeId, SimTime};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// What the failure detector knows about one world rank.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -49,6 +52,17 @@ pub(crate) struct SharedState {
     /// How the collective engine picks an algorithm per call (see
     /// [`Universe::with_collective_policy`]).
     pub(crate) coll_policy: CollectivePolicy,
+    /// The virtual-time quiescence detector (see [`crate::quiesce`]).
+    pub(crate) quiesce: Arc<Registry>,
+    /// Agreement rounds ([`Comm::agree`] / [`Comm::shrink`]).
+    pub(crate) agreements: Arc<AgreeTable>,
+    /// Wall-clock backstop behind the quiescence detector: how long a
+    /// blocked receive waits in real time before giving up anyway.
+    pub(crate) watchdog: Duration,
+    /// `doom[world_rank]` = that rank's node's crash time under the fault
+    /// plan, if it is doomed. Resolved once at launch so receive paths do
+    /// not hit the cluster model on every call.
+    pub(crate) doom: Vec<Option<SimTime>>,
 }
 
 impl SharedState {
@@ -78,6 +92,7 @@ impl SharedState {
                 l[world_rank] = RankState::Failed(at);
             }
         }
+        self.quiesce.mark_dead(world_rank);
         self.wake_all();
     }
 
@@ -90,6 +105,7 @@ impl SharedState {
                 l[world_rank] = RankState::Terminated;
             }
         }
+        self.quiesce.mark_dead(world_rank);
         self.wake_all();
     }
 
@@ -111,6 +127,9 @@ struct TerminationGuard {
 impl Drop for TerminationGuard {
     fn drop(&mut self) {
         self.shared.mark_terminated(self.world_rank);
+        // The thread no longer counts as active: if it was the last one
+        // running, its exit may be the moment of quiescence.
+        self.shared.quiesce.done(self.world_rank);
     }
 }
 
@@ -143,6 +162,7 @@ pub struct Universe {
     placement: Vec<NodeId>,
     tracer: Option<Arc<Tracer>>,
     coll_policy: CollectivePolicy,
+    watchdog: Option<Duration>,
 }
 
 impl Universe {
@@ -155,6 +175,7 @@ impl Universe {
             placement,
             tracer: None,
             coll_policy: CollectivePolicy::Auto,
+            watchdog: None,
         }
     }
 
@@ -186,7 +207,21 @@ impl Universe {
             placement,
             tracer: None,
             coll_policy: CollectivePolicy::Auto,
+            watchdog: None,
         }
+    }
+
+    /// Sets the wall-clock watchdog for subsequent runs: the real-time
+    /// backstop a blocked operation waits before giving up with a typed
+    /// error. The virtual-time quiescence detector classifies stuck states
+    /// in milliseconds, so the watchdog should never fire in practice —
+    /// shorten it in tests that deliberately defeat the detector, or
+    /// lengthen it for heavily oversubscribed hosts. Defaults to the
+    /// `MPISIM_DEADLOCK_TIMEOUT` environment variable (seconds, fractional
+    /// allowed) when set, else [`DEADLOCK_TIMEOUT`].
+    pub fn with_deadlock_timeout(mut self, timeout: Duration) -> Self {
+        self.watchdog = Some(timeout);
+        self
     }
 
     /// Sets the collective engine's algorithm policy for subsequent runs:
@@ -241,16 +276,36 @@ impl Universe {
         F: Fn(&Process) -> R + Sync,
     {
         let n = self.size();
+        let mailboxes: Vec<Arc<Mailbox>> = (0..n).map(|_| Arc::new(Mailbox::new())).collect();
+        let agreements = Arc::new(AgreeTable::new());
+        let watchdog = self.watchdog.unwrap_or_else(|| {
+            std::env::var("MPISIM_DEADLOCK_TIMEOUT")
+                .ok()
+                .and_then(|s| s.trim().parse::<f64>().ok())
+                .filter(|s| *s > 0.0)
+                .map(Duration::from_secs_f64)
+                .unwrap_or(DEADLOCK_TIMEOUT)
+        });
         let shared = Arc::new(SharedState {
             cluster: self.cluster.clone(),
             placement: self.placement.clone(),
-            mailboxes: (0..n).map(|_| Arc::new(Mailbox::new())).collect(),
+            quiesce: Arc::new(Registry::new(mailboxes.clone(), agreements.clone())),
+            doom: {
+                let times = self.cluster.crash_times();
+                self.placement
+                    .iter()
+                    .map(|&node| times[node.index()])
+                    .collect()
+            },
+            mailboxes,
             network: NetworkState::new(self.cluster.contention(), self.cluster.len()),
             liveness: Mutex::new(vec![RankState::Alive; n]),
             next_ctx: AtomicU64::new(2),
             local_dups: Mutex::new(std::collections::HashMap::new()),
             tracer: self.tracer.clone(),
             coll_policy: self.coll_policy,
+            agreements,
+            watchdog,
         });
 
         let mut slots: Vec<Option<(R, SimTime)>> = Vec::with_capacity(n);

@@ -433,6 +433,66 @@ fn allreduce_rounds(algo: CollectiveAlgo, p: usize, n: usize) -> Vec<Vec<Xfer>> 
     }
 }
 
+/// Predicts the engine's fault surface for a schedule: which ranks complete
+/// and which abort, when the ranks in `failed` are fail-stopped for the
+/// whole run (the crash-before-collective case).
+///
+/// Returns one entry per schedule rank: `None` — the rank completes with
+/// the full, correct result; `Some(b)` — the rank aborts blaming rank `b`
+/// (a failed rank blames itself). The replay mirrors the executor's fault
+/// propagation exactly:
+///
+/// * within a round every rank issues its sends in schedule order, then
+///   completes its receives in schedule order;
+/// * a send to a dead rank aborts the sender, blaming the dead rank;
+/// * a receive from a dead rank aborts the receiver, blaming the dead rank;
+/// * a rank that aborts stops at its first failing transfer and *poisons*
+///   the rest of its scheduled sends, so a receive of a poisoned transfer
+///   aborts the receiver with the same blame — faults propagate along
+///   schedule edges, transitively, in deterministic schedule order.
+///
+/// Ranks are schedule (communicator) ranks throughout; callers working in
+/// world-rank space translate on the way in and out.
+pub fn fault_impact(rounds: &[Vec<Xfer>], p: usize, failed: &[usize]) -> Vec<Option<usize>> {
+    let mut blame: Vec<Option<usize>> = vec![None; p];
+    let mut dead = vec![false; p];
+    for &f in failed {
+        if f < p {
+            dead[f] = true;
+            blame[f] = Some(f);
+        }
+    }
+    for round in rounds {
+        // Send phase: what each transfer of this round carries — `None` for
+        // data, `Some(b)` for poison (or, for a dead sender, the abort its
+        // receiver's failure detector will raise).
+        let payload: Vec<Option<usize>> = round
+            .iter()
+            .map(|x| {
+                if let Some(b) = blame[x.src] {
+                    Some(b)
+                } else if dead[x.dst] {
+                    // The send itself fails; the sender aborts here and
+                    // poisons everything after this edge.
+                    blame[x.src] = Some(x.dst);
+                    Some(x.dst)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        // Receive phase: a rank stops at its first failing receive.
+        for (x, carried) in round.iter().zip(&payload) {
+            if blame[x.dst].is_none() {
+                if let Some(b) = carried {
+                    blame[x.dst] = Some(*b);
+                }
+            }
+        }
+    }
+    blame
+}
+
 /// Replays a schedule against a [`PairCost`] table and returns the predicted
 /// completion time (seconds): the maximum rank clock after the last round.
 ///
@@ -809,5 +869,70 @@ mod tests {
                 .sum();
             assert_eq!(got, n, "rank {r} must receive all finished chunks");
         }
+    }
+
+    #[test]
+    fn fault_impact_is_empty_without_faults() {
+        for kind in [
+            CollectiveKind::Bcast,
+            CollectiveKind::Reduce,
+            CollectiveKind::Allreduce,
+            CollectiveKind::Allgather,
+        ] {
+            for p in [2, 4, 5] {
+                for algo in algos_for(kind, p) {
+                    let rounds = schedule(kind, algo, p, 0, 16).unwrap();
+                    assert_eq!(fault_impact(&rounds, p, &[]), vec![None; p]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_impact_linear_bcast_root_death_reaches_everyone() {
+        let rounds = schedule(CollectiveKind::Bcast, CollectiveAlgo::Linear, 4, 0, 8).unwrap();
+        assert_eq!(
+            fault_impact(&rounds, 4, &[0]),
+            vec![Some(0), Some(0), Some(0), Some(0)]
+        );
+    }
+
+    #[test]
+    fn fault_impact_linear_bcast_leaf_death_is_contained() {
+        // A dead leaf aborts only the root (its send to the leaf fails);
+        // the root sends to ranks 1 and 2 first, so they still get data.
+        let rounds = schedule(CollectiveKind::Bcast, CollectiveAlgo::Linear, 4, 0, 8).unwrap();
+        assert_eq!(
+            fault_impact(&rounds, 4, &[3]),
+            vec![Some(3), None, None, Some(3)]
+        );
+    }
+
+    #[test]
+    fn fault_impact_binomial_bcast_blames_along_tree_edges() {
+        // Binomial bcast over 8 ranks rooted at 0. Rank 1 is the root's
+        // round-1 child, so the root aborts at its very first send and
+        // every later tree edge carries poison: the whole tree blames the
+        // dead rank. Kill a late leaf (rank 7, fed by 3 in the last round)
+        // instead and everyone else finishes.
+        let p = 8;
+        let rounds = schedule(CollectiveKind::Bcast, CollectiveAlgo::Binomial, p, 0, 8).unwrap();
+        assert_eq!(fault_impact(&rounds, p, &[1]), vec![Some(1); p]);
+        let impact = fault_impact(&rounds, p, &[7]);
+        assert_eq!(impact[7], Some(7));
+        assert_eq!(impact[3], Some(7), "rank 7's parent aborts at its send");
+        for r in [0, 1, 2, 4, 5, 6] {
+            assert_eq!(impact[r], None, "rank {r} is off the failed path");
+        }
+    }
+
+    #[test]
+    fn fault_impact_ring_allreduce_poison_reaches_all_survivors() {
+        // The ring's data dependencies pass through every rank, so one
+        // death eventually aborts every survivor with the same blame.
+        let p = 5;
+        let rounds = schedule(CollectiveKind::Allreduce, CollectiveAlgo::Ring, p, 0, 10).unwrap();
+        let impact = fault_impact(&rounds, p, &[2]);
+        assert_eq!(impact, vec![Some(2); p]);
     }
 }

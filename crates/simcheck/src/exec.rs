@@ -15,6 +15,14 @@
 //! * **timeof parity** — fault-free under `ParallelLinks`, the engine's
 //!   `predict_collective` price tracks the measured virtual makespan
 //!   within [`TIMEOF_REL_BOUND`];
+//! * **fault-tolerant collective contract** — with injected faults, a
+//!   collective's survivors either hold the bit-exact result or a typed
+//!   fault-shaped error (never a torn output), a post-collective
+//!   ULFM-style agreement round reaches one unanimous verdict consistent
+//!   with the per-rank outcomes, and — under `ParallelLinks`, where
+//!   transfer timing is free of host-schedule-ordered arbitration —
+//!   re-running the same scenario replays the identical error surface
+//!   and virtual makespan;
 //! * **engine/naive equivalence** — the compiled selection engine picks
 //!   exactly the mapping of the naive interpreter path;
 //! * **trace well-formedness** — Chrome exports parse, timestamps are
@@ -29,7 +37,7 @@ use hetsim::{
     SpeedEstimates, Trace,
 };
 use hmpi::{select_mapping, select_mapping_naive, HmpiRuntime, MappingAlgorithm, SelectionCtx};
-use mpisim::{CollectiveAlgo, CollectiveKind, ReduceOp, Universe};
+use mpisim::{CollectiveAlgo, CollectiveKind, MpiError, ReduceOp, Universe};
 use perfmodel::collective::algos_for;
 use perfmodel::ModelBuilder;
 use rand::{Rng, SeedableRng, StdRng};
@@ -324,6 +332,21 @@ fn serial_fold(n: usize, elems: usize) -> Vec<f64> {
     acc
 }
 
+/// One rank's record of a collective run: the algorithm's price, the
+/// collective's typed error (`None` = completed and value-checked), and —
+/// on fault-bearing runs only — the post-collective agreement verdict
+/// (`Err` = the rank could not finish the round, e.g. its own node died).
+type FtRecord = (f64, Option<String>, Option<Result<(bool, Vec<usize>), String>>);
+
+/// Typed errors a fault plan is allowed to surface. Anything else escaping
+/// a crashy collective (truncation, count mismatches, torn internal state)
+/// is a contract violation, not a legal fault outcome.
+fn fault_shaped(msg: &str) -> bool {
+    ["NodeFailed", "PeerTerminated", "LinkDown", "Timeout", "Deadlock"]
+        .iter()
+        .any(|p| msg.starts_with(p))
+}
+
 fn check_collective(
     sc: &Scenario,
     kind: CollectiveKind,
@@ -332,6 +355,7 @@ fn check_collective(
 ) -> Result<(), Violation> {
     let n = sc.nodes();
     let root = root % n; // the shrinker may have dropped the root's node
+    let has_faults = !sc.faults.is_empty();
     let cluster = build_cluster(sc);
     // Per-rank contribution length and the element count the predictor is
     // asked to price (total payload for allgather, as in the bench).
@@ -349,66 +373,137 @@ fn check_collective(
         CollectiveKind::Allgather => (0..n).flat_map(|r| f64_payload(r, contrib_len)).collect(),
     };
 
+    let algos = algos_for(kind, n);
     let mut predictions: Vec<(CollectiveAlgo, f64)> = Vec::new();
-    for algo in algos_for(kind, n) {
-        let u = Universe::new(cluster.clone()).with_tracing();
-        let exp = expected.clone();
-        let report = u.run(move |proc| -> Result<f64, RankFail> {
-            let world = proc.world();
-            let me = world.rank();
-            let predicted = world
-                .predict_collective_with(kind, algo, root, pred_elems, 8)
-                .map_err(typed)?;
-            let out: Option<Vec<f64>> = match kind {
-                CollectiveKind::Bcast => {
-                    let mut buf = f64_payload(me, contrib_len);
-                    world.bcast_into_with(algo, &mut buf, root).map_err(typed)?;
-                    Some(buf)
-                }
-                CollectiveKind::Reduce => world
-                    .reduce_eq_f64_with(algo, &f64_payload(me, contrib_len), ReduceOp::Sum, root)
-                    .map_err(typed)?,
-                CollectiveKind::Allreduce => Some(
-                    world
-                        .allreduce_eq_f64_with(algo, &f64_payload(me, contrib_len), ReduceOp::Sum)
-                        .map_err(typed)?,
-                ),
-                CollectiveKind::Allgather => Some(
-                    world
-                        .allgather_eq_with(algo, &f64_payload(me, contrib_len))
-                        .map_err(typed)?,
-                ),
-            };
-            let should_have_output = !matches!(kind, CollectiveKind::Reduce) || me == root;
-            match out {
-                Some(v) if should_have_output => {
-                    if bits(&v) != bits(&exp) {
-                        return Err(value_bug(format!(
-                            "{}/{} diverges from the serial reference",
-                            kind.name(),
-                            algo.name()
-                        )));
+    for &algo in &algos {
+        // Factored so fault-bearing runs can be replayed for the
+        // determinism invariant: same cluster, same fault plan, same
+        // closure — the second run must reproduce the first bit-for-bit.
+        let run_once = || {
+            let u = Universe::new(cluster.clone()).with_tracing();
+            let exp = expected.clone();
+            u.run(move |proc| -> Result<FtRecord, RankFail> {
+                let world = proc.world();
+                let me = world.rank();
+                let predicted = world
+                    .predict_collective_with(kind, algo, root, pred_elems, 8)
+                    .map_err(typed)?;
+                let out: Result<Option<Vec<f64>>, MpiError> = (|| {
+                    Ok(match kind {
+                        CollectiveKind::Bcast => {
+                            let mut buf = f64_payload(me, contrib_len);
+                            world.bcast_into_with(algo, &mut buf, root)?;
+                            Some(buf)
+                        }
+                        CollectiveKind::Reduce => world.reduce_eq_f64_with(
+                            algo,
+                            &f64_payload(me, contrib_len),
+                            ReduceOp::Sum,
+                            root,
+                        )?,
+                        CollectiveKind::Allreduce => Some(world.allreduce_eq_f64_with(
+                            algo,
+                            &f64_payload(me, contrib_len),
+                            ReduceOp::Sum,
+                        )?),
+                        CollectiveKind::Allgather => Some(
+                            world.allgather_eq_with(algo, &f64_payload(me, contrib_len))?,
+                        ),
+                    })
+                })();
+                let coll_err = match out {
+                    Ok(v) => {
+                        // Survivor value integrity: a rank that reports
+                        // success must hold the bit-exact result, faults
+                        // or not — no torn outputs.
+                        let should_have_output =
+                            !matches!(kind, CollectiveKind::Reduce) || me == root;
+                        match v {
+                            Some(v) if should_have_output => {
+                                if bits(&v) != bits(&exp) {
+                                    return Err(value_bug(format!(
+                                        "{}/{} diverges from the serial reference",
+                                        kind.name(),
+                                        algo.name()
+                                    )));
+                                }
+                            }
+                            None if !should_have_output => {}
+                            _ => {
+                                return Err(value_bug(format!(
+                                    "{}/{}: output presence wrong for rank {me} (root {root})",
+                                    kind.name(),
+                                    algo.name()
+                                )))
+                            }
+                        }
+                        None
                     }
-                }
-                None if !should_have_output => {}
-                _ => {
-                    return Err(value_bug(format!(
-                        "{}/{}: output presence wrong for rank {me} (root {root})",
-                        kind.name(),
-                        algo.name()
-                    )))
-                }
-            }
-            Ok(predicted)
-        });
-        let results: Vec<Result<(), RankFail>> = report
+                    Err(e) if has_faults => Some(format!("{e:?}")),
+                    Err(e) => return Err(typed(e)),
+                };
+                // Fault-tolerant contract: after a crashy collective every
+                // surviving rank must still reach a verdict on whether the
+                // operation committed, via a ULFM-style agreement round.
+                let agreement = has_faults.then(|| {
+                    world
+                        .agree(coll_err.is_none())
+                        .map(|a| (a.flag, a.failed))
+                        .map_err(|e| format!("{e:?}"))
+                });
+                Ok((predicted, coll_err, agreement))
+            })
+        };
+        let report = run_once();
+        let judged: Vec<Result<(), RankFail>> = report
             .results
             .iter()
-            .map(|r| r.as_ref().map(|_| ()).map_err(Clone::clone))
+            .map(|r| match r {
+                Ok((_, Some(e), _)) => Err((false, e.clone())),
+                Ok(_) => Ok(()),
+                Err(f) => Err(f.clone()),
+            })
             .collect();
-        judge_ranks(sc, &results)?;
+        judge_ranks(sc, &judged)?;
         validate_trace(report.trace.as_ref().expect("tracing enabled"), n)?;
-        if let Ok(predicted) = &report.results[0] {
+        if has_faults {
+            check_fault_contract(kind, algo, &report.results)?;
+        }
+        // Same seed, same plan: the per-rank error surface, the agreement
+        // verdicts and the virtual makespan must replay exactly. Scoped
+        // to `ParallelLinks` (like `timeof-parity`): bus/NIC contention
+        // arbitrates transfers first-come-first-served in *host schedule*
+        // order, so clocks near a crash boundary can legally resolve
+        // differently between runs of the same scenario.
+        if has_faults && sc.contention == ContentionModel::ParallelLinks {
+            let replay = run_once();
+            if replay.results != report.results || replay.makespan != report.makespan {
+                let first_diff = (0..n)
+                    .find(|&r| replay.results[r] != report.results[r])
+                    .map(|r| {
+                        format!(
+                            "rank {r}: {:?} then {:?}",
+                            report.results[r], replay.results[r]
+                        )
+                    })
+                    .unwrap_or_else(|| {
+                        format!(
+                            "makespan {} then {}",
+                            report.makespan.as_secs(),
+                            replay.makespan.as_secs()
+                        )
+                    });
+                return Err(viol(
+                    "fault-determinism",
+                    format!(
+                        "{}/{}: two runs of the same faulty scenario diverged ({first_diff})",
+                        kind.name(),
+                        algo.name()
+                    ),
+                ));
+            }
+        }
+        if let Ok((predicted, _, _)) = &report.results[0] {
             predictions.push((algo, *predicted));
             // `timeof` parity: prediction replays the exact schedule, so
             // fault-free under parallel links it must track the measured
@@ -431,8 +526,10 @@ fn check_collective(
     }
 
     // The Auto selector must pick the cheapest priced algorithm (first in
-    // tie-break order), and running it must preserve the values too.
-    if !predictions.is_empty() {
+    // tie-break order), and running it must preserve the values too. The
+    // comparison only holds when every algorithm was priced — under faults
+    // rank 0 may legitimately die before pricing.
+    if predictions.len() == algos.len() {
         let best = predictions
             .iter()
             .copied()
@@ -458,12 +555,92 @@ fn check_collective(
                     ));
                 }
             }
+            // Rank 0 died between the per-algo pricings and this one
+            // (both price at virtual time zero, so this is unreachable
+            // in practice, but a dead rank's typed error is always
+            // legal under faults).
+            Err((_, msg)) if has_faults => {
+                let _ = msg;
+            }
             Err((_, msg)) => {
                 return Err(viol(
                     "auto-selection",
                     format!("Auto pricing failed: {msg}"),
                 ))
             }
+        }
+    }
+    Ok(())
+}
+
+/// Fault-bearing collective invariants: every typed error is
+/// fault-shaped, agreement verdicts are unanimous across the ranks that
+/// completed the round, and the agreed flag equals the AND of the
+/// recorded outcomes of the members that deposited.
+fn check_fault_contract(
+    kind: CollectiveKind,
+    algo: CollectiveAlgo,
+    results: &[Result<FtRecord, RankFail>],
+) -> Result<(), Violation> {
+    let tag = format!("{}/{}", kind.name(), algo.name());
+    for (rank, r) in results.iter().enumerate() {
+        let errs: [Option<&String>; 2] = match r {
+            Ok((_, e, ag)) => [
+                e.as_ref(),
+                match ag {
+                    Some(Err(m)) => Some(m),
+                    _ => None,
+                },
+            ],
+            Err((false, m)) => [Some(m), None],
+            Err((true, _)) => [None, None], // value bugs were judged already
+        };
+        for msg in errs.into_iter().flatten() {
+            if !fault_shaped(msg) {
+                return Err(viol(
+                    "fault-error-surface",
+                    format!("{tag}: rank {rank} surfaced a non-fault error under faults: {msg}"),
+                ));
+            }
+        }
+    }
+    let agreements: Vec<(usize, &(bool, Vec<usize>))> = results
+        .iter()
+        .enumerate()
+        .filter_map(|(rank, r)| match r {
+            Ok((_, _, Some(Ok(a)))) => Some((rank, a)),
+            _ => None,
+        })
+        .collect();
+    if let Some((first_rank, first)) = agreements.first() {
+        for (rank, a) in &agreements[1..] {
+            if a != first {
+                return Err(viol(
+                    "agreement-unanimity",
+                    format!(
+                        "{tag}: rank {rank} agreed {a:?}, rank {first_rank} agreed {first:?}"
+                    ),
+                ));
+            }
+        }
+        // A member outside `failed` deposited its recorded outcome, so
+        // the AND-fold is recomputable from the per-rank records. (Ranks
+        // that unwound before depositing are observed dead and land in
+        // `failed`; ranks that deposited and died afterwards still carry
+        // their record.)
+        let (flag, failed) = first;
+        let expected_flag = results.iter().enumerate().all(|(rank, r)| match r {
+            Ok((_, err, _)) if !failed.contains(&rank) => err.is_none(),
+            _ => true,
+        });
+        if *flag != expected_flag {
+            return Err(viol(
+                "agreement-unanimity",
+                format!(
+                    "{tag}: agreed flag {flag} contradicts the recorded outcomes \
+                     (expected {expected_flag}, failed {failed:?})"
+                ),
+            ));
         }
     }
     Ok(())

@@ -70,15 +70,14 @@ fn draw_workload(rng: &mut StdRng, n: usize) -> Workload {
     }
 }
 
-/// Whether a workload tolerates injected faults. The kernels and the
-/// collective invariants (bit-exactness vs a serial reference, `timeof`
-/// parity) are checked fault-free; the pure selection check has no
-/// simulation for faults to touch.
+/// Whether a workload tolerates injected faults. The kernels are checked
+/// fault-free (they `expect` their way through setup); the pure selection
+/// check has no simulation for faults to touch. Collectives *are*
+/// faultable: the fault-tolerant contract (survivors return bit-exact
+/// values or typed errors, agreement verdicts are unanimous, the error
+/// surface replays deterministically) is checked by `check_collective`.
 fn faultable(w: &Workload) -> bool {
-    !matches!(
-        w,
-        Workload::AppKernel { .. } | Workload::Collective { .. } | Workload::Selection { .. }
-    )
+    !matches!(w, Workload::AppKernel { .. } | Workload::Selection { .. })
 }
 
 /// Materialises 1..=`max_events` random fault events. Node 0 is exempt
@@ -182,6 +181,77 @@ pub fn generate(seed: u64) -> Scenario {
     }
 }
 
+/// Generates the *crashy collective* scenario for `seed`: always a
+/// collective workload on at least four nodes, with one to three node
+/// crashes timed log-uniformly so they land before, inside and after the
+/// collective's short virtual window. This is the CI batch for the
+/// fault-tolerant collective contract (DESIGN.md §12): survivors return
+/// bit-exact values or typed fault-shaped errors, post-failure agreement
+/// is unanimous, and the same seed replays the same error surface.
+///
+/// Unlike [`generate`], node 0 is *not* exempt from crashes — a dying
+/// root or rank 0 is exactly the coverage this batch exists for.
+pub fn generate_crashy_collective(seed: u64) -> Scenario {
+    // Salted so the batch is decorrelated from the main generator's
+    // scenarios for the same seed range.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let r: f64 = rng.random();
+    let n = 4 + (r * r * 28.0) as usize; // 4..=32, skewed small
+
+    let speeds: Vec<f64> = (0..n).map(|_| rng.random_range(5.0..500.0)).collect();
+    let base_lat = log_uniform(&mut rng, 1e-6, 1e-3);
+    let base_bw = log_uniform(&mut rng, 1e6, 1e9);
+
+    let mut overrides = Vec::new();
+    for _ in 0..rng.random_range(0..n / 2) {
+        let a = rng.random_range(0..n);
+        let b = (a + rng.random_range(1..n)) % n;
+        overrides.push(LinkOverride {
+            a,
+            b,
+            lat: log_uniform(&mut rng, 1e-6, 1e-2),
+            bw: log_uniform(&mut rng, 1e5, 1e9),
+        });
+    }
+
+    let contention = draw_contention(&mut rng);
+    let workload = Workload::Collective {
+        kind: match rng.random_range(0u32..4) {
+            0 => CollectiveKind::Bcast,
+            1 => CollectiveKind::Reduce,
+            2 => CollectiveKind::Allreduce,
+            _ => CollectiveKind::Allgather,
+        },
+        elems: log_uniform(&mut rng, 1.0, 4096.0) as usize + 1,
+        root: rng.random_range(0..n),
+    };
+
+    let mut faults = Vec::new();
+    let mut crashed = vec![false; n];
+    for _ in 0..rng.random_range(1..4) {
+        let node = NodeId(rng.random_range(0..n));
+        if crashed[node.0] {
+            continue;
+        }
+        crashed[node.0] = true;
+        faults.push(FaultEvent::NodeCrash {
+            node,
+            at: SimTime::from_secs(log_uniform(&mut rng, 1e-6, 2.0)),
+        });
+    }
+
+    Scenario {
+        seed,
+        speeds,
+        base_lat,
+        base_bw,
+        overrides,
+        contention,
+        faults,
+        workload,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,17 +280,45 @@ mod tests {
         let mut workloads = HashSet::new();
         let mut contentions = HashSet::new();
         let mut any_faults = false;
+        let mut any_faulty_collective = false;
         let mut max_n = 0;
         for seed in 0..400 {
             let sc = generate(seed);
             workloads.insert(sc.workload.label());
             contentions.insert(format!("{:?}", sc.contention));
             any_faults |= !sc.faults.is_empty();
+            any_faulty_collective |= !sc.faults.is_empty()
+                && matches!(sc.workload, Workload::Collective { .. });
             max_n = max_n.max(sc.nodes());
         }
         assert_eq!(workloads.len(), 8, "missing workloads: {workloads:?}");
         assert_eq!(contentions.len(), 3);
         assert!(any_faults, "no faulty scenario in 400 seeds");
+        assert!(
+            any_faulty_collective,
+            "no fault-bearing collective in 400 seeds"
+        );
         assert!(max_n >= 16, "clusters never got large: max {max_n}");
+    }
+
+    #[test]
+    fn crashy_collectives_always_crash_a_collective() {
+        for seed in 0..300 {
+            let sc = generate_crashy_collective(seed);
+            assert_eq!(generate_crashy_collective(seed), sc, "seed {seed}");
+            assert!(
+                matches!(sc.workload, Workload::Collective { .. }),
+                "seed {seed}: {sc}"
+            );
+            assert!(sc.nodes() >= 4, "seed {seed}: only {} nodes", sc.nodes());
+            let crashes = sc
+                .faults
+                .iter()
+                .filter(|ev| matches!(ev, FaultEvent::NodeCrash { .. }))
+                .count();
+            assert!(crashes >= 1, "seed {seed}: no crash in {sc}");
+            // The repro line round-trips like any other scenario.
+            assert_eq!(parse(&sc.to_string()).unwrap(), sc, "seed {seed}");
+        }
     }
 }

@@ -14,12 +14,19 @@
 //! cargo run -p simcheck -- --seeds 500          # fuzz a seed range
 //! cargo run -p simcheck -- --seed 0x1f2e        # re-run one seed
 //! cargo run -p simcheck -- --replay corpus/     # replay saved repros
+//! cargo run -p simcheck -- --seeds 500 --crashy # crashy-collective batch
 //! ```
 //!
-//! A failing seed is auto-[`shrink`]ed (drop nodes → drop fault events →
-//! drop link overrides → halve sizes) to a minimal one-line repro and
+//! A failing seed is auto-shrunk (drop nodes → drop fault events → drop
+//! link overrides → halve sizes; [`shrink_classified`] keeps the repro on
+//! the violation kind that failed first) to a minimal one-line repro and
 //! written to `corpus/`; the committed corpus replays as an ordinary
 //! `cargo test -p simcheck` (see `tests/corpus.rs`).
+//!
+//! `--crashy` swaps in [`generate_crashy_collective`]: every seed is a
+//! collective with node crashes, gating the fault-tolerant collective
+//! contract (survivor bit-exactness or typed errors, unanimous agreement,
+//! deterministic error surface) in CI.
 
 #![warn(missing_docs)]
 
@@ -29,6 +36,6 @@ pub mod scenario;
 pub mod shrink;
 
 pub use exec::{check, Violation, TIMEOF_REL_BOUND};
-pub use gen::generate;
+pub use gen::{generate, generate_crashy_collective};
 pub use scenario::{parse, AppKind, LinkOverride, ParseError, Scenario, Workload};
-pub use shrink::shrink;
+pub use shrink::{shrink, shrink_classified};

@@ -1,7 +1,7 @@
 //! The simcheck CLI: fuzz a seed range, re-run one seed, or replay the
 //! committed corpus. See the crate docs for the invariants checked.
 
-use simcheck::{check, generate, parse, shrink, Scenario};
+use simcheck::{check, generate, generate_crashy_collective, parse, shrink_classified, Scenario};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -15,12 +15,13 @@ struct Opts {
     out: PathBuf,
     no_shrink: bool,
     print_only: bool,
+    crashy: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: simcheck [--seeds N] [--base SEED] [--seed SEED] [--replay PATH]\n\
-         \x20               [--out DIR] [--no-shrink] [--print]\n\
+         \x20               [--out DIR] [--no-shrink] [--print] [--crashy]\n\
          \n\
          --seeds N     fuzz N consecutive seeds starting at --base (default 500)\n\
          --base SEED   first seed of the range (default 0; hex with 0x prefix)\n\
@@ -28,7 +29,10 @@ fn usage() -> ! {
          --replay PATH re-run every scenario line in a .scn file or directory\n\
          --out DIR     where minimized repros are written (default: the crate's corpus/)\n\
          --no-shrink   report failures without minimising them\n\
-         --print       print the generated scenario line(s) without executing"
+         --print       print the generated scenario line(s) without executing\n\
+         --crashy      generate crashy-collective scenarios only (fault-tolerant\n\
+         \x20              collective contract batch: every seed crashes nodes under\n\
+         \x20              a collective)"
     );
     std::process::exit(2)
 }
@@ -51,6 +55,7 @@ fn parse_opts() -> Opts {
         out: PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus")),
         no_shrink: false,
         print_only: false,
+        crashy: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,6 +68,7 @@ fn parse_opts() -> Opts {
             "--out" => opts.out = PathBuf::from(val()),
             "--no-shrink" => opts.no_shrink = true,
             "--print" => opts.print_only = true,
+            "--crashy" => opts.crashy = true,
             _ => usage(),
         }
     }
@@ -78,7 +84,12 @@ fn run_scenario(sc: &Scenario, opts: &Opts) -> bool {
     let minimal = if opts.no_shrink {
         sc.clone()
     } else {
-        let m = shrink(sc, &|cand| check(cand).is_err());
+        // Shrinking classifies every candidate by the invariant it
+        // breaks, so the minimised repro keeps reproducing the *same*
+        // violation kind wherever a same-kind reduction exists.
+        let m = shrink_classified(sc, &|cand| {
+            check(cand).err().map(|cv| cv.invariant.to_string())
+        });
         eprintln!("  shrunk:   {m}");
         m
     };
@@ -161,10 +172,15 @@ fn main() -> ExitCode {
             (0..n).map(|i| opts.base.wrapping_add(i)).collect()
         }
     };
+    let gen_fn: fn(u64) -> Scenario = if opts.crashy {
+        generate_crashy_collective
+    } else {
+        generate
+    };
 
     if opts.print_only {
         for &seed in &seeds {
-            println!("{}", generate(seed));
+            println!("{}", gen_fn(seed));
         }
         return ExitCode::SUCCESS;
     }
@@ -178,7 +194,7 @@ fn main() -> ExitCode {
     let mut by_workload: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut failures = 0usize;
     for &seed in &seeds {
-        let sc = generate(seed);
+        let sc = gen_fn(seed);
         *by_workload.entry(sc.workload.label()).or_default() += 1;
         if !run_scenario(&sc, &opts) {
             failures += 1;

@@ -4,10 +4,14 @@
 //! whole nodes (remapping links, faults and roots), then dropping fault
 //! events, then dropping link overrides, then halving workload sizes —
 //! keeping any edit under which the scenario *still fails*. The result is
-//! the one-line repro written to the corpus. The failure predicate is
-//! whatever the caller passes (usually `check(sc).is_err()`), so a shrink
-//! step may land on a *different* violation — any failure is worth
-//! keeping, as in classic shrinking.
+//! the one-line repro written to the corpus.
+//!
+//! [`shrink_classified`] additionally keeps the repro *on topic*: the CLI
+//! records which invariant broke first and the shrinker prefers
+//! candidates that fail with the same violation kind, falling back to a
+//! differently-failing candidate only when no same-kind reduction exists
+//! — so a `fault-determinism` repro does not silently decay into an
+//! easier-to-hit `no-panic` one mid-shrink.
 
 use crate::scenario::{Scenario, Workload};
 use hetsim::{FaultEvent, NodeId};
@@ -148,25 +152,57 @@ fn candidates(sc: &Scenario) -> Vec<Scenario> {
     out
 }
 
-/// Greedily minimises `sc` under `fails`, re-running the checker after
-/// every candidate edit. Bounded by a fixed probe budget so shrinking a
-/// slow scenario cannot run away.
-pub fn shrink(sc: &Scenario, fails: &dyn Fn(&Scenario) -> bool) -> Scenario {
+/// Greedily minimises `sc` under `classify`, preferring candidates that
+/// reproduce the *same* violation kind the original scenario failed with.
+///
+/// `classify` returns `Some(kind)` when a scenario still fails (the kind
+/// is the violation's stable label) and `None` when it passes. On every
+/// pass a same-kind candidate wins outright; when a pass yields only
+/// differently-failing candidates, the first of those is taken as a
+/// fallback — any failure is worth keeping, as in classic shrinking —
+/// and the target kind follows it. Returns `sc` unchanged when it does
+/// not fail at all. Bounded by a fixed probe budget so shrinking a slow
+/// scenario cannot run away.
+pub fn shrink_classified(
+    sc: &Scenario,
+    classify: &dyn Fn(&Scenario) -> Option<String>,
+) -> Scenario {
+    let Some(mut kind) = classify(sc) else {
+        return sc.clone();
+    };
     let mut current = sc.clone();
     let mut budget = 300usize;
     'outer: loop {
+        let mut fallback: Option<(Scenario, String)> = None;
         for cand in candidates(&current) {
             if budget == 0 {
                 return current;
             }
             budget -= 1;
-            if fails(&cand) {
-                current = cand;
-                continue 'outer;
+            match classify(&cand) {
+                Some(k) if k == kind => {
+                    current = cand;
+                    continue 'outer;
+                }
+                Some(k) if fallback.is_none() => fallback = Some((cand, k)),
+                Some(_) | None => {}
             }
         }
-        return current;
+        match fallback {
+            Some((cand, k)) => {
+                current = cand;
+                kind = k;
+            }
+            None => return current,
+        }
     }
+}
+
+/// Kind-oblivious greedy minimisation: any failing candidate is kept.
+/// A thin wrapper over [`shrink_classified`] with a single anonymous
+/// violation kind.
+pub fn shrink(sc: &Scenario, fails: &dyn Fn(&Scenario) -> bool) -> Scenario {
+    shrink_classified(sc, &|c| fails(c).then(String::new))
 }
 
 #[cfg(test)]
@@ -196,6 +232,47 @@ mod tests {
             // The repro line round-trips.
             assert_eq!(crate::scenario::parse(&min.to_string()).unwrap(), min);
         }
+    }
+
+    /// Kind preference: with a classifier that calls >= 4 nodes "big" and
+    /// anything faulty "faulty", shrinking a big case must stay "big" —
+    /// draining faults, overrides and workload while 4 nodes remain —
+    /// because every same-kind reduction is preferred over the "faulty"
+    /// fallback that dropping a node would switch to.
+    #[test]
+    fn classified_shrink_prefers_the_original_kind() {
+        let classify = |s: &Scenario| {
+            if s.nodes() >= 4 {
+                Some("big".to_string())
+            } else if !s.faults.is_empty() {
+                Some("faulty".to_string())
+            } else {
+                None
+            }
+        };
+        let mut tried = 0;
+        for seed in 0..200 {
+            let sc = generate(seed);
+            // Keep the probe count well inside the budget so the fixed
+            // point is actually reached.
+            if !(4..=12).contains(&sc.nodes()) {
+                continue;
+            }
+            tried += 1;
+            let min = shrink_classified(&sc, &classify);
+            assert_eq!(
+                classify(&min).as_deref(),
+                Some("big"),
+                "seed {seed}: left the original kind: {min}"
+            );
+            assert_eq!(min.nodes(), 4, "seed {seed}: not minimal: {min}");
+            assert!(
+                min.faults.is_empty() && min.overrides.is_empty(),
+                "seed {seed}: same-kind reductions left on the table: {min}"
+            );
+            assert_eq!(crate::scenario::parse(&min.to_string()).unwrap(), min);
+        }
+        assert!(tried >= 10, "only {tried} scenarios exercised the shrinker");
     }
 
     #[test]
