@@ -9,8 +9,26 @@
 
 use hmpi_bench::{
     ablation, collectives, deadlock, extension, faults, fig10, fig11, fig9, render_csv,
-    render_table, selection, trace, ComparisonPoint,
+    render_table, selection, throughput, trace, ComparisonPoint,
 };
+
+/// Conservative checked-in eager-throughput baseline for the regression
+/// gate (compiled-in path, so the gate works from any working directory).
+const THROUGHPUT_BASELINE: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/throughput_baseline.json");
+
+/// Pulls `"eager_msgs_per_s": <number>` out of the baseline JSON (the
+/// workspace's serde shim has no deserializer, so this is by hand).
+fn baseline_eager_msgs_s() -> Option<f64> {
+    let text = std::fs::read_to_string(THROUGHPUT_BASELINE).ok()?;
+    let key = "\"eager_msgs_per_s\":";
+    let at = text.find(key)? + key.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
 
 struct Options {
     csv: bool,
@@ -60,7 +78,7 @@ fn main() {
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec![
             "fig9a", "fig9b", "fig10", "fig11a", "fig11b", "ablations", "ext-nbody", "faults",
-            "selection", "trace", "collectives", "deadlock",
+            "selection", "trace", "collectives", "deadlock", "throughput",
         ];
     }
 
@@ -273,8 +291,59 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "throughput" => {
+                let b = throughput::run(opts.quick);
+                print!("{}", throughput::render(&b));
+                println!();
+                if !opts.quick {
+                    let path = "BENCH_throughput.json";
+                    std::fs::write(path, throughput::to_json(&b)).expect("write bench JSON");
+                    println!("wrote {path}\n");
+                }
+                if b.pool_outstanding != 0 {
+                    eprintln!(
+                        "throughput bench leaked {} rendezvous leases",
+                        b.pool_outstanding
+                    );
+                    std::process::exit(1);
+                }
+                let eager = b.min_eager_speedup();
+                if eager < throughput::EAGER_SPEEDUP_GATE {
+                    eprintln!(
+                        "eager msgs/sec speedup {eager:.2}x breaches the {:.0}x gate vs the \
+                         legacy mailbox",
+                        throughput::EAGER_SPEEDUP_GATE
+                    );
+                    std::process::exit(1);
+                }
+                let rdv = b.min_rendezvous_speedup();
+                if rdv < throughput::RENDEZVOUS_SPEEDUP_GATE {
+                    eprintln!(
+                        "rendezvous bytes/sec speedup {rdv:.2}x breaches the {:.0}x gate vs \
+                         the legacy mailbox",
+                        throughput::RENDEZVOUS_SPEEDUP_GATE
+                    );
+                    std::process::exit(1);
+                }
+                match baseline_eager_msgs_s() {
+                    Some(base) => {
+                        let now = b.eager_msgs_s();
+                        if now < base * 0.9 {
+                            eprintln!(
+                                "eager throughput {now:.0} msgs/s regressed more than 10% below \
+                                 the checked-in baseline {base:.0} msgs/s"
+                            );
+                            std::process::exit(1);
+                        }
+                    }
+                    None => {
+                        eprintln!("missing or unreadable baseline {THROUGHPUT_BASELINE}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             other => {
-                eprintln!("unknown figure `{other}`; known: fig9a fig9b fig10 fig11a fig11b ablations ext-nbody faults selection trace collectives deadlock all");
+                eprintln!("unknown figure `{other}`; known: fig9a fig9b fig10 fig11a fig11b ablations ext-nbody faults selection trace collectives deadlock throughput all");
                 std::process::exit(2);
             }
         }

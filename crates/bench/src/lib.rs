@@ -24,6 +24,12 @@
 //!   wedges (receive cycles, crash-orphaned waits) measured from launch to
 //!   every rank holding its typed verdict, gating the quiescence detector's
 //!   sub-second wall-clock detection, written to `BENCH_deadlock.json`;
+//! * [`throughput`] — the substrate benchmark (beyond the paper): the new
+//!   eager/rendezvous mailbox (per-sender lanes, indexed matcher,
+//!   pool-leased payloads) raced against a faithful replica of the legacy
+//!   scan-and-remove mailbox over burst and steady traffic, gating the
+//!   ≥5× eager msgs/sec and ≥2× rendezvous bytes/sec claims, written to
+//!   `BENCH_throughput.json`;
 //! * [`trace`] — the observability benchmark (beyond the paper): tracing
 //!   overhead (disabled vs enabled) on the EM3D selection workload, and
 //!   `HMPI_Timeof` prediction error with per-phase compute/comm/wait
@@ -51,6 +57,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig9;
 pub mod selection;
+pub mod throughput;
 pub mod trace;
 
 use hetsim::Cluster;

@@ -84,6 +84,10 @@ pub struct TraceEvent {
     pub wait: SimTime,
     /// Payload size in bytes (sends/receives), zero otherwise.
     pub bytes: u64,
+    /// Which transport protocol carried the message ("eager" for inline
+    /// payloads, "rendezvous" for arena-leased buffers); `None` for
+    /// non-message events.
+    pub protocol: Option<&'static str>,
     /// The peer world rank for sends/receives.
     pub peer: Option<usize>,
     /// Free-form extra detail (recon generation, selection stats, ...).
@@ -103,6 +107,7 @@ impl TraceEvent {
             dur: SimTime::ZERO,
             wait: SimTime::ZERO,
             bytes: 0,
+            protocol: None,
             peer: None,
             info: None,
         }
@@ -191,6 +196,10 @@ pub struct MessageStats {
     pub bytes_sent: u64,
     /// Payload bytes received.
     pub bytes_received: u64,
+    /// Messages sent on the eager protocol (inline payloads).
+    pub eager_sent: usize,
+    /// Messages sent on the rendezvous protocol (arena-leased payloads).
+    pub rendezvous_sent: usize,
 }
 
 /// A finished, time-sorted trace.
@@ -250,6 +259,11 @@ impl Trace {
                 TraceKind::Send => {
                     slot.sent += 1;
                     slot.bytes_sent += ev.bytes;
+                    match ev.protocol {
+                        Some("eager") => slot.eager_sent += 1,
+                        Some("rendezvous") => slot.rendezvous_sent += 1,
+                        _ => {}
+                    }
                 }
                 TraceKind::Recv => {
                     slot.received += 1;
@@ -301,6 +315,10 @@ impl Trace {
             if let Some(peer) = ev.peer {
                 sep(&mut out);
                 let _ = write!(out, "\"peer\":{peer}");
+            }
+            if let Some(protocol) = ev.protocol {
+                sep(&mut out);
+                let _ = write!(out, "\"protocol\":\"{protocol}\"");
             }
             if !ev.wait.is_zero() {
                 sep(&mut out);

@@ -57,7 +57,7 @@ impl Comm {
             if rel & mask != 0 {
                 let src = (rel - mask + root) % size;
                 let (data, _) = self.recv_bytes(self.coll_plane(), Some(src), Some(tag))?;
-                bytes = data;
+                bytes = data.into_vec();
                 break;
             }
             mask <<= 1;

@@ -7,10 +7,10 @@
 //! [`Comm::create`].
 
 use crate::agree::Agreement;
-use crate::datatype::{decode, decode_into, encode, MpiType};
+use crate::datatype::{decode, decode_into, encode_payload, MpiType};
 use crate::error::{MpiError, MpiResult, WaitGraph};
 use crate::group::Group;
-use crate::p2p::{Claim, Envelope, Pattern, Status, GUARD_POLL};
+use crate::p2p::{Claim, Envelope, Msg, Pattern, Payload, Status, WAKE_BACKSTOP};
 use crate::quiesce::{WaitKind, WaitRecord};
 use crate::runtime::{RankState, SharedState};
 use crate::vtime::LocalClock;
@@ -236,18 +236,48 @@ impl Comm {
     // ----- point-to-point ---------------------------------------------------
 
     /// Internal transport: posts `bytes` to `dest` (a comm rank) on the given
-    /// context plane, advancing the sender clock by the injection overhead
-    /// and stamping the envelope with its arrival time.
+    /// context plane. Legacy `Vec<u8>` entry point — small payloads are
+    /// repacked inline (eager); larger ones ride as heap payloads.
+    pub(crate) fn post_bytes(
+        &self,
+        plane: u64,
+        bytes: Vec<u8>,
+        dest: usize,
+        tag: i32,
+    ) -> MpiResult<()> {
+        let payload = Payload::from_vec(bytes, self.shared.eager_limit);
+        self.post_payload(plane, payload, dest, tag)
+    }
+
+    /// Internal transport: encodes `data` straight into its protocol
+    /// representation — inline (no allocation) under the eager limit, an
+    /// arena lease above it — and posts it. The preferred send path.
+    pub(crate) fn post_typed<T: MpiType>(
+        &self,
+        plane: u64,
+        data: &[T],
+        dest: usize,
+        tag: i32,
+    ) -> MpiResult<()> {
+        let payload = encode_payload(data, self.shared.eager_limit, &self.shared.pool);
+        self.post_payload(plane, payload, dest, tag)
+    }
+
+    /// Internal transport core: posts a ready payload to `dest` (a comm
+    /// rank) on the given context plane, advancing the sender clock by the
+    /// injection overhead and stamping the envelope with its arrival time.
+    /// Delivery goes through the sender's eager lane into the destination
+    /// mailbox, so concurrent senders never contend on a shared lock.
     ///
     /// Failure semantics (all judged in deterministic virtual time):
     /// [`MpiError::NodeFailed`] if the sender's own node has crashed (own
     /// world rank) or the destination's node has crashed by the sender's
     /// current time (destination world rank); [`MpiError::LinkDown`] if the
     /// fault plan has dropped the link.
-    pub(crate) fn post_bytes(
+    pub(crate) fn post_payload(
         &self,
         plane: u64,
-        bytes: Vec<u8>,
+        payload: Payload,
         dest: usize,
         tag: i32,
     ) -> MpiResult<()> {
@@ -269,7 +299,7 @@ impl Comm {
         let cost = self
             .shared
             .cluster
-            .transfer_time_at(src_node, dst_node, bytes.len(), now)
+            .transfer_time_at(src_node, dst_node, payload.len(), now)
             .ok_or(MpiError::LinkDown {
                 from: src_node.index(),
                 to: dst_node.index(),
@@ -279,18 +309,19 @@ impl Comm {
         if let Some(tracer) = &self.shared.tracer {
             let mut ev = TraceEvent::new(src_world, TraceKind::Send, "send", now);
             ev.dur = overhead;
-            ev.bytes = bytes.len() as u64;
+            ev.bytes = payload.len() as u64;
+            ev.protocol = Some(payload.protocol());
             ev.peer = Some(dst_world);
             // Context-id pairs have an even p2p plane and an odd collective
             // plane (the allocator hands out even bases).
             ev.collective = plane & 1 == 1;
             tracer.record(ev);
         }
-        self.shared.mailboxes[dst_world].post(Envelope {
+        self.shared.mailboxes[dst_world].post_lane(Envelope {
             ctx: plane,
             src_world,
             tag,
-            data: bytes,
+            payload,
             sent_at: now,
             arrival,
         });
@@ -303,7 +334,7 @@ impl Comm {
         plane: u64,
         src: Option<usize>,
         tag: Option<i32>,
-    ) -> MpiResult<(Vec<u8>, Status)> {
+    ) -> MpiResult<(Msg, Status)> {
         let collective = plane == self.coll_plane();
         self.recv_bytes_opts(plane, src, tag, None, collective)
     }
@@ -320,7 +351,7 @@ impl Comm {
         plane: u64,
         src: usize,
         tag: Option<i32>,
-    ) -> MpiResult<(Vec<u8>, Status)> {
+    ) -> MpiResult<(Msg, Status)> {
         self.recv_bytes_opts(plane, Some(src), tag, None, false)
     }
 
@@ -385,7 +416,7 @@ impl Comm {
         tag: Option<i32>,
         deadline: Option<SimTime>,
         collective_abort: bool,
-    ) -> MpiResult<(Vec<u8>, Status)> {
+    ) -> MpiResult<(Msg, Status)> {
         self.check_self_alive()?;
         let my_world = self.my_world_rank();
         let pat = Pattern {
@@ -456,7 +487,7 @@ impl Comm {
                 });
             }
             loop {
-                mb.wait_deliverable(std::slice::from_ref(&pat), eff_deadline, GUARD_POLL);
+                mb.wait_deliverable(std::slice::from_ref(&pat), eff_deadline, WAKE_BACKSTOP);
                 // Claim atomically with the registry so the classifier can
                 // never see us blocked *after* we consumed our message.
                 match reg.claim_for(my_world, pat, eff_deadline) {
@@ -523,7 +554,8 @@ impl Comm {
             // The idle part of the span: time spent blocked before the
             // sender had even reached its send.
             ev.wait = (env.sent_at.max(before) - before).min(dur);
-            ev.bytes = env.data.len() as u64;
+            ev.bytes = env.len() as u64;
+            ev.protocol = Some(env.payload.protocol());
             ev.peer = Some(env.src_world);
             ev.collective = plane & 1 == 1;
             tracer.record(ev);
@@ -535,9 +567,9 @@ impl Comm {
         let status = Status {
             source,
             tag: env.tag,
-            bytes: env.data.len(),
+            bytes: env.len(),
         };
-        Ok((env.data, status))
+        Ok((env.into_msg(), status))
     }
 
     /// Standard-mode send (`MPI_Send`; eager/buffered, never blocks).
@@ -548,7 +580,7 @@ impl Comm {
     /// own) has fail-stopped; [`MpiError::LinkDown`] if the link is dropped.
     pub fn send<T: MpiType>(&self, data: &[T], dest: usize, tag: i32) -> MpiResult<()> {
         self.check_rank(dest)?;
-        self.post_bytes(self.ctx, encode(data), dest, tag)
+        self.post_typed(self.ctx, data, dest, tag)
     }
 
     /// Blocking receive of a whole message from a specific source and tag.
@@ -739,7 +771,7 @@ impl Comm {
                         other => other,
                     });
                 }
-                if let Some(hit) = mb.wait_or_peek(pat, GUARD_POLL) {
+                if let Some(hit) = mb.wait_or_peek(pat, WAKE_BACKSTOP) {
                     reg.unblock(my_world);
                     break 'found hit;
                 }
@@ -1082,7 +1114,7 @@ impl Comm {
                     other => other,
                 });
             }
-            mb.wait_deliverable(&[], None, GUARD_POLL);
+            mb.wait_deliverable(&[], None, WAKE_BACKSTOP);
             verdict = reg.check(my_world);
             if let Some((a, ctx)) = table.try_outcome(key, is_dead) {
                 reg.unblock(my_world);
@@ -1229,7 +1261,8 @@ pub fn wait_any<T: MpiType>(
                             TraceEvent::new(my_world, TraceKind::Recv, "recv", before);
                         ev.dur = dur;
                         ev.wait = (env.sent_at.max(before) - before).min(dur);
-                        ev.bytes = env.data.len() as u64;
+                        ev.bytes = env.len() as u64;
+                        ev.protocol = Some(env.payload.protocol());
                         ev.peer = Some(env.src_world);
                         tracer.record(ev);
                     }
@@ -1240,10 +1273,10 @@ pub fn wait_any<T: MpiType>(
                     let status = Status {
                         source,
                         tag: env.tag,
-                        bytes: env.data.len(),
+                        bytes: env.len(),
                     };
                     reqs.remove(i);
-                    return Ok((i, decode(&env.data)?, status, reqs));
+                    return Ok((i, decode(&env.into_msg())?, status, reqs));
                 }
                 Claim::DeadlineMissed => {
                     // The awaited message arrives only after our own node's
@@ -1284,7 +1317,7 @@ pub fn wait_any<T: MpiType>(
                 other => other,
             });
         }
-        mb.wait_deliverable(&pats, own_tc, GUARD_POLL);
+        mb.wait_deliverable(&pats, own_tc, WAKE_BACKSTOP);
         if let Some(v) = reg.check(my_world) {
             return Err(match v {
                 MpiError::Timeout => comm.resolve_timeout(true, own_tc, None),
@@ -1327,7 +1360,7 @@ impl SendRequest {
 pub struct RecvRequest {
     src: Option<usize>,
     tag: Option<i32>,
-    done: Option<(Vec<u8>, Status)>,
+    done: Option<(Msg, Status)>,
 }
 
 impl RecvRequest {
@@ -1336,11 +1369,11 @@ impl RecvRequest {
     /// # Errors
     /// [`MpiError::TypeMismatch`] if the payload is not whole elements of `T`.
     pub fn wait<T: MpiType>(mut self, comm: &Comm) -> MpiResult<(Vec<T>, Status)> {
-        if let Some((bytes, status)) = self.done.take() {
-            return Ok((decode(&bytes)?, status));
+        if let Some((msg, status)) = self.done.take() {
+            return Ok((decode(&msg)?, status));
         }
-        let (bytes, status) = comm.recv_bytes(comm.ctx, self.src, self.tag)?;
-        Ok((decode(&bytes)?, status))
+        let (msg, status) = comm.recv_bytes(comm.ctx, self.src, self.tag)?;
+        Ok((decode(&msg)?, status))
     }
 
     /// Polls for completion without blocking; after `test` returns true,
@@ -1376,7 +1409,8 @@ impl RecvRequest {
                 let mut ev = TraceEvent::new(my_world, TraceKind::Recv, "recv", before);
                 ev.dur = dur;
                 ev.wait = (env.sent_at.max(before) - before).min(dur);
-                ev.bytes = env.data.len() as u64;
+                ev.bytes = env.len() as u64;
+                ev.protocol = Some(env.payload.protocol());
                 ev.peer = Some(env.src_world);
                 tracer.record(ev);
             }
@@ -1384,14 +1418,12 @@ impl RecvRequest {
                 .group
                 .rank_of_world(env.src_world)
                 .expect("sender is a member");
-            self.done = Some((
-                env.data.clone(),
-                Status {
-                    source,
-                    tag: env.tag,
-                    bytes: env.data.len(),
-                },
-            ));
+            let status = Status {
+                source,
+                tag: env.tag,
+                bytes: env.len(),
+            };
+            self.done = Some((env.into_msg(), status));
             true
         } else {
             false

@@ -7,6 +7,9 @@
 //! observe anyway).
 
 use crate::error::{MpiError, MpiResult};
+use crate::p2p::Payload;
+use crate::pool::BufferPool;
+use std::sync::Arc;
 
 /// A plain datatype that can cross the message-passing layer.
 pub trait MpiType: Copy + Send + 'static {
@@ -75,6 +78,41 @@ pub fn encode<T: MpiType>(data: &[T]) -> Vec<u8> {
         x.write_to(&mut out);
     }
     out
+}
+
+thread_local! {
+    /// Per-rank scratch buffer for eager encoding: the wire bytes of a
+    /// small message are staged here before being packed into the inline
+    /// envelope, so the eager path allocates nothing after warm-up.
+    static EAGER_SCRATCH: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Encodes a slice directly into its protocol representation: inline
+/// (eager, zero-allocation via a thread-local scratch) at or under
+/// `eager_limit` wire bytes, an arena lease (rendezvous) above it.
+pub(crate) fn encode_payload<T: MpiType>(
+    data: &[T],
+    eager_limit: usize,
+    pool: &Arc<BufferPool>,
+) -> Payload {
+    let wire = data.len() * T::WIRE_SIZE;
+    if wire <= eager_limit {
+        EAGER_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.clear();
+            for x in data {
+                x.write_to(&mut scratch);
+            }
+            Payload::inline_from(&scratch)
+        })
+    } else {
+        let mut lease = pool.lease(wire);
+        let buf = lease.buf_mut();
+        for x in data {
+            x.write_to(buf);
+        }
+        Payload::Pooled(lease)
+    }
 }
 
 /// Decodes a byte vector into elements of `T`.

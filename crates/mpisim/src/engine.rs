@@ -284,7 +284,7 @@ impl Comm {
                     .unwrap_or_else(|| self.world_rank_of(src));
                 Err(MpiError::NodeFailed { world_rank })
             }
-            Ok((bytes, _)) => Ok(bytes),
+            Ok((bytes, _)) => Ok(bytes.into_vec()),
             Err(MpiError::PeerTerminated { world_rank }) => {
                 Err(MpiError::NodeFailed { world_rank })
             }

@@ -43,8 +43,10 @@ pub mod datatype;
 pub mod engine;
 pub mod error;
 pub mod group;
+mod lane;
 pub mod op;
 pub mod p2p;
+pub mod pool;
 mod quiesce;
 pub mod runtime;
 pub mod vtime;
@@ -58,6 +60,9 @@ pub use error::{MpiError, MpiResult, WaitGraph};
 pub use perfmodel::collective::{CollectiveAlgo, CollectiveKind};
 pub use group::{Group, GroupCompare};
 pub use op::ReduceOp;
-pub use p2p::{Status, ANY_SOURCE, ANY_TAG, DEADLOCK_TIMEOUT, TIMEOUT_GRACE};
+pub use p2p::{Msg, Payload, Status, ANY_SOURCE, ANY_TAG, DEADLOCK_TIMEOUT, DEFAULT_EAGER_LIMIT};
+#[allow(deprecated)]
+pub use p2p::TIMEOUT_GRACE;
+pub use pool::{BufferPool, PoolReport};
 pub use runtime::{Process, RunReport, Universe};
 pub use vtime::LocalClock;

@@ -1,15 +1,41 @@
-//! Point-to-point matching engine.
+//! Point-to-point matching engine: eager lanes, pooled rendezvous
+//! payloads, and an indexed matcher.
 //!
-//! Each rank owns one [`Mailbox`]. Senders post [`Envelope`]s directly into
-//! the destination's mailbox (eager/buffered semantics — sends never block);
-//! receivers scan their queue front-to-back for the first envelope matching
-//! `(context, source, tag)` and block on a condition variable when nothing
-//! matches yet. Front-to-back scanning preserves MPI's non-overtaking
-//! guarantee: two messages from the same sender on the same communicator
-//! that both match a receive are matched in the order they were sent.
+//! Each rank owns one [`Mailbox`]. The substrate splits traffic into two
+//! protocols at a configurable eager limit (default
+//! [`DEFAULT_EAGER_LIMIT`], after jeffhammond/hmpi's `EAGER_LIMIT`):
+//!
+//! * **eager** — payloads at or under the limit are packed *inline* into
+//!   the envelope ([`Payload::Inline`]) and travel through per-(sender,
+//!   receiver) SPSC lanes ([`crate::lane`]); no per-message heap
+//!   allocation, no shared lock between senders;
+//! * **rendezvous** — larger payloads ride in zero-copy buffers leased
+//!   from the universe's [`BufferPool`](crate::pool::BufferPool)
+//!   ([`Payload::Pooled`]); the buffer returns to its size class when the
+//!   receiver drops the [`Msg`], and copy-out happens in
+//!   [`RENDEZVOUS_BLOCK`]-sized slabs.
+//!
+//! Matching is indexed instead of scanned: the mailbox keeps one FIFO
+//! queue per `(context, sender)` plus a monotone *order ticket* stamped
+//! at ingest. A specific-source receive looks at exactly one queue; an
+//! `ANY_SOURCE` receive takes the minimum ticket over the context's
+//! queues, which preserves MPI's non-overtaking guarantee (per-sender
+//! FIFO) and gives wildcard matches a stable oldest-first order. The old
+//! mailbox rescanned the whole queue per receive — O(queue) per match,
+//! O(n²) to drain a burst; the index makes both O(1)-ish.
+//!
+//! Blocking receives sleep on a doorbell: a waiter registers itself
+//! (atomic counter) before its final match check, and producers ring the
+//! condvar only when a waiter is registered — so the hot path posts
+//! without ever touching the receiver's lock, and idle receivers wake
+//! event-driven rather than by the old 25 ms poll slice.
 
+use crate::lane::LaneSet;
+use crate::pool::Lease;
 use hetsim::SimTime;
 use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// Wildcard source (`MPI_ANY_SOURCE`).
@@ -29,19 +55,199 @@ pub const ANY_TAG: i32 = -1;
 pub const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Historical real-time grace of a *deadline* receive (`recv_deadline` /
-/// `recv_timeout`). Deadline receives are now exact: they time out when the
-/// quiescence detector proves no qualifying message can arrive, not after a
-/// fixed real-time wait. The constant remains as public API and as the
-/// spacing of a few internal retry heuristics.
+/// `recv_timeout`). Deadline receives are exact since the quiescence
+/// detector landed: they time out when the detector proves no qualifying
+/// message can arrive, not after a fixed real-time wait — so this
+/// constant no longer shapes any behaviour. Internal retry heuristics now
+/// use the private `RETRY_GRACE`.
+#[deprecated(
+    note = "deadline receives are exact (quiescence-proved); this constant no longer affects behaviour"
+)]
 pub const TIMEOUT_GRACE: Duration = Duration::from_millis(500);
 
-/// Polling slice for guarded receives: an upper bound on how long a blocked
-/// receive sleeps before re-checking its abort condition, which caps the
-/// latency of noticing a peer-failure transition even if a wakeup is lost.
-pub(crate) const GUARD_POLL: Duration = Duration::from_millis(25);
+/// Spacing of internal retry heuristics (re-issued guarded receives after
+/// a transient verdict): the successor of the deprecated
+/// [`TIMEOUT_GRACE`]'s internal role, kept private so callers can't
+/// couple to it.
+#[allow(dead_code)]
+pub(crate) const RETRY_GRACE: Duration = Duration::from_millis(500);
+
+/// Backstop sleep slice for doorbell-guarded waits. Every transition a
+/// guarded receive cares about (message arrival, peer death, quiescence
+/// verdict, agreement deposit) rings the mailbox doorbell, so this bound
+/// exists only to catch wakeups lost to bugs; it replaced the 25 ms
+/// `GUARD_POLL` slice that guarded receives used to *rely* on.
+pub(crate) const WAKE_BACKSTOP: Duration = Duration::from_millis(250);
+
+/// Capacity of an inline (eager) payload slot, bytes.
+pub const INLINE_CAP: usize = 256;
+
+/// Default eager/rendezvous protocol split, bytes (the hmpi snippet's
+/// `EAGER_LIMIT`). Configurable per universe with
+/// [`crate::Universe::with_eager_limit`] / `MPISIM_EAGER_LIMIT`, clamped
+/// to [`INLINE_CAP`].
+pub const DEFAULT_EAGER_LIMIT: usize = 256;
+
+/// Copy-out slab size for rendezvous payloads, bytes (the hmpi snippet's
+/// `BLOCK_SIZE`): [`Msg::into_vec`] copies pooled payloads out in blocks
+/// of this size so the lease returns to the pool as one pipelined pass
+/// completes, rather than lingering element-by-element.
+pub const RENDEZVOUS_BLOCK: usize = 8192;
+
+/// A message payload in one of the two protocol representations (plus a
+/// plain heap escape hatch for callers that already own a `Vec<u8>`).
+// The size skew is the design: eager bytes live in the envelope so the
+// hot path never allocates. Boxing `Inline` would put them back on the
+// heap.
+#[allow(clippy::large_enum_variant)]
+pub enum Payload {
+    /// Eager: bytes packed into the envelope itself.
+    Inline {
+        /// Number of valid bytes in `buf`.
+        len: u16,
+        /// Inline storage; only `buf[..len]` is meaningful.
+        buf: [u8; INLINE_CAP],
+    },
+    /// Rendezvous: a buffer leased from the universe's arena; returns to
+    /// its size class on drop.
+    Pooled(Lease),
+    /// A caller-owned heap buffer (legacy path; collective fan-in that
+    /// already materialised a `Vec<u8>`).
+    Heap(Vec<u8>),
+}
+
+impl Payload {
+    /// Packs `bytes` inline. Panics if `bytes.len() > INLINE_CAP`.
+    pub fn inline_from(bytes: &[u8]) -> Payload {
+        assert!(bytes.len() <= INLINE_CAP, "inline payload over capacity");
+        let mut buf = [0u8; INLINE_CAP];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        Payload::Inline {
+            len: bytes.len() as u16,
+            buf,
+        }
+    }
+
+    /// Wraps an owned vector, inlining it when it fits under `eager_limit`.
+    pub fn from_vec(v: Vec<u8>, eager_limit: usize) -> Payload {
+        if v.len() <= eager_limit.min(INLINE_CAP) {
+            Payload::inline_from(&v)
+        } else {
+            Payload::Heap(v)
+        }
+    }
+
+    /// The payload bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            Payload::Inline { len, buf } => &buf[..*len as usize],
+            Payload::Pooled(lease) => lease.bytes(),
+            Payload::Heap(v) => v,
+        }
+    }
+
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Inline { len, .. } => *len as usize,
+            Payload::Pooled(lease) => lease.bytes().len(),
+            Payload::Heap(v) => v.len(),
+        }
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Protocol label for traces/diagnostics.
+    pub fn protocol(&self) -> &'static str {
+        match self {
+            Payload::Inline { .. } => "eager",
+            Payload::Pooled(_) => "rendezvous",
+            Payload::Heap(_) => "heap",
+        }
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Payload::{}({}B)", self.protocol(), self.len())
+    }
+}
+
+/// A received payload; dereferences to its bytes.
+///
+/// Dropping a `Msg` whose payload was pooled returns the buffer to the
+/// universe's arena — receivers that only borrow (`decode(&msg)`) recycle
+/// the buffer the moment the message goes out of scope.
+pub struct Msg {
+    payload: Payload,
+}
+
+impl Msg {
+    /// Wraps a payload.
+    pub(crate) fn new(payload: Payload) -> Msg {
+        Msg { payload }
+    }
+
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Which protocol carried the message ("eager"/"rendezvous"/"heap").
+    pub fn protocol(&self) -> &'static str {
+        self.payload.protocol()
+    }
+
+    /// Copies the payload out into an owned vector.
+    ///
+    /// Heap payloads move without copying. Pooled payloads copy out in
+    /// [`RENDEZVOUS_BLOCK`]-sized slabs (the block-pipelined copy of the
+    /// rendezvous protocol) and the lease returns to the pool on return.
+    pub fn into_vec(self) -> Vec<u8> {
+        match self.payload {
+            Payload::Heap(v) => v,
+            Payload::Inline { len, buf } => buf[..len as usize].to_vec(),
+            Payload::Pooled(lease) => {
+                let src = lease.bytes();
+                let mut out = Vec::with_capacity(src.len());
+                for block in src.chunks(RENDEZVOUS_BLOCK) {
+                    out.extend_from_slice(block);
+                }
+                out
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for Msg {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.payload.bytes()
+    }
+}
+
+impl AsRef<[u8]> for Msg {
+    fn as_ref(&self) -> &[u8] {
+        self.payload.bytes()
+    }
+}
+
+impl std::fmt::Debug for Msg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Msg[{} {}B]", self.protocol(), self.len())
+    }
+}
 
 /// A message in flight or queued at the receiver.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Envelope {
     /// Context id (communicator + p2p/collective plane).
     pub ctx: u64,
@@ -49,12 +255,34 @@ pub struct Envelope {
     pub src_world: usize,
     /// Message tag.
     pub tag: i32,
-    /// Payload bytes.
-    pub data: Vec<u8>,
+    /// Payload in its protocol representation.
+    pub payload: Payload,
     /// Virtual time the sender posted the message.
     pub sent_at: SimTime,
     /// Virtual time the message reaches the receiver.
     pub arrival: SimTime,
+}
+
+impl Envelope {
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Borrow of the payload bytes.
+    pub fn bytes(&self) -> &[u8] {
+        self.payload.bytes()
+    }
+
+    /// Consumes the envelope into its received payload.
+    pub fn into_msg(self) -> Msg {
+        Msg::new(self.payload)
+    }
 }
 
 /// Completion information for a receive or probe (`MPI_Status`).
@@ -80,16 +308,18 @@ pub struct Pattern {
 }
 
 impl Pattern {
-    fn matches(&self, env: &Envelope) -> bool {
-        env.ctx == self.ctx
-            && self.src_world.is_none_or(|s| s == env.src_world)
-            && self.tag.is_none_or(|t| t == env.tag)
+    fn tag_matches(&self, tag: i32) -> bool {
+        self.tag.is_none_or(|t| t == tag)
     }
 }
 
-/// What one atomic scan of the queue concluded for a (possibly
+/// What one atomic match attempt concluded for a (possibly
 /// deadline-bounded) receive.
 #[derive(Debug)]
+// `Matched` carries the envelope (and its inline payload) by value so a
+// claim stays allocation-free; the enum lives only on the stack between
+// the match and the caller.
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum Claim {
     /// A qualifying envelope was removed from the queue.
     Matched(Envelope),
@@ -101,22 +331,257 @@ pub(crate) enum Claim {
     Nothing,
 }
 
-/// One rank's incoming-message queue.
+/// One queued message plus its ingest-order ticket.
+#[derive(Debug)]
+struct Queued {
+    ticket: u64,
+    env: Envelope,
+}
+
+/// Where a located match lives in the index.
+enum Locate {
+    Hit { key: (u64, usize), pos: usize },
+    Missed,
+    Nothing,
+}
+
+/// The indexed message store: one FIFO per `(ctx, sender)` plus a global
+/// ticket sequence that orders wildcard matches across senders.
 #[derive(Debug, Default)]
+struct Store {
+    queues: HashMap<(u64, usize), VecDeque<Queued>>,
+    next_ticket: u64,
+    total: usize,
+}
+
+impl Store {
+    /// Pulls every message parked in the eager lanes into the index.
+    /// Must run before any match/peek/count so lane traffic is visible to
+    /// the same-lock observers (receive loops *and* the quiescence
+    /// classifier).
+    fn sync(&mut self, lanes: &LaneSet<Envelope>) {
+        if lanes.any_dirty() {
+            lanes.drain_into(|_, env| self.ingest(env));
+        }
+    }
+
+    fn ingest(&mut self, env: Envelope) {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.total += 1;
+        self.queues
+            .entry((env.ctx, env.src_world))
+            .or_default()
+            .push_back(Queued { ticket, env });
+    }
+
+    /// First deliverable entry in one queue: tag match, and on-time when a
+    /// deadline bounds the receive. Returns (position, ticket).
+    fn hit_in(
+        q: &VecDeque<Queued>,
+        pat: &Pattern,
+        deadline: Option<SimTime>,
+    ) -> Option<(usize, u64)> {
+        q.iter().enumerate().find_map(|(i, item)| {
+            let ok = pat.tag_matches(item.env.tag)
+                && deadline.is_none_or(|d| item.env.arrival <= d);
+            ok.then_some((i, item.ticket))
+        })
+    }
+
+    /// Whether any entry in `q` matches `pat` ignoring arrival times.
+    fn any_match_in(q: &VecDeque<Queued>, pat: &Pattern) -> bool {
+        q.iter().any(|item| pat.tag_matches(item.env.tag))
+    }
+
+    fn locate(&self, pat: Pattern, deadline: Option<SimTime>) -> Locate {
+        match pat.src_world {
+            Some(src) => {
+                let key = (pat.ctx, src);
+                let Some(q) = self.queues.get(&key) else {
+                    return Locate::Nothing;
+                };
+                if let Some((pos, _)) = Self::hit_in(q, &pat, deadline) {
+                    return Locate::Hit { key, pos };
+                }
+                if deadline.is_some() && Self::any_match_in(q, &pat) {
+                    // The queued match must have arrival > deadline; for a
+                    // specific source, non-overtaking means no earlier
+                    // arrival can follow it: the deadline is already
+                    // missed.
+                    return Locate::Missed;
+                }
+                Locate::Nothing
+            }
+            None => {
+                // Wildcard: oldest ticket over the context's queues, which
+                // preserves per-sender order and matches cross-sender in
+                // arrival-at-mailbox order.
+                let mut best: Option<((u64, usize), usize, u64)> = None;
+                for (key, q) in &self.queues {
+                    if key.0 != pat.ctx {
+                        continue;
+                    }
+                    if let Some((pos, ticket)) = Self::hit_in(q, &pat, deadline) {
+                        if best.is_none_or(|(_, _, t)| ticket < t) {
+                            best = Some((*key, pos, ticket));
+                        }
+                    }
+                }
+                match best {
+                    Some((key, pos, _)) => Locate::Hit { key, pos },
+                    None => Locate::Nothing,
+                }
+            }
+        }
+    }
+
+    fn claim(&mut self, pat: Pattern, deadline: Option<SimTime>) -> Claim {
+        match self.locate(pat, deadline) {
+            Locate::Hit { key, pos } => {
+                let q = self.queues.get_mut(&key).expect("located queue exists");
+                let item = q.remove(pos).expect("located position exists");
+                if q.is_empty() {
+                    self.queues.remove(&key);
+                }
+                self.total -= 1;
+                Claim::Matched(item.env)
+            }
+            Locate::Missed => Claim::DeadlineMissed,
+            Locate::Nothing => Claim::Nothing,
+        }
+    }
+
+    /// Metadata of the first (oldest-ticket) match, without removal.
+    fn peek(&self, pat: Pattern) -> Option<(usize, i32, usize, SimTime)> {
+        match self.locate(pat, None) {
+            Locate::Hit { key, pos } => {
+                let item = &self.queues[&key][pos];
+                Some((
+                    item.env.src_world,
+                    item.env.tag,
+                    item.env.len(),
+                    item.env.arrival,
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    /// The quiescence-relevant progress predicate for one pattern: a
+    /// deliverable match is queued (`arrival <= deadline` when bounded),
+    /// or a provably-late specific-source match lets the receive resolve
+    /// as a missed deadline.
+    fn progressable(&self, pat: &Pattern, deadline: Option<SimTime>) -> bool {
+        match pat.src_world {
+            Some(src) => {
+                let Some(q) = self.queues.get(&(pat.ctx, src)) else {
+                    return false;
+                };
+                Self::hit_in(q, pat, deadline).is_some()
+                    || (deadline.is_some() && Self::any_match_in(q, pat))
+            }
+            None => self
+                .queues
+                .iter()
+                .any(|(key, q)| key.0 == pat.ctx && Self::hit_in(q, pat, deadline).is_some()),
+        }
+    }
+
+    /// (ctx, src, tag, len) of every queued message, for diagnostics.
+    fn dump(&self) -> Vec<(u64, usize, i32, usize)> {
+        let mut all: Vec<(u64, &Queued)> = self
+            .queues
+            .values()
+            .flatten()
+            .map(|item| (item.ticket, item))
+            .collect();
+        all.sort_by_key(|(t, _)| *t);
+        all.iter()
+            .map(|(_, item)| {
+                (
+                    item.env.ctx,
+                    item.env.src_world,
+                    item.env.tag,
+                    item.env.len(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// One rank's incoming-message endpoint: per-sender eager lanes feeding
+/// an indexed store, with a doorbell for blocked receivers.
+#[derive(Debug)]
 pub struct Mailbox {
-    inner: Mutex<Vec<Envelope>>,
+    state: Mutex<Store>,
     cond: Condvar,
+    lanes: LaneSet<Envelope>,
+    /// Receivers registered for a doorbell ring; producers skip the
+    /// notify (and its lock) when zero.
+    waiters: AtomicUsize,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Mailbox::for_world(0)
+    }
 }
 
 impl Mailbox {
-    /// An empty mailbox.
+    /// An empty mailbox with no eager lanes (posts go straight to the
+    /// store) — convenient for tests and single-producer uses.
     pub fn new() -> Self {
         Mailbox::default()
     }
 
-    /// Posts a message (called from the sender's thread).
+    /// A mailbox with one eager lane per sender in an `n`-rank world.
+    pub fn for_world(n: usize) -> Self {
+        Mailbox {
+            state: Mutex::new(Store::default()),
+            cond: Condvar::new(),
+            lanes: LaneSet::new(n),
+            waiters: AtomicUsize::new(0),
+        }
+    }
+
+    /// Posts a message straight into the indexed store (sender thread).
+    ///
+    /// Lane traffic already queued by the same sender is drained first,
+    /// so mixing [`Mailbox::post`] and [`Mailbox::post_lane`] from one
+    /// thread preserves that sender's FIFO order.
     pub fn post(&self, env: Envelope) {
-        self.inner.lock().push(env);
+        let mut st = self.state.lock();
+        st.sync(&self.lanes);
+        st.ingest(env);
+        self.cond.notify_all();
+    }
+
+    /// Posts a message through the sender's eager lane — the hot path.
+    /// Never touches the store lock unless a receiver is registered on
+    /// the doorbell (or the mailbox was built without lanes).
+    pub fn post_lane(&self, env: Envelope) {
+        if self.lanes.senders() == 0 {
+            return self.post(env);
+        }
+        debug_assert!(env.src_world < self.lanes.senders());
+        self.lanes.push(env.src_world, env);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            // Ring the doorbell under the store lock: a receiver between
+            // its final check and its `wait` holds the lock, so the
+            // notify can't slip into that window and get lost.
+            let _guard = self.state.lock();
+            self.cond.notify_all();
+        }
+    }
+
+    /// Wakes every thread blocked on this mailbox so it re-checks its match
+    /// and abort conditions. Called when rank liveness changes.
+    pub fn wake_all(&self) {
+        // Taking the lock orders the ring after the state change the
+        // caller made and prevents the notify landing in a waiter's
+        // check-to-sleep window (see post_lane).
+        let _guard = self.state.lock();
         self.cond.notify_all();
     }
 
@@ -127,70 +592,37 @@ impl Mailbox {
     /// Panics after [`DEADLOCK_TIMEOUT`] of real time with no match — the
     /// surrounding SPMD program has deadlocked.
     pub fn recv_match(&self, pat: Pattern) -> Envelope {
-        let mut q = self.inner.lock();
+        let mut st = self.state.lock();
         loop {
-            if let Some(i) = q.iter().position(|e| pat.matches(e)) {
-                return q.remove(i);
+            // Register on the doorbell *before* the final check so a
+            // producer that misses our registration is provably ordered
+            // before the check (and its message visible to it).
+            self.waiters.fetch_add(1, Ordering::SeqCst);
+            st.sync(&self.lanes);
+            if let Claim::Matched(env) = st.claim(pat, None) {
+                self.waiters.fetch_sub(1, Ordering::SeqCst);
+                return env;
             }
-            let timed_out = self.cond.wait_for(&mut q, DEADLOCK_TIMEOUT).timed_out();
+            let timed_out = self.cond.wait_for(&mut st, DEADLOCK_TIMEOUT).timed_out();
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
             if timed_out {
+                st.sync(&self.lanes);
                 panic!(
                     "mpisim deadlock: receive {pat:?} matched nothing for {DEADLOCK_TIMEOUT:?}; \
                      {} unmatched message(s) queued: {:?}",
-                    q.len(),
-                    q.iter()
-                        .map(|e| (e.ctx, e.src_world, e.tag, e.data.len()))
-                        .collect::<Vec<_>>()
+                    st.total,
+                    st.dump()
                 );
             }
         }
     }
 
-    /// Wakes every thread blocked on this mailbox so it re-checks its match
-    /// and abort conditions. Called when rank liveness changes.
-    pub fn wake_all(&self) {
-        self.cond.notify_all();
-    }
-
-    /// One atomic scan-and-remove attempt for a (possibly deadline-bounded)
-    /// receive.
+    /// One atomic match-and-remove attempt for a (possibly
+    /// deadline-bounded) receive.
     pub(crate) fn claim(&self, pat: Pattern, deadline: Option<SimTime>) -> Claim {
-        let mut q = self.inner.lock();
-        Self::claim_locked(&mut q, pat, deadline)
-    }
-
-    fn claim_locked(q: &mut Vec<Envelope>, pat: Pattern, deadline: Option<SimTime>) -> Claim {
-        let pos = match deadline {
-            None => q.iter().position(|e| pat.matches(e)),
-            Some(d) => {
-                let hit = q.iter().position(|e| pat.matches(e) && e.arrival <= d);
-                if hit.is_none() && pat.src_world.is_some() && q.iter().any(|e| pat.matches(e)) {
-                    // A queued match must have arrival > d. For a specific
-                    // source, non-overtaking means no earlier arrival can
-                    // follow it: the deadline is already missed.
-                    return Claim::DeadlineMissed;
-                }
-                hit
-            }
-        };
-        match pos {
-            Some(i) => Claim::Matched(q.remove(i)),
-            None => Claim::Nothing,
-        }
-    }
-
-    /// The quiescence-relevant progress predicate for one pattern: a
-    /// deliverable match is queued (`arrival <= deadline` when bounded), or
-    /// a provably-late specific-source match lets the receive resolve as a
-    /// missed deadline.
-    fn progressable(q: &[Envelope], pat: &Pattern, deadline: Option<SimTime>) -> bool {
-        match deadline {
-            None => q.iter().any(|e| pat.matches(e)),
-            Some(d) => {
-                q.iter().any(|e| pat.matches(e) && e.arrival <= d)
-                    || (pat.src_world.is_some() && q.iter().any(|e| pat.matches(e)))
-            }
-        }
+        let mut st = self.state.lock();
+        st.sync(&self.lanes);
+        st.claim(pat, deadline)
     }
 
     /// Like a claiming receive's wait but leaves the message queued
@@ -201,21 +633,23 @@ impl Mailbox {
         pat: Pattern,
         timeout: Duration,
     ) -> Option<(usize, i32, usize, SimTime)> {
-        let peek = |q: &[Envelope]| {
-            q.iter()
-                .find(|e| pat.matches(e))
-                .map(|e| (e.src_world, e.tag, e.data.len(), e.arrival))
+        let mut st = self.state.lock();
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        st.sync(&self.lanes);
+        let hit = match st.peek(pat) {
+            Some(hit) => Some(hit),
+            None => {
+                self.cond.wait_for(&mut st, timeout);
+                st.sync(&self.lanes);
+                st.peek(pat)
+            }
         };
-        let mut q = self.inner.lock();
-        if let Some(hit) = peek(&q) {
-            return Some(hit);
-        }
-        self.cond.wait_for(&mut q, timeout);
-        peek(&q)
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        hit
     }
 
     /// Bounded wait until some pattern in `pats` could make progress under
-    /// `deadline` (per [`Mailbox::progressable`]), a wakeup arrives, or
+    /// `deadline` (per [`Store::progressable`]), a wakeup arrives, or
     /// `timeout` elapses — the sleep primitive of every guarded wait loop.
     /// With empty `pats` this is a pure interruptible sleep (used by
     /// agreement polls). Returns true if progress is possible.
@@ -225,13 +659,19 @@ impl Mailbox {
         deadline: Option<SimTime>,
         timeout: Duration,
     ) -> bool {
-        let hit = |q: &[Envelope]| pats.iter().any(|p| Self::progressable(q, p, deadline));
-        let mut q = self.inner.lock();
-        if hit(&q) {
-            return true;
-        }
-        self.cond.wait_for(&mut q, timeout);
-        hit(&q)
+        let mut st = self.state.lock();
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        st.sync(&self.lanes);
+        let check = |st: &Store| pats.iter().any(|p| st.progressable(p, deadline));
+        let ok = if check(&st) {
+            true
+        } else {
+            self.cond.wait_for(&mut st, timeout);
+            st.sync(&self.lanes);
+            check(&st)
+        };
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        ok
     }
 
     /// True if a blocked receive over `pats` could make progress on its
@@ -240,19 +680,24 @@ impl Mailbox {
     /// Used by the quiescence classifier, which must observe the exact
     /// conditions the receive loop itself checks.
     pub(crate) fn can_progress(&self, pats: &[Pattern], deadline: Option<SimTime>) -> bool {
-        let q = self.inner.lock();
-        pats.iter().any(|p| Self::progressable(&q, p, deadline))
+        let mut st = self.state.lock();
+        st.sync(&self.lanes);
+        pats.iter().any(|p| st.progressable(p, deadline))
     }
 
     /// Like [`Mailbox::recv_match`] but leaves the message queued
     /// (`MPI_Probe`). Returns the matched envelope's metadata.
     pub fn probe_match(&self, pat: Pattern) -> (usize, i32, usize, SimTime) {
-        let mut q = self.inner.lock();
+        let mut st = self.state.lock();
         loop {
-            if let Some(e) = q.iter().find(|e| pat.matches(e)) {
-                return (e.src_world, e.tag, e.data.len(), e.arrival);
+            self.waiters.fetch_add(1, Ordering::SeqCst);
+            st.sync(&self.lanes);
+            if let Some(hit) = st.peek(pat) {
+                self.waiters.fetch_sub(1, Ordering::SeqCst);
+                return hit;
             }
-            let timed_out = self.cond.wait_for(&mut q, DEADLOCK_TIMEOUT).timed_out();
+            let timed_out = self.cond.wait_for(&mut st, DEADLOCK_TIMEOUT).timed_out();
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
             if timed_out {
                 panic!("mpisim deadlock: probe {pat:?} matched nothing for {DEADLOCK_TIMEOUT:?}");
             }
@@ -261,22 +706,37 @@ impl Mailbox {
 
     /// Non-blocking probe (`MPI_Iprobe`): metadata of the first match, if any.
     pub fn try_probe(&self, pat: Pattern) -> Option<(usize, i32, usize, SimTime)> {
-        let q = self.inner.lock();
-        q.iter()
-            .find(|e| pat.matches(e))
-            .map(|e| (e.src_world, e.tag, e.data.len(), e.arrival))
+        let mut st = self.state.lock();
+        st.sync(&self.lanes);
+        st.peek(pat)
     }
 
     /// Non-blocking matched receive (`MPI_Irecv` + immediate test).
     pub fn try_recv_match(&self, pat: Pattern) -> Option<Envelope> {
-        let mut q = self.inner.lock();
-        let i = q.iter().position(|e| pat.matches(e))?;
-        Some(q.remove(i))
+        let mut st = self.state.lock();
+        st.sync(&self.lanes);
+        match st.claim(pat, None) {
+            Claim::Matched(env) => Some(env),
+            _ => None,
+        }
     }
 
     /// Number of queued (unmatched) messages — used by shutdown diagnostics.
     pub fn pending(&self) -> usize {
-        self.inner.lock().len()
+        let mut st = self.state.lock();
+        st.sync(&self.lanes);
+        st.total
+    }
+
+    /// Removes and returns every queued message (end-of-run drain, so
+    /// pooled payloads return to the arena before leak accounting).
+    pub(crate) fn drain_all(&self) -> usize {
+        let mut st = self.state.lock();
+        st.sync(&self.lanes);
+        let n = st.total;
+        st.queues.clear();
+        st.total = 0;
+        n
     }
 }
 
@@ -290,9 +750,16 @@ mod tests {
             ctx,
             src_world: src,
             tag,
-            data: data.to_vec(),
+            payload: Payload::from_vec(data.to_vec(), DEFAULT_EAGER_LIMIT),
             sent_at: SimTime::ZERO,
             arrival: SimTime::from_secs(1.0),
+        }
+    }
+
+    fn env_at(ctx: u64, src: usize, tag: i32, arrival: f64) -> Envelope {
+        Envelope {
+            arrival: SimTime::from_secs(arrival),
+            ..env(ctx, src, tag, b"x")
         }
     }
 
@@ -305,7 +772,7 @@ mod tests {
             src_world: Some(0),
             tag: Some(7),
         });
-        assert_eq!(got.data, b"hi");
+        assert_eq!(got.bytes(), b"hi");
         assert_eq!(mb.pending(), 0);
     }
 
@@ -332,7 +799,7 @@ mod tests {
             src_world: Some(0),
             tag: Some(7),
         });
-        assert_eq!(got.data, b"ctx2");
+        assert_eq!(got.bytes(), b"ctx2");
         assert_eq!(mb.pending(), 1);
     }
 
@@ -351,8 +818,8 @@ mod tests {
             src_world: Some(0),
             tag: Some(7),
         });
-        assert_eq!(a.data, b"first");
-        assert_eq!(b.data, b"second");
+        assert_eq!(a.bytes(), b"first");
+        assert_eq!(b.bytes(), b"second");
     }
 
     #[test]
@@ -365,8 +832,81 @@ mod tests {
             src_world: Some(0),
             tag: Some(2),
         });
-        assert_eq!(got.data, b"tag2");
+        assert_eq!(got.bytes(), b"tag2");
         assert_eq!(mb.pending(), 1);
+    }
+
+    #[test]
+    fn wildcard_matches_oldest_ticket_across_senders() {
+        let mb = Mailbox::new();
+        mb.post(env(1, 5, 7, b"older"));
+        mb.post(env(1, 2, 7, b"newer"));
+        let pat = Pattern {
+            ctx: 1,
+            src_world: None,
+            tag: None,
+        };
+        let a = mb.recv_match(pat);
+        let b = mb.recv_match(pat);
+        assert_eq!((a.src_world, a.bytes()), (5, b"older".as_slice()));
+        assert_eq!((b.src_world, b.bytes()), (2, b"newer".as_slice()));
+    }
+
+    #[test]
+    fn lane_posts_preserve_sender_fifo_and_are_matchable() {
+        let mb = Mailbox::for_world(4);
+        mb.post_lane(env(1, 2, 7, b"a"));
+        mb.post_lane(env(1, 2, 7, b"b"));
+        mb.post_lane(env(1, 3, 7, b"c"));
+        assert_eq!(mb.pending(), 3);
+        let pat = Pattern {
+            ctx: 1,
+            src_world: Some(2),
+            tag: Some(7),
+        };
+        assert_eq!(mb.recv_match(pat).bytes(), b"a");
+        assert_eq!(mb.recv_match(pat).bytes(), b"b");
+        assert_eq!(mb.try_probe(Pattern {
+            ctx: 1,
+            src_world: None,
+            tag: None,
+        }).map(|(s, ..)| s), Some(3));
+    }
+
+    #[test]
+    fn deadline_missed_is_proved_for_specific_source_only() {
+        let mb = Mailbox::new();
+        mb.post(env_at(1, 0, 7, 10.0));
+        let d = Some(SimTime::from_secs(5.0));
+        let specific = Pattern {
+            ctx: 1,
+            src_world: Some(0),
+            tag: Some(7),
+        };
+        let wildcard = Pattern {
+            ctx: 1,
+            src_world: None,
+            tag: Some(7),
+        };
+        assert!(matches!(mb.claim(specific, d), Claim::DeadlineMissed));
+        assert!(matches!(mb.claim(wildcard, d), Claim::Nothing));
+    }
+
+    #[test]
+    fn deadline_claim_skips_late_and_takes_on_time() {
+        let mb = Mailbox::new();
+        mb.post(env_at(1, 0, 7, 10.0));
+        mb.post(env_at(1, 0, 7, 2.0));
+        let d = Some(SimTime::from_secs(5.0));
+        let pat = Pattern {
+            ctx: 1,
+            src_world: Some(0),
+            tag: Some(7),
+        };
+        match mb.claim(pat, d) {
+            Claim::Matched(env) => assert_eq!(env.arrival, SimTime::from_secs(2.0)),
+            other => panic!("expected on-time match, got {other:?}"),
+        }
     }
 
     #[test]
@@ -395,8 +935,8 @@ mod tests {
     }
 
     #[test]
-    fn blocked_recv_wakes_on_post() {
-        let mb = Arc::new(Mailbox::new());
+    fn blocked_recv_wakes_on_lane_post() {
+        let mb = Arc::new(Mailbox::for_world(2));
         let mb2 = mb.clone();
         let h = std::thread::spawn(move || {
             mb2.recv_match(Pattern {
@@ -406,8 +946,34 @@ mod tests {
             })
         });
         std::thread::sleep(Duration::from_millis(20));
-        mb.post(env(1, 0, 0, b"late"));
+        mb.post_lane(env(1, 0, 0, b"late"));
         let got = h.join().unwrap();
-        assert_eq!(got.data, b"late");
+        assert_eq!(got.bytes(), b"late");
+    }
+
+    #[test]
+    fn payload_protocol_split_at_inline_cap() {
+        let small = Payload::from_vec(vec![7u8; INLINE_CAP], DEFAULT_EAGER_LIMIT);
+        let big = Payload::from_vec(vec![7u8; INLINE_CAP + 1], DEFAULT_EAGER_LIMIT);
+        assert_eq!(small.protocol(), "eager");
+        assert_eq!(big.protocol(), "heap");
+        assert_eq!(small.len(), INLINE_CAP);
+        assert_eq!(big.len(), INLINE_CAP + 1);
+    }
+
+    #[test]
+    fn msg_into_vec_round_trips_all_protocols() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(3 * RENDEZVOUS_BLOCK + 17).collect();
+        let heap = Msg::new(Payload::Heap(data.clone()));
+        assert_eq!(heap.into_vec(), data);
+        let inline = Msg::new(Payload::inline_from(&data[..100]));
+        assert_eq!(inline.into_vec(), &data[..100]);
+        let pool = crate::pool::BufferPool::new();
+        let mut lease = pool.lease(data.len());
+        lease.buf_mut().extend_from_slice(&data);
+        let pooled = Msg::new(Payload::Pooled(lease));
+        assert_eq!(&*pooled, &data[..]);
+        assert_eq!(pooled.into_vec(), data);
+        assert_eq!(pool.outstanding(), 0, "lease returned after copy-out");
     }
 }

@@ -4,7 +4,8 @@ use crate::agree::AgreeTable;
 use crate::comm::Comm;
 use crate::engine::CollectivePolicy;
 use crate::error::{MpiError, MpiResult};
-use crate::p2p::{Mailbox, DEADLOCK_TIMEOUT};
+use crate::p2p::{Mailbox, DEADLOCK_TIMEOUT, DEFAULT_EAGER_LIMIT, INLINE_CAP};
+use crate::pool::{BufferPool, PoolReport};
 use crate::quiesce::Registry;
 use crate::vtime::{LocalClock, NetworkState};
 use hetsim::trace::{Trace, TraceEvent, TraceKind, Tracer};
@@ -63,6 +64,10 @@ pub(crate) struct SharedState {
     /// plan, if it is doomed. Resolved once at launch so receive paths do
     /// not hit the cluster model on every call.
     pub(crate) doom: Vec<Option<SimTime>>,
+    /// The rendezvous payload arena (see [`crate::pool`]).
+    pub(crate) pool: Arc<BufferPool>,
+    /// Eager/rendezvous protocol split, bytes (≤ [`INLINE_CAP`]).
+    pub(crate) eager_limit: usize,
 }
 
 impl SharedState {
@@ -163,6 +168,8 @@ pub struct Universe {
     tracer: Option<Arc<Tracer>>,
     coll_policy: CollectivePolicy,
     watchdog: Option<Duration>,
+    stack_size: Option<usize>,
+    eager_limit: Option<usize>,
 }
 
 impl Universe {
@@ -176,6 +183,8 @@ impl Universe {
             tracer: None,
             coll_policy: CollectivePolicy::Auto,
             watchdog: None,
+            stack_size: None,
+            eager_limit: None,
         }
     }
 
@@ -208,6 +217,8 @@ impl Universe {
             tracer: None,
             coll_policy: CollectivePolicy::Auto,
             watchdog: None,
+            stack_size: None,
+            eager_limit: None,
         }
     }
 
@@ -232,6 +243,28 @@ impl Universe {
     /// [`MpiError::InvalidCounts`]).
     pub fn with_collective_policy(mut self, policy: CollectivePolicy) -> Self {
         self.coll_policy = policy;
+        self
+    }
+
+    /// Sets the stack size (bytes) of the per-rank OS threads spawned by
+    /// [`Universe::run`]. Large worlds (1k+ ranks) exhaust address space
+    /// quickly at the platform-default 8 MiB per thread; the rank
+    /// closures used by the benches and tests run comfortably in a few
+    /// hundred KiB. Defaults to the `MPISIM_STACK_SIZE` environment
+    /// variable (bytes) when set, else the platform default.
+    pub fn with_stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = Some(bytes);
+        self
+    }
+
+    /// Sets the eager/rendezvous protocol split for subsequent runs:
+    /// payloads of at most `bytes` travel inline through the eager lanes,
+    /// larger ones lease an arena buffer. Clamped to [`INLINE_CAP`]
+    /// (the envelope's inline slot capacity). Defaults to the
+    /// `MPISIM_EAGER_LIMIT` environment variable (bytes) when set, else
+    /// [`DEFAULT_EAGER_LIMIT`].
+    pub fn with_eager_limit(mut self, bytes: usize) -> Self {
+        self.eager_limit = Some(bytes.min(INLINE_CAP));
         self
     }
 
@@ -276,7 +309,7 @@ impl Universe {
         F: Fn(&Process) -> R + Sync,
     {
         let n = self.size();
-        let mailboxes: Vec<Arc<Mailbox>> = (0..n).map(|_| Arc::new(Mailbox::new())).collect();
+        let mailboxes: Vec<Arc<Mailbox>> = (0..n).map(|_| Arc::new(Mailbox::for_world(n))).collect();
         let agreements = Arc::new(AgreeTable::new());
         let watchdog = self.watchdog.unwrap_or_else(|| {
             std::env::var("MPISIM_DEADLOCK_TIMEOUT")
@@ -286,6 +319,21 @@ impl Universe {
                 .map(Duration::from_secs_f64)
                 .unwrap_or(DEADLOCK_TIMEOUT)
         });
+        let stack_size = self.stack_size.or_else(|| {
+            std::env::var("MPISIM_STACK_SIZE")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|s| *s > 0)
+        });
+        let eager_limit = self
+            .eager_limit
+            .or_else(|| {
+                std::env::var("MPISIM_EAGER_LIMIT")
+                    .ok()
+                    .and_then(|s| s.trim().parse::<usize>().ok())
+            })
+            .unwrap_or(DEFAULT_EAGER_LIMIT)
+            .min(INLINE_CAP);
         let shared = Arc::new(SharedState {
             cluster: self.cluster.clone(),
             placement: self.placement.clone(),
@@ -306,6 +354,8 @@ impl Universe {
             coll_policy: self.coll_policy,
             agreements,
             watchdog,
+            pool: BufferPool::new(),
+            eager_limit,
         });
 
         let mut slots: Vec<Option<(R, SimTime)>> = Vec::with_capacity(n);
@@ -316,15 +366,21 @@ impl Universe {
                 .map(|rank| {
                     let shared = shared.clone();
                     let f = &f;
-                    scope.spawn(move || {
-                        let _guard = TerminationGuard {
-                            world_rank: rank,
-                            shared: shared.clone(),
-                        };
-                        let proc = Process::new(rank, shared);
-                        let out = f(&proc);
-                        (out, proc.clock().now())
-                    })
+                    let mut builder = std::thread::Builder::new().name(format!("rank{rank}"));
+                    if let Some(bytes) = stack_size {
+                        builder = builder.stack_size(bytes);
+                    }
+                    builder
+                        .spawn_scoped(scope, move || {
+                            let _guard = TerminationGuard {
+                                world_rank: rank,
+                                shared: shared.clone(),
+                            };
+                            let proc = Process::new(rank, shared);
+                            let out = f(&proc);
+                            (out, proc.clock().now())
+                        })
+                        .expect("failed to spawn rank thread")
                 })
                 .collect();
             for (rank, h) in handles.into_iter().enumerate() {
@@ -350,12 +406,19 @@ impl Universe {
             clocks.push(c);
         }
         let makespan = clocks.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        // Drain undelivered messages (fault scenarios leave some behind) so
+        // their pooled payloads return to the arena; after this, a nonzero
+        // `outstanding` in the pool report is a genuine leak.
+        for mb in &shared.mailboxes {
+            mb.drain_all();
+        }
         RunReport {
             results,
             rank_times: clocks,
             makespan,
             trace: self.tracer.as_ref().map(|t| t.drain()),
             predicted: None,
+            pool: shared.pool.report(),
         }
     }
 }
@@ -377,6 +440,10 @@ pub struct RunReport<R> {
     /// know what the planner predicted); compared against [`Self::makespan`]
     /// by [`RunReport::prediction_report`].
     pub predicted: Option<f64>,
+    /// Snapshot of the rendezvous buffer arena after the run drained:
+    /// [`PoolReport::outstanding`] must be zero (simcheck's leak
+    /// invariant), and the reuse counters feed the throughput bench.
+    pub pool: PoolReport,
 }
 
 impl<R> RunReport<R> {
@@ -629,6 +696,9 @@ mod tests {
         assert_eq!(stats[0].sent, 1);
         assert_eq!(stats[1].received, 1);
         assert_eq!(stats[0].bytes_sent, 16);
+        // A 16-byte payload rides the eager protocol, and the trace says so.
+        assert_eq!(stats[0].eager_sent, 1);
+        assert_eq!(stats[0].rendezvous_sent, 0);
         let json = trace.to_chrome_json();
         assert!(json.contains("\"cat\":\"send\""));
         assert!(json.contains("\"cat\":\"recv\""));

@@ -29,7 +29,10 @@
 //!   monotone and spans nest (container-first at start ties);
 //! * **estimate discipline** — recon advances the estimate generation
 //!   (exactly +1 fault-free; more when deaths are also recorded) and
-//!   leaves finite, positive speeds for available nodes.
+//!   leaves finite, positive speeds for available nodes;
+//! * **arena hygiene** — after every run, all rendezvous buffer leases
+//!   have returned to the universe's pool (`report.pool.outstanding == 0`);
+//!   a leak means a payload escaped the envelope lifecycle.
 
 use crate::scenario::{AppKind, Scenario, Workload};
 use hetsim::{
@@ -37,7 +40,7 @@ use hetsim::{
     SpeedEstimates, Trace,
 };
 use hmpi::{select_mapping, select_mapping_naive, HmpiRuntime, MappingAlgorithm, SelectionCtx};
-use mpisim::{CollectiveAlgo, CollectiveKind, MpiError, ReduceOp, Universe};
+use mpisim::{CollectiveAlgo, CollectiveKind, MpiError, PoolReport, ReduceOp, Universe};
 use perfmodel::collective::algos_for;
 use perfmodel::ModelBuilder;
 use rand::{Rng, SeedableRng, StdRng};
@@ -137,6 +140,24 @@ fn run_workload(sc: &Scenario) -> Result<(), Violation> {
         Workload::ShrinkRecovery { rounds, units } => check_shrink(sc, rounds, units),
         Workload::AppKernel { app } => check_app(sc, app),
     }
+}
+
+/// Arena hygiene: after a run every rendezvous lease must be back in the
+/// pool — the universe drains all mailboxes (including messages stranded
+/// by faults) before snapshotting the report, so an outstanding lease is
+/// a payload that escaped the envelope lifecycle.
+fn judge_pool(tag: &str, pool: &PoolReport) -> Result<(), Violation> {
+    if pool.outstanding != 0 {
+        return Err(viol(
+            "pool-leak",
+            format!(
+                "{tag}: {} of {} leases still outstanding after the run \
+                 (high water {})",
+                pool.outstanding, pool.leased, pool.high_water
+            ),
+        ));
+    }
+    Ok(())
 }
 
 /// Turns per-rank results into violations: value bugs always, typed
@@ -266,6 +287,7 @@ fn check_ring(sc: &Scenario, elems: usize, rounds: usize) -> Result<(), Violatio
         }
         Ok(())
     });
+    judge_pool("p2p-ring", &report.pool)?;
     judge_ranks(sc, &report.results)?;
     validate_trace(report.trace.as_ref().expect("tracing enabled"), n)
 }
@@ -315,6 +337,7 @@ fn check_rand(
         }
         Ok(())
     });
+    judge_pool("p2p-random", &report.pool)?;
     judge_ranks(sc, &report.results)?;
     validate_trace(report.trace.as_ref().expect("tracing enabled"), n)
 }
@@ -455,6 +478,7 @@ fn check_collective(
             })
         };
         let report = run_once();
+        judge_pool(kind.name(), &report.pool)?;
         let judged: Vec<Result<(), RankFail>> = report
             .results
             .iter()
@@ -477,6 +501,7 @@ fn check_collective(
         // differently between runs of the same scenario.
         if has_faults && sc.contention == ContentionModel::ParallelLinks {
             let replay = run_once();
+            judge_pool(kind.name(), &replay.pool)?;
             if replay.results != report.results || replay.makespan != report.makespan {
                 let first_diff = (0..n)
                     .find(|&r| replay.results[r] != report.results[r])
@@ -541,6 +566,7 @@ fn check_collective(
                 .predict_collective(kind, root, pred_elems, 8)
                 .map_err(typed)
         });
+        judge_pool("auto-selection", &report.pool)?;
         match &report.results[0] {
             Ok((algo, t)) => {
                 if *algo != best.0 || t.to_bits() != best.1.to_bits() {
@@ -689,6 +715,7 @@ fn check_group_cycle(sc: &Scenario, model_seed: u64, cycles: usize) -> Result<()
         }
         Ok(())
     });
+    judge_pool("group-cycle", &report.pool)?;
     judge_ranks(sc, &report.results)
 }
 
@@ -750,6 +777,7 @@ fn check_recon(sc: &Scenario, units: f64, rounds: usize) -> Result<(), Violation
             Ok(())
         }
     });
+    judge_pool("recon-rounds", &report.pool)?;
     judge_ranks(sc, &report.results)
 }
 
@@ -861,6 +889,7 @@ fn check_shrink(sc: &Scenario, rounds: usize, units: f64) -> Result<(), Violatio
             Err(e) => Err(typed(e)),
         }
     });
+    judge_pool("shrink-recovery", &report.pool)?;
     judge_ranks(sc, &report.results)
 }
 
