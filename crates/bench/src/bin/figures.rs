@@ -8,8 +8,8 @@
 //! ```
 
 use hmpi_bench::{
-    ablation, collectives, deadlock, extension, faults, fig10, fig11, fig9, render_csv,
-    render_table, selection, throughput, trace, ComparisonPoint,
+    ablation, collectives, contention, deadlock, extension, faults, fig10, fig11, fig9,
+    render_csv, render_table, selection, throughput, trace, ComparisonPoint,
 };
 
 /// Conservative checked-in eager-throughput baseline for the regression
@@ -17,17 +17,27 @@ use hmpi_bench::{
 const THROUGHPUT_BASELINE: &str =
     concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/throughput_baseline.json");
 
-/// Pulls `"eager_msgs_per_s": <number>` out of the baseline JSON (the
-/// workspace's serde shim has no deserializer, so this is by hand).
-fn baseline_eager_msgs_s() -> Option<f64> {
-    let text = std::fs::read_to_string(THROUGHPUT_BASELINE).ok()?;
-    let key = "\"eager_msgs_per_s\":";
-    let at = text.find(key)? + key.len();
+/// Checked-in contended virtual-time baseline: arbitration is
+/// deterministic, so the summed measured virtual time only drifts when
+/// the contention semantics change.
+const CONTENTION_BASELINE: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/contention_baseline.json");
+
+/// Pulls `"<key>": <number>` out of a baseline JSON (the workspace's
+/// serde shim has no deserializer, so this is by hand).
+fn baseline_number(path: &str, key: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
     let rest = text[at..].trim_start();
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+fn baseline_eager_msgs_s() -> Option<f64> {
+    baseline_number(THROUGHPUT_BASELINE, "eager_msgs_per_s")
 }
 
 struct Options {
@@ -78,7 +88,7 @@ fn main() {
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec![
             "fig9a", "fig9b", "fig10", "fig11a", "fig11b", "ablations", "ext-nbody", "faults",
-            "selection", "trace", "collectives", "deadlock", "throughput",
+            "selection", "trace", "collectives", "contention", "deadlock", "throughput",
         ];
     }
 
@@ -270,6 +280,43 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "contention" => {
+                let b = contention::run(opts.quick);
+                print!("{}", contention::render(&b));
+                println!();
+                if !opts.quick {
+                    let path = "BENCH_contention.json";
+                    std::fs::write(path, contention::to_json(&b)).expect("write bench JSON");
+                    println!("wrote {path}\n");
+                }
+                let err = b.max_error_pct();
+                if err > 5.0 {
+                    eprintln!(
+                        "contended timeof prediction error {err:.3}% exceeds the 5% gate"
+                    );
+                    std::process::exit(1);
+                }
+                // The drift band only applies to the full sweep — quick
+                // mode measures a subset, so its total is incomparable.
+                if !opts.quick {
+                    match baseline_number(CONTENTION_BASELINE, "total_measured_s") {
+                        Some(base) => {
+                            let now = b.total_measured_s();
+                            if (now - base).abs() > base * 0.1 {
+                                eprintln!(
+                                    "contended virtual time {now:.6}s drifted more than 10% \
+                                     from the checked-in baseline {base:.6}s"
+                                );
+                                std::process::exit(1);
+                            }
+                        }
+                        None => {
+                            eprintln!("missing or unreadable baseline {CONTENTION_BASELINE}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
             "deadlock" => {
                 let b = deadlock::run(opts.quick);
                 print!("{}", deadlock::render(&b));
@@ -343,7 +390,7 @@ fn main() {
                 }
             }
             other => {
-                eprintln!("unknown figure `{other}`; known: fig9a fig9b fig10 fig11a fig11b ablations ext-nbody faults selection trace collectives deadlock throughput all");
+                eprintln!("unknown figure `{other}`; known: fig9a fig9b fig10 fig11a fig11b ablations ext-nbody faults selection trace collectives contention deadlock throughput all");
                 std::process::exit(2);
             }
         }

@@ -50,6 +50,7 @@
 
 pub mod ablation;
 pub mod collectives;
+pub mod contention;
 pub mod deadlock;
 pub mod extension;
 pub mod faults;

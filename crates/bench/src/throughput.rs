@@ -330,6 +330,8 @@ fn run_new(
             payload: Payload::inline_from(&bg),
             sent_at: SimTime::from_secs(0.0),
             arrival: SimTime::from_secs(0.0),
+            seq: i as u64,
+            xfer: None,
         });
     }
     if backlog > 0 {
@@ -356,6 +358,8 @@ fn run_new(
                         payload: new_payload(template, pool, eager),
                         sent_at: SimTime::from_secs(0.0),
                         arrival: SimTime::from_secs(0.0),
+                        seq: 0,
+                        xfer: None,
                     });
                 }
             }));

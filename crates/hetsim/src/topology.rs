@@ -72,6 +72,12 @@ pub struct Cluster {
     contention: ContentionModel,
     /// Scheduled faults; empty for a fault-free run.
     faults: FaultPlan,
+    /// Intra-node memory bus: when present, transfers between *distinct
+    /// ranks* placed on the same node travel this link and serialise per
+    /// node (many ranks fighting one memory bus). `None` keeps the
+    /// historical free loopback for co-located ranks.
+    #[serde(default)]
+    mem_bus: Option<Link>,
 }
 
 impl Cluster {
@@ -99,7 +105,22 @@ impl Cluster {
             links,
             contention,
             faults: FaultPlan::none(),
+            mem_bus: None,
         }
+    }
+
+    /// Attaches an intra-node memory bus (builder style): transfers between
+    /// distinct ranks placed on the same node travel this link and
+    /// serialise per node instead of riding the free loopback.
+    pub fn with_mem_bus(mut self, link: Link) -> Self {
+        self.mem_bus = Some(link);
+        self
+    }
+
+    /// The intra-node memory-bus link, if one is modelled.
+    #[inline]
+    pub fn mem_bus(&self) -> Option<&Link> {
+        self.mem_bus.as_ref()
     }
 
     /// Attaches a fault-injection plan (builder style). Replaces any
@@ -151,6 +172,37 @@ impl Cluster {
         &self.links[from.0][to.0]
     }
 
+    /// The link a message between *distinct ranks* placed on `from` and
+    /// `to` travels: the inter-node link, or the intra-node memory bus when
+    /// both ranks share a node and a bus is modelled. Same-rank self-sends
+    /// do not route through this (they stay on the free loopback).
+    #[inline]
+    pub fn rank_link(&self, from: NodeId, to: NodeId) -> &Link {
+        match &self.mem_bus {
+            Some(mem) if from == to => mem,
+            _ => &self.links[from.0][to.0],
+        }
+    }
+
+    /// Fault-honouring transfer time between distinct ranks placed on
+    /// `from` and `to`: same-node pairs ride the memory bus (which network
+    /// link faults cannot sever) when one is modelled, otherwise the
+    /// plain [`Cluster::transfer_time_at`].
+    pub fn rank_transfer_time_at(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        t: SimTime,
+    ) -> Option<SimTime> {
+        if from == to {
+            if let Some(mem) = &self.mem_bus {
+                return Some(mem.transfer_time(bytes));
+            }
+        }
+        self.transfer_time_at(from, to, bytes, t)
+    }
+
     /// The contention model in force.
     #[inline]
     pub fn contention(&self) -> ContentionModel {
@@ -161,7 +213,9 @@ impl Cluster {
     /// by *position* in `nodes` (so row `i`, column `j` prices a message
     /// from `nodes[i]` to `nodes[j]`). This is the link-cost view the
     /// collective engine selects algorithms against; it reports the
-    /// healthy base link parameters, ignoring transient faults.
+    /// healthy base link parameters, ignoring transient faults. Distinct
+    /// positions sharing a node price over the memory bus when one is
+    /// modelled ([`Cluster::rank_link`]).
     pub fn pair_table(&self, nodes: &[NodeId]) -> PairTable {
         let n = nodes.len();
         let mut latency = vec![0.0; n * n];
@@ -171,7 +225,7 @@ impl Cluster {
                 if i == j {
                     continue;
                 }
-                let link = self.link(a, b);
+                let link = self.rank_link(a, b);
                 latency[i * n + j] = link.latency;
                 bandwidth[i * n + j] = link.bandwidth;
             }
@@ -384,6 +438,7 @@ pub struct ClusterBuilder {
     symmetric_overrides: bool,
     contention: ContentionModel,
     faults: FaultPlan,
+    mem_bus: Option<Link>,
 }
 
 impl ClusterBuilder {
@@ -439,6 +494,13 @@ impl ClusterBuilder {
         self
     }
 
+    /// Models an intra-node memory bus: transfers between distinct ranks on
+    /// the same node travel `link` and serialise per node.
+    pub fn mem_bus(mut self, link: Link) -> Self {
+        self.mem_bus = Some(link);
+        self
+    }
+
     /// Finishes construction.
     ///
     /// # Panics
@@ -462,7 +524,9 @@ impl ClusterBuilder {
                 links[b][a] = link;
             }
         }
-        Cluster::from_parts(self.nodes, links, self.contention).with_faults(self.faults)
+        let mut c = Cluster::from_parts(self.nodes, links, self.contention).with_faults(self.faults);
+        c.mem_bus = self.mem_bus;
+        c
     }
 }
 
@@ -580,6 +644,43 @@ mod tests {
             seen.insert(Cluster::random(seed, 8).contention());
         }
         assert_eq!(seen.len(), 3, "expected all three contention modes");
+    }
+
+    #[test]
+    fn mem_bus_prices_same_node_rank_pairs() {
+        let mem = Link::new(1e-7, 1e10, Protocol::Custom("membus".into()));
+        let c = ClusterBuilder::new()
+            .node("a", 10.0)
+            .node("b", 20.0)
+            .all_to_all(Link::with_defaults(Protocol::Tcp))
+            .mem_bus(mem.clone())
+            .build();
+        // Two ranks on node 0, one on node 1.
+        assert_eq!(c.rank_link(NodeId(0), NodeId(0)), &mem);
+        assert_eq!(c.rank_link(NodeId(0), NodeId(1)).protocol, Protocol::Tcp);
+        let t = c.pair_table(&[NodeId(0), NodeId(0), NodeId(1)]);
+        assert_eq!(t.latency(0, 1), 1e-7);
+        assert_eq!(t.bandwidth(0, 1), 1e10);
+        assert_eq!(t.latency(0, 0), 0.0); // diagonal stays free
+        assert!(t.latency(0, 2) > 1e-7); // cross-node stays on the network
+        // Fault-honouring path: the bus is immune to network link faults.
+        let at = c
+            .rank_transfer_time_at(NodeId(0), NodeId(0), 1_000_000, SimTime::ZERO)
+            .unwrap();
+        assert!((at.as_secs() - (1e-7 + 1e-4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn without_mem_bus_same_node_ranks_stay_free() {
+        let c = Cluster::paper_lan_em3d();
+        assert!(c.mem_bus().is_none());
+        assert!(c
+            .rank_transfer_time_at(NodeId(0), NodeId(0), 1_000_000, SimTime::ZERO)
+            .unwrap()
+            .is_zero());
+        let t = c.pair_table(&[NodeId(0), NodeId(0)]);
+        assert_eq!(t.latency(0, 1), 0.0);
+        assert!(t.bandwidth(0, 1).is_infinite());
     }
 
     #[test]

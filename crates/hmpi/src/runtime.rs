@@ -518,6 +518,7 @@ impl Hmpi<'_> {
         let mut speeds = self.estimates.snapshot();
         speeds[self.node().index()] = my_speed;
         let mut responded = vec![false; self.size()];
+        let mut missing = Vec::new();
         for (r, responded_r) in responded.iter_mut().enumerate().skip(1) {
             let node = self.proc.node_of(r);
             if !self.estimates.is_available(node) {
@@ -555,7 +556,26 @@ impl Hmpi<'_> {
                     }
                     *responded_r = true;
                 }
-                None => self.estimates.mark_unavailable(node),
+                None => missing.push((r, node)),
+            }
+        }
+        // Late-report sweep: a rank that missed every per-rank deadline may
+        // still be live — its report merely landed after the host gave up
+        // (deadlines are sized from delivered speeds and can run short
+        // under contention). Condemning it without an ack would strand the
+        // rank in its unbounded ack wait and turn mere slowness into a real
+        // deadlock at the next collective, so probe for a queued report
+        // before declaring anyone dead. The probe is non-blocking: a rank
+        // that truly crashed has nothing queued and stays condemned.
+        for (r, node) in missing {
+            if self.control.iprobe(Some(r), Some(TAG_RECON))?.is_some() {
+                let (v, _) = self.control.recv::<f64>(r, TAG_RECON)?;
+                if v.first().copied().is_some_and(usable_speed) {
+                    speeds[node.index()] = v[0];
+                }
+                responded[r] = true;
+            } else {
+                self.estimates.mark_unavailable(node);
             }
         }
         self.estimates.refresh_available(speeds, self.now());

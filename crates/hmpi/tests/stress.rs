@@ -119,3 +119,25 @@ fn heavy_p2p_traffic_under_groups() {
         }
     });
 }
+
+/// Regression stress for the recon late-report race. The fault-tolerant
+/// recon's host used to condemn a rank whose benchmark report landed
+/// after the host's per-rank deadline *without sending it an ACK*,
+/// leaving the live rank blocked forever in its unbounded ACK receive —
+/// a genuine deadlock the watchdog surfaced as a rare
+/// `MpiError::Deadlock` (roughly once per few hundred recons, host-load
+/// dependent). The host now sweeps late reports before marking nodes
+/// unavailable, so 500 seeded iterations across random clusters must
+/// come back clean on every rank.
+#[test]
+fn recon_ft_survives_five_hundred_seeded_clusters() {
+    for seed in 0..500u64 {
+        let rt = HmpiRuntime::new(Arc::new(Cluster::random(seed, 5)));
+        let report = rt.run(move |h| {
+            h.recon_opts(hmpi::Recon::new(1.0 + (seed % 7) as f64).fault_tolerant(true))
+        });
+        for (rank, r) in report.results.iter().enumerate() {
+            assert!(r.is_ok(), "seed {seed} rank {rank}: {r:?}");
+        }
+    }
+}

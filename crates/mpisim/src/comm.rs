@@ -13,10 +13,10 @@ use crate::group::Group;
 use crate::p2p::{Claim, Envelope, Msg, Pattern, Payload, Status, WAKE_BACKSTOP};
 use crate::quiesce::{WaitKind, WaitRecord};
 use crate::runtime::{RankState, SharedState};
-use crate::vtime::LocalClock;
+use crate::vtime::{LocalClock, NetFrontier};
 use hetsim::trace::{TraceEvent, TraceKind};
 use hetsim::{NodeId, SimTime};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Instant;
@@ -34,6 +34,11 @@ pub struct Comm {
     /// Calling process's rank within this communicator.
     rank: usize,
     pub(crate) clock: LocalClock,
+    /// This rank's deterministic view of the shared network resources
+    /// ([`NetFrontier`]): sender-side grants and receiver-side settlements
+    /// both run against it, in the rank's own program order. Like the
+    /// clock, shared by every communicator handle of one rank.
+    pub(crate) frontier: Rc<RefCell<NetFrontier>>,
     /// Rank-local count of [`Comm::agree`] rounds issued on this
     /// communicator; every member counts its own calls, so the `n`-th call
     /// on each member lands in the same shared agreement slot. Shared
@@ -45,12 +50,14 @@ pub struct Comm {
 impl Comm {
     pub(crate) fn world(world_rank: usize, shared: Arc<SharedState>, clock: LocalClock) -> Comm {
         let n = shared.placement.len();
+        let frontier = NetFrontier::new(shared.cluster.contention(), shared.cluster.len());
         Comm {
             shared,
             group: Arc::new(Group::world(n)),
             ctx: 0,
             rank: world_rank,
             clock,
+            frontier: Rc::new(RefCell::new(frontier)),
             agree_seq: Rc::new(Cell::new(0)),
         }
     }
@@ -294,17 +301,30 @@ impl Comm {
                 });
             }
         }
-        let link = self.shared.cluster.link(src_node, dst_node);
-        let overhead = SimTime::from_secs(link.latency);
-        let cost = self
-            .shared
-            .cluster
-            .transfer_time_at(src_node, dst_node, payload.len(), now)
-            .ok_or(MpiError::LinkDown {
-                from: src_node.index(),
-                to: dst_node.index(),
-            })?;
-        let arrival = self.shared.network.reserve(src_node, dst_node, now, cost);
+        let (overhead, cost) = if src_world == dst_world {
+            // Self-sends stay on the free loopback even when a memory bus
+            // is modelled; only distinct co-located ranks fight for it.
+            (SimTime::ZERO, SimTime::ZERO)
+        } else {
+            let link = self.shared.cluster.rank_link(src_node, dst_node);
+            let cost = self
+                .shared
+                .cluster
+                .rank_transfer_time_at(src_node, dst_node, payload.len(), now)
+                .ok_or(MpiError::LinkDown {
+                    from: src_node.index(),
+                    to: dst_node.index(),
+                })?;
+            (SimTime::from_secs(link.latency), cost)
+        };
+        // Sender-side arbitration against this rank's own frontier; the
+        // receiver settles the stamped window at match time (see
+        // `crate::vtime` — the two steps make contention deterministic).
+        let (arrival, xfer, seq) = {
+            let mut f = self.frontier.borrow_mut();
+            let (arrival, xfer) = f.grant(src_node, dst_node, now, cost);
+            (arrival, xfer, f.take_seq())
+        };
         self.clock.advance(overhead);
         if let Some(tracer) = &self.shared.tracer {
             let mut ev = TraceEvent::new(src_world, TraceKind::Send, "send", now);
@@ -324,8 +344,22 @@ impl Comm {
             payload,
             sent_at: now,
             arrival,
+            seq,
+            xfer,
         });
         Ok(())
+    }
+
+    /// Settles a matched envelope's contended-wire reservation against this
+    /// rank's frontier (the receiver-side arbitration step), returning the
+    /// final arrival time. Runs on the receiving rank's own thread at the
+    /// moment the envelope is consumed; uncontended envelopes pass their
+    /// stamped arrival through unchanged.
+    fn settle_arrival(&self, env: &Envelope) -> SimTime {
+        match env.xfer {
+            Some(x) => self.frontier.borrow_mut().settle(x),
+            None => env.arrival,
+        }
     }
 
     /// Internal transport: blocking matched receive on a context plane.
@@ -393,7 +427,10 @@ impl Comm {
     ///   to the deadline and any late message left queued. The miss is
     ///   concluded *exactly*: either a provably-late message is queued
     ///   (specific source, non-overtaking), or the quiescence detector
-    ///   proves no qualifying message can be sent any more.
+    ///   proves no qualifying message can be sent any more. The deadline
+    ///   bounds the *wire* arrival stamped by the sender; a message on the
+    ///   wire in time is delivered even if receiver-side contention
+    ///   settlement pushes its final arrival past the deadline.
     /// * If the matched message would arrive after this rank's own node
     ///   crashes, the rank dies first: clock clamps to the crash time and
     ///   [`MpiError::NodeFailed`] (own rank) is returned.
@@ -536,8 +573,9 @@ impl Comm {
                 }
             }
         };
+        let arrival = self.settle_arrival(&env);
         if let Some(tc) = own_tc {
-            if env.arrival >= tc {
+            if arrival >= tc {
                 self.clock.merge(tc);
                 self.shared.mark_failed(my_world, tc);
                 return Err(MpiError::NodeFailed {
@@ -546,9 +584,9 @@ impl Comm {
             }
         }
         let before = self.clock.now();
-        self.clock.merge(env.arrival);
+        self.clock.merge(arrival);
         if let Some(tracer) = &self.shared.tracer {
-            let dur = env.arrival.max(before) - before;
+            let dur = arrival.max(before) - before;
             let mut ev = TraceEvent::new(my_world, TraceKind::Recv, "recv", before);
             ev.dur = dur;
             // The idle part of the span: time spent blocked before the
@@ -714,7 +752,10 @@ impl Comm {
     }
 
     /// Blocking probe (`MPI_Probe`): metadata of the next matching message
-    /// without receiving it. Advances the clock to the message arrival.
+    /// without receiving it. Advances the clock to the message's *wire*
+    /// arrival; receiver-side contention settlement is charged only when
+    /// the message is actually received (a probe consumes nothing, so it
+    /// must not advance the frontier).
     ///
     /// Failure-aware like [`Comm::recv`]: a dead awaited peer (or, for a
     /// doomed caller, its own crash) resolves the wait with a typed error
@@ -861,6 +902,7 @@ impl Comm {
             ctx,
             rank: self.rank,
             clock: self.clock.clone(),
+            frontier: self.frontier.clone(),
             agree_seq: Rc::new(Cell::new(0)),
         })
     }
@@ -885,6 +927,7 @@ impl Comm {
             ctx,
             rank: self.rank,
             clock: self.clock.clone(),
+            frontier: self.frontier.clone(),
             agree_seq: Rc::new(Cell::new(0)),
         }
     }
@@ -922,6 +965,7 @@ impl Comm {
             ctx,
             rank,
             clock: self.clock.clone(),
+            frontier: self.frontier.clone(),
             agree_seq: Rc::new(Cell::new(0)),
         }))
     }
@@ -957,6 +1001,7 @@ impl Comm {
             ctx,
             rank,
             clock: self.clock.clone(),
+            frontier: self.frontier.clone(),
             agree_seq: Rc::new(Cell::new(0)),
         }))
     }
@@ -1023,6 +1068,7 @@ impl Comm {
             ctx,
             rank,
             clock: self.clock.clone(),
+            frontier: self.frontier.clone(),
             agree_seq: Rc::new(Cell::new(0)),
         }))
     }
@@ -1163,6 +1209,7 @@ impl Comm {
             ctx,
             rank,
             clock: self.clock.clone(),
+            frontier: self.frontier.clone(),
             agree_seq: Rc::new(Cell::new(0)),
         })
     }
@@ -1244,8 +1291,9 @@ pub fn wait_any<T: MpiType>(
             }
             match mb.claim(pats[i], own_tc) {
                 Claim::Matched(env) => {
+                    let arrival = comm.settle_arrival(&env);
                     if let Some(tc) = own_tc {
-                        if env.arrival >= tc {
+                        if arrival >= tc {
                             comm.clock.merge(tc);
                             comm.shared.mark_failed(my_world, tc);
                             return Err(MpiError::NodeFailed {
@@ -1254,9 +1302,9 @@ pub fn wait_any<T: MpiType>(
                         }
                     }
                     let before = comm.clock.now();
-                    comm.clock.merge(env.arrival);
+                    comm.clock.merge(arrival);
                     if let Some(tracer) = &comm.shared.tracer {
-                        let dur = env.arrival.max(before) - before;
+                        let dur = arrival.max(before) - before;
                         let mut ev =
                             TraceEvent::new(my_world, TraceKind::Recv, "recv", before);
                         ev.dur = dur;
@@ -1398,14 +1446,17 @@ impl RecvRequest {
             tag: self.tag,
         };
         let claimed = match comm.shared.mailboxes[my_world].claim(pat, own_tc) {
-            Claim::Matched(env) if own_tc.is_none_or(|tc| env.arrival < tc) => Some(env),
+            Claim::Matched(env) => {
+                let arrival = comm.settle_arrival(&env);
+                own_tc.is_none_or(|tc| arrival < tc).then_some((env, arrival))
+            }
             _ => None,
         };
-        if let Some(env) = claimed {
+        if let Some((env, arrival)) = claimed {
             let before = comm.clock.now();
-            comm.clock.merge(env.arrival);
+            comm.clock.merge(arrival);
             if let Some(tracer) = &comm.shared.tracer {
-                let dur = env.arrival.max(before) - before;
+                let dur = arrival.max(before) - before;
                 let mut ev = TraceEvent::new(my_world, TraceKind::Recv, "recv", before);
                 ev.dur = dur;
                 ev.wait = (env.sent_at.max(before) - before).min(dur);

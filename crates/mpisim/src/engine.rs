@@ -24,7 +24,9 @@
 //! * **prediction parity** — [`perfmodel::collective::price`] replays the
 //!   identical schedule against the cluster's link table, so `timeof`-style
 //!   predictions see exactly the communication the network will execute
-//!   (bit-exact under parallel links; see DESIGN.md §10).
+//!   (bit-exact under every contention model — the replay mirrors the
+//!   transport's endpoint-causal grant/settle arbitration; see DESIGN.md
+//!   §10 and §14).
 //!
 //! Selection ([`CollectivePolicy::Auto`], the default) prices every eligible
 //! algorithm per call from the message size, communicator size and the
@@ -96,6 +98,9 @@ pub enum CollectivePolicy {
 /// computation).
 struct CostView {
     table: PairTable,
+    /// `nodes[comm_rank]` = hosting cluster node, so the pricer's per-node
+    /// contention resources (NIC, memory bus) group co-located ranks.
+    nodes: Vec<NodeId>,
 }
 
 impl PairCost for CostView {
@@ -107,6 +112,9 @@ impl PairCost for CostView {
     }
     fn bandwidth(&self, src: usize, dst: usize) -> f64 {
         self.table.bandwidth(src, dst)
+    }
+    fn node_of(&self, proc: usize) -> usize {
+        self.nodes[proc].index()
     }
 }
 
@@ -127,6 +135,7 @@ impl Comm {
         (
             CostView {
                 table: self.shared.cluster.pair_table(&nodes),
+                nodes,
             },
             sharing_of(self.shared.cluster.contention()),
         )

@@ -16,11 +16,13 @@
 //!   [`RENDEZVOUS_BLOCK`]-sized slabs.
 //!
 //! Matching is indexed instead of scanned: the mailbox keeps one FIFO
-//! queue per `(context, sender)` plus a monotone *order ticket* stamped
-//! at ingest. A specific-source receive looks at exactly one queue; an
-//! `ANY_SOURCE` receive takes the minimum ticket over the context's
-//! queues, which preserves MPI's non-overtaking guarantee (per-sender
-//! FIFO) and gives wildcard matches a stable oldest-first order. The old
+//! queue per `(context, sender)`. A specific-source receive looks at
+//! exactly one queue; an `ANY_SOURCE` receive takes the minimum
+//! `(arrival quantum, sender rank, sender seq)` key over the context's
+//! queue heads — per-sender FIFO preserves MPI's non-overtaking
+//! guarantee, and the key gives wildcard matches a *deterministic*
+//! virtual-arrival order (ties within one arbitration quantum resolve by
+//! rank, then send sequence, never by OS-thread arrival). The old
 //! mailbox rescanned the whole queue per receive — O(queue) per match,
 //! O(n²) to drain a burst; the index makes both O(1)-ish.
 //!
@@ -32,6 +34,7 @@
 
 use crate::lane::LaneSet;
 use crate::pool::Lease;
+use crate::vtime::{quantum_of, WireXfer};
 use hetsim::SimTime;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
@@ -259,8 +262,17 @@ pub struct Envelope {
     pub payload: Payload,
     /// Virtual time the sender posted the message.
     pub sent_at: SimTime,
-    /// Virtual time the message reaches the receiver.
+    /// Virtual time the message reaches the receiver (tentative when a
+    /// contended reservation is stamped in `xfer`: the receiver settles
+    /// the final arrival against its own frontier at match time).
     pub arrival: SimTime,
+    /// Sender's per-rank send sequence number — with the arrival quantum
+    /// and the sender rank, the deterministic wildcard tie-break key.
+    pub seq: u64,
+    /// Contended-wire reservation granted by the sender, settled by the
+    /// receiver ([`crate::vtime::NetFrontier::settle`]). `None` for
+    /// uncontended transfers.
+    pub xfer: Option<WireXfer>,
 }
 
 impl Envelope {
@@ -345,8 +357,9 @@ enum Locate {
     Nothing,
 }
 
-/// The indexed message store: one FIFO per `(ctx, sender)` plus a global
-/// ticket sequence that orders wildcard matches across senders.
+/// The indexed message store: one FIFO per `(ctx, sender)`. An ingest
+/// ticket is kept for diagnostics (`dump`); wildcard matches order across
+/// senders by the deterministic `(arrival quantum, rank, seq)` key.
 #[derive(Debug, Default)]
 struct Store {
     queues: HashMap<(u64, usize), VecDeque<Queued>>,
@@ -414,17 +427,28 @@ impl Store {
                 Locate::Nothing
             }
             None => {
-                // Wildcard: oldest ticket over the context's queues, which
-                // preserves per-sender order and matches cross-sender in
-                // arrival-at-mailbox order.
-                let mut best: Option<((u64, usize), usize, u64)> = None;
+                // Wildcard: per-sender FIFO picks the head match in each
+                // queue; across senders the winner holds the minimum
+                // `(arrival quantum, sender rank, sender seq)` key — the
+                // same deterministic order the contention arbiter grants
+                // in — so simultaneous arrivals resolve by rank and send
+                // order, never by which OS thread reached the mailbox
+                // first.
+                type ArrivalKey = (u64, usize, u64);
+                let mut best: Option<((u64, usize), usize, ArrivalKey)> = None;
                 for (key, q) in &self.queues {
                     if key.0 != pat.ctx {
                         continue;
                     }
-                    if let Some((pos, ticket)) = Self::hit_in(q, &pat, deadline) {
-                        if best.is_none_or(|(_, _, t)| ticket < t) {
-                            best = Some((*key, pos, ticket));
+                    if let Some((pos, _)) = Self::hit_in(q, &pat, deadline) {
+                        let item = &q[pos];
+                        let k = (
+                            quantum_of(item.env.arrival),
+                            item.env.src_world,
+                            item.env.seq,
+                        );
+                        if best.as_ref().is_none_or(|&(_, _, b)| k < b) {
+                            best = Some((*key, pos, k));
                         }
                     }
                 }
@@ -753,6 +777,8 @@ mod tests {
             payload: Payload::from_vec(data.to_vec(), DEFAULT_EAGER_LIMIT),
             sent_at: SimTime::ZERO,
             arrival: SimTime::from_secs(1.0),
+            seq: 0,
+            xfer: None,
         }
     }
 
@@ -837,10 +863,13 @@ mod tests {
     }
 
     #[test]
-    fn wildcard_matches_oldest_ticket_across_senders() {
+    fn wildcard_matches_in_virtual_arrival_order() {
+        // Posted in the "wrong" wall-clock order: the earlier *virtual*
+        // arrival wins regardless of which sender reached the mailbox
+        // first.
         let mb = Mailbox::new();
-        mb.post(env(1, 5, 7, b"older"));
-        mb.post(env(1, 2, 7, b"newer"));
+        mb.post(env_at(1, 2, 7, 2.0));
+        mb.post(env_at(1, 5, 7, 1.0));
         let pat = Pattern {
             ctx: 1,
             src_world: None,
@@ -848,8 +877,49 @@ mod tests {
         };
         let a = mb.recv_match(pat);
         let b = mb.recv_match(pat);
-        assert_eq!((a.src_world, a.bytes()), (5, b"older".as_slice()));
-        assert_eq!((b.src_world, b.bytes()), (2, b"newer".as_slice()));
+        assert_eq!(a.src_world, 5);
+        assert_eq!(b.src_world, 2);
+    }
+
+    #[test]
+    fn wildcard_ties_in_one_quantum_resolve_by_rank() {
+        // Identical virtual arrivals (same arbitration quantum): the lower
+        // sender rank wins, independent of post order.
+        let mb = Mailbox::new();
+        mb.post(env_at(1, 7, 4, 1.0));
+        mb.post(env_at(1, 3, 4, 1.0));
+        let pat = Pattern {
+            ctx: 1,
+            src_world: None,
+            tag: Some(4),
+        };
+        assert_eq!(mb.recv_match(pat).src_world, 3);
+        assert_eq!(mb.recv_match(pat).src_world, 7);
+        // Sub-quantum noise does not reorder the tie-break.
+        mb.post(env_at(1, 9, 4, 1.0 + 2e-10));
+        mb.post(env_at(1, 4, 4, 1.0));
+        assert_eq!(mb.recv_match(pat).src_world, 4);
+        assert_eq!(mb.recv_match(pat).src_world, 9);
+    }
+
+    #[test]
+    fn wildcard_same_rank_ties_resolve_by_send_seq() {
+        // Same quantum, same sender: the per-rank send sequence (FIFO
+        // within the sender's queue) orders the matches.
+        let mb = Mailbox::new();
+        let mut first = env_at(1, 2, 4, 1.0);
+        first.seq = 10;
+        let mut second = env_at(1, 2, 4, 1.0);
+        second.seq = 11;
+        mb.post(first);
+        mb.post(second);
+        let pat = Pattern {
+            ctx: 1,
+            src_world: None,
+            tag: Some(4),
+        };
+        assert_eq!(mb.recv_match(pat).seq, 10);
+        assert_eq!(mb.recv_match(pat).seq, 11);
     }
 
     #[test]

@@ -95,8 +95,15 @@ struct Inner {
     /// World ranks observed fail-stopped *or* terminated — either way they
     /// will never send again.
     dead: Vec<bool>,
-    /// Verdicts issued by classification, consumed once by their rank.
-    verdicts: Vec<Option<MpiError>>,
+    /// Per-rank wait epoch, bumped on every transition to `Blocked`. A
+    /// verdict is stamped with the epoch it was issued for and is never
+    /// delivered across epochs: a verdict that outlives the wait it judged
+    /// (the rank resolved organically and blocked again) is stale by
+    /// construction and must be dropped, not delivered to the new wait.
+    epoch: Vec<u64>,
+    /// Verdicts issued by classification — `(wait epoch, error)` — consumed
+    /// once by their rank after epoch and re-validation checks.
+    verdicts: Vec<Option<(u64, MpiError)>>,
 }
 
 /// The universe-wide quiescence registry.
@@ -116,6 +123,7 @@ impl Registry {
             inner: Mutex::new(Inner {
                 phase: (0..n).map(|_| Phase::Active).collect(),
                 dead: vec![false; n],
+                epoch: vec![0; n],
                 verdicts: vec![None; n],
             }),
         }
@@ -137,26 +145,58 @@ impl Registry {
     /// takes mailbox locks under the registry lock.
     pub(crate) fn block(&self, me: usize, rec: WaitRecord) -> Option<MpiError> {
         let mut inner = self.inner.lock();
+        // Every transition to Blocked opens a new wait epoch, fencing off
+        // any verdict issued for an earlier wait of this rank.
+        inner.epoch[me] = inner.epoch[me].wrapping_add(1);
         inner.phase[me] = Phase::Blocked(rec);
         if inner.verdicts[me].is_none() {
             self.classify(&mut inner);
         }
-        let v = inner.verdicts[me].take();
-        if v.is_some() {
-            inner.phase[me] = Phase::Active;
-        }
-        v
+        self.take_verdict(&mut inner, me)
     }
 
     /// Takes a pending verdict for `me`, if classification issued one while
     /// it was waiting. Consuming the verdict returns `me` to `Active`.
     pub(crate) fn check(&self, me: usize) -> Option<MpiError> {
         let mut inner = self.inner.lock();
-        let v = inner.verdicts[me].take();
-        if v.is_some() {
-            inner.phase[me] = Phase::Active;
+        self.take_verdict(&mut inner, me)
+    }
+
+    /// Delivers `me`'s pending verdict only if it was issued for `me`'s
+    /// *current* wait (epoch match) and that wait, re-validated under the
+    /// registry lock, still cannot resolve *productively* (a deliverable
+    /// envelope, a completable agreement). A verdict failing either check
+    /// is dropped and classification re-runs from the current state — a
+    /// fresh verdict issued by that re-run is delivered on the second pass
+    /// (it is valid by construction). Consuming a verdict returns `me` to
+    /// `Active`.
+    ///
+    /// The re-validation deliberately ignores the abort path (waited-on
+    /// peers dying *after* the verdict was issued): a peer consuming its
+    /// own verdict from the same classification round and terminating must
+    /// not flip the survivors' verdicts to `PeerTerminated` — which rank
+    /// wins that race is wall-clock scheduling, and every member of a
+    /// judged cycle must report the same `Deadlock`.
+    fn take_verdict(&self, inner: &mut Inner, me: usize) -> Option<MpiError> {
+        for _ in 0..2 {
+            let Some((epoch, _)) = &inner.verdicts[me] else {
+                return None;
+            };
+            let shared: &Inner = inner;
+            let valid = *epoch == shared.epoch[me]
+                && match &shared.phase[me] {
+                    Phase::Blocked(rec) => !self.can_deliver(shared, me, rec),
+                    _ => false,
+                };
+            if valid {
+                let (_, v) = inner.verdicts[me].take().expect("checked above");
+                inner.phase[me] = Phase::Active;
+                return Some(v);
+            }
+            inner.verdicts[me] = None;
+            self.classify(inner);
         }
-        v
+        None
     }
 
     /// Deregisters `me` (its wait resolved organically: a match was
@@ -208,9 +248,15 @@ impl Registry {
         } else {
             !rec.waiting_on.is_empty() && rec.waiting_on.iter().all(|&w| inner.dead[w])
         };
-        if aborts {
-            return true;
-        }
+        aborts || self.can_deliver(inner, r, rec)
+    }
+
+    /// True if the blocked rank `r` can resolve *productively*: a
+    /// deliverable (or provably-late) envelope is queued, or its agreement
+    /// round is completable. Excludes the dead-peer abort path — used by
+    /// [`Registry::take_verdict`], where a peer death after verdict issue
+    /// must not invalidate the verdict.
+    fn can_deliver(&self, inner: &Inner, r: usize, rec: &WaitRecord) -> bool {
         match &rec.kind {
             WaitKind::Mailbox { pats } => self.mailboxes[r].can_progress(pats, rec.deadline),
             WaitKind::Agreement { key } => self
@@ -260,7 +306,7 @@ impl Registry {
                     unreachable!()
                 };
                 if rec.deadline == Some(dmin) {
-                    inner.verdicts[r] = Some(MpiError::Timeout);
+                    inner.verdicts[r] = Some((inner.epoch[r], MpiError::Timeout));
                     self.mailboxes[r].wake_all();
                 }
             }
@@ -317,14 +363,15 @@ impl Registry {
             edges: edges.clone(),
         };
         for (r, on) in edges {
-            inner.verdicts[r] = Some(match cause[r] {
+            let v = match cause[r] {
                 Some(w) => MpiError::NodeFailed { world_rank: w },
                 None => MpiError::Deadlock {
                     waiting: r,
                     on,
                     graph: graph.clone(),
                 },
-            });
+            };
+            inner.verdicts[r] = Some((inner.epoch[r], v));
             self.mailboxes[r].wake_all();
         }
     }

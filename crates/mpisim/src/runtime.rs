@@ -7,7 +7,7 @@ use crate::error::{MpiError, MpiResult};
 use crate::p2p::{Mailbox, DEADLOCK_TIMEOUT, DEFAULT_EAGER_LIMIT, INLINE_CAP};
 use crate::pool::{BufferPool, PoolReport};
 use crate::quiesce::Registry;
-use crate::vtime::{LocalClock, NetworkState};
+use crate::vtime::LocalClock;
 use hetsim::trace::{Trace, TraceEvent, TraceKind, Tracer};
 use hetsim::{Cluster, NodeId, SimTime};
 use parking_lot::Mutex;
@@ -34,7 +34,6 @@ pub(crate) struct SharedState {
     /// `placement[world_rank]` = the cluster node hosting that rank.
     pub(crate) placement: Vec<NodeId>,
     pub(crate) mailboxes: Vec<Arc<Mailbox>>,
-    pub(crate) network: NetworkState,
     /// Per-world-rank liveness, the substrate of failure detection: blocked
     /// receives consult it to avoid waiting forever on a dead peer.
     liveness: Mutex<Vec<RankState>>,
@@ -346,7 +345,6 @@ impl Universe {
                     .collect()
             },
             mailboxes,
-            network: NetworkState::new(self.cluster.contention(), self.cluster.len()),
             liveness: Mutex::new(vec![RankState::Alive; n]),
             next_ctx: AtomicU64::new(2),
             local_dups: Mutex::new(std::collections::HashMap::new()),

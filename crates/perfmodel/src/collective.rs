@@ -13,13 +13,15 @@
 //! The replay mirrors the transport exactly: within a round every rank
 //! issues all of its sends first (each advancing the sender's clock by the
 //! link latency, the eager injection overhead) and then merges the arrival
-//! times of its receives. Under the parallel-links contention model this
-//! makes the prediction *bit-exact* — the virtual-time transport computes
-//! `arrival = sender_clock + latency + bytes/bandwidth` from the sender's
-//! clock alone, so replaying sends in program order reproduces every
-//! arrival. Under serialised-NIC or shared-bus contention the replay
-//! serialises reservations in schedule order, which approximates (but no
-//! longer reproduces) the racy reservation order of a real run.
+//! times of its receives. The transport's contention arbitration is
+//! *endpoint-causal* — a sender grants a transfer against its own view of
+//! the shared resource (NIC pair, bus, or intra-node memory bus) and the
+//! receiver settles the stamped reservation against its own view at match
+//! time — so each rank's state evolves only through its own program-order
+//! actions. The replay keeps one clock and one resource frontier per rank
+//! and performs the identical grant/settle arithmetic in schedule order,
+//! which *is* each rank's program order; the prediction is therefore
+//! bit-exact under every contention model, not just parallel links.
 //!
 //! Reduction schedules move **raw contributions** (or ascending partial
 //! folds), never tree-shaped partial sums, so that every algorithm yields
@@ -493,14 +495,65 @@ pub fn fault_impact(rounds: &[Vec<Xfer>], p: usize, failed: &[usize]) -> Vec<Opt
     blame
 }
 
+/// A shared resource a stamped reservation occupies, by node index.
+#[derive(Clone, Copy, Debug)]
+enum PriceRes {
+    Nic { src: usize, dst: usize },
+    Bus,
+    Mem { node: usize },
+}
+
+/// One rank's private view of the shared resources — the pricer's mirror
+/// of the transport's per-rank `NetFrontier`.
+#[derive(Clone, Debug)]
+struct PriceFrontier {
+    nic: Vec<f64>,
+    bus: f64,
+    mem: Vec<f64>,
+}
+
+impl PriceFrontier {
+    fn new(n_nodes: usize) -> Self {
+        PriceFrontier {
+            nic: vec![0.0; n_nodes],
+            bus: 0.0,
+            mem: vec![0.0; n_nodes],
+        }
+    }
+
+    fn occupy(&mut self, res: PriceRes, until: f64) {
+        match res {
+            PriceRes::Nic { src, dst } => {
+                self.nic[src] = until;
+                self.nic[dst] = until;
+            }
+            PriceRes::Bus => self.bus = until,
+            PriceRes::Mem { node } => self.mem[node] = until,
+        }
+    }
+}
+
+/// A transfer granted by its sender, awaiting receiver-side settlement:
+/// either an uncontended arrival or a stamped reservation.
+#[derive(Clone, Copy, Debug)]
+enum Pending {
+    Plain(f64),
+    Stamp { start: f64, total: f64, res: PriceRes },
+}
+
 /// Replays a schedule against a [`PairCost`] table and returns the predicted
 /// completion time (seconds): the maximum rank clock after the last round.
 ///
-/// `elem_bytes` converts element counts to wire bytes. The replay charges
-/// each send the link latency on the sender's clock (eager injection) and
-/// delivers at `start + latency + bytes/bandwidth`; receive merges are
-/// deferred to the end of the round, matching the executor's
-/// sends-before-receives program order within a round.
+/// `elem_bytes` converts element counts to wire bytes. The replay performs
+/// the transport's exact endpoint-causal arbitration: each send charges the
+/// link latency on the sender's clock (eager injection) and *grants* the
+/// transfer against the sender's own resource frontier; each receive
+/// *settles* the stamped reservation against the receiver's own frontier
+/// and merges the settled arrival. Within a round every rank's sends run
+/// before its receives, matching the executor's program order, so the
+/// prediction is bit-exact under every contention model. Ranks sharing a
+/// host ([`PairCost::node_of`]) contend for that node's NIC and, when the
+/// pair table prices one, its memory bus.
 pub fn price(
     p: usize,
     rounds: &[Vec<Xfer>],
@@ -508,47 +561,73 @@ pub fn price(
     cost: &impl PairCost,
     sharing: LinkSharing,
 ) -> f64 {
+    let nodes: Vec<usize> = (0..p).map(|r| cost.node_of(r)).collect();
+    let n_nodes = nodes.iter().max().map_or(0, |m| m + 1);
     let mut clocks = vec![0.0f64; p];
-    let mut nic = vec![0.0f64; p];
-    let mut bus = 0.0f64;
-    let mut arrivals: Vec<(usize, f64)> = Vec::new();
+    let mut frontiers: Vec<PriceFrontier> = vec![PriceFrontier::new(n_nodes); p];
+    let mut pending: Vec<(usize, Pending)> = Vec::new();
     for round in rounds {
-        arrivals.clear();
+        pending.clear();
         for x in round {
             let lat = cost.latency(x.src, x.dst);
             let bw = cost.bandwidth(x.src, x.dst);
             let bytes = x.elems() as f64 * elem_bytes;
-            let wire = if bw > 0.0 && bw.is_finite() {
-                bytes / bw
+            // Mirrors `Link::transfer_time`: an infinite-bandwidth link
+            // costs its latency alone.
+            let total = if bw > 0.0 && bw.is_finite() {
+                lat + bytes / bw
             } else {
-                0.0
+                lat
             };
-            let total = lat + wire;
             let now = clocks[x.src];
-            let arrival = if total <= 0.0 {
-                now
+            let (ns, nd) = (nodes[x.src], nodes[x.dst]);
+            let f = &mut frontiers[x.src];
+            let sent = if total <= 0.0 {
+                Pending::Plain(now)
+            } else if ns == nd {
+                // Same host: the intra-node memory bus, under any sharing
+                // model (a positive same-host cost means one is priced).
+                let start = now.max(f.mem[ns]);
+                let res = PriceRes::Mem { node: ns };
+                f.occupy(res, start + total);
+                Pending::Stamp { start, total, res }
             } else {
                 match sharing {
-                    LinkSharing::Parallel => now + total,
+                    LinkSharing::Parallel => Pending::Plain(now + total),
                     LinkSharing::PerEndpoint => {
-                        let start = now.max(nic[x.src]).max(nic[x.dst]);
-                        nic[x.src] = start + total;
-                        nic[x.dst] = start + total;
-                        start + total
+                        let start = now.max(f.nic[ns]).max(f.nic[nd]);
+                        let res = PriceRes::Nic { src: ns, dst: nd };
+                        f.occupy(res, start + total);
+                        Pending::Stamp { start, total, res }
                     }
                     LinkSharing::Shared => {
-                        let start = now.max(bus);
-                        bus = start + total;
-                        start + total
+                        let start = now.max(f.bus);
+                        let res = PriceRes::Bus;
+                        f.occupy(res, start + total);
+                        Pending::Stamp { start, total, res }
                     }
                 }
             };
             clocks[x.src] = now + lat;
-            arrivals.push((x.dst, arrival));
+            pending.push((x.dst, sent));
         }
-        for &(dst, a) in &arrivals {
-            if a > clocks[dst] {
-                clocks[dst] = a;
+        for &(dst, sent) in &pending {
+            let arrival = match sent {
+                Pending::Plain(a) => a,
+                Pending::Stamp { start, total, res } => {
+                    let f = &mut frontiers[dst];
+                    let floor = match res {
+                        PriceRes::Nic { src, dst } => f.nic[src].max(f.nic[dst]),
+                        PriceRes::Bus => f.bus,
+                        PriceRes::Mem { node } => f.mem[node],
+                    };
+                    let a = start.max(floor) + total;
+                    f.occupy(res, a);
+                    a
+                }
+            };
+            if arrival > clocks[dst] {
+                clocks[dst] = arrival;
             }
         }
     }
@@ -801,35 +880,37 @@ mod tests {
 
     #[test]
     fn serialized_nic_changes_the_ranking() {
-        // Under per-endpoint serialisation the flat all-to-all phases of
-        // scatter-allgather congest every NIC; the pipelined ring keeps each
-        // NIC at one chunk per round. The pricer must see that.
+        // Under parallel links the root's sends all overlap, so the flat
+        // linear bcast finishes in roughly one transfer time and beats the
+        // binomial tree's log-p sequential stages. Per-endpoint
+        // serialisation reverses that: every linear transfer queues on the
+        // root's NIC (p-1 back-to-back bandwidth terms) while the binomial
+        // tree spreads its sends over distinct endpoints. The pricer must
+        // see the flip.
         let (p, n) = (9, 8192);
-        let sa = price(
-            p,
-            &schedule(
-                CollectiveKind::Allreduce,
-                CollectiveAlgo::ScatterAllgather,
+        let at = |algo, sharing| {
+            price(
                 p,
-                0,
-                n,
+                &schedule(CollectiveKind::Bcast, algo, p, 0, n).unwrap(),
+                8.0,
+                &TCP,
+                sharing,
             )
-            .unwrap(),
-            8.0,
-            &TCP,
-            LinkSharing::PerEndpoint,
-        );
-        let ring = price(
-            p,
-            &schedule(CollectiveKind::Allreduce, CollectiveAlgo::Ring, p, 0, n).unwrap(),
-            8.0,
-            &TCP,
-            LinkSharing::PerEndpoint,
+        };
+        let lin_par = at(CollectiveAlgo::Linear, LinkSharing::Parallel);
+        let bin_par = at(CollectiveAlgo::Binomial, LinkSharing::Parallel);
+        let lin_nic = at(CollectiveAlgo::Linear, LinkSharing::PerEndpoint);
+        let bin_nic = at(CollectiveAlgo::Binomial, LinkSharing::PerEndpoint);
+        assert!(
+            lin_par < bin_par,
+            "parallel links: overlapped linear {lin_par} should beat binomial {bin_par}"
         );
         assert!(
-            ring < sa,
-            "ring {ring} should beat scatter-allgather {sa} on serialised NICs"
+            bin_nic < lin_nic,
+            "serialised NICs: binomial {bin_nic} should beat root-bound linear {lin_nic}"
         );
+        // Contention never makes anything cheaper.
+        assert!(lin_par <= lin_nic && bin_par <= bin_nic);
     }
 
     #[test]
@@ -936,3 +1017,4 @@ mod tests {
         assert_eq!(impact, vec![Some(2); p]);
     }
 }
+

@@ -57,6 +57,15 @@ pub trait PairCost {
     fn latency(&self, src: usize, dst: usize) -> f64;
     /// Bandwidth between the hosts of `src` and `dst`, bytes/second.
     fn bandwidth(&self, src: usize, dst: usize) -> f64;
+    /// The physical host of abstract processor `proc`, as an opaque index:
+    /// processors reporting the same host share per-node contention
+    /// resources (NIC, memory bus) in [`crate::collective::price`]. The
+    /// default places every processor on its own host, which is correct
+    /// for the one-process-per-processor configurations the planner
+    /// prices; executors with multi-rank nodes override it.
+    fn node_of(&self, proc: usize) -> usize {
+        proc
+    }
 }
 
 impl PairCost for CostModel {

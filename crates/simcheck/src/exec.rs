@@ -12,17 +12,19 @@
 //!   bit-for-bit with a serial ascending-rank fold across *every*
 //!   eligible algorithm, and HMPI group selection never changes an
 //!   application kernel's numerics (placement neutrality);
-//! * **timeof parity** — fault-free under `ParallelLinks`, the engine's
-//!   `predict_collective` price tracks the measured virtual makespan
-//!   within [`TIMEOF_REL_BOUND`];
+//! * **timeof parity** — fault-free, the engine's `predict_collective`
+//!   price tracks the measured virtual makespan within
+//!   [`TIMEOF_REL_BOUND`] under *every* contention model (the pricer
+//!   replays the transport's endpoint-causal grant/settle arbitration,
+//!   so shared-NIC, shared-bus and memory-bus queueing are all priced);
 //! * **fault-tolerant collective contract** — with injected faults, a
 //!   collective's survivors either hold the bit-exact result or a typed
 //!   fault-shaped error (never a torn output), a post-collective
 //!   ULFM-style agreement round reaches one unanimous verdict consistent
-//!   with the per-rank outcomes, and — under `ParallelLinks`, where
-//!   transfer timing is free of host-schedule-ordered arbitration —
-//!   re-running the same scenario replays the identical error surface
-//!   and virtual makespan;
+//!   with the per-rank outcomes, and re-running the same scenario
+//!   replays the identical error surface and virtual makespan under
+//!   every contention model — contended transfers are granted in
+//!   endpoint-causal order, never host-schedule order;
 //! * **engine/naive equivalence** — the compiled selection engine picks
 //!   exactly the mapping of the naive interpreter path;
 //! * **trace well-formedness** — Chrome exports parse, timestamps are
@@ -36,8 +38,7 @@
 
 use crate::scenario::{AppKind, Scenario, Workload};
 use hetsim::{
-    Cluster, ClusterBuilder, ContentionModel, FaultEvent, FaultPlan, Link, NodeId, Protocol,
-    SpeedEstimates, Trace,
+    Cluster, ClusterBuilder, FaultEvent, FaultPlan, Link, NodeId, Protocol, SpeedEstimates, Trace,
 };
 use hmpi::{select_mapping, select_mapping_naive, HmpiRuntime, MappingAlgorithm, SelectionCtx};
 use mpisim::{CollectiveAlgo, CollectiveKind, MpiError, PoolReport, ReduceOp, Universe};
@@ -48,8 +49,8 @@ use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
-/// Relative `timeof`-vs-measured bound for fault-free `ParallelLinks`
-/// collectives (matches the collectives bench's CI gate).
+/// Relative `timeof`-vs-measured bound for fault-free collectives on
+/// every contention model (matches the collectives bench's CI gate).
 pub const TIMEOF_REL_BOUND: f64 = 0.05;
 
 /// A violated invariant: what broke and how.
@@ -106,20 +107,37 @@ pub fn check(sc: &Scenario) -> Result<(), Violation> {
     }
 }
 
-fn build_cluster(sc: &Scenario) -> Arc<Cluster> {
+/// Materialises the scenario's cluster: speeds, links, overrides, the
+/// optional memory bus, contention model and fault plan. Public so the
+/// integration tests and benches can run scenarios against the exact
+/// cluster the checker uses.
+pub fn build_cluster(sc: &Scenario) -> Arc<Cluster> {
     let mut b = ClusterBuilder::new();
     for (i, &s) in sc.speeds.iter().enumerate() {
-        b = b.node(format!("f{i:02}"), s);
+        b = b.processor(
+            hetsim::Processor::new(format!("f{i:02}"), s).with_slots(sc.ranks_per_node.max(1)),
+        );
     }
     b = b.all_to_all(Link::new(sc.base_lat, sc.base_bw, Protocol::Tcp));
     for o in &sc.overrides {
         b = b.link_between(o.a, o.b, Link::new(o.lat, o.bw, Protocol::Tcp));
+    }
+    if let Some((lat, bw)) = sc.mem {
+        b = b.mem_bus(Link::new(lat, bw, Protocol::SharedMemory));
     }
     Arc::new(
         b.contention(sc.contention)
             .faults(FaultPlan::new(sc.faults.clone()))
             .build(),
     )
+}
+
+/// Block placement: ranks `r*k..(r+1)*k` live on node `r`, so ring
+/// neighbours and collective round partners land on shared nodes and
+/// exercise the memory-bus domain.
+pub fn placement(sc: &Scenario) -> Vec<NodeId> {
+    let k = sc.ranks_per_node.max(1);
+    (0..sc.nodes() * k).map(|r| NodeId(r / k)).collect()
 }
 
 fn run_workload(sc: &Scenario) -> Result<(), Violation> {
@@ -269,8 +287,8 @@ fn bits(v: &[f64]) -> Vec<u64> {
 }
 
 fn check_ring(sc: &Scenario, elems: usize, rounds: usize) -> Result<(), Violation> {
-    let n = sc.nodes();
-    let u = Universe::new(build_cluster(sc)).with_tracing();
+    let n = sc.ranks();
+    let u = Universe::with_placement(build_cluster(sc), placement(sc)).with_tracing();
     let report = u.run(move |proc| -> Result<(), RankFail> {
         let world = proc.world();
         let me = world.rank();
@@ -298,7 +316,7 @@ fn check_rand(
     msgs: usize,
     max_elems: usize,
 ) -> Result<(), Violation> {
-    let n = sc.nodes();
+    let n = sc.ranks();
     if n < 2 {
         return Ok(()); // no pairs to message
     }
@@ -312,7 +330,7 @@ fn check_rand(
             (src, dst, rng.random_range(1..max_elems + 1))
         })
         .collect();
-    let u = Universe::new(build_cluster(sc)).with_tracing();
+    let u = Universe::with_placement(build_cluster(sc), placement(sc)).with_tracing();
     let pat = pattern.clone();
     let report = u.run(move |proc| -> Result<(), RankFail> {
         let world = proc.world();
@@ -376,10 +394,11 @@ fn check_collective(
     elems: usize,
     root: usize,
 ) -> Result<(), Violation> {
-    let n = sc.nodes();
+    let n = sc.ranks();
     let root = root % n; // the shrinker may have dropped the root's node
     let has_faults = !sc.faults.is_empty();
     let cluster = build_cluster(sc);
+    let rank_placement = placement(sc);
     // Per-rank contribution length and the element count the predictor is
     // asked to price (total payload for allgather, as in the bench).
     let contrib_len = match kind {
@@ -403,7 +422,8 @@ fn check_collective(
         // determinism invariant: same cluster, same fault plan, same
         // closure — the second run must reproduce the first bit-for-bit.
         let run_once = || {
-            let u = Universe::new(cluster.clone()).with_tracing();
+            let u = Universe::with_placement(cluster.clone(), rank_placement.clone())
+                .with_tracing();
             let exp = expected.clone();
             u.run(move |proc| -> Result<FtRecord, RankFail> {
                 let world = proc.world();
@@ -494,12 +514,12 @@ fn check_collective(
             check_fault_contract(kind, algo, &report.results)?;
         }
         // Same seed, same plan: the per-rank error surface, the agreement
-        // verdicts and the virtual makespan must replay exactly. Scoped
-        // to `ParallelLinks` (like `timeof-parity`): bus/NIC contention
-        // arbitrates transfers first-come-first-served in *host schedule*
-        // order, so clocks near a crash boundary can legally resolve
-        // differently between runs of the same scenario.
-        if has_faults && sc.contention == ContentionModel::ParallelLinks {
+        // verdicts and the virtual makespan must replay exactly — on
+        // every contention model. Grants are endpoint-causal (each rank's
+        // frontier advances only with its own program order), so the host
+        // thread schedule cannot leak into clocks even near a crash
+        // boundary.
+        if has_faults {
             let replay = run_once();
             judge_pool(kind.name(), &replay.pool)?;
             if replay.results != report.results || replay.makespan != report.makespan {
@@ -530,10 +550,11 @@ fn check_collective(
         }
         if let Ok((predicted, _, _)) = &report.results[0] {
             predictions.push((algo, *predicted));
-            // `timeof` parity: prediction replays the exact schedule, so
-            // fault-free under parallel links it must track the measured
-            // virtual makespan.
-            if sc.faults.is_empty() && sc.contention == ContentionModel::ParallelLinks {
+            // `timeof` parity: the pricer replays the exact schedule with
+            // the transport's own grant/settle arbitration, so fault-free
+            // it must track the measured virtual makespan under every
+            // contention model.
+            if sc.faults.is_empty() {
                 let measured = report.makespan.as_secs();
                 if (predicted - measured).abs() > TIMEOF_REL_BOUND * measured + 1e-9 {
                     return Err(viol(
@@ -560,7 +581,7 @@ fn check_collective(
             .copied()
             .reduce(|acc, cand| if cand.1 < acc.1 { cand } else { acc })
             .expect("non-empty");
-        let u = Universe::new(cluster);
+        let u = Universe::with_placement(cluster, rank_placement);
         let report = u.run(move |proc| {
             proc.world()
                 .predict_collective(kind, root, pred_elems, 8)

@@ -169,6 +169,28 @@ pub fn generate(seed: u64) -> Scenario {
         faults = draw_faults(&mut rng, n, 10.0);
     }
 
+    // Intra-node placement and the memory-bus domain, drawn *after* every
+    // other field so pre-existing seeds keep producing the exact scenarios
+    // they always did. Multi-rank placement only executes on the mpisim
+    // workloads, and large clusters stay one-rank-per-node to bound the
+    // thread count.
+    let mpisim_workload = matches!(
+        workload,
+        Workload::P2pRing { .. } | Workload::P2pRandom { .. } | Workload::Collective { .. }
+    );
+    let (ranks_per_node, mem) = if mpisim_workload && n <= 8 && rng.random_range(0u32..4) == 0 {
+        let rpn = rng.random_range(2..5);
+        let mem = (rng.random_range(0u32..4) > 0).then(|| {
+            (
+                log_uniform(&mut rng, 1e-7, 1e-5),
+                log_uniform(&mut rng, 1e8, 1e10),
+            )
+        });
+        (rpn, mem)
+    } else {
+        (1, None)
+    };
+
     Scenario {
         seed,
         speeds,
@@ -176,6 +198,8 @@ pub fn generate(seed: u64) -> Scenario {
         base_bw,
         overrides,
         contention,
+        ranks_per_node,
+        mem,
         faults,
         workload,
     }
@@ -247,6 +271,8 @@ pub fn generate_crashy_collective(seed: u64) -> Scenario {
         base_bw,
         overrides,
         contention,
+        ranks_per_node: 1,
+        mem: None,
         faults,
         workload,
     }
@@ -281,6 +307,8 @@ mod tests {
         let mut contentions = HashSet::new();
         let mut any_faults = false;
         let mut any_faulty_collective = false;
+        let mut any_multirank = false;
+        let mut any_mem_bus = false;
         let mut max_n = 0;
         for seed in 0..400 {
             let sc = generate(seed);
@@ -289,6 +317,11 @@ mod tests {
             any_faults |= !sc.faults.is_empty();
             any_faulty_collective |= !sc.faults.is_empty()
                 && matches!(sc.workload, Workload::Collective { .. });
+            any_multirank |= sc.ranks_per_node > 1;
+            any_mem_bus |= sc.mem.is_some();
+            if sc.ranks_per_node > 1 {
+                assert!(sc.nodes() <= 8, "seed {seed}: {} nodes multi-rank", sc.nodes());
+            }
             max_n = max_n.max(sc.nodes());
         }
         assert_eq!(workloads.len(), 8, "missing workloads: {workloads:?}");
@@ -298,6 +331,8 @@ mod tests {
             any_faulty_collective,
             "no fault-bearing collective in 400 seeds"
         );
+        assert!(any_multirank, "no multi-rank placement in 400 seeds");
+        assert!(any_mem_bus, "no memory-bus scenario in 400 seeds");
         assert!(max_n >= 16, "clusters never got large: max {max_n}");
     }
 

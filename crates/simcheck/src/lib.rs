@@ -35,7 +35,7 @@ pub mod gen;
 pub mod scenario;
 pub mod shrink;
 
-pub use exec::{check, Violation, TIMEOF_REL_BOUND};
+pub use exec::{build_cluster, check, placement, Violation, TIMEOF_REL_BOUND};
 pub use gen::{generate, generate_crashy_collective};
 pub use scenario::{parse, AppKind, LinkOverride, ParseError, Scenario, Workload};
 pub use shrink::{shrink, shrink_classified};

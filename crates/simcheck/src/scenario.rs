@@ -153,6 +153,16 @@ pub struct Scenario {
     pub overrides: Vec<LinkOverride>,
     /// The cluster's link-sharing mode.
     pub contention: ContentionModel,
+    /// Ranks placed on each node (block placement: ranks `r*k..(r+1)*k`
+    /// live on node `r`). `1` — the default, omitted from the encoding —
+    /// is the classic one-rank-per-node layout. Only the mpisim workloads
+    /// (`ring`, `rand`, `coll`) execute multi-rank placement.
+    pub ranks_per_node: usize,
+    /// Intra-node memory bus `(latency, bandwidth)`: the shared link that
+    /// serialises transfers between distinct ranks on the same node.
+    /// `None` (the default, omitted from the encoding) leaves intra-node
+    /// transfers free, as before the memory-bus domain existed.
+    pub mem: Option<(f64, f64)>,
     /// Scheduled faults.
     pub faults: Vec<FaultEvent>,
     /// What to run.
@@ -160,9 +170,14 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// Number of nodes (== number of ranks).
+    /// Number of nodes.
     pub fn nodes(&self) -> usize {
         self.speeds.len()
+    }
+
+    /// Number of ranks (`nodes * ranks_per_node`).
+    pub fn ranks(&self) -> usize {
+        self.speeds.len() * self.ranks_per_node.max(1)
     }
 }
 
@@ -190,6 +205,12 @@ impl fmt::Display for Scenario {
         }
         write!(f, " lat={} bw={}", self.base_lat, self.base_bw)?;
         write!(f, " cont={}", cont_name(self.contention))?;
+        if self.ranks_per_node != 1 {
+            write!(f, " rpn={}", self.ranks_per_node)?;
+        }
+        if let Some((lat, bw)) = self.mem {
+            write!(f, " mem={lat}:{bw}")?;
+        }
         for o in &self.overrides {
             write!(f, " ov={}-{}:{}:{}", o.a, o.b, o.lat, o.bw)?;
         }
@@ -410,6 +431,8 @@ pub fn parse(line: &str) -> Result<Scenario, ParseError> {
     let mut base_lat = None;
     let mut base_bw = None;
     let mut contention = None;
+    let mut ranks_per_node = 1usize;
+    let mut mem = None;
     let mut overrides = Vec::new();
     let mut faults = Vec::new();
     let mut workload = None;
@@ -436,6 +459,22 @@ pub fn parse(line: &str) -> Result<Scenario, ParseError> {
                     _ => return Err(bad(format!("bad contention {val:?}"))),
                 })
             }
+            "rpn" => {
+                ranks_per_node = parse_usize(val)?;
+                if ranks_per_node == 0 {
+                    return Err(bad("rpn= must be at least 1"));
+                }
+            }
+            "mem" => {
+                let (lat, bw) = val
+                    .split_once(':')
+                    .ok_or_else(|| bad(format!("bad mem {val:?}")))?;
+                let (lat, bw) = (parse_f64(lat)?, parse_f64(bw)?);
+                if bw <= 0.0 || lat < 0.0 {
+                    return Err(bad(format!("bad mem link parameters {val:?}")));
+                }
+                mem = Some((lat, bw));
+            }
             "ov" => {
                 let parts: Vec<&str> = val.split(':').collect();
                 let [pair, lat, bw] = parts.as_slice() else {
@@ -461,6 +500,8 @@ pub fn parse(line: &str) -> Result<Scenario, ParseError> {
         base_bw: base_bw.ok_or_else(|| bad("missing bw="))?,
         overrides,
         contention: contention.ok_or_else(|| bad("missing cont="))?,
+        ranks_per_node,
+        mem,
         faults,
         workload: workload.ok_or_else(|| bad("missing w="))?,
     })
@@ -473,14 +514,30 @@ mod tests {
     #[test]
     fn a_full_line_round_trips() {
         let line = "v1 seed=0x2a sp=44.5,100,9.125 lat=0.0001 bw=10000000 cont=bus \
+                    rpn=2 mem=0.0000001:4000000000 \
                     ov=0-2:0.002:500000 f=crash:1:1.5 f=slow:2:0.5:2:0.25 \
                     f=deg:0-1:1:0.5 f=drop:1-2:2.5 w=coll:allreduce:1024:1";
         let sc = parse(line).unwrap();
         assert_eq!(sc.nodes(), 3);
+        assert_eq!(sc.ranks(), 6);
         assert_eq!(sc.contention, ContentionModel::SharedBus);
+        assert_eq!(sc.mem, Some((1e-7, 4e9)));
         assert_eq!(sc.faults.len(), 4);
         let reparsed = parse(&sc.to_string()).unwrap();
         assert_eq!(sc, reparsed);
+    }
+
+    #[test]
+    fn placement_defaults_stay_out_of_the_encoding() {
+        // One rank per node, no memory bus: the line must look exactly as
+        // it did before the placement fields existed, so the committed
+        // corpus keeps parsing and re-encoding byte-identically.
+        let line = "v1 seed=0x1 sp=10,20 lat=0.001 bw=1000000 cont=par w=ring:8:1";
+        let sc = parse(line).unwrap();
+        assert_eq!(sc.ranks_per_node, 1);
+        assert_eq!(sc.mem, None);
+        assert_eq!(sc.ranks(), sc.nodes());
+        assert_eq!(sc.to_string(), line);
     }
 
     #[test]
@@ -494,6 +551,9 @@ mod tests {
             "v1 seed=1 sp=nan lat=1 bw=1 cont=par w=ring:1:1",
             "v1 seed=1 sp=1 lat=1 bw=1 cont=par w=coll:scan:8:0",
             "v1 seed=1 sp=1 lat=1 bw=1 cont=par w=ring:1:1 f=melt:0:1",
+            "v1 seed=1 sp=1 lat=1 bw=1 cont=par rpn=0 w=ring:1:1",
+            "v1 seed=1 sp=1 lat=1 bw=1 cont=par mem=0.001 w=ring:1:1",
+            "v1 seed=1 sp=1 lat=1 bw=1 cont=par mem=0.001:0 w=ring:1:1",
         ] {
             assert!(parse(bad_line).is_err(), "accepted {bad_line:?}");
         }

@@ -148,6 +148,16 @@ fn candidates(sc: &Scenario) -> Vec<Scenario> {
         cand.overrides.remove(j);
         out.push(cand);
     }
+    if sc.ranks_per_node > 1 {
+        let mut cand = sc.clone();
+        cand.ranks_per_node = 1;
+        out.push(cand);
+    }
+    if sc.mem.is_some() {
+        let mut cand = sc.clone();
+        cand.mem = None;
+        out.push(cand);
+    }
     out.extend(workload_shrinks(sc));
     out
 }
