@@ -13,7 +13,7 @@ use crate::em3d::body::{Em3dConfig, Em3dSystem};
 use crate::em3d::model::em3d_model;
 use crate::em3d::parallel::ParallelBody;
 use hetsim::{Cluster, SimTime};
-use hmpi::{HmpiError, HmpiGroup, HmpiRuntime, MappingAlgorithm, Recon, RecoveryPolicy};
+use hmpi::{HmpiError, HmpiGroup, HmpiRuntime, MappingAlgorithm, Recon, RecoveryPolicy, RuntimeConfig};
 use mpisim::{MpiResult, Universe};
 use std::sync::Arc;
 
@@ -161,10 +161,10 @@ fn run_hmpi_inner(
     traced: bool,
 ) -> (Em3dRun, Option<hetsim::Trace>) {
     let p = cfg.nodes_per_body.len();
-    let mut runtime = HmpiRuntime::new(cluster).with_algorithm(algo);
-    if traced {
-        runtime = runtime.with_tracing();
-    }
+    let runtime = HmpiRuntime::with_config(
+        cluster,
+        RuntimeConfig::new().mapping_algorithm(algo).tracing(traced),
+    );
     assert!(
         p <= runtime.universe().size(),
         "EM3D needs {p} processes, universe has {}",

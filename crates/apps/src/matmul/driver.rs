@@ -13,7 +13,7 @@ use crate::matmul::dist::GeneralizedBlockDist;
 use crate::matmul::model::matmul_model;
 use crate::matmul::parallel::DistributedMatmul;
 use hetsim::Cluster;
-use hmpi::{HmpiError, HmpiGroup, HmpiRuntime, MappingAlgorithm, Recon, RecoveryPolicy};
+use hmpi::{HmpiError, HmpiGroup, HmpiRuntime, MappingAlgorithm, Recon, RecoveryPolicy, RuntimeConfig};
 use mpisim::{MpiResult, Universe};
 use std::sync::Arc;
 
@@ -166,10 +166,10 @@ fn run_hmpi_inner(
     algo: MappingAlgorithm,
     traced: bool,
 ) -> (MatmulRun, Option<hetsim::Trace>) {
-    let mut runtime = HmpiRuntime::new(cluster).with_algorithm(algo);
-    if traced {
-        runtime = runtime.with_tracing();
-    }
+    let runtime = HmpiRuntime::with_config(
+        cluster,
+        RuntimeConfig::new().mapping_algorithm(algo).tracing(traced),
+    );
     assert!(m * m <= runtime.universe().size());
 
     type Out = (Option<(f64, Option<BlockMatrix>)>, Option<(Vec<usize>, f64, usize)>);
@@ -633,22 +633,24 @@ mod tests {
 mod grid_size_tests {
     use super::*;
     use crate::matmul::block::{serial_matmul, BlockMatrix};
-    use hetsim::{ClusterBuilder, Link, Protocol};
+    use hetsim::{Link, Protocol, TopologyBuilder};
 
     #[test]
     fn two_by_two_grid_on_a_five_node_cluster() {
         // m = 2 uses 4 of 5 machines; the speed-5 node must be left out and
         // the result must still be exact.
-        let cluster = Arc::new(
-            ClusterBuilder::new()
-                .node("host", 60.0)
-                .node("big", 150.0)
-                .node("mid", 90.0)
-                .node("ok", 70.0)
-                .node("tiny", 5.0)
-                .all_to_all(Link::with_defaults(Protocol::Tcp))
-                .build(),
-        );
+        // Declared through the topology builder: one level, so the cluster
+        // is bit-identical to the classic flat construction.
+        let (cluster, _) = TopologyBuilder::new()
+            .node("host", 60.0)
+            .node("big", 150.0)
+            .node("mid", 90.0)
+            .node("ok", 70.0)
+            .node("tiny", 5.0)
+            .intra_switch(Link::with_defaults(Protocol::Tcp))
+            .build()
+            .into_parts();
+        let cluster = Arc::new(cluster);
         let n = 8;
         let r = 3;
         let run = run_hmpi(cluster, 2, n, r, None);

@@ -4,7 +4,7 @@ use crate::nbody::body::{Bodies, NbodyConfig};
 use crate::nbody::model::nbody_model;
 use crate::nbody::parallel::ParallelGroup;
 use hetsim::Cluster;
-use hmpi::{HmpiRuntime, MappingAlgorithm};
+use hmpi::{HmpiRuntime, MappingAlgorithm, RuntimeConfig};
 use mpisim::Universe;
 use std::sync::Arc;
 
@@ -80,7 +80,7 @@ pub fn run_hmpi_with(
     algo: MappingAlgorithm,
 ) -> NbodyRun {
     let p = cfg.p();
-    let runtime = HmpiRuntime::new(cluster).with_algorithm(algo);
+    let runtime = HmpiRuntime::with_config(cluster, RuntimeConfig::new().mapping_algorithm(algo));
     assert!(p <= runtime.universe().size());
     let report = runtime.run(|h| -> (RankOutcome, Option<(Vec<usize>, f64)>) {
         // Recon benchmark: k body-body interactions.

@@ -9,7 +9,7 @@
 
 use hmpi_bench::{
     ablation, collectives, contention, deadlock, extension, faults, fig10, fig11, fig9,
-    render_csv, render_table, selection, throughput, trace, ComparisonPoint,
+    hierarchy, render_csv, render_table, selection, throughput, trace, ComparisonPoint,
 };
 
 /// Conservative checked-in eager-throughput baseline for the regression
@@ -22,6 +22,11 @@ const THROUGHPUT_BASELINE: &str =
 /// the contention semantics change.
 const CONTENTION_BASELINE: &str =
     concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/contention_baseline.json");
+
+/// Checked-in hierarchical-collective baseline: pins the multi-site
+/// testbed's summed virtual time across both selectors.
+const HIERARCHY_BASELINE: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/hierarchy_baseline.json");
 
 /// Pulls `"<key>": <number>` out of a baseline JSON (the workspace's
 /// serde shim has no deserializer, so this is by hand).
@@ -89,6 +94,7 @@ fn main() {
         wanted = vec![
             "fig9a", "fig9b", "fig10", "fig11a", "fig11b", "ablations", "ext-nbody", "faults",
             "selection", "trace", "collectives", "contention", "deadlock", "throughput",
+            "hierarchy",
         ];
     }
 
@@ -317,6 +323,58 @@ fn main() {
                     }
                 }
             }
+            "hierarchy" => {
+                let b = hierarchy::run(opts.quick);
+                print!("{}", hierarchy::render(&b));
+                println!();
+                if !opts.quick {
+                    let path = "BENCH_hierarchy.json";
+                    std::fs::write(path, hierarchy::to_json(&b)).expect("write bench JSON");
+                    println!("wrote {path}\n");
+                }
+                let err = b.max_error_pct();
+                if err > 5.0 {
+                    eprintln!(
+                        "hierarchical timeof prediction error {err:.3}% exceeds the 5% gate"
+                    );
+                    std::process::exit(1);
+                }
+                let speedup = b.best_large_speedup();
+                if speedup < hierarchy::HIER_SPEEDUP_GATE {
+                    eprintln!(
+                        "hierarchical selector speedup {speedup:.2}x at >=64 KiB breaches the \
+                         {:.1}x gate over the flat selector",
+                        hierarchy::HIER_SPEEDUP_GATE
+                    );
+                    std::process::exit(1);
+                }
+                if b.min_speedup() < 1.0 - 1e-9 {
+                    eprintln!(
+                        "hierarchy-aware selector lost to the flat selector ({:.3}x) somewhere \
+                         in the sweep",
+                        b.min_speedup()
+                    );
+                    std::process::exit(1);
+                }
+                if !opts.quick {
+                    match baseline_number(HIERARCHY_BASELINE, "total_measured_s") {
+                        Some(base) => {
+                            let now = b.total_measured_s();
+                            if (now - base).abs() > base * 0.1 {
+                                eprintln!(
+                                    "hierarchical virtual time {now:.6}s drifted more than 10% \
+                                     from the checked-in baseline {base:.6}s"
+                                );
+                                std::process::exit(1);
+                            }
+                        }
+                        None => {
+                            eprintln!("missing or unreadable baseline {HIERARCHY_BASELINE}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
             "deadlock" => {
                 let b = deadlock::run(opts.quick);
                 print!("{}", deadlock::render(&b));
@@ -390,7 +448,7 @@ fn main() {
                 }
             }
             other => {
-                eprintln!("unknown figure `{other}`; known: fig9a fig9b fig10 fig11a fig11b ablations ext-nbody faults selection trace collectives contention deadlock throughput all");
+                eprintln!("unknown figure `{other}`; known: fig9a fig9b fig10 fig11a fig11b ablations ext-nbody faults selection trace collectives contention deadlock throughput hierarchy all");
                 std::process::exit(2);
             }
         }

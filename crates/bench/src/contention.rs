@@ -15,7 +15,7 @@
 
 use hetsim::{Cluster, ClusterBuilder, ContentionModel, Link, NodeId, Processor, Protocol,
              PAPER_EM3D_SPEEDS};
-use mpisim::{CollectiveAlgo, CollectiveKind, ReduceOp, Universe};
+use mpisim::{CollectiveAlgo, CollectiveKind, ReduceOp, Universe, UniverseConfig};
 use perfmodel::collective::algos_for;
 use std::sync::Arc;
 
@@ -113,7 +113,10 @@ fn measure(
     algo: CollectiveAlgo,
     elems: usize,
 ) -> (f64, f64) {
-    let u = Universe::with_placement(cluster.clone(), placement.to_vec());
+    let u = Universe::with_config(
+        cluster.clone(),
+        UniverseConfig::new().placement(placement.to_vec()),
+    );
     let p = placement.len();
     let report = u.run(move |proc| {
         let world = proc.world();

@@ -57,6 +57,7 @@ pub mod faults;
 pub mod fig10;
 pub mod fig11;
 pub mod fig9;
+pub mod hierarchy;
 pub mod selection;
 pub mod throughput;
 pub mod trace;

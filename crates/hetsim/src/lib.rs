@@ -53,5 +53,8 @@ pub use link::Link;
 pub use load::LoadModel;
 pub use node::{NodeId, Processor};
 pub use protocol::Protocol;
-pub use topology::{Cluster, ClusterBuilder, ContentionModel, PairTable, PAPER_EM3D_SPEEDS};
+pub use topology::{
+    Cluster, ClusterBuilder, ContentionModel, PairTable, Topology, TopologyBuilder, TopologyInfo,
+    PAPER_EM3D_SPEEDS,
+};
 pub use trace::{PredictionReport, RankPhases, Trace, TraceEvent, TraceKind, Tracer};

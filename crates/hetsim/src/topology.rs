@@ -63,6 +63,83 @@ impl PairTable {
     }
 }
 
+/// Declared multi-level structure over a cluster's nodes: which switch and
+/// which site each node hangs off. Together with a placement (ranks → nodes)
+/// and the optional memory bus this yields the full
+/// core → memory-bus domain → node → switch → site hierarchy the
+/// topology-aware collective engine plans against. Produced by
+/// [`TopologyBuilder`]; absent (`None` on [`Cluster::topology`]) for flat
+/// clusters, where every node implicitly shares switch 0 of site 0.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologyInfo {
+    /// `site_of[node]` = the site index hosting that node.
+    site_of: Vec<usize>,
+    /// `switch_of[node]` = the globally-numbered switch the node hangs off
+    /// (switch indices are unique across sites, not per-site).
+    switch_of: Vec<usize>,
+}
+
+impl TopologyInfo {
+    /// Builds the declaration from explicit per-node coordinates.
+    ///
+    /// # Panics
+    /// Panics if the two vectors differ in length or a node's switch is
+    /// shared across two sites (switches are strictly nested inside sites).
+    pub fn new(site_of: Vec<usize>, switch_of: Vec<usize>) -> Self {
+        assert_eq!(
+            site_of.len(),
+            switch_of.len(),
+            "site and switch vectors must cover the same nodes"
+        );
+        let mut owner: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for (node, (&site, &sw)) in site_of.iter().zip(&switch_of).enumerate() {
+            if let Some(&prev) = owner.get(&sw) {
+                assert_eq!(
+                    prev, site,
+                    "switch {sw} (node {node}) appears in both site {prev} and site {site}"
+                );
+            } else {
+                owner.insert(sw, site);
+            }
+        }
+        TopologyInfo { site_of, switch_of }
+    }
+
+    /// The site hosting `node`.
+    #[inline]
+    pub fn site_of(&self, node: NodeId) -> usize {
+        self.site_of[node.0]
+    }
+
+    /// The switch `node` hangs off (globally numbered).
+    #[inline]
+    pub fn switch_of(&self, node: NodeId) -> usize {
+        self.switch_of[node.0]
+    }
+
+    /// Number of distinct sites.
+    pub fn sites(&self) -> usize {
+        let mut s: Vec<usize> = self.site_of.clone();
+        s.sort_unstable();
+        s.dedup();
+        s.len()
+    }
+
+    /// Number of distinct switches across all sites.
+    pub fn switches(&self) -> usize {
+        let mut s: Vec<usize> = self.switch_of.clone();
+        s.sort_unstable();
+        s.dedup();
+        s.len()
+    }
+
+    /// True when the declaration carries no usable structure: every node on
+    /// the one switch of the one site.
+    pub fn is_flat(&self) -> bool {
+        self.sites() <= 1 && self.switches() <= 1
+    }
+}
+
 /// The model of a heterogeneous network of computers.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Cluster {
@@ -78,6 +155,10 @@ pub struct Cluster {
     /// historical free loopback for co-located ranks.
     #[serde(default)]
     mem_bus: Option<Link>,
+    /// Declared switch/site structure over the nodes; `None` for flat
+    /// clusters (pre-topology serialisations deserialise to `None`).
+    #[serde(default)]
+    topology: Option<TopologyInfo>,
 }
 
 impl Cluster {
@@ -106,7 +187,41 @@ impl Cluster {
             contention,
             faults: FaultPlan::none(),
             mem_bus: None,
+            topology: None,
         }
+    }
+
+    /// Attaches a declared switch/site structure (builder style). Prefer
+    /// [`TopologyBuilder`], which derives the declaration from construction.
+    ///
+    /// # Panics
+    /// Panics if the declaration does not cover exactly this cluster's nodes.
+    pub fn with_topology(mut self, info: TopologyInfo) -> Self {
+        assert_eq!(
+            info.site_of.len(),
+            self.nodes.len(),
+            "topology declaration must cover every node"
+        );
+        self.topology = Some(info);
+        self
+    }
+
+    /// The declared switch/site structure, when one was attached.
+    #[inline]
+    pub fn topology(&self) -> Option<&TopologyInfo> {
+        self.topology.as_ref()
+    }
+
+    /// The site hosting `id` (0 for flat clusters).
+    #[inline]
+    pub fn site_of(&self, id: NodeId) -> usize {
+        self.topology.as_ref().map_or(0, |t| t.site_of(id))
+    }
+
+    /// The switch `id` hangs off (0 for flat clusters).
+    #[inline]
+    pub fn switch_of(&self, id: NodeId) -> usize {
+        self.topology.as_ref().map_or(0, |t| t.switch_of(id))
     }
 
     /// Attaches an intra-node memory bus (builder style): transfers between
@@ -530,6 +645,262 @@ impl ClusterBuilder {
     }
 }
 
+/// A built multi-level testbed: the [`Cluster`] (with its declared
+/// switch/site structure, when non-trivial) plus the rank placement the
+/// builder accumulated. Feed it to `Universe::from_topology` /
+/// `HmpiRuntime::from_topology`, or take the parts apart by hand.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    cluster: Cluster,
+    placement: Vec<NodeId>,
+}
+
+impl Topology {
+    /// The built cluster.
+    #[inline]
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// `placement[world_rank]` = the hosting node.
+    #[inline]
+    pub fn placement(&self) -> &[NodeId] {
+        &self.placement
+    }
+
+    /// Number of ranks the placement hosts.
+    #[inline]
+    pub fn ranks(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// Decomposes into `(cluster, placement)`.
+    pub fn into_parts(self) -> (Cluster, Vec<NodeId>) {
+        (self.cluster, self.placement)
+    }
+}
+
+/// Single-entry construction of a hierarchical testbed: sites contain
+/// switches contain nodes contain ranks, with per-level default link
+/// classes. This subsumes the flat [`ClusterBuilder`] +
+/// [`Processor::with_slots`] + explicit-placement idiom: a one-site,
+/// one-switch topology with one rank per node builds a [`Cluster`]
+/// structurally identical to the equivalent `ClusterBuilder` output (no
+/// declaration attached, same links, same placement) — flat stays flat.
+///
+/// ```
+/// use hetsim::{Link, Protocol, TopologyBuilder};
+///
+/// let topo = TopologyBuilder::new()
+///     .inter_site(Link::new(5e-3, 1e6, Protocol::Tcp))    // WAN
+///     .intra_switch(Link::new(1e-4, 1e8, Protocol::Tcp))  // LAN
+///     .site()
+///     .node("a0", 100.0)
+///     .node("a1", 50.0)
+///     .site()
+///     .node("b0", 80.0)
+///     .build();
+/// let c = topo.cluster();
+/// assert_eq!(c.site_of(hetsim::NodeId(2)), 1);
+/// assert_eq!(c.link(hetsim::NodeId(0), hetsim::NodeId(1)).latency, 1e-4);
+/// assert_eq!(c.link(hetsim::NodeId(0), hetsim::NodeId(2)).latency, 5e-3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TopologyBuilder {
+    nodes: Vec<Processor>,
+    node_site: Vec<usize>,
+    node_switch: Vec<usize>,
+    node_ranks: Vec<usize>,
+    /// Number of sites opened so far (`0` until the first `site()`/node).
+    sites: usize,
+    /// Number of switches opened so far, globally numbered.
+    switches: usize,
+    intra_switch: Option<Link>,
+    inter_switch: Option<Link>,
+    inter_site: Option<Link>,
+    overrides: Vec<(usize, usize, Link)>,
+    symmetric_overrides: bool,
+    contention: ContentionModel,
+    faults: FaultPlan,
+    mem_bus: Option<Link>,
+}
+
+impl TopologyBuilder {
+    /// An empty builder. The first node added before any explicit
+    /// [`TopologyBuilder::site`] call opens site 0 / switch 0 implicitly.
+    pub fn new() -> Self {
+        TopologyBuilder {
+            symmetric_overrides: true,
+            ..Default::default()
+        }
+    }
+
+    /// Opens a new site (and its first switch); subsequent nodes land here.
+    pub fn site(mut self) -> Self {
+        self.sites += 1;
+        self.switches += 1;
+        self
+    }
+
+    /// Opens a new switch within the current site.
+    ///
+    /// # Panics
+    /// Panics if no site is open yet.
+    pub fn switch(mut self) -> Self {
+        assert!(self.sites > 0, "switch() needs an open site (call site() first)");
+        self.switches += 1;
+        self
+    }
+
+    /// Adds a processor to the current switch, hosting one rank.
+    pub fn node(mut self, name: impl Into<String>, base_speed: f64) -> Self {
+        self.push(Processor::new(name, base_speed));
+        self
+    }
+
+    /// Adds an already-configured processor to the current switch.
+    pub fn processor(mut self, p: Processor) -> Self {
+        self.push(p);
+        self
+    }
+
+    /// Sets how many ranks the most recently added node hosts (its slot
+    /// count is raised to match) — the SMP / co-located-ranks idiom that
+    /// used to need `Processor::with_slots` plus an explicit placement.
+    ///
+    /// # Panics
+    /// Panics if no node has been added yet or `ranks == 0`.
+    pub fn ranks(mut self, ranks: usize) -> Self {
+        assert!(ranks >= 1, "a node hosts at least one rank");
+        let last = self
+            .node_ranks
+            .last_mut()
+            .expect("ranks() applies to the most recent node(); add one first");
+        *last = ranks;
+        let p = self.nodes.last_mut().expect("nodes and ranks move together");
+        if p.slots < ranks {
+            p.slots = ranks;
+        }
+        self
+    }
+
+    fn push(&mut self, p: Processor) {
+        if self.sites == 0 {
+            self.sites = 1;
+            self.switches = 1;
+        }
+        self.nodes.push(p);
+        self.node_site.push(self.sites - 1);
+        self.node_switch.push(self.switches - 1);
+        self.node_ranks.push(1);
+    }
+
+    /// Default link between nodes sharing a switch (the LAN class).
+    pub fn intra_switch(mut self, link: Link) -> Self {
+        self.intra_switch = Some(link);
+        self
+    }
+
+    /// Default link between switches of the same site (the backbone class).
+    /// Falls back to the intra-switch link when unset.
+    pub fn inter_switch(mut self, link: Link) -> Self {
+        self.inter_switch = Some(link);
+        self
+    }
+
+    /// Default link between sites (the WAN class). Falls back to the
+    /// inter-switch link, then the intra-switch link, when unset.
+    pub fn inter_site(mut self, link: Link) -> Self {
+        self.inter_site = Some(link);
+        self
+    }
+
+    /// Overrides the link between a specific node pair (both directions
+    /// unless [`TopologyBuilder::asymmetric`] was called), on top of the
+    /// level defaults.
+    pub fn link_between(mut self, a: usize, b: usize, link: Link) -> Self {
+        self.overrides.push((a, b, link));
+        self
+    }
+
+    /// Makes subsequent [`TopologyBuilder::link_between`] calls directional.
+    pub fn asymmetric(mut self) -> Self {
+        self.symmetric_overrides = false;
+        self
+    }
+
+    /// Sets the contention model.
+    pub fn contention(mut self, c: ContentionModel) -> Self {
+        self.contention = c;
+        self
+    }
+
+    /// Attaches a fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Models the innermost hierarchy level: transfers between distinct
+    /// ranks co-located on one node travel this memory bus.
+    pub fn mem_bus(mut self, link: Link) -> Self {
+        self.mem_bus = Some(link);
+        self
+    }
+
+    /// Finishes construction: resolves each pair's link class from the
+    /// hierarchy (same switch → intra, same site → inter-switch, otherwise
+    /// inter-site), applies overrides, and lays ranks out in node order.
+    ///
+    /// # Panics
+    /// Panics if no nodes were added or an override references an unknown
+    /// node.
+    pub fn build(self) -> Topology {
+        let n = self.nodes.len();
+        assert!(n > 0, "a topology needs at least one processor");
+        let intra = self
+            .intra_switch
+            .unwrap_or_else(|| Link::with_defaults(Protocol::Tcp));
+        let backbone = self.inter_switch.unwrap_or_else(|| intra.clone());
+        let wan = self.inter_site.unwrap_or_else(|| backbone.clone());
+        let mut links = vec![vec![intra.clone(); n]; n];
+        for (i, row) in links.iter_mut().enumerate() {
+            for (j, slot) in row.iter_mut().enumerate() {
+                if i == j {
+                    *slot = Link::loopback();
+                } else if self.node_site[i] != self.node_site[j] {
+                    *slot = wan.clone();
+                } else if self.node_switch[i] != self.node_switch[j] {
+                    *slot = backbone.clone();
+                }
+            }
+        }
+        for (a, b, link) in self.overrides {
+            assert!(a < n && b < n, "link override ({a},{b}) out of range 0..{n}");
+            links[a][b] = link.clone();
+            if self.symmetric_overrides {
+                links[b][a] = link;
+            }
+        }
+        let placement: Vec<NodeId> = self
+            .node_ranks
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &r)| std::iter::repeat_n(NodeId(i), r))
+            .collect();
+        let mut cluster =
+            Cluster::from_parts(self.nodes, links, self.contention).with_faults(self.faults);
+        cluster.mem_bus = self.mem_bus;
+        // A flat build must stay structurally identical to the equivalent
+        // ClusterBuilder output, so the declaration is attached only when
+        // it actually says something.
+        if self.sites > 1 || self.switches > 1 {
+            cluster.topology = Some(TopologyInfo::new(self.node_site, self.node_switch));
+        }
+        Topology { cluster, placement }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -689,5 +1060,101 @@ mod tests {
         // Node 8 has speed 9: 18 units take 2 virtual seconds.
         let t = c.compute_time(NodeId(8), 18.0, SimTime::ZERO);
         assert!((t.as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_topology_build_matches_cluster_builder_exactly() {
+        let fast = Link::new(1e-6, 1e9, Protocol::Custom("myrinet".into()));
+        let mem = Link::new(1e-7, 1e10, Protocol::SharedMemory);
+        let flat = ClusterBuilder::new()
+            .node("a", 10.0)
+            .node("b", 20.0)
+            .node("c", 30.0)
+            .all_to_all(Link::with_defaults(Protocol::Tcp))
+            .link_between(0, 2, fast.clone())
+            .contention(ContentionModel::SerializedNic)
+            .mem_bus(mem.clone())
+            .build();
+        let topo = TopologyBuilder::new()
+            .node("a", 10.0)
+            .node("b", 20.0)
+            .node("c", 30.0)
+            .intra_switch(Link::with_defaults(Protocol::Tcp))
+            .link_between(0, 2, fast)
+            .contention(ContentionModel::SerializedNic)
+            .mem_bus(mem)
+            .build();
+        let c = topo.cluster();
+        assert!(c.topology().is_none(), "flat build must not declare structure");
+        assert_eq!(topo.placement(), &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(c.nodes(), flat.nodes());
+        assert_eq!(c.contention(), flat.contention());
+        assert_eq!(c.mem_bus(), flat.mem_bus());
+        for i in c.node_ids() {
+            for j in c.node_ids() {
+                assert_eq!(c.link(i, j), flat.link(i, j), "link {i:?}->{j:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_build_routes_link_classes_by_level() {
+        let topo = TopologyBuilder::new()
+            .intra_switch(Link::new(1e-4, 1e8, Protocol::Tcp))
+            .inter_switch(Link::new(5e-4, 5e7, Protocol::Tcp))
+            .inter_site(Link::new(5e-3, 1e6, Protocol::Tcp))
+            .site()
+            .node("a0", 10.0)
+            .node("a1", 10.0)
+            .switch()
+            .node("a2", 10.0)
+            .site()
+            .node("b0", 10.0)
+            .build();
+        let c = topo.cluster();
+        let info = c.topology().expect("two sites declare structure");
+        assert_eq!(info.sites(), 2);
+        assert_eq!(info.switches(), 3);
+        assert!(!info.is_flat());
+        assert_eq!(c.site_of(NodeId(0)), 0);
+        assert_eq!(c.site_of(NodeId(3)), 1);
+        assert_eq!(c.switch_of(NodeId(2)), 1);
+        // Same switch → intra; same site, other switch → backbone; cross-site → WAN.
+        assert_eq!(c.link(NodeId(0), NodeId(1)).latency, 1e-4);
+        assert_eq!(c.link(NodeId(0), NodeId(2)).latency, 5e-4);
+        assert_eq!(c.link(NodeId(0), NodeId(3)).latency, 5e-3);
+        assert_eq!(c.link(NodeId(3), NodeId(2)).latency, 5e-3);
+    }
+
+    #[test]
+    fn ranks_expand_placement_and_slots() {
+        let topo = TopologyBuilder::new()
+            .node("smp", 100.0)
+            .ranks(3)
+            .node("uni", 50.0)
+            .build();
+        assert_eq!(topo.ranks(), 4);
+        assert_eq!(
+            topo.placement(),
+            &[NodeId(0), NodeId(0), NodeId(0), NodeId(1)]
+        );
+        assert_eq!(topo.cluster().node(NodeId(0)).slots, 3);
+        assert_eq!(topo.cluster().node(NodeId(1)).slots, 1);
+    }
+
+    #[test]
+    fn flat_clusters_report_level_zero_everywhere() {
+        let c = Cluster::paper_lan_em3d();
+        assert!(c.topology().is_none());
+        for id in c.node_ids() {
+            assert_eq!(c.site_of(id), 0);
+            assert_eq!(c.switch_of(id), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "switch 0")]
+    fn topology_info_rejects_switch_spanning_sites() {
+        let _ = TopologyInfo::new(vec![0, 1], vec![0, 0]);
     }
 }

@@ -1,0 +1,125 @@
+//! Flat clusters must round-trip through the topology API *losslessly*:
+//! a one-level [`TopologyBuilder`] declaration (no `.site()` / `.switch()`
+//! calls) built from the same processors, default link, overrides and
+//! memory bus as a classic [`ClusterBuilder`] must price every rank pair
+//! bit-identically under every contention model, attach no topology
+//! declaration, and lay ranks out in node order. This is the guarantee
+//! that lets callers migrate to the consolidated builder without any
+//! virtual time moving.
+
+use hetsim::{
+    Cluster, ClusterBuilder, ContentionModel, Link, NodeId, Protocol, SimTime, TopologyBuilder,
+};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Spec {
+    speeds: Vec<f64>,
+    base: (f64, f64),
+    overrides: Vec<(usize, usize, f64, f64)>,
+    mem: Option<(f64, f64)>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    (
+        2usize..8,
+        proptest::collection::vec(5.0f64..500.0, 8),
+        (1e-6f64..1e-3, 1e6f64..1e9),
+        proptest::collection::vec((0usize..8, 1usize..8, 1e-6f64..1e-2, 1e5f64..1e9), 0..4),
+        (0u32..2, 1e-7f64..1e-5, 1e8f64..1e10),
+    )
+        .prop_map(|(n, mut speeds, base, raw_overrides, (has_mem, mlat, mbw))| {
+            speeds.truncate(n);
+            let overrides = raw_overrides
+                .into_iter()
+                .map(|(a, step, lat, bw)| {
+                    let a = a % n;
+                    ((a, (a + step) % n), lat, bw)
+                })
+                .filter(|&((a, b), _, _)| a != b)
+                .map(|((a, b), lat, bw)| (a, b, lat, bw))
+                .collect();
+            Spec {
+                speeds,
+                base,
+                overrides,
+                mem: (has_mem == 1).then_some((mlat, mbw)),
+            }
+        })
+}
+
+fn flat_cluster(spec: &Spec, cont: ContentionModel) -> Cluster {
+    let mut b = ClusterBuilder::new();
+    for (i, &s) in spec.speeds.iter().enumerate() {
+        b = b.node(format!("n{i}"), s);
+    }
+    b = b.all_to_all(Link::new(spec.base.0, spec.base.1, Protocol::Tcp));
+    for &(x, y, lat, bw) in &spec.overrides {
+        b = b.link_between(x, y, Link::new(lat, bw, Protocol::Tcp));
+    }
+    if let Some((lat, bw)) = spec.mem {
+        b = b.mem_bus(Link::new(lat, bw, Protocol::SharedMemory));
+    }
+    b.contention(cont).build()
+}
+
+fn topo_cluster(spec: &Spec, cont: ContentionModel) -> (Cluster, Vec<NodeId>) {
+    let mut b = TopologyBuilder::new();
+    for (i, &s) in spec.speeds.iter().enumerate() {
+        b = b.node(format!("n{i}"), s);
+    }
+    b = b.intra_switch(Link::new(spec.base.0, spec.base.1, Protocol::Tcp));
+    for &(x, y, lat, bw) in &spec.overrides {
+        b = b.link_between(x, y, Link::new(lat, bw, Protocol::Tcp));
+    }
+    if let Some((lat, bw)) = spec.mem {
+        b = b.mem_bus(Link::new(lat, bw, Protocol::SharedMemory));
+    }
+    b.contention(cont).build().into_parts()
+}
+
+const ALL_CONTENTION: [ContentionModel; 3] = [
+    ContentionModel::ParallelLinks,
+    ContentionModel::SerializedNic,
+    ContentionModel::SharedBus,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn one_level_topology_prices_every_pair_bit_identically(spec in spec_strategy()) {
+        for cont in ALL_CONTENTION {
+            let flat = flat_cluster(&spec, cont);
+            let (topo, placement) = topo_cluster(&spec, cont);
+
+            // A one-level declaration is structurally flat: no topology
+            // attaches, ranks lie in node order.
+            prop_assert!(topo.topology().is_none(), "one-level topology attached a declaration");
+            let ids: Vec<NodeId> = (0..spec.speeds.len()).map(NodeId).collect();
+            prop_assert_eq!(&placement, &ids);
+            prop_assert_eq!(flat.len(), topo.len());
+            prop_assert_eq!(flat.contention(), topo.contention());
+
+            // Every ordered pair (including the same-node memory-bus pair)
+            // prices bit-identically at every probed size.
+            for &from in &ids {
+                for &to in &ids {
+                    if from == to && spec.mem.is_none() {
+                        continue;
+                    }
+                    for bytes in [1usize, 4096, 1 << 20] {
+                        let a = flat.rank_transfer_time_at(from, to, bytes, SimTime::ZERO);
+                        let b = topo.rank_transfer_time_at(from, to, bytes, SimTime::ZERO);
+                        let (a, b) = (a.map(|t| t.as_secs().to_bits()), b.map(|t| t.as_secs().to_bits()));
+                        prop_assert_eq!(
+                            a, b,
+                            "pair {:?}->{:?} at {} bytes diverged under {:?}",
+                            from, to, bytes, cont
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

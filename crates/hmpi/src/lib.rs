@@ -30,7 +30,7 @@
 //! | Recon as failure detector   | [`Hmpi::recon_opts`] with [`Recon::fault_tolerant`] (what [`Hmpi::recon`] dispatches to on a faulty cluster) |
 //! | Group shrink recovery       | [`Hmpi::rebuild_group`]                      |
 //! | Liveness helpers            | [`Hmpi::try_compute`], [`Hmpi::alive_world_ranks`] |
-//! | Collective-engine timing    | [`Hmpi::timeof_collective`], [`HmpiRuntime::with_collective_policy`] |
+//! | Collective-engine timing    | [`Hmpi::timeof_collective`], [`RuntimeConfig::collective_policy`] |
 //! | Recover-and-retry loop      | [`RecoveryPolicy::run`] (agreement + bounded rebuilds, DESIGN.md §12) |
 //!
 //! The group-selection problem — map each *abstract processor* of the model
@@ -64,5 +64,5 @@ pub use mapping::{
 };
 pub use mpisim::{CollectiveAlgo, CollectiveKind, CollectivePolicy};
 pub use recovery::{Recovered, RecoveryError, RecoveryPolicy};
-pub use runtime::{Hmpi, HmpiError, HmpiResult, HmpiRuntime};
+pub use runtime::{Hmpi, HmpiError, HmpiResult, HmpiRuntime, RuntimeConfig};
 pub use spec::{DefaultBench, GroupSpec, Recon};

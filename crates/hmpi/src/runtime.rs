@@ -12,15 +12,17 @@ use crate::group::HmpiGroup;
 use crate::mapping::{select_mapping, Mapping, MappingAlgorithm, SelectError, SelectionCtx};
 use crate::spec::{GroupSpec, Recon};
 use hetsim::trace::{TraceEvent, TraceKind};
-use hetsim::{Cluster, NodeId, SimTime, SpeedEstimates};
+use hetsim::{Cluster, NodeId, SimTime, SpeedEstimates, Topology};
 use mpisim::{
     CollectiveAlgo, CollectiveKind, CollectivePolicy, Comm, MpiError, Process, RunReport, Universe,
+    UniverseConfig,
 };
 use parking_lot::RwLock;
 use std::cell::Cell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Tag used on the control communicator for group-creation messages.
 const TAG_GROUP_CREATE: i32 = 1_000_001;
@@ -139,6 +141,84 @@ fn decode_group_abort(payload: &[i64]) -> HmpiError {
     }
 }
 
+/// Typed configuration for an [`HmpiRuntime`], consolidating the former
+/// `HmpiRuntime::with_*` builder pile (and, through the wrapped
+/// [`UniverseConfig`], the `Universe::with_*` pile) into one value that is
+/// handed to [`HmpiRuntime::with_config`] or [`HmpiRuntime::from_topology`].
+///
+/// ```
+/// use hmpi::{HmpiRuntime, MappingAlgorithm, RuntimeConfig};
+/// use hetsim::Cluster;
+/// use std::sync::Arc;
+///
+/// let rt = HmpiRuntime::with_config(
+///     Arc::new(Cluster::paper_lan_em3d()),
+///     RuntimeConfig::new()
+///         .mapping_algorithm(MappingAlgorithm::Exhaustive)
+///         .tracing(true),
+/// );
+/// assert_eq!(rt.universe().size(), 9);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RuntimeConfig {
+    universe: UniverseConfig,
+    mapping_algorithm: MappingAlgorithm,
+}
+
+impl RuntimeConfig {
+    /// All defaults: one rank per node, automatic collective selection,
+    /// the default group-selection algorithm, no tracing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explicit rank placement (see [`UniverseConfig::placement`]).
+    pub fn placement(mut self, placement: Vec<NodeId>) -> Self {
+        self.universe = self.universe.placement(placement);
+        self
+    }
+
+    /// Watchdog patience for the deadlock detector (see
+    /// [`UniverseConfig::deadlock_timeout`]).
+    pub fn deadlock_timeout(mut self, timeout: Duration) -> Self {
+        self.universe = self.universe.deadlock_timeout(timeout);
+        self
+    }
+
+    /// Collective-algorithm policy of the underlying universe (see
+    /// [`UniverseConfig::collective_policy`]).
+    pub fn collective_policy(mut self, policy: CollectivePolicy) -> Self {
+        self.universe = self.universe.collective_policy(policy);
+        self
+    }
+
+    /// Per-rank OS thread stack size (see [`UniverseConfig::stack_size`]).
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        self.universe = self.universe.stack_size(bytes);
+        self
+    }
+
+    /// Eager/rendezvous protocol switchover (see
+    /// [`UniverseConfig::eager_limit`]).
+    pub fn eager_limit(mut self, bytes: usize) -> Self {
+        self.universe = self.universe.eager_limit(bytes);
+        self
+    }
+
+    /// Enables virtual-time tracing (see [`UniverseConfig::tracing`]).
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.universe = self.universe.tracing(enabled);
+        self
+    }
+
+    /// Default group-selection algorithm for [`Hmpi::group_create`] calls
+    /// that do not pin one via [`crate::GroupSpec::algorithm`].
+    pub fn mapping_algorithm(mut self, algo: MappingAlgorithm) -> Self {
+        self.mapping_algorithm = algo;
+        self
+    }
+}
+
 /// Global (cross-rank) state of a running HMPI universe.
 #[derive(Debug)]
 struct HmpiShared {
@@ -191,28 +271,45 @@ pub struct HmpiRuntime {
 }
 
 impl HmpiRuntime {
-    /// A runtime with one process per cluster node (the paper's standard
-    /// configuration).
+    /// A runtime with one process per cluster node and all defaults (the
+    /// paper's standard configuration).
     pub fn new(cluster: Arc<Cluster>) -> Self {
+        HmpiRuntime::with_config(cluster, RuntimeConfig::new())
+    }
+
+    /// A runtime configured by a [`RuntimeConfig`] — the one constructor
+    /// every other entry point forwards to.
+    pub fn with_config(cluster: Arc<Cluster>, config: RuntimeConfig) -> Self {
         let estimates = SpeedEstimates::from_base_speeds(&cluster);
         HmpiRuntime {
-            universe: Universe::new(cluster),
+            universe: Universe::with_config(cluster, config.universe),
             estimates,
-            default_algo: MappingAlgorithm::default(),
+            default_algo: config.mapping_algorithm,
+        }
+    }
+
+    /// A runtime over a [`hetsim::Topology`] (cluster plus rank placement,
+    /// as produced by [`hetsim::TopologyBuilder::build`]). An explicit
+    /// [`RuntimeConfig::placement`] overrides the topology's own.
+    pub fn from_topology(topology: Topology, config: RuntimeConfig) -> Self {
+        let universe = Universe::from_topology(topology, config.universe);
+        let estimates = SpeedEstimates::from_base_speeds(universe.cluster());
+        HmpiRuntime {
+            universe,
+            estimates,
+            default_algo: config.mapping_algorithm,
         }
     }
 
     /// A runtime with explicit rank placement.
+    #[deprecated(since = "0.9.0", note = "use HmpiRuntime::with_config(cluster, \
+                                          RuntimeConfig::new().placement(placement))")]
     pub fn with_placement(cluster: Arc<Cluster>, placement: Vec<NodeId>) -> Self {
-        let estimates = SpeedEstimates::from_base_speeds(&cluster);
-        HmpiRuntime {
-            universe: Universe::with_placement(cluster, placement),
-            estimates,
-            default_algo: MappingAlgorithm::default(),
-        }
+        HmpiRuntime::with_config(cluster, RuntimeConfig::new().placement(placement))
     }
 
     /// Overrides the default group-selection algorithm.
+    #[deprecated(since = "0.9.0", note = "use RuntimeConfig::mapping_algorithm")]
     pub fn with_algorithm(mut self, algo: MappingAlgorithm) -> Self {
         self.default_algo = algo;
         self
@@ -221,16 +318,24 @@ impl HmpiRuntime {
     /// Overrides the collective-algorithm policy of the underlying
     /// universe: `Auto` (the default) lets the engine pick the
     /// predicted-cheapest algorithm per call; `Fixed` pins one.
+    #[deprecated(since = "0.9.0", note = "use RuntimeConfig::collective_policy")]
     pub fn with_collective_policy(mut self, policy: CollectivePolicy) -> Self {
-        self.universe = self.universe.with_collective_policy(policy);
+        #[allow(deprecated)]
+        {
+            self.universe = self.universe.with_collective_policy(policy);
+        }
         self
     }
 
     /// Enables virtual-time tracing on the underlying universe: runs record
     /// compute/send/recv spans plus HMPI-level recon and selection events,
     /// and [`RunReport::trace`] carries the finished trace.
+    #[deprecated(since = "0.9.0", note = "use RuntimeConfig::tracing")]
     pub fn with_tracing(mut self) -> Self {
-        self.universe = self.universe.with_tracing();
+        #[allow(deprecated)]
+        {
+            self.universe = self.universe.with_tracing();
+        }
         self
     }
 
@@ -455,36 +560,9 @@ impl Hmpi<'_> {
     /// assumed to survive (the paper's host process is the anchor of the
     /// whole runtime; its failure is unrecoverable).
     ///
-    /// # Errors
-    /// `HmpiError::Mpi(MpiError::NodeFailed)` with the caller's own rank if
-    /// the caller's node crashes during the benchmark; on non-host ranks,
-    /// transport errors if the host dies.
-    #[deprecated(note = "use recon_opts(Recon::new(units).fault_tolerant(true))")]
-    pub fn recon_ft(&self, units: f64) -> HmpiResult<()> {
-        self.recon_opts(Recon::new(units).fault_tolerant(true))
-    }
-
-    /// [`Hmpi::recon_ft`] with a separate normalisation, mirroring
-    /// [`Hmpi::recon_with`]: the benchmark performs `work_units` of raw
-    /// computation but the recorded speed is `nominal_units / elapsed`, so
-    /// applications whose performance models count in coarser units (e.g.
-    /// EM3D's "k nodal values") keep their unit system under faults.
+    /// Reached via [`Hmpi::recon_opts`] with [`Recon::fault_tolerant`]
+    /// (or automatically on clusters with a non-empty fault plan).
     ///
-    /// # Errors
-    /// As [`Hmpi::recon_ft`], plus [`HmpiError::InvalidArgument`] for a
-    /// non-positive or non-finite benchmark volume (checked before any
-    /// computation or communication, so every rank fails consistently).
-    #[deprecated(
-        note = "use recon_opts(Recon::new(nominal).work_units(work).fault_tolerant(true))"
-    )]
-    pub fn recon_ft_scaled(&self, nominal_units: f64, work_units: f64) -> HmpiResult<()> {
-        self.recon_opts(
-            Recon::new(nominal_units)
-                .work_units(work_units)
-                .fault_tolerant(true),
-        )
-    }
-
     /// The fault-tolerant point-to-point recon protocol (see
     /// [`Hmpi::recon_opts`]). `work_units` sizes the host's per-rank
     /// deadlines; `bench` performs the actual benchmark on the calling
@@ -594,26 +672,6 @@ impl Hmpi<'_> {
             Some(format!("generation={generation}")),
         );
         Ok(())
-    }
-
-    /// `HMPI_Recon` with a caller-supplied benchmark body: `bench` should
-    /// perform work equivalent to `nominal_units` benchmark units (e.g. call
-    /// the application's serial kernel); its elapsed virtual time yields the
-    /// speed estimate `nominal_units / elapsed`. Collective over
-    /// `HMPI_COMM_WORLD`.
-    ///
-    /// # Errors
-    /// Propagates transport errors from the internal allgather;
-    /// [`HmpiError::InvalidArgument`] for a non-positive or non-finite
-    /// benchmark volume (checked before the benchmark runs, so every rank
-    /// fails consistently).
-    #[deprecated(note = "use recon_opts(Recon::new(nominal).bench(f).fault_tolerant(false))")]
-    pub fn recon_with(&self, nominal_units: f64, bench: impl FnOnce(&Self)) -> HmpiResult<()> {
-        self.recon_opts(
-            Recon::new(nominal_units)
-                .bench(bench)
-                .fault_tolerant(false),
-        )
     }
 
     /// The classic collective recon path (see [`Hmpi::recon_opts`]). The
@@ -814,9 +872,11 @@ impl Hmpi<'_> {
     ///
     /// Takes anything convertible into a [`GroupSpec`]: a plain model
     /// reference for the all-defaults case (`h.group_create(&model)`), or a
-    /// builder chain for the knobs the deprecated
-    /// `group_create_with`/`group_create_as` used to expose positionally
+    /// builder chain for the selection algorithm and parent placement
     /// (`h.group_create(GroupSpec::new(&model).algorithm(a).placement(p))`).
+    /// A non-host parent pins the model's `parent` processor to that rank —
+    /// the paper's general form where "every newly created group has
+    /// exactly one process shared with already existing groups".
     ///
     /// The parent solves the selection problem against the current speed
     /// estimates and distributes `(group id, context, member list)` to every
@@ -834,45 +894,6 @@ impl Hmpi<'_> {
     /// transport errors otherwise.
     pub fn group_create<'m>(&self, spec: impl Into<GroupSpec<'m>>) -> HmpiResult<HmpiGroup> {
         self.group_create_spec(spec.into())
-    }
-
-    /// `HMPI_Group_create` with an explicit selection algorithm.
-    ///
-    /// # Errors
-    /// As [`Hmpi::group_create`].
-    #[deprecated(note = "use group_create(GroupSpec::new(model).algorithm(algo))")]
-    pub fn group_create_with(
-        &self,
-        algo: MappingAlgorithm,
-        model: &dyn perfmodel::PerformanceModel,
-    ) -> HmpiResult<HmpiGroup> {
-        self.group_create_spec(GroupSpec::new(model).algorithm(algo))
-    }
-
-    /// `HMPI_Group_create` with an arbitrary *parent* process — the paper's
-    /// general form: "every newly created group has exactly one process
-    /// shared with already existing groups. That process is called a
-    /// parent". The parent coordinates the selection (it may itself be a
-    /// member of an existing group); all free processes must call this with
-    /// the same `parent_world`. The model's `parent` processor is pinned to
-    /// that rank.
-    ///
-    /// # Errors
-    /// As [`Hmpi::group_create`].
-    #[deprecated(
-        note = "use group_create(GroupSpec::new(model).algorithm(algo).placement(parent_world))"
-    )]
-    pub fn group_create_as(
-        &self,
-        parent_world: usize,
-        algo: MappingAlgorithm,
-        model: &dyn perfmodel::PerformanceModel,
-    ) -> HmpiResult<HmpiGroup> {
-        self.group_create_spec(
-            GroupSpec::new(model)
-                .algorithm(algo)
-                .placement(parent_world),
-        )
     }
 
     /// The one group-creation implementation every public entry point

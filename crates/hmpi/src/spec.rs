@@ -1,7 +1,7 @@
 //! Option builders for the consolidated HMPI surface.
 //!
-//! The group-creation family (`group_create` / `group_create_with` /
-//! `group_create_as`) and the recon family (`recon` / `recon_ft` /
+//! The group-creation family (once `group_create` / `group_create_with` /
+//! `group_create_as`) and the recon family (once `recon` / `recon_ft` /
 //! `recon_ft_scaled` / `recon_with`) each grew one positional parameter at a
 //! time; this module collapses each family behind a single options builder
 //! so the one-parameter common case stays one call while every knob remains
@@ -18,8 +18,9 @@
 //! h.recon_opts(Recon::new(10.0).bench(|h| h.compute(10.0)))?;
 //! ```
 //!
-//! The old multi-entry functions survive as `#[deprecated]` forwarding
-//! shims on [`crate::Hmpi`].
+//! The old multi-entry functions lived on as `#[deprecated]` forwarding
+//! shims on [`crate::Hmpi`] for one release cycle and have since been
+//! removed.
 
 use crate::mapping::MappingAlgorithm;
 use crate::runtime::Hmpi;

@@ -1,7 +1,7 @@
 //! End-to-end HMPI runtime behaviour across real rank threads.
 
 use hetsim::{Cluster, ClusterBuilder, Link, LoadModel, Processor, Protocol, SimTime};
-use hmpi::{GroupSpec, HmpiError, HmpiRuntime, MappingAlgorithm, Recon};
+use hmpi::{GroupSpec, HmpiError, HmpiRuntime, MappingAlgorithm, Recon, RuntimeConfig};
 use perfmodel::ModelBuilder;
 use std::sync::Arc;
 
@@ -325,7 +325,10 @@ fn selection_respects_recon_updates() {
 
 #[test]
 fn exhaustive_and_refined_agree_on_paper_lan() {
-    let rt_e = HmpiRuntime::new(paper_lan()).with_algorithm(MappingAlgorithm::Exhaustive);
+    let rt_e = HmpiRuntime::with_config(
+        paper_lan(),
+        RuntimeConfig::new().mapping_algorithm(MappingAlgorithm::Exhaustive),
+    );
     let rt_r = HmpiRuntime::new(paper_lan());
     let model_volumes = vec![300.0, 100.0, 50.0];
     let volumes = model_volumes.clone();
@@ -380,9 +383,9 @@ fn smp_nodes_host_multiple_ranks() {
             .all_to_all(Link::new(150e-6, 11e6, Protocol::Tcp))
             .build(),
     );
-    let rt = HmpiRuntime::with_placement(
+    let rt = HmpiRuntime::with_config(
         cluster,
-        vec![NodeId(0), NodeId(0), NodeId(1)],
+        RuntimeConfig::new().placement(vec![NodeId(0), NodeId(0), NodeId(1)]),
     );
     let report = rt.run(|h| {
         h.recon(12.0).unwrap();
@@ -486,7 +489,7 @@ fn overflowing_speed_cannot_poison_estimates() {
 fn traced_run_records_recon_and_selection_events() {
     use hetsim::trace::TraceKind;
 
-    let rt = HmpiRuntime::new(small_cluster()).with_tracing();
+    let rt = HmpiRuntime::with_config(small_cluster(), RuntimeConfig::new().tracing(true));
     let report = rt.run(|h| {
         h.recon(10.0).unwrap();
         let model = ModelBuilder::new("pair")
@@ -523,38 +526,33 @@ fn traced_run_records_recon_and_selection_events() {
 
 #[test]
 #[allow(deprecated)]
-fn deprecated_shims_forward_to_the_consolidated_surface() {
-    // The pre-GroupSpec/Recon entry points must keep working verbatim:
-    // same estimates, same groups, same errors.
-    let rt = HmpiRuntime::new(small_cluster());
+fn deprecated_builders_forward_to_the_consolidated_config() {
+    // The pre-RuntimeConfig builder pile must keep working verbatim for
+    // one deprecation cycle: same estimates, same groups, same policies.
+    let rt = HmpiRuntime::new(small_cluster())
+        .with_algorithm(MappingAlgorithm::Exhaustive)
+        .with_collective_policy(hmpi::CollectivePolicy::Auto)
+        .with_tracing();
     let report = rt.run(|h| {
-        h.recon_ft(10.0).unwrap();
-        h.recon_ft_scaled(10.0, 20.0).unwrap();
-        h.recon_with(10.0, |hh| hh.compute(10.0)).unwrap();
+        h.recon_opts(hmpi::Recon::new(10.0).fault_tolerant(true))
+            .unwrap();
         let model = ModelBuilder::new("m")
             .processors(2)
             .volumes(vec![10.0, 400.0])
             .build()
             .unwrap();
-        let g1 = h
-            .group_create_with(MappingAlgorithm::Exhaustive, &model)
+        let g = h
+            .group_create(hmpi::GroupSpec::new(&model).placement(0))
             .unwrap();
-        let members_with = g1.members().to_vec();
-        if g1.is_member() {
-            h.group_free(g1).unwrap();
+        let members = g.members().to_vec();
+        if g.is_member() {
+            h.group_free(g).unwrap();
         }
-        let g2 = h
-            .group_create_as(0, MappingAlgorithm::Exhaustive, &model)
-            .unwrap();
-        let members_as = g2.members().to_vec();
-        if g2.is_member() {
-            h.group_free(g2).unwrap();
-        }
-        (members_with, members_as)
+        members
     });
-    let (members_with, members_as) = &report.results[0];
-    assert_eq!(members_with, members_as);
-    assert_eq!(members_with[0], 0, "parent stays pinned to the host");
+    assert!(report.trace.is_some(), "with_tracing still records a trace");
+    let members = &report.results[0];
+    assert_eq!(members[0], 0, "parent stays pinned to the host");
     let snap = rt.estimates().snapshot();
     assert!(snap.iter().all(|s| s.is_finite() && *s > 0.0));
 }

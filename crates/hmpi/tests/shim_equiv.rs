@@ -1,21 +1,36 @@
-//! The PR-4 deprecated shims must be *observably identical* to their
-//! `GroupSpec`/`Recon` replacements — not just on the single compat case
-//! each shim's unit test pins, but on random clusters, models and
-//! benchmark volumes. Equivalence is judged on everything a program can
-//! see: selected members, predicted times (bitwise), error values,
-//! speed-estimate snapshots and virtual makespans.
+//! The config-consolidation deprecated shims must be *observably
+//! identical* to their [`RuntimeConfig`]/`UniverseConfig` replacements —
+//! not just on a single compat case, but on random clusters, placements,
+//! algorithms and policies. Equivalence is judged on everything a program
+//! can see: per-rank results, selected members, predicted times (bitwise),
+//! virtual makespans (bitwise) and trace shapes.
+//!
+//! (This file previously played the same role for the PR-4
+//! `recon_*`/`group_create_*` shims; those completed their deprecation
+//! cycle and were removed.)
 #![allow(deprecated)]
 
-use hetsim::Cluster;
-use hmpi::{GroupSpec, HmpiRuntime, MappingAlgorithm, Recon};
+use hetsim::{Cluster, NodeId};
+use hmpi::{CollectiveAlgo, CollectivePolicy, HmpiRuntime, MappingAlgorithm, RuntimeConfig};
+use mpisim::{Universe, UniverseConfig};
 use perfmodel::ModelBuilder;
 use proptest::prelude::*;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A random cluster big enough to host something but small enough that a
 /// proptest case stays cheap. `Cluster::random` draws 1..=5 nodes.
 fn arb_cluster(seed: u64) -> Arc<Cluster> {
     Arc::new(Cluster::random(seed, 5))
+}
+
+/// A deterministic placement over the cluster's nodes: a seeded rotation,
+/// possibly with one node doubled up (slot counts permitting the paper's
+/// one-process-per-node convention is the common case, so stay within it).
+fn rotated_placement(cluster: &Cluster, seed: u64) -> Vec<NodeId> {
+    let ids: Vec<NodeId> = cluster.node_ids().collect();
+    let k = (seed as usize) % ids.len();
+    ids[k..].iter().chain(&ids[..k]).copied().collect()
 }
 
 fn algo_strategy() -> BoxedStrategy<MappingAlgorithm> {
@@ -29,193 +44,200 @@ fn algo_strategy() -> BoxedStrategy<MappingAlgorithm> {
     .boxed()
 }
 
-/// What one group creation lets the program observe: the member list and
-/// the predicted time (bitwise) on success, the typed error otherwise.
-type GroupObs = Result<(Vec<usize>, u64, bool), String>;
+fn policy_strategy() -> BoxedStrategy<CollectivePolicy> {
+    prop_oneof![
+        Just(CollectivePolicy::Auto),
+        Just(CollectivePolicy::FlatAuto),
+        Just(CollectivePolicy::Fixed(CollectiveAlgo::Linear)),
+        Just(CollectivePolicy::Fixed(CollectiveAlgo::Binomial)),
+    ]
+    .boxed()
+}
+
+/// Everything a rank can observe about a [`workload`] run: its node, the
+/// group-create outcome (members + predicted time, or the error text) and
+/// the allreduce result.
+type Observation = (usize, Result<(Vec<usize>, u64), String>, Vec<i64>);
+
+/// A workload that exercises compute, recon, selection and collectives, and
+/// returns everything a rank can observe about it. Errors (e.g. a 1-node
+/// random cluster rejecting a 2-processor model) are observations too —
+/// both sides of an equivalence test must fail identically.
+fn workload(h: &hmpi::Hmpi) -> Observation {
+    h.recon(5.0).unwrap();
+    let model = ModelBuilder::new("w")
+        .processors(2)
+        .volumes(vec![10.0, 300.0])
+        .build()
+        .unwrap();
+    let group = match h.group_create(&model) {
+        Ok(g) => {
+            let obs = (g.members().to_vec(), g.predicted_time().to_bits());
+            if g.is_member() {
+                h.group_free(g).unwrap();
+            }
+            Ok(obs)
+        }
+        Err(e) => Err(format!("{e:?}")),
+    };
+    let summed = h
+        .world()
+        .allreduce_eq_i64(&[h.rank() as i64 + 1], mpisim::ReduceOp::Sum);
+    (h.node().index(), group, summed.unwrap())
+}
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(10))]
 
-    /// `group_create_with(algo, model)` ==
-    /// `group_create(GroupSpec::new(model).algorithm(algo))`, per rank.
+    /// `HmpiRuntime::with_placement(c, p)` ==
+    /// `HmpiRuntime::with_config(c, RuntimeConfig::new().placement(p))`:
+    /// same node per rank, same observable run, same makespan (bitwise).
     #[test]
-    fn group_create_with_matches_spec(
-        cseed in 0u64..1000,
+    fn with_placement_matches_config(cseed in 0u64..500, rot in 0u64..8) {
+        let cluster = arb_cluster(cseed);
+        let placement = rotated_placement(&cluster, rot);
+        let old_rt = HmpiRuntime::with_placement(cluster.clone(), placement.clone());
+        let new_rt = HmpiRuntime::with_config(
+            cluster,
+            RuntimeConfig::new().placement(placement),
+        );
+        let old = old_rt.run(workload);
+        let new = new_rt.run(workload);
+        prop_assert_eq!(&old.results, &new.results);
+        prop_assert_eq!(old.makespan.as_secs().to_bits(), new.makespan.as_secs().to_bits());
+    }
+
+    /// `with_algorithm(a)` == `RuntimeConfig::mapping_algorithm(a)`: the
+    /// default selection algorithm lands identically (members + predicted
+    /// time bitwise).
+    #[test]
+    fn with_algorithm_matches_config(
+        cseed in 0u64..500,
         mseed in 0u64..1000,
         algo in algo_strategy(),
     ) {
         let cluster = arb_cluster(cseed);
-        let rt = HmpiRuntime::new(cluster);
-        let report = rt.run(move |h| {
+        let old_rt = HmpiRuntime::new(cluster.clone()).with_algorithm(algo);
+        let new_rt = HmpiRuntime::with_config(
+            cluster,
+            RuntimeConfig::new().mapping_algorithm(algo),
+        );
+        let run = move |h: &hmpi::Hmpi| {
             let model = ModelBuilder::random(mseed, 5);
-            let capture = |r: hmpi::HmpiResult<hmpi::HmpiGroup>| -> GroupObs {
-                match r {
-                    Ok(g) => {
-                        let obs = (
-                            g.members().to_vec(),
-                            g.predicted_time().to_bits(),
-                            g.is_member(),
-                        );
-                        if g.is_member() {
-                            h.group_free(g).unwrap();
-                        }
-                        Ok(obs)
+            match h.group_create(&model) {
+                Ok(g) => {
+                    let obs = (g.members().to_vec(), g.predicted_time().to_bits());
+                    if g.is_member() {
+                        h.group_free(g).unwrap();
                     }
-                    Err(e) => Err(format!("{e:?}")),
+                    Ok(obs)
                 }
-            };
-            let old = capture(h.group_create_with(algo, &model));
-            let new = capture(h.group_create(GroupSpec::new(&model).algorithm(algo)));
-            (old, new)
-        });
-        for (rank, (old, new)) in report.results.iter().enumerate() {
-            prop_assert_eq!(old, new, "rank {} diverged", rank);
-        }
+                Err(e) => Err(format!("{e:?}")),
+            }
+        };
+        let old = old_rt.run(run);
+        let new = new_rt.run(run);
+        prop_assert_eq!(&old.results, &new.results);
     }
 
-    /// `group_create_as(parent, algo, model)` ==
-    /// `group_create(GroupSpec::new(model).algorithm(algo).placement(parent))`,
-    /// including out-of-range parents (both must fail identically).
+    /// `with_collective_policy(p)` == `RuntimeConfig::collective_policy(p)`:
+    /// identical collective results and virtual makespans (bitwise), for
+    /// every policy including the hierarchy-aware and flat-only selectors.
     #[test]
-    fn group_create_as_matches_spec(
-        cseed in 0u64..1000,
-        mseed in 0u64..1000,
-        parent_pick in 0usize..8,
-        algo in algo_strategy(),
+    fn with_collective_policy_matches_config(
+        cseed in 0u64..500,
+        policy in policy_strategy(),
     ) {
         let cluster = arb_cluster(cseed);
-        let rt = HmpiRuntime::new(cluster);
-        let report = rt.run(move |h| {
-            let model = ModelBuilder::random(mseed, 5);
-            // Mostly in-range parents, sometimes past the world boundary.
-            let parent = parent_pick % (h.world().size() + 1);
-            let capture = |r: hmpi::HmpiResult<hmpi::HmpiGroup>| -> GroupObs {
-                match r {
-                    Ok(g) => {
-                        let obs = (
-                            g.members().to_vec(),
-                            g.predicted_time().to_bits(),
-                            g.is_member(),
-                        );
-                        if g.is_member() {
-                            h.group_free(g).unwrap();
-                        }
-                        Ok(obs)
-                    }
-                    Err(e) => Err(format!("{e:?}")),
-                }
-            };
-            let old = capture(h.group_create_as(parent, algo, &model));
-            let new = capture(h.group_create(
-                GroupSpec::new(&model).algorithm(algo).placement(parent),
-            ));
-            (old, new)
-        });
-        for (rank, (old, new)) in report.results.iter().enumerate() {
-            prop_assert_eq!(old, new, "rank {} diverged", rank);
-        }
-    }
-
-    /// The recon shims against `recon_opts`: the same typed result, the
-    /// same speed estimates and one generation bump each, with shim and
-    /// replacement executed back to back inside one runtime (the cluster
-    /// has no load models, so true speeds are time-invariant and the two
-    /// measurements must agree to float noise).
-    #[test]
-    fn recon_ft_matches_recon_opts(
-        cseed in 0u64..1000,
-        units in 1.0f64..50.0,
-    ) {
-        compare_recons(
-            cseed,
-            move |h| h.recon_ft(units),
-            move |h| h.recon_opts(Recon::new(units).fault_tolerant(true)),
-        )?;
-    }
-
-    #[test]
-    fn recon_ft_scaled_matches_recon_opts(
-        cseed in 0u64..1000,
-        units in 1.0f64..50.0,
-        work in 1.0f64..200.0,
-    ) {
-        compare_recons(
-            cseed,
-            move |h| h.recon_ft_scaled(units, work),
-            move |h| {
-                h.recon_opts(Recon::new(units).work_units(work).fault_tolerant(true))
-            },
-        )?;
-    }
-
-    #[test]
-    fn recon_with_matches_recon_opts(
-        cseed in 0u64..1000,
-        units in 1.0f64..50.0,
-        bench_units in 1.0f64..100.0,
-    ) {
-        compare_recons(
-            cseed,
-            move |h| h.recon_with(units, |h| h.compute(bench_units)),
-            move |h| {
-                h.recon_opts(
-                    Recon::new(units)
-                        .bench(move |h: &hmpi::Hmpi| h.compute(bench_units))
-                        .fault_tolerant(false),
-                )
-            },
-        )?;
-    }
-}
-
-fn close(a: f64, b: f64) -> bool {
-    a == b || (a - b).abs() <= 1e-9 * a.abs().max(b.abs())
-}
-
-/// Runs `old` then `new` back to back on one runtime over
-/// `Cluster::random(cseed, 5)` and asserts they are observably identical:
-/// same per-rank typed result, same estimate snapshot (to float noise —
-/// the second call measures at a later virtual instant), and exactly one
-/// generation bump each.
-fn compare_recons(
-    cseed: u64,
-    old: impl Fn(&hmpi::Hmpi) -> hmpi::HmpiResult<()> + Send + Sync + 'static,
-    new: impl Fn(&hmpi::Hmpi) -> hmpi::HmpiResult<()> + Send + Sync + 'static,
-) -> Result<(), proptest::prelude::TestCaseError> {
-    let rt = HmpiRuntime::new(arb_cluster(cseed));
-    let report = rt.run(move |h| {
-        let world = h.world();
-        let r_old = old(h).map_err(|e| format!("{e:?}"));
-        world.barrier().unwrap();
-        let snap_old = h.estimates().snapshot();
-        let gen_old = h.estimates().generation();
-        let r_new = new(h).map_err(|e| format!("{e:?}"));
-        world.barrier().unwrap();
-        let snap_new = h.estimates().snapshot();
-        let gen_new = h.estimates().generation();
-        (r_old, r_new, snap_old, snap_new, gen_old, gen_new)
-    });
-    for (rank, (r_old, r_new, snap_old, snap_new, gen_old, gen_new)) in
-        report.results.iter().enumerate()
-    {
-        prop_assert_eq!(r_old, r_new, "rank {} results diverged", rank);
-        prop_assert_eq!(
-            *gen_new,
-            gen_old + 1,
-            "rank {} saw {} generation bumps for the replacement",
-            rank,
-            gen_new - gen_old
+        let old_rt = HmpiRuntime::new(cluster.clone()).with_collective_policy(policy);
+        let new_rt = HmpiRuntime::with_config(
+            cluster,
+            RuntimeConfig::new().collective_policy(policy),
         );
-        prop_assert!(
-            snap_old
-                .iter()
-                .zip(snap_new)
-                .all(|(a, b)| close(*a, *b)),
-            "rank {} estimates diverged: {:?} vs {:?}",
-            rank,
-            snap_old,
-            snap_new
-        );
+        // A pinned algorithm may be ineligible for one of the kinds (e.g.
+        // binomial allgather): the error is the observation then, and both
+        // runtimes must produce it identically.
+        let run = |h: &hmpi::Hmpi| {
+            let world = h.world();
+            let mine = vec![h.rank() as f64 + 0.5; 64];
+            let summed = world
+                .allreduce_eq_f64(&mine, mpisim::ReduceOp::Sum)
+                .map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>())
+                .map_err(|e| format!("{e:?}"));
+            let all = world
+                .allgather_eq(&[h.rank() as i64])
+                .map_err(|e| format!("{e:?}"));
+            (summed, all)
+        };
+        let old = old_rt.run(run);
+        let new = new_rt.run(run);
+        prop_assert_eq!(&old.results, &new.results);
+        prop_assert_eq!(old.makespan.as_secs().to_bits(), new.makespan.as_secs().to_bits());
     }
-    Ok(())
+
+    /// `with_tracing()` == `RuntimeConfig::tracing(true)`: both record a
+    /// trace with identical event shape over the same deterministic run.
+    #[test]
+    fn with_tracing_matches_config(cseed in 0u64..500) {
+        let cluster = arb_cluster(cseed);
+        let old_rt = HmpiRuntime::new(cluster.clone()).with_tracing();
+        let new_rt = HmpiRuntime::with_config(cluster, RuntimeConfig::new().tracing(true));
+        let run = |h: &hmpi::Hmpi| {
+            h.recon(2.0).unwrap();
+            h.world().barrier().unwrap();
+            h.rank()
+        };
+        let old = old_rt.run(run);
+        let new = new_rt.run(run);
+        let old_trace = old.trace.expect("with_tracing records a trace");
+        let new_trace = new.trace.expect("tracing(true) records a trace");
+        let shape = |t: &hetsim::trace::Trace| {
+            t.events.iter().map(|e| (e.kind, e.rank)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(shape(&old_trace), shape(&new_trace));
+    }
+
+    /// The `Universe::with_*` pile == one `UniverseConfig`: chaining every
+    /// deprecated builder produces the same observable universe as the
+    /// consolidated config (per-rank results and makespan bitwise).
+    #[test]
+    fn universe_builder_pile_matches_config(
+        cseed in 0u64..500,
+        rot in 0u64..8,
+        eager in 0usize..512,
+    ) {
+        let cluster = arb_cluster(cseed);
+        let placement = rotated_placement(&cluster, rot);
+        let old_u = Universe::with_placement(cluster.clone(), placement.clone())
+            .with_deadlock_timeout(Duration::from_secs(30))
+            .with_stack_size(1 << 21)
+            .with_eager_limit(eager)
+            .with_collective_policy(CollectivePolicy::Auto);
+        let new_u = Universe::with_config(
+            cluster,
+            UniverseConfig::new()
+                .placement(placement)
+                .deadlock_timeout(Duration::from_secs(30))
+                .stack_size(1 << 21)
+                .eager_limit(eager)
+                .collective_policy(CollectivePolicy::Auto),
+        );
+        let run = |p: &mpisim::Process| {
+            let world = p.world();
+            let n = world.size();
+            let next = (world.rank() + 1) % n;
+            let prev = (world.rank() + n - 1) % n;
+            // A ring exchange big enough to cross the eager/rendezvous
+            // switchover for small `eager` values.
+            let payload = vec![world.rank() as i64; 128];
+            let (got, _) = world
+                .sendrecv::<i64, i64>(&payload, next, 7, prev, 7)
+                .unwrap();
+            (got[0], world.allgather_eq(&[p.node().index() as i64]).unwrap())
+        };
+        let old = old_u.run(run);
+        let new = new_u.run(run);
+        prop_assert_eq!(&old.results, &new.results);
+        prop_assert_eq!(old.makespan.as_secs().to_bits(), new.makespan.as_secs().to_bits());
+    }
 }

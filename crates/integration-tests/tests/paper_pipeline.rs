@@ -3,7 +3,7 @@
 //! on the simulated heterogeneous LAN.
 
 use hetsim::{Cluster, ClusterBuilder, Link, Protocol};
-use hmpi::HmpiRuntime;
+use hmpi::{HmpiRuntime, RuntimeConfig};
 use hmpi_apps::em3d::{self, Em3dConfig, Em3dSystem};
 use hmpi_apps::matmul::{self, GeneralizedBlockDist};
 use perfmodel::CompiledModel;
@@ -178,7 +178,10 @@ fn multi_protocol_links_shift_the_selection() {
             .link_between(0, 2, fast_link)
             .build(),
     );
-    let runtime = HmpiRuntime::new(cluster).with_algorithm(hmpi::MappingAlgorithm::Exhaustive);
+    let runtime = HmpiRuntime::with_config(
+        cluster,
+        RuntimeConfig::new().mapping_algorithm(hmpi::MappingAlgorithm::Exhaustive),
+    );
     let report = runtime.run(|h| {
         let model = perfmodel::ModelBuilder::new("chatty")
             .processors(2)

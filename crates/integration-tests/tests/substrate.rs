@@ -3,7 +3,7 @@
 //! small thread stacks.
 
 use hetsim::{Cluster, ClusterBuilder, FaultEvent, FaultPlan, Link, NodeId, Protocol, SimTime};
-use mpisim::{MpiError, Universe, DEFAULT_EAGER_LIMIT};
+use mpisim::{MpiError, Universe, UniverseConfig, DEFAULT_EAGER_LIMIT};
 use proptest::prelude::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -28,7 +28,10 @@ fn fill(seq: usize, len: usize) -> Vec<u8> {
 #[test]
 fn kilorank_world_runs_on_small_stacks() {
     let n = 1024;
-    let u = Universe::new(uniform_cluster(n)).with_stack_size(256 * 1024);
+    let u = Universe::with_config(
+        uniform_cluster(n),
+        UniverseConfig::new().stack_size(256 * 1024),
+    );
     let report = u.run(|proc| {
         let world = proc.world();
         let me = world.rank();

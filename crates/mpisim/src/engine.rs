@@ -52,7 +52,7 @@ use perfmodel::collective::{
     chunk_bounds, eligible, price, schedule, select, CollectiveAlgo, CollectiveKind, LinkSharing,
     Xfer,
 };
-use perfmodel::PairCost;
+use perfmodel::{hier_plan, GatherXfer, HierPlan, PairCost, RankTopology};
 
 /// Tag used by every engine-scheduled transfer. A single tag suffices:
 /// transfers ride the communicator's collective plane, where the per-pair
@@ -84,13 +84,28 @@ fn fault_blame(e: &MpiError) -> Option<usize> {
 /// How the engine picks an algorithm for each collective call.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum CollectivePolicy {
-    /// Price every eligible algorithm against the link table and run the
-    /// predicted-cheapest (the default).
+    /// Price every eligible flat algorithm *and* the hierarchical plan for
+    /// the communicator's topology (declared on the cluster, or inferred
+    /// from the latency scale), and run the predicted-cheapest (the
+    /// default). On a flat topology this degenerates to [`Self::FlatAuto`]
+    /// exactly — no hierarchical plan exists, so selection and virtual
+    /// times are bit-identical.
     #[default]
     Auto,
+    /// Price only the flat algorithms, ignoring any topology — the
+    /// pre-hierarchy selector, kept addressable so benches can measure what
+    /// hierarchy awareness buys.
+    FlatAuto,
     /// Always run the given algorithm; calls for which it is ineligible
     /// fail with [`MpiError::InvalidCounts`].
     Fixed(CollectiveAlgo),
+}
+
+/// How one collective call will execute: a flat schedule of the given
+/// algorithm, or a hierarchical multi-level plan.
+enum Execution {
+    Flat(CollectiveAlgo),
+    Hier(Box<HierPlan>),
 }
 
 /// The engine's [`PairCost`] view of a communicator: pairwise link costs by
@@ -141,16 +156,68 @@ impl Comm {
         )
     }
 
-    /// Resolves which algorithm a call runs: an explicit request or the
-    /// universe's [`CollectivePolicy`], with eligibility checking.
-    fn resolve_algo(
+    /// The communicator's per-rank hierarchy coordinates: read off the
+    /// cluster's declared [`hetsim::TopologyInfo`] when one exists,
+    /// otherwise inferred from the pair table's latency scale
+    /// ([`RankTopology::infer`]). A flat cluster yields flat coordinates
+    /// either way, and [`hier_plan`] then declines to plan.
+    fn rank_topology(&self, cost: &CostView) -> RankTopology {
+        match self.shared.cluster.topology() {
+            Some(info) => RankTopology::new(
+                cost.nodes.iter().map(|&n| info.site_of(n)).collect(),
+                cost.nodes.iter().map(|&n| info.switch_of(n)).collect(),
+                cost.nodes.iter().map(|n| n.index()).collect(),
+            ),
+            None => RankTopology::infer(self.size(), cost),
+        }
+    }
+
+    /// The hierarchical candidate for one call, with its predicted time —
+    /// `None` when the topology offers nothing over a flat schedule.
+    fn hier_candidate(
+        &self,
+        kind: CollectiveKind,
+        root: usize,
+        elems: usize,
+        elem_bytes: usize,
+        cost: &CostView,
+        sharing: LinkSharing,
+    ) -> Option<(Box<HierPlan>, f64)> {
+        let topo = self.rank_topology(cost);
+        let plan = hier_plan(
+            kind,
+            self.size(),
+            root,
+            elems,
+            elem_bytes as f64,
+            &topo,
+            cost,
+            sharing,
+        )?;
+        let t = price(
+            self.size(),
+            &plan.xfer_rounds(elems),
+            elem_bytes as f64,
+            cost,
+            sharing,
+        );
+        Some((Box::new(plan), t))
+    }
+
+    /// Resolves how a call executes: an explicit request or the universe's
+    /// [`CollectivePolicy`], with eligibility checking. Under
+    /// [`CollectivePolicy::Auto`] the flat winner competes against the
+    /// hierarchical plan; hierarchy is adopted only when *strictly*
+    /// cheaper, so flat topologies (where no plan exists) and ties keep the
+    /// pre-hierarchy choice bit-for-bit.
+    fn resolve_exec(
         &self,
         kind: CollectiveKind,
         explicit: Option<CollectiveAlgo>,
         root: usize,
         elems: usize,
         elem_bytes: usize,
-    ) -> MpiResult<CollectiveAlgo> {
+    ) -> MpiResult<Execution> {
         let p = self.size();
         if root >= p {
             // Validated before Auto pricing: perfmodel::collective::select
@@ -161,13 +228,13 @@ impl Comm {
             });
         }
         let requested = explicit.or(match self.shared.coll_policy {
-            CollectivePolicy::Auto => None,
+            CollectivePolicy::Auto | CollectivePolicy::FlatAuto => None,
             CollectivePolicy::Fixed(a) => Some(a),
         });
         match requested {
             Some(a) => {
                 if eligible(kind, a, p) {
-                    Ok(a)
+                    Ok(Execution::Flat(a))
                 } else {
                     Err(MpiError::InvalidCounts(format!(
                         "algorithm {} is not eligible for {} over {p} rank(s)",
@@ -178,16 +245,30 @@ impl Comm {
             }
             None => {
                 let (cost, sharing) = self.coll_cost();
-                Ok(select(kind, p, root, elems, elem_bytes as f64, &cost, sharing).0)
+                let (flat, flat_t) =
+                    select(kind, p, root, elems, elem_bytes as f64, &cost, sharing);
+                if self.shared.coll_policy != CollectivePolicy::FlatAuto {
+                    if let Some((plan, t)) =
+                        self.hier_candidate(kind, root, elems, elem_bytes, &cost, sharing)
+                    {
+                        if t < flat_t {
+                            return Ok(Execution::Hier(plan));
+                        }
+                    }
+                }
+                Ok(Execution::Flat(flat))
             }
         }
     }
 
     /// Predicts the cheapest algorithm (and its virtual time in seconds) for
     /// a collective of `elems` elements of `elem_bytes` each, exactly as
-    /// [`CollectivePolicy::Auto`] dispatch would choose it. `root` is the
-    /// communicator rank the operation is rooted at (pass 0 for rootless
-    /// collectives).
+    /// auto-selecting dispatch would choose it under the universe's policy:
+    /// [`CollectiveAlgo::Hierarchical`] when the hierarchical plan strictly
+    /// beats the flat winner (and the policy is not
+    /// [`CollectivePolicy::FlatAuto`]), the flat winner otherwise. `root`
+    /// is the communicator rank the operation is rooted at (pass 0 for
+    /// rootless collectives).
     ///
     /// # Errors
     /// [`MpiError::InvalidRank`] if `root` is outside the communicator.
@@ -206,10 +287,22 @@ impl Comm {
             });
         }
         let (cost, sharing) = self.coll_cost();
-        Ok(select(kind, p, root, elems, elem_bytes as f64, &cost, sharing))
+        let (flat, flat_t) = select(kind, p, root, elems, elem_bytes as f64, &cost, sharing);
+        if self.shared.coll_policy != CollectivePolicy::FlatAuto {
+            if let Some((_, t)) =
+                self.hier_candidate(kind, root, elems, elem_bytes, &cost, sharing)
+            {
+                if t < flat_t {
+                    return Ok((CollectiveAlgo::Hierarchical, t));
+                }
+            }
+        }
+        Ok((flat, flat_t))
     }
 
     /// Predicts the virtual time of one specific algorithm for a collective.
+    /// [`CollectiveAlgo::Hierarchical`] prices the topology's hierarchical
+    /// plan (an error when the topology is flat — no plan exists).
     ///
     /// # Errors
     /// [`MpiError::InvalidRank`] if `root` is outside the communicator;
@@ -229,6 +322,19 @@ impl Comm {
                 rank: root as isize,
                 comm_size: p,
             });
+        }
+        if algo == CollectiveAlgo::Hierarchical {
+            let (cost, sharing) = self.coll_cost();
+            return self
+                .hier_candidate(kind, root, elems, elem_bytes, &cost, sharing)
+                .map(|(_, t)| t)
+                .ok_or_else(|| {
+                    MpiError::InvalidCounts(format!(
+                        "no hierarchical plan exists for {} over {p} rank(s) \
+                         (flat topology?)",
+                        kind.name(),
+                    ))
+                });
         }
         let rounds = schedule(kind, algo, p, root, elems).ok_or_else(|| {
             MpiError::InvalidCounts(format!(
@@ -393,9 +499,25 @@ impl Comm {
     /// fail-stopped member — the fault contract guarantees every survivor
     /// returns the complete result or this error, never a torn buffer.
     pub fn bcast_into<T: MpiType>(&self, buf: &mut [T], root: usize) -> MpiResult<()> {
-        let algo =
-            self.resolve_algo(CollectiveKind::Bcast, None, root, buf.len(), T::WIRE_SIZE)?;
-        self.bcast_into_with(algo, buf, root)
+        match self.resolve_exec(CollectiveKind::Bcast, None, root, buf.len(), T::WIRE_SIZE)? {
+            Execution::Flat(algo) => self.bcast_into_with(algo, buf, root),
+            Execution::Hier(plan) => {
+                // A bcast plan is pure movement; its transfer view is the
+                // executed schedule, the pricer's replay and the poison
+                // reference all at once.
+                let rounds = plan.xfer_rounds(buf.len());
+                let start = self.clock.now();
+                self.with_fault_contract(&rounds, |sent| self.run_movement(&rounds, buf, sent))?;
+                self.trace_collective(
+                    CollectiveKind::Bcast,
+                    CollectiveAlgo::Hierarchical,
+                    buf.len(),
+                    T::WIRE_SIZE,
+                    start,
+                );
+                Ok(())
+            }
+        }
     }
 
     /// [`Comm::bcast_into`] with an explicit algorithm.
@@ -442,10 +564,32 @@ impl Comm {
     /// data path depends on a fail-stopped member (every survivor returns
     /// the complete result or that error, never a torn buffer).
     pub fn allgather_eq<T: MpiType + Copy + Default>(&self, contrib: &[T]) -> MpiResult<Vec<T>> {
-        let total = contrib.len() * self.size();
-        let algo =
-            self.resolve_algo(CollectiveKind::Allgather, None, 0, total, T::WIRE_SIZE)?;
-        self.allgather_eq_with(algo, contrib)
+        let p = self.size();
+        let total = contrib.len() * p;
+        match self.resolve_exec(CollectiveKind::Allgather, None, 0, total, T::WIRE_SIZE)? {
+            Execution::Flat(algo) => self.allgather_eq_with(algo, contrib),
+            Execution::Hier(plan) => {
+                // An allgather plan is pure chunk movement over the output
+                // buffer: runs gather leaders-up, leaders exchange, full
+                // buffer broadcasts back down.
+                let rounds = plan.xfer_rounds(total);
+                let mut buf = vec![T::default(); total];
+                let (lo, hi) = chunk_bounds(total, p, self.rank());
+                buf[lo..hi].copy_from_slice(contrib);
+                let start = self.clock.now();
+                self.with_fault_contract(&rounds, |sent| {
+                    self.run_movement(&rounds, &mut buf, sent)
+                })?;
+                self.trace_collective(
+                    CollectiveKind::Allgather,
+                    CollectiveAlgo::Hierarchical,
+                    total,
+                    T::WIRE_SIZE,
+                    start,
+                );
+                Ok(buf)
+            }
+        }
     }
 
     /// [`Comm::allgather_eq`] with an explicit algorithm.
@@ -480,6 +624,7 @@ impl Comm {
 macro_rules! impl_engine_reductions {
     ($t:ty, $identity:ident, $fold:ident,
      $recv_contribs:ident, $linear_reduce:ident, $binomial_reduce:ident,
+     $hier_gather:ident,
      $ring_allreduce:ident, $rd_allreduce:ident, $sag_allreduce:ident,
      $reduce:ident, $reduce_with:ident, $allreduce:ident, $allreduce_with:ident,
      $reduce_doc:expr, $allreduce_doc:expr) => {
@@ -590,6 +735,59 @@ macro_rules! impl_engine_reductions {
                 for abs_rank in 0..p {
                     let r = (abs_rank + p - root) % p;
                     op.$fold(&mut acc, held[r].as_ref().expect("root gathered everything"));
+                }
+                Ok(Some(acc))
+            }
+
+            /// Hierarchical raw-contribution gather: each transfer of the
+            /// plan forwards exactly the contributions its sender holds
+            /// (ascending origins), so only the root folds — in ascending
+            /// absolute rank order, bit-identical to every flat algorithm.
+            /// The send/skip filter mirrors [`HierPlan::xfer_rounds`]
+            /// exactly, so the fault contract's poison counting and the
+            /// pricer's replay both see the executed transfer sequence.
+            fn $hier_gather(
+                &self,
+                plan: &HierPlan,
+                contrib: &[$t],
+                op: ReduceOp,
+                root: usize,
+                sent: &Cell<usize>,
+            ) -> MpiResult<Option<Vec<$t>>> {
+                let p = self.size();
+                let me = self.rank();
+                let n = contrib.len();
+                let live = |g: &&GatherXfer| !g.origins.is_empty() && n > 0 && g.src != g.dst;
+                let mut held: Vec<Option<Vec<$t>>> = vec![None; p];
+                held[me] = Some(contrib.to_vec());
+                for round in &plan.gather {
+                    for g in round.iter().filter(|g| g.src == me).filter(live) {
+                        let mut payload = Vec::with_capacity(g.origins.len() * n);
+                        for &o in &g.origins {
+                            payload.extend_from_slice(
+                                held[o].as_ref().expect("plan sends only held origins"),
+                            );
+                        }
+                        self.post_sched(encode(&payload), g.dst, sent)?;
+                    }
+                    for g in round.iter().filter(|g| g.dst == me).filter(live) {
+                        let v = self.$recv_contribs(g.src, g.origins.len() * n)?;
+                        for (i, &o) in g.origins.iter().enumerate() {
+                            held[o] = Some(v[i * n..(i + 1) * n].to_vec());
+                        }
+                    }
+                }
+                if me != root {
+                    return Ok(None);
+                }
+                let mut acc = vec![op.$identity(); n];
+                for origin in 0..p {
+                    op.$fold(
+                        &mut acc,
+                        held[origin]
+                            .as_ref()
+                            .expect("plan funnels every contribution to the root"),
+                    );
                 }
                 Ok(Some(acc))
             }
@@ -788,14 +986,30 @@ macro_rules! impl_engine_reductions {
                 op: ReduceOp,
                 root: usize,
             ) -> MpiResult<Option<Vec<$t>>> {
-                let algo = self.resolve_algo(
+                match self.resolve_exec(
                     CollectiveKind::Reduce,
                     None,
                     root,
                     contrib.len(),
                     std::mem::size_of::<$t>(),
-                )?;
-                self.$reduce_with(algo, contrib, op, root)
+                )? {
+                    Execution::Flat(algo) => self.$reduce_with(algo, contrib, op, root),
+                    Execution::Hier(plan) => {
+                        let rounds = plan.xfer_rounds(contrib.len());
+                        let start = self.clock.now();
+                        let out = self.with_fault_contract(&rounds, |sent| {
+                            self.$hier_gather(&plan, contrib, op, root, sent)
+                        })?;
+                        self.trace_collective(
+                            CollectiveKind::Reduce,
+                            CollectiveAlgo::Hierarchical,
+                            contrib.len(),
+                            std::mem::size_of::<$t>(),
+                            start,
+                        );
+                        Ok(out)
+                    }
+                }
             }
 
             #[doc = concat!("[`Comm::", stringify!($reduce), "`] with an explicit algorithm.")]
@@ -864,14 +1078,38 @@ macro_rules! impl_engine_reductions {
             /// a fail-stopped member (every survivor returns the complete
             /// result or that error, never a torn result).
             pub fn $allreduce(&self, contrib: &[$t], op: ReduceOp) -> MpiResult<Vec<$t>> {
-                let algo = self.resolve_algo(
+                match self.resolve_exec(
                     CollectiveKind::Allreduce,
                     None,
                     0,
                     contrib.len(),
                     std::mem::size_of::<$t>(),
-                )?;
-                self.$allreduce_with(algo, contrib, op)
+                )? {
+                    Execution::Flat(algo) => self.$allreduce_with(algo, contrib, op),
+                    Execution::Hier(plan) => {
+                        // Gather to rank 0 then broadcast the fold back out
+                        // through the leader chain; one fault contract spans
+                        // both phases (the transfer view concatenates them).
+                        let n = contrib.len();
+                        let rounds = plan.xfer_rounds(n);
+                        let start = self.clock.now();
+                        let out = self.with_fault_contract(&rounds, |sent| {
+                            let red = self.$hier_gather(&plan, contrib, op, 0, sent)?;
+                            let mut buf =
+                                red.unwrap_or_else(|| vec![<$t>::default(); n]);
+                            self.run_movement(&plan.movement, &mut buf, sent)?;
+                            Ok(buf)
+                        })?;
+                        self.trace_collective(
+                            CollectiveKind::Allreduce,
+                            CollectiveAlgo::Hierarchical,
+                            n,
+                            std::mem::size_of::<$t>(),
+                            start,
+                        );
+                        Ok(out)
+                    }
+                }
             }
 
             #[doc = concat!("[`Comm::", stringify!($allreduce), "`] with an explicit algorithm.")]
@@ -934,6 +1172,9 @@ macro_rules! impl_engine_reductions {
                         CollectiveAlgo::ScatterAllgather => {
                             self.$sag_allreduce(contrib, op, sent)
                         }
+                        CollectiveAlgo::Hierarchical => {
+                            unreachable!("eligibility checked above")
+                        }
                     })?
                 };
                 self.trace_collective(
@@ -956,6 +1197,7 @@ impl_engine_reductions!(
     recv_contribs_f64,
     linear_reduce_f64,
     binomial_reduce_f64,
+    hier_gather_f64,
     ring_allreduce_f64,
     rd_allreduce_f64,
     sag_allreduce_f64,
@@ -974,6 +1216,7 @@ impl_engine_reductions!(
     recv_contribs_i64,
     linear_reduce_i64,
     binomial_reduce_i64,
+    hier_gather_i64,
     ring_allreduce_i64,
     rd_allreduce_i64,
     sag_allreduce_i64,

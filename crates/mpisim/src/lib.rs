@@ -61,8 +61,6 @@ pub use perfmodel::collective::{CollectiveAlgo, CollectiveKind};
 pub use group::{Group, GroupCompare};
 pub use op::ReduceOp;
 pub use p2p::{Msg, Payload, Status, ANY_SOURCE, ANY_TAG, DEADLOCK_TIMEOUT, DEFAULT_EAGER_LIMIT};
-#[allow(deprecated)]
-pub use p2p::TIMEOUT_GRACE;
 pub use pool::{BufferPool, PoolReport};
-pub use runtime::{Process, RunReport, Universe};
+pub use runtime::{Process, RunReport, Universe, UniverseConfig};
 pub use vtime::LocalClock;

@@ -52,26 +52,17 @@ pub const ANY_TAG: i32 = -1;
 /// belt-and-braces backstop that should never fire in practice — it only
 /// catches programs that defeat the detector (e.g. a rank busy-polling
 /// outside the runtime forever). Configurable per universe with
-/// [`crate::Universe::with_deadlock_timeout`] or the
+/// [`crate::UniverseConfig::deadlock_timeout`] or the
 /// `MPISIM_DEADLOCK_TIMEOUT` environment variable (seconds); the raw
 /// panicking [`Mailbox::recv_match`] always uses this default.
 pub const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
 
-/// Historical real-time grace of a *deadline* receive (`recv_deadline` /
-/// `recv_timeout`). Deadline receives are exact since the quiescence
-/// detector landed: they time out when the detector proves no qualifying
-/// message can arrive, not after a fixed real-time wait — so this
-/// constant no longer shapes any behaviour. Internal retry heuristics now
-/// use the private `RETRY_GRACE`.
-#[deprecated(
-    note = "deadline receives are exact (quiescence-proved); this constant no longer affects behaviour"
-)]
-pub const TIMEOUT_GRACE: Duration = Duration::from_millis(500);
-
 /// Spacing of internal retry heuristics (re-issued guarded receives after
-/// a transient verdict): the successor of the deprecated
-/// [`TIMEOUT_GRACE`]'s internal role, kept private so callers can't
-/// couple to it.
+/// a transient verdict): the successor of the removed `TIMEOUT_GRACE`
+/// constant's internal role, kept private so callers can't couple to it.
+/// (Deadline receives are exact since the quiescence detector landed: they
+/// time out when the detector proves no qualifying message can arrive, not
+/// after a fixed real-time wait.)
 #[allow(dead_code)]
 pub(crate) const RETRY_GRACE: Duration = Duration::from_millis(500);
 
@@ -87,7 +78,7 @@ pub const INLINE_CAP: usize = 256;
 
 /// Default eager/rendezvous protocol split, bytes (the hmpi snippet's
 /// `EAGER_LIMIT`). Configurable per universe with
-/// [`crate::Universe::with_eager_limit`] / `MPISIM_EAGER_LIMIT`, clamped
+/// [`crate::UniverseConfig::eager_limit`] / `MPISIM_EAGER_LIMIT`, clamped
 /// to [`INLINE_CAP`].
 pub const DEFAULT_EAGER_LIMIT: usize = 256;
 

@@ -9,7 +9,7 @@ use crate::pool::{BufferPool, PoolReport};
 use crate::quiesce::Registry;
 use crate::vtime::LocalClock;
 use hetsim::trace::{Trace, TraceEvent, TraceKind, Tracer};
-use hetsim::{Cluster, NodeId, SimTime};
+use hetsim::{Cluster, NodeId, SimTime, Topology};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -46,11 +46,11 @@ pub(crate) struct SharedState {
     /// read the same id, so agreement needs no communication.
     local_dups: Mutex<std::collections::HashMap<(u64, u64), u64>>,
     /// Virtual-time event collector, present only when the universe was
-    /// built with [`Universe::with_tracing`]. Every instrumentation site
+    /// built with [`UniverseConfig::tracing`]. Every instrumentation site
     /// costs exactly one `Option` discriminant check when absent.
     pub(crate) tracer: Option<Arc<Tracer>>,
     /// How the collective engine picks an algorithm per call (see
-    /// [`Universe::with_collective_policy`]).
+    /// [`UniverseConfig::collective_policy`]).
     pub(crate) coll_policy: CollectivePolicy,
     /// The virtual-time quiescence detector (see [`crate::quiesce`]).
     pub(crate) quiesce: Arc<Registry>,
@@ -137,6 +137,107 @@ impl Drop for TerminationGuard {
     }
 }
 
+/// Typed, consolidated configuration for a [`Universe`]: one value covering
+/// what used to be six separately-chained `with_*` builders (placement,
+/// deadlock timeout, collective policy, stack size, eager limit, tracing).
+/// Build one with the fluent setters and hand it to
+/// [`Universe::with_config`] or [`Universe::from_topology`]; the default
+/// value reproduces `Universe::new` exactly.
+///
+/// ```
+/// use hetsim::Cluster;
+/// use mpisim::{CollectivePolicy, Universe, UniverseConfig};
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let u = Universe::with_config(
+///     Arc::new(Cluster::paper_lan_em3d()),
+///     UniverseConfig::new()
+///         .collective_policy(CollectivePolicy::Auto)
+///         .deadlock_timeout(Duration::from_secs(5))
+///         .tracing(true),
+/// );
+/// assert_eq!(u.size(), 9);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct UniverseConfig {
+    placement: Option<Vec<NodeId>>,
+    deadlock_timeout: Option<Duration>,
+    collective_policy: CollectivePolicy,
+    stack_size: Option<usize>,
+    eager_limit: Option<usize>,
+    tracing: bool,
+}
+
+impl UniverseConfig {
+    /// The default configuration: one rank per cluster node, default
+    /// watchdog/stack/eager limits, [`CollectivePolicy::Auto`], no tracing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explicit placement: `placement[world_rank]` is the hosting node.
+    /// Unset, the universe runs one rank per cluster node, rank `i` on
+    /// node `i` — the paper's "one process per processor" configuration.
+    pub fn placement(mut self, placement: Vec<NodeId>) -> Self {
+        self.placement = Some(placement);
+        self
+    }
+
+    /// The wall-clock watchdog: the real-time backstop a blocked operation
+    /// waits before giving up with a typed error. The virtual-time
+    /// quiescence detector classifies stuck states in milliseconds, so the
+    /// watchdog should never fire in practice — shorten it in tests that
+    /// deliberately defeat the detector, or lengthen it for heavily
+    /// oversubscribed hosts. Defaults to the `MPISIM_DEADLOCK_TIMEOUT`
+    /// environment variable (seconds, fractional allowed) when set, else
+    /// [`DEADLOCK_TIMEOUT`].
+    pub fn deadlock_timeout(mut self, timeout: Duration) -> Self {
+        self.deadlock_timeout = Some(timeout);
+        self
+    }
+
+    /// The collective engine's algorithm policy:
+    /// [`CollectivePolicy::Auto`] (the default) prices every eligible flat
+    /// algorithm plus the topology's hierarchical plan per call and runs
+    /// the predicted-cheapest; [`CollectivePolicy::FlatAuto`] restricts
+    /// the choice to flat algorithms; [`CollectivePolicy::Fixed`] pins one
+    /// algorithm for every engine collective.
+    pub fn collective_policy(mut self, policy: CollectivePolicy) -> Self {
+        self.collective_policy = policy;
+        self
+    }
+
+    /// The stack size (bytes) of the per-rank OS threads spawned by
+    /// [`Universe::run`]. Large worlds (1k+ ranks) exhaust address space
+    /// quickly at the platform-default 8 MiB per thread; the rank closures
+    /// used by the benches and tests run comfortably in a few hundred KiB.
+    /// Defaults to the `MPISIM_STACK_SIZE` environment variable (bytes)
+    /// when set, else the platform default.
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = Some(bytes);
+        self
+    }
+
+    /// The eager/rendezvous protocol split: payloads of at most `bytes`
+    /// travel inline through the eager lanes, larger ones lease an arena
+    /// buffer. Clamped to [`INLINE_CAP`] (the envelope's inline slot
+    /// capacity). Defaults to the `MPISIM_EAGER_LIMIT` environment
+    /// variable (bytes) when set, else [`DEFAULT_EAGER_LIMIT`].
+    pub fn eager_limit(mut self, bytes: usize) -> Self {
+        self.eager_limit = Some(bytes.min(INLINE_CAP));
+        self
+    }
+
+    /// Virtual-time tracing: when enabled, runs record compute spans,
+    /// sends, receives (with their idle-wait split) and higher-level
+    /// events into a shared [`Tracer`] returned in [`RunReport::trace`].
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+}
+
 /// A universe describes how many ranks run and where they are placed on the
 /// cluster; [`Universe::run`] executes an SPMD closure across them.
 ///
@@ -173,26 +274,22 @@ pub struct Universe {
 
 impl Universe {
     /// One rank per cluster node, rank `i` on node `i` — the paper's
-    /// "one process per processor" configuration.
+    /// "one process per processor" configuration. Shorthand for
+    /// [`Universe::with_config`] with the default [`UniverseConfig`].
     pub fn new(cluster: Arc<Cluster>) -> Self {
-        let placement = cluster.node_ids().collect();
-        Universe {
-            cluster,
-            placement,
-            tracer: None,
-            coll_policy: CollectivePolicy::Auto,
-            watchdog: None,
-            stack_size: None,
-            eager_limit: None,
-        }
+        Universe::with_config(cluster, UniverseConfig::new())
     }
 
-    /// Explicit placement: `placement[world_rank]` is the hosting node.
+    /// A universe from a consolidated [`UniverseConfig`] — the one
+    /// constructor every knob flows through.
     ///
     /// # Panics
-    /// Panics if any node id is out of range or a node's slot count is
-    /// exceeded.
-    pub fn with_placement(cluster: Arc<Cluster>, placement: Vec<NodeId>) -> Self {
+    /// Panics if the configured placement is empty, references a node
+    /// outside the cluster, or exceeds a node's slot count.
+    pub fn with_config(cluster: Arc<Cluster>, config: UniverseConfig) -> Self {
+        let placement = config
+            .placement
+            .unwrap_or_else(|| cluster.node_ids().collect());
         assert!(!placement.is_empty(), "universe needs at least one rank");
         let mut used = vec![0usize; cluster.len()];
         for &n in &placement {
@@ -213,12 +310,41 @@ impl Universe {
         Universe {
             cluster,
             placement,
-            tracer: None,
-            coll_policy: CollectivePolicy::Auto,
-            watchdog: None,
-            stack_size: None,
-            eager_limit: None,
+            tracer: config.tracing.then(|| Arc::new(Tracer::new())),
+            coll_policy: config.collective_policy,
+            watchdog: config.deadlock_timeout,
+            stack_size: config.stack_size,
+            eager_limit: config.eager_limit,
         }
+    }
+
+    /// A universe from a built [`hetsim::Topology`]: the topology's cluster
+    /// and placement, plus everything else from `config`. An explicit
+    /// [`UniverseConfig::placement`] overrides the topology's own placement
+    /// (it must still fit the cluster).
+    ///
+    /// # Panics
+    /// As [`Universe::with_config`].
+    pub fn from_topology(topology: Topology, config: UniverseConfig) -> Self {
+        let (cluster, placement) = topology.into_parts();
+        let config = match config.placement {
+            Some(_) => config,
+            None => config.placement(placement),
+        };
+        Universe::with_config(Arc::new(cluster), config)
+    }
+
+    /// Explicit placement: `placement[world_rank]` is the hosting node.
+    ///
+    /// # Panics
+    /// Panics if any node id is out of range or a node's slot count is
+    /// exceeded.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use Universe::with_config(cluster, UniverseConfig::new().placement(...))"
+    )]
+    pub fn with_placement(cluster: Arc<Cluster>, placement: Vec<NodeId>) -> Self {
+        Universe::with_config(cluster, UniverseConfig::new().placement(placement))
     }
 
     /// Sets the wall-clock watchdog for subsequent runs: the real-time
@@ -229,6 +355,7 @@ impl Universe {
     /// lengthen it for heavily oversubscribed hosts. Defaults to the
     /// `MPISIM_DEADLOCK_TIMEOUT` environment variable (seconds, fractional
     /// allowed) when set, else [`DEADLOCK_TIMEOUT`].
+    #[deprecated(since = "0.9.0", note = "use UniverseConfig::deadlock_timeout")]
     pub fn with_deadlock_timeout(mut self, timeout: Duration) -> Self {
         self.watchdog = Some(timeout);
         self
@@ -240,6 +367,7 @@ impl Universe {
     /// [`CollectivePolicy::Fixed`] pins one algorithm for every engine
     /// collective (calls for which it is ineligible fail with
     /// [`MpiError::InvalidCounts`]).
+    #[deprecated(since = "0.9.0", note = "use UniverseConfig::collective_policy")]
     pub fn with_collective_policy(mut self, policy: CollectivePolicy) -> Self {
         self.coll_policy = policy;
         self
@@ -251,6 +379,7 @@ impl Universe {
     /// closures used by the benches and tests run comfortably in a few
     /// hundred KiB. Defaults to the `MPISIM_STACK_SIZE` environment
     /// variable (bytes) when set, else the platform default.
+    #[deprecated(since = "0.9.0", note = "use UniverseConfig::stack_size")]
     pub fn with_stack_size(mut self, bytes: usize) -> Self {
         self.stack_size = Some(bytes);
         self
@@ -262,6 +391,7 @@ impl Universe {
     /// (the envelope's inline slot capacity). Defaults to the
     /// `MPISIM_EAGER_LIMIT` environment variable (bytes) when set, else
     /// [`DEFAULT_EAGER_LIMIT`].
+    #[deprecated(since = "0.9.0", note = "use UniverseConfig::eager_limit")]
     pub fn with_eager_limit(mut self, bytes: usize) -> Self {
         self.eager_limit = Some(bytes.min(INLINE_CAP));
         self
@@ -271,6 +401,7 @@ impl Universe {
     /// sends, receives (with their idle-wait split) and higher-level
     /// events are recorded into a shared [`Tracer`] and returned in
     /// [`RunReport::trace`].
+    #[deprecated(since = "0.9.0", note = "use UniverseConfig::tracing")]
     pub fn with_tracing(mut self) -> Self {
         self.tracer = Some(Arc::new(Tracer::new()));
         self
@@ -431,7 +562,7 @@ pub struct RunReport<R> {
     /// The program's virtual execution time: the maximum final clock.
     pub makespan: SimTime,
     /// The run's virtual-time trace, when the universe was built with
-    /// [`Universe::with_tracing`].
+    /// [`UniverseConfig::tracing`].
     pub trace: Option<Trace>,
     /// The `HMPI_Timeof` prediction for this run in virtual seconds, when
     /// the driver obtained one. Filled in by callers (the simulator cannot
@@ -509,7 +640,7 @@ impl Process {
     }
 
     /// The universe's tracer, when tracing was enabled with
-    /// [`Universe::with_tracing`] — lets layers above mpisim (e.g. the HMPI
+    /// [`UniverseConfig::tracing`] — lets layers above mpisim (e.g. the HMPI
     /// runtime) record their own spans into the same event stream.
     #[inline]
     pub fn tracer(&self) -> Option<&Arc<Tracer>> {
@@ -651,7 +782,10 @@ mod tests {
                 .node("b", 50.0)
                 .build(),
         );
-        let u = Universe::with_placement(cluster, vec![NodeId(0), NodeId(0), NodeId(1)]);
+        let u = Universe::with_config(
+            cluster,
+            UniverseConfig::new().placement(vec![NodeId(0), NodeId(0), NodeId(1)]),
+        );
         let report = u.run(|p| p.node().index());
         assert_eq!(report.results, vec![0, 0, 1]);
     }
@@ -660,7 +794,10 @@ mod tests {
     #[should_panic]
     fn placement_overflowing_slots_rejected() {
         let cluster = tiny_cluster();
-        let _ = Universe::with_placement(cluster, vec![NodeId(0), NodeId(0)]);
+        let _ = Universe::with_config(
+            cluster,
+            UniverseConfig::new().placement(vec![NodeId(0), NodeId(0)]),
+        );
     }
 
     #[test]
@@ -674,7 +811,7 @@ mod tests {
 
     #[test]
     fn traced_run_records_compute_and_messages() {
-        let u = Universe::new(tiny_cluster()).with_tracing();
+        let u = Universe::with_config(tiny_cluster(), UniverseConfig::new().tracing(true));
         let report = u.run(|p| {
             let world = p.world();
             p.compute(100.0);
@@ -704,7 +841,7 @@ mod tests {
 
     #[test]
     fn prediction_report_compares_against_makespan() {
-        let u = Universe::new(tiny_cluster()).with_tracing();
+        let u = Universe::with_config(tiny_cluster(), UniverseConfig::new().tracing(true));
         let mut report = u.run(|p| p.compute(100.0));
         report.predicted = Some(report.makespan.as_secs() * 1.1);
         let pr = report.prediction_report().expect("trace and prediction");

@@ -17,6 +17,7 @@ use hetsim::trace::TraceKind;
 use hetsim::{Cluster, ClusterBuilder, FaultEvent, FaultPlan, Link, NodeId, Protocol, SimTime};
 use mpisim::{
     CollectiveAlgo, CollectiveKind, CollectivePolicy, MpiError, ReduceOp, Universe,
+    UniverseConfig,
 };
 use perfmodel::collective::algos_for;
 use proptest::prelude::*;
@@ -322,9 +323,12 @@ fn auto_selection_beats_linear_at_large_sizes() {
 #[test]
 fn fixed_policy_pins_the_algorithm_and_rejects_ineligible_calls() {
     // Ring pinned: the trace must show ring spans.
-    let u = Universe::new(cluster(4))
-        .with_collective_policy(CollectivePolicy::Fixed(CollectiveAlgo::Ring))
-        .with_tracing();
+    let u = Universe::with_config(
+        cluster(4),
+        UniverseConfig::new()
+            .collective_policy(CollectivePolicy::Fixed(CollectiveAlgo::Ring))
+            .tracing(true),
+    );
     let report = u.run(|proc| {
         let world = proc.world();
         world.allreduce_eq_f64(&[1.0, 2.0], ReduceOp::Sum).unwrap()
@@ -344,8 +348,11 @@ fn fixed_policy_pins_the_algorithm_and_rejects_ineligible_calls() {
 
     // Recursive doubling pinned on a non-power-of-two communicator: every
     // call fails fast with InvalidCounts instead of running something else.
-    let u = Universe::new(cluster(3))
-        .with_collective_policy(CollectivePolicy::Fixed(CollectiveAlgo::RecursiveDoubling));
+    let u = Universe::with_config(
+        cluster(3),
+        UniverseConfig::new()
+            .collective_policy(CollectivePolicy::Fixed(CollectiveAlgo::RecursiveDoubling)),
+    );
     let report = u.run(|proc| {
         let world = proc.world();
         world.allreduce_eq_f64(&[1.0], ReduceOp::Sum)
@@ -357,7 +364,7 @@ fn fixed_policy_pins_the_algorithm_and_rejects_ineligible_calls() {
 
 #[test]
 fn engine_collectives_emit_spans_that_do_not_double_count_phases() {
-    let u = Universe::new(cluster(3)).with_tracing();
+    let u = Universe::with_config(cluster(3), UniverseConfig::new().tracing(true));
     let report = u.run(|proc| {
         let world = proc.world();
         let mut buf = vec![1.0f64; 64];

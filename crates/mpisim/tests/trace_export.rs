@@ -8,7 +8,7 @@
 use hetsim::json::{parse, JsonValue};
 use hetsim::trace::{Trace, TraceEvent, TraceKind};
 use hetsim::{ClusterBuilder, Link, Protocol, SimTime};
-use mpisim::{ReduceOp, Universe};
+use mpisim::{ReduceOp, Universe, UniverseConfig};
 use std::sync::Arc;
 
 fn cluster(n: usize) -> Arc<hetsim::Cluster> {
@@ -21,7 +21,7 @@ fn cluster(n: usize) -> Arc<hetsim::Cluster> {
 
 /// A traced run with a bit of everything in it.
 fn traced_run(p: usize) -> Trace {
-    let u = Universe::new(cluster(p)).with_tracing();
+    let u = Universe::with_config(cluster(p), UniverseConfig::new().tracing(true));
     let report = u.run(move |proc| {
         let world = proc.world();
         proc.compute(10.0 * (world.rank() + 1) as f64);

@@ -72,10 +72,19 @@ pub enum CollectiveAlgo {
     /// Rabenseifner-style scatter-allgather: chunk scatter (or direct
     /// reduce-scatter) followed by an all-to-all chunk allgather.
     ScatterAllgather,
+    /// A topology-aware multi-level plan from [`crate::hier::plan`]: one
+    /// per-group algorithm per hierarchy level, crossing each expensive
+    /// boundary once. Not a flat schedule — it is never [`eligible`] here
+    /// and never appears in [`CollectiveAlgo::ALL`]; the engine reaches it
+    /// only through hierarchy-aware auto-selection, and this variant names
+    /// the choice in traces, predictions and bench output.
+    Hierarchical,
 }
 
 impl CollectiveAlgo {
-    /// Every algorithm, in selection tie-break order.
+    /// Every *flat* algorithm, in selection tie-break order.
+    /// [`CollectiveAlgo::Hierarchical`] is deliberately absent: it has no
+    /// flat schedule and competes against the flat winner separately.
     pub const ALL: [CollectiveAlgo; 5] = [
         CollectiveAlgo::Linear,
         CollectiveAlgo::Binomial,
@@ -92,6 +101,7 @@ impl CollectiveAlgo {
             CollectiveAlgo::Ring => "ring",
             CollectiveAlgo::RecursiveDoubling => "recursive-doubling",
             CollectiveAlgo::ScatterAllgather => "scatter-allgather",
+            CollectiveAlgo::Hierarchical => "hierarchical",
         }
     }
 }
@@ -150,6 +160,10 @@ pub fn chunk_bounds(n: usize, parts: usize, i: usize) -> (usize, usize) {
 /// doubling needs a power-of-two communicator; everything else is
 /// unrestricted.
 pub fn eligible(kind: CollectiveKind, algo: CollectiveAlgo, p: usize) -> bool {
+    if algo == CollectiveAlgo::Hierarchical {
+        // Not a flat schedule: produced only by `crate::hier::plan`.
+        return false;
+    }
     if p <= 1 {
         return algo == CollectiveAlgo::Linear;
     }
@@ -269,7 +283,9 @@ fn bcast_rounds(algo: CollectiveAlgo, p: usize, root: usize, n: usize) -> Vec<Ve
             }
             rounds.push(r1);
         }
-        CollectiveAlgo::RecursiveDoubling => unreachable!("ineligible"),
+        CollectiveAlgo::RecursiveDoubling | CollectiveAlgo::Hierarchical => {
+            unreachable!("ineligible")
+        }
     }
     rounds
 }
@@ -432,6 +448,7 @@ fn allreduce_rounds(algo: CollectiveAlgo, p: usize, n: usize) -> Vec<Vec<Xfer>> 
             }
             vec![r0, r1]
         }
+        CollectiveAlgo::Hierarchical => unreachable!("ineligible"),
     }
 }
 

@@ -54,6 +54,7 @@ pub mod compile;
 pub mod env;
 pub mod error;
 pub mod eval;
+pub mod hier;
 pub mod lexer;
 pub mod model;
 pub mod parser;
@@ -68,6 +69,7 @@ pub use collective::{
 };
 pub use builder::{BuiltModel, ModelBuilder};
 pub use compile::{CostProgram, DeltaBaseline, PairCost, PriceScratch};
+pub use hier::{plan as hier_plan, GatherXfer, HierPlan, RankTopology};
 pub use error::{EvalError, ParseError};
 pub use model::{CompiledModel, ModelInstance, ParamValue, PerformanceModel};
 pub use parser::parse_program;

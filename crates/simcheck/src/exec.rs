@@ -38,10 +38,11 @@
 
 use crate::scenario::{AppKind, Scenario, Workload};
 use hetsim::{
-    Cluster, ClusterBuilder, FaultEvent, FaultPlan, Link, NodeId, Protocol, SpeedEstimates, Trace,
+    Cluster, ClusterBuilder, FaultEvent, FaultPlan, Link, NodeId, Protocol, SpeedEstimates,
+    TopologyInfo, Trace,
 };
 use hmpi::{select_mapping, select_mapping_naive, HmpiRuntime, MappingAlgorithm, SelectionCtx};
-use mpisim::{CollectiveAlgo, CollectiveKind, MpiError, PoolReport, ReduceOp, Universe};
+use mpisim::{CollectiveAlgo, CollectiveKind, MpiError, PoolReport, ReduceOp, Universe, UniverseConfig};
 use perfmodel::collective::algos_for;
 use perfmodel::ModelBuilder;
 use rand::{Rng, SeedableRng, StdRng};
@@ -119,17 +120,45 @@ pub fn build_cluster(sc: &Scenario) -> Arc<Cluster> {
         );
     }
     b = b.all_to_all(Link::new(sc.base_lat, sc.base_bw, Protocol::Tcp));
+    // The declared hierarchy resolves pair links exactly like
+    // `TopologyBuilder::build`: intra-switch pairs ride the base LAN,
+    // inter-switch pairs the backbone, inter-site pairs the WAN — with
+    // explicit `ov=` overrides (applied after) still winning.
+    let switch = sc.effective_switch();
+    if sc.is_hierarchical() {
+        let wan = sc.wan.map(|(lat, bw)| Link::new(lat, bw, Protocol::Tcp));
+        let bb = sc
+            .backbone
+            .map(|(lat, bw)| Link::new(lat, bw, Protocol::Tcp));
+        for i in 0..sc.nodes() {
+            for j in (i + 1)..sc.nodes() {
+                let link = if sc.site[i] != sc.site[j] {
+                    wan.clone()
+                } else if switch[i] != switch[j] {
+                    bb.clone().or_else(|| wan.clone())
+                } else {
+                    None
+                };
+                if let Some(link) = link {
+                    b = b.link_between(i, j, link);
+                }
+            }
+        }
+    }
     for o in &sc.overrides {
         b = b.link_between(o.a, o.b, Link::new(o.lat, o.bw, Protocol::Tcp));
     }
     if let Some((lat, bw)) = sc.mem {
         b = b.mem_bus(Link::new(lat, bw, Protocol::SharedMemory));
     }
-    Arc::new(
-        b.contention(sc.contention)
-            .faults(FaultPlan::new(sc.faults.clone()))
-            .build(),
-    )
+    let mut cluster = b
+        .contention(sc.contention)
+        .faults(FaultPlan::new(sc.faults.clone()))
+        .build();
+    if sc.is_hierarchical() {
+        cluster = cluster.with_topology(TopologyInfo::new(sc.site.clone(), switch));
+    }
+    Arc::new(cluster)
 }
 
 /// Block placement: ranks `r*k..(r+1)*k` live on node `r`, so ring
@@ -288,7 +317,10 @@ fn bits(v: &[f64]) -> Vec<u64> {
 
 fn check_ring(sc: &Scenario, elems: usize, rounds: usize) -> Result<(), Violation> {
     let n = sc.ranks();
-    let u = Universe::with_placement(build_cluster(sc), placement(sc)).with_tracing();
+    let u = Universe::with_config(
+        build_cluster(sc),
+        UniverseConfig::new().placement(placement(sc)).tracing(true),
+    );
     let report = u.run(move |proc| -> Result<(), RankFail> {
         let world = proc.world();
         let me = world.rank();
@@ -330,7 +362,10 @@ fn check_rand(
             (src, dst, rng.random_range(1..max_elems + 1))
         })
         .collect();
-    let u = Universe::with_placement(build_cluster(sc), placement(sc)).with_tracing();
+    let u = Universe::with_config(
+        build_cluster(sc),
+        UniverseConfig::new().placement(placement(sc)).tracing(true),
+    );
     let pat = pattern.clone();
     let report = u.run(move |proc| -> Result<(), RankFail> {
         let world = proc.world();
@@ -422,8 +457,12 @@ fn check_collective(
         // determinism invariant: same cluster, same fault plan, same
         // closure — the second run must reproduce the first bit-for-bit.
         let run_once = || {
-            let u = Universe::with_placement(cluster.clone(), rank_placement.clone())
-                .with_tracing();
+            let u = Universe::with_config(
+                cluster.clone(),
+                UniverseConfig::new()
+                    .placement(rank_placement.clone())
+                    .tracing(true),
+            );
             let exp = expected.clone();
             u.run(move |proc| -> Result<FtRecord, RankFail> {
                 let world = proc.world();
@@ -581,7 +620,7 @@ fn check_collective(
             .copied()
             .reduce(|acc, cand| if cand.1 < acc.1 { cand } else { acc })
             .expect("non-empty");
-        let u = Universe::with_placement(cluster, rank_placement);
+        let u = Universe::with_config(cluster, UniverseConfig::new().placement(rank_placement));
         let report = u.run(move |proc| {
             proc.world()
                 .predict_collective(kind, root, pred_elems, 8)
@@ -589,6 +628,26 @@ fn check_collective(
         });
         judge_pool("auto-selection", &report.pool)?;
         match &report.results[0] {
+            Ok((CollectiveAlgo::Hierarchical, t)) => {
+                // The hierarchy-aware selector may leave the flat family
+                // entirely — legal only when the (inferred or declared)
+                // hierarchical plan is *strictly* cheaper than every flat
+                // algorithm, and the prediction must survive execution.
+                if *t >= best.1 {
+                    return Err(viol(
+                        "auto-selection",
+                        format!(
+                            "Auto picked hierarchical@{t:.6e} but flat argmin {}@{:.6e} \
+                             is no worse",
+                            best.0.name(),
+                            best.1
+                        ),
+                    ));
+                }
+                if !has_faults {
+                    check_hier_execution(sc, kind, root, contrib_len, *t, &expected)?;
+                }
+            }
             Ok((algo, t)) => {
                 if *algo != best.0 || t.to_bits() != best.1.to_bits() {
                     return Err(viol(
@@ -616,6 +675,80 @@ fn check_collective(
                 ))
             }
         }
+    }
+    Ok(())
+}
+
+/// Executes a collective that the Auto selector routed to a hierarchical
+/// plan and holds it to the same bar as the flat algorithms: every rank's
+/// values are bit-identical to the reference fold, and the fault-free
+/// measured makespan tracks the prediction within the `timeof` parity
+/// bound (the pricer replays the exact gather/movement schedule with the
+/// transport's own grant/settle arbitration).
+fn check_hier_execution(
+    sc: &Scenario,
+    kind: CollectiveKind,
+    root: usize,
+    contrib_len: usize,
+    predicted: f64,
+    expected: &[f64],
+) -> Result<(), Violation> {
+    let u = Universe::with_config(
+        build_cluster(sc),
+        UniverseConfig::new().placement(placement(sc)),
+    );
+    let exp_bits = bits(expected);
+    let report = u.run(move |proc| -> Result<Option<Vec<u64>>, RankFail> {
+        let world = proc.world();
+        let contrib = f64_payload(world.rank(), contrib_len);
+        let out = match kind {
+            CollectiveKind::Bcast => {
+                let mut buf = contrib;
+                world.bcast_into(&mut buf, root).map_err(typed)?;
+                Some(buf)
+            }
+            CollectiveKind::Reduce => world
+                .reduce_eq_f64(&contrib, ReduceOp::Sum, root)
+                .map_err(typed)?,
+            CollectiveKind::Allreduce => Some(
+                world
+                    .allreduce_eq_f64(&contrib, ReduceOp::Sum)
+                    .map_err(typed)?,
+            ),
+            CollectiveKind::Allgather => Some(world.allgather_eq(&contrib).map_err(typed)?),
+        };
+        Ok(out.map(|v| bits(&v)))
+    });
+    judge_pool("auto-selection", &report.pool)?;
+    for (rank, r) in report.results.iter().enumerate() {
+        match r {
+            Ok(Some(got)) if *got != exp_bits => {
+                return Err(viol(
+                    "auto-selection",
+                    format!(
+                        "hierarchical {} corrupted values on rank {rank}",
+                        kind.name()
+                    ),
+                ));
+            }
+            Ok(_) => {}
+            Err((_, msg)) => {
+                return Err(viol(
+                    "auto-selection",
+                    format!("hierarchical {} failed on rank {rank}: {msg}", kind.name()),
+                ));
+            }
+        }
+    }
+    let measured = report.makespan.as_secs();
+    if (predicted - measured).abs() > TIMEOF_REL_BOUND * measured + 1e-9 {
+        return Err(viol(
+            "timeof-parity",
+            format!(
+                "hierarchical {}: predicted {predicted:.6e}s, measured {measured:.6e}s",
+                kind.name()
+            ),
+        ));
     }
     Ok(())
 }

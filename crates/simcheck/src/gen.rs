@@ -191,6 +191,23 @@ pub fn generate(seed: u64) -> Scenario {
         (1, None)
     };
 
+    // A declared multi-level topology, drawn last (after every other
+    // field, like the placement fields before it) so pre-existing seeds
+    // keep their cluster, faults and workload unchanged. One node in
+    // five-ish gains a 2–3-site split with a slow WAN; link overrides are
+    // dropped then so the hierarchy actually governs the inter-site cost.
+    let mut site = Vec::new();
+    let mut wan = None;
+    if n >= 4 && rng.random_range(0u32..5) == 0 {
+        let sites = rng.random_range(2..(n / 2).min(3) + 1);
+        site = (0..n).map(|i| i * sites / n).collect();
+        wan = Some((
+            log_uniform(&mut rng, 1e-3, 1e-1),
+            log_uniform(&mut rng, 1e5, 1e7),
+        ));
+        overrides.clear();
+    }
+
     Scenario {
         seed,
         speeds,
@@ -200,6 +217,92 @@ pub fn generate(seed: u64) -> Scenario {
         contention,
         ranks_per_node,
         mem,
+        site,
+        switch: Vec::new(),
+        wan,
+        backbone: None,
+        faults,
+        workload,
+    }
+}
+
+/// Generates the *hierarchical* scenario for `seed`: always a multi-site
+/// cluster (2–4 sites of 2–4 nodes, optionally split further into
+/// switches), a fast LAN inside switches, a slower backbone between
+/// switches and a slow WAN between sites. The workload is usually a
+/// collective — gating the hierarchy-aware auto-selection invariant (a
+/// hierarchical pick must beat the flat argmin *and* execute with exact
+/// values and `timeof` parity) — with p2p workloads mixed in so routing
+/// over the resolved hierarchy links is covered too.
+pub fn generate_hierarchical(seed: u64) -> Scenario {
+    // Salted so the batch is decorrelated from the other generators.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5bd1_e995_85eb_ca6b);
+    let sites = rng.random_range(2..5usize);
+    let per_site = rng.random_range(2..5usize);
+    let n = sites * per_site;
+
+    let speeds: Vec<f64> = (0..n).map(|_| rng.random_range(20.0..500.0)).collect();
+    let base_lat = log_uniform(&mut rng, 1e-5, 1e-3);
+    let base_bw = log_uniform(&mut rng, 1e7, 1e9);
+    let wan = (
+        log_uniform(&mut rng, 1e-3, 1e-1),
+        log_uniform(&mut rng, 1e5, 1e7),
+    );
+
+    let site: Vec<usize> = (0..n).map(|i| i / per_site).collect();
+    // Half the scenarios split each site into two switches joined by a
+    // backbone slower than the LAN but faster than the WAN.
+    let (switch, backbone) = if per_site >= 3 && rng.random_range(0u32..2) == 0 {
+        let switch = (0..n)
+            .map(|i| 2 * (i / per_site) + usize::from(i % per_site >= per_site.div_ceil(2)))
+            .collect();
+        let backbone = (
+            log_uniform(&mut rng, 1e-4, 1e-2),
+            log_uniform(&mut rng, 1e6, 1e8),
+        );
+        (switch, Some(backbone))
+    } else {
+        (Vec::new(), None)
+    };
+
+    let contention = draw_contention(&mut rng);
+    let workload = match rng.random_range(0u32..4) {
+        0 => Workload::P2pRing {
+            elems: log_uniform(&mut rng, 1.0, 4096.0) as usize + 1,
+            rounds: rng.random_range(1..4),
+        },
+        _ => Workload::Collective {
+            kind: match rng.random_range(0u32..4) {
+                0 => CollectiveKind::Bcast,
+                1 => CollectiveKind::Reduce,
+                2 => CollectiveKind::Allreduce,
+                _ => CollectiveKind::Allgather,
+            },
+            // Skewed large: hierarchy pays off in the bandwidth regime.
+            elems: log_uniform(&mut rng, 64.0, 16384.0) as usize + 1,
+            root: rng.random_range(0..n),
+        },
+    };
+
+    let faults = if faultable(&workload) && rng.random_range(0u32..5) == 0 {
+        draw_faults(&mut rng, n, 10.0)
+    } else {
+        Vec::new()
+    };
+
+    Scenario {
+        seed,
+        speeds,
+        base_lat,
+        base_bw,
+        overrides: Vec::new(),
+        contention,
+        ranks_per_node: 1,
+        mem: None,
+        site,
+        switch,
+        wan: Some(wan),
+        backbone,
         faults,
         workload,
     }
@@ -273,6 +376,10 @@ pub fn generate_crashy_collective(seed: u64) -> Scenario {
         contention,
         ranks_per_node: 1,
         mem: None,
+        site: Vec::new(),
+        switch: Vec::new(),
+        wan: None,
+        backbone: None,
         faults,
         workload,
     }
@@ -309,6 +416,7 @@ mod tests {
         let mut any_faulty_collective = false;
         let mut any_multirank = false;
         let mut any_mem_bus = false;
+        let mut any_hier = false;
         let mut max_n = 0;
         for seed in 0..400 {
             let sc = generate(seed);
@@ -319,6 +427,7 @@ mod tests {
                 && matches!(sc.workload, Workload::Collective { .. });
             any_multirank |= sc.ranks_per_node > 1;
             any_mem_bus |= sc.mem.is_some();
+            any_hier |= sc.is_hierarchical();
             if sc.ranks_per_node > 1 {
                 assert!(sc.nodes() <= 8, "seed {seed}: {} nodes multi-rank", sc.nodes());
             }
@@ -333,7 +442,33 @@ mod tests {
         );
         assert!(any_multirank, "no multi-rank placement in 400 seeds");
         assert!(any_mem_bus, "no memory-bus scenario in 400 seeds");
+        assert!(any_hier, "no multi-site scenario in 400 seeds");
         assert!(max_n >= 16, "clusters never got large: max {max_n}");
+    }
+
+    #[test]
+    fn hierarchical_scenarios_are_multi_site_and_round_trip() {
+        let mut any_switch_split = false;
+        let mut any_collective = false;
+        let mut any_p2p = false;
+        let mut any_faults = false;
+        for seed in 0..300 {
+            let sc = generate_hierarchical(seed);
+            assert_eq!(generate_hierarchical(seed), sc, "seed {seed}");
+            assert!(sc.is_hierarchical(), "seed {seed}: flat scenario {sc}");
+            let sites = sc.site.iter().collect::<HashSet<_>>().len();
+            assert!(sites >= 2, "seed {seed}: single site in {sc}");
+            assert!(sc.wan.is_some(), "seed {seed}: no WAN in {sc}");
+            any_switch_split |= !sc.switch.is_empty();
+            any_collective |= matches!(sc.workload, Workload::Collective { .. });
+            any_p2p |= matches!(sc.workload, Workload::P2pRing { .. });
+            any_faults |= !sc.faults.is_empty();
+            assert_eq!(parse(&sc.to_string()).unwrap(), sc, "seed {seed}");
+        }
+        assert!(any_switch_split, "no switch split in 300 seeds");
+        assert!(any_collective, "no hierarchical collective in 300 seeds");
+        assert!(any_p2p, "no hierarchical p2p in 300 seeds");
+        assert!(any_faults, "no hierarchical faults in 300 seeds");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! cargo run -p simcheck -- --seed 0x1f2e        # re-run one seed
 //! cargo run -p simcheck -- --replay corpus/     # replay saved repros
 //! cargo run -p simcheck -- --seeds 500 --crashy # crashy-collective batch
+//! cargo run -p simcheck -- --seeds 500 --hierarchy # multi-site batch
 //! ```
 //!
 //! A failing seed is auto-shrunk (drop nodes → drop fault events → drop
@@ -27,6 +28,12 @@
 //! collective with node crashes, gating the fault-tolerant collective
 //! contract (survivor bit-exactness or typed errors, unanimous agreement,
 //! deterministic error surface) in CI.
+//!
+//! `--hierarchy` swaps in [`generate_hierarchical`]: every seed is a
+//! multi-site cluster (slow WAN between sites, optional switch split
+//! inside them), gating the hierarchy-aware collective selector — a
+//! hierarchical pick must beat the flat argmin and execute with exact
+//! values and `timeof` parity.
 
 #![warn(missing_docs)]
 
@@ -36,6 +43,6 @@ pub mod scenario;
 pub mod shrink;
 
 pub use exec::{build_cluster, check, placement, Violation, TIMEOF_REL_BOUND};
-pub use gen::{generate, generate_crashy_collective};
+pub use gen::{generate, generate_crashy_collective, generate_hierarchical};
 pub use scenario::{parse, AppKind, LinkOverride, ParseError, Scenario, Workload};
 pub use shrink::{shrink, shrink_classified};

@@ -1,7 +1,10 @@
 //! The simcheck CLI: fuzz a seed range, re-run one seed, or replay the
 //! committed corpus. See the crate docs for the invariants checked.
 
-use simcheck::{check, generate, generate_crashy_collective, parse, shrink_classified, Scenario};
+use simcheck::{
+    check, generate, generate_crashy_collective, generate_hierarchical, parse, shrink_classified,
+    Scenario,
+};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -16,12 +19,13 @@ struct Opts {
     no_shrink: bool,
     print_only: bool,
     crashy: bool,
+    hierarchy: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: simcheck [--seeds N] [--base SEED] [--seed SEED] [--replay PATH]\n\
-         \x20               [--out DIR] [--no-shrink] [--print] [--crashy]\n\
+         \x20               [--out DIR] [--no-shrink] [--print] [--crashy] [--hierarchy]\n\
          \n\
          --seeds N     fuzz N consecutive seeds starting at --base (default 500)\n\
          --base SEED   first seed of the range (default 0; hex with 0x prefix)\n\
@@ -32,7 +36,10 @@ fn usage() -> ! {
          --print       print the generated scenario line(s) without executing\n\
          --crashy      generate crashy-collective scenarios only (fault-tolerant\n\
          \x20              collective contract batch: every seed crashes nodes under\n\
-         \x20              a collective)"
+         \x20              a collective)\n\
+         --hierarchy   generate multi-site scenarios only (hierarchy-aware\n\
+         \x20              collective selector batch: slow WAN between sites, fast\n\
+         \x20              LAN within)"
     );
     std::process::exit(2)
 }
@@ -56,6 +63,7 @@ fn parse_opts() -> Opts {
         no_shrink: false,
         print_only: false,
         crashy: false,
+        hierarchy: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -69,6 +77,7 @@ fn parse_opts() -> Opts {
             "--no-shrink" => opts.no_shrink = true,
             "--print" => opts.print_only = true,
             "--crashy" => opts.crashy = true,
+            "--hierarchy" => opts.hierarchy = true,
             _ => usage(),
         }
     }
@@ -174,6 +183,8 @@ fn main() -> ExitCode {
     };
     let gen_fn: fn(u64) -> Scenario = if opts.crashy {
         generate_crashy_collective
+    } else if opts.hierarchy {
+        generate_hierarchical
     } else {
         generate
     };

@@ -163,6 +163,20 @@ pub struct Scenario {
     /// `None` (the default, omitted from the encoding) leaves intra-node
     /// transfers free, as before the memory-bus domain existed.
     pub mem: Option<(f64, f64)>,
+    /// Per-node site index (`site[i]` hosts node `i`). Empty — the
+    /// default, omitted from the encoding — is a flat cluster, exactly as
+    /// every scenario was before the topology level existed.
+    pub site: Vec<usize>,
+    /// Per-node switch index (globally numbered; each switch nests inside
+    /// one site). Empty defaults to one switch per site.
+    pub switch: Vec<usize>,
+    /// Inter-site WAN `(latency, bandwidth)` replacing the base link for
+    /// node pairs in different sites. `None` keeps the base link.
+    pub wan: Option<(f64, f64)>,
+    /// Intra-site inter-switch backbone `(latency, bandwidth)` for node
+    /// pairs on different switches of the same site. `None` keeps the
+    /// base link.
+    pub backbone: Option<(f64, f64)>,
     /// Scheduled faults.
     pub faults: Vec<FaultEvent>,
     /// What to run.
@@ -179,6 +193,32 @@ impl Scenario {
     pub fn ranks(&self) -> usize {
         self.speeds.len() * self.ranks_per_node.max(1)
     }
+
+    /// Whether the scenario declares a multi-level topology.
+    pub fn is_hierarchical(&self) -> bool {
+        !self.site.is_empty()
+    }
+
+    /// The effective per-node switch vector: the declared one, or one
+    /// switch per site when none was declared.
+    pub fn effective_switch(&self) -> Vec<usize> {
+        if self.switch.is_empty() {
+            self.site.clone()
+        } else {
+            self.switch.clone()
+        }
+    }
+}
+
+fn fmt_indices(f: &mut fmt::Formatter<'_>, key: &str, v: &[usize]) -> fmt::Result {
+    write!(f, " {key}=")?;
+    for (i, s) in v.iter().enumerate() {
+        if i > 0 {
+            write!(f, ",")?;
+        }
+        write!(f, "{s}")?;
+    }
+    Ok(())
 }
 
 fn cont_name(c: ContentionModel) -> &'static str {
@@ -210,6 +250,18 @@ impl fmt::Display for Scenario {
         }
         if let Some((lat, bw)) = self.mem {
             write!(f, " mem={lat}:{bw}")?;
+        }
+        if !self.site.is_empty() {
+            fmt_indices(f, "site", &self.site)?;
+        }
+        if !self.switch.is_empty() {
+            fmt_indices(f, "switch", &self.switch)?;
+        }
+        if let Some((lat, bw)) = self.wan {
+            write!(f, " wan={lat}:{bw}")?;
+        }
+        if let Some((lat, bw)) = self.backbone {
+            write!(f, " bb={lat}:{bw}")?;
         }
         for o in &self.overrides {
             write!(f, " ov={}-{}:{}:{}", o.a, o.b, o.lat, o.bw)?;
@@ -328,6 +380,23 @@ fn parse_time(s: &str) -> Result<SimTime, ParseError> {
     Ok(SimTime::from_secs(parse_f64(s)?))
 }
 
+/// A `lat:bw` link parameter pair, validated like `mem=`.
+fn parse_link_params(key: &str, s: &str) -> Result<(f64, f64), ParseError> {
+    let (lat, bw) = s
+        .split_once(':')
+        .ok_or_else(|| bad(format!("bad {key} {s:?}")))?;
+    let (lat, bw) = (parse_f64(lat)?, parse_f64(bw)?);
+    if bw <= 0.0 || lat < 0.0 {
+        return Err(bad(format!("bad {key} link parameters {s:?}")));
+    }
+    Ok((lat, bw))
+}
+
+/// A comma-separated index list (`site=`/`switch=` values).
+fn parse_indices(s: &str) -> Result<Vec<usize>, ParseError> {
+    s.split(',').map(parse_usize).collect()
+}
+
 fn parse_fault(body: &str) -> Result<FaultEvent, ParseError> {
     let parts: Vec<&str> = body.split(':').collect();
     match parts.as_slice() {
@@ -433,6 +502,10 @@ pub fn parse(line: &str) -> Result<Scenario, ParseError> {
     let mut contention = None;
     let mut ranks_per_node = 1usize;
     let mut mem = None;
+    let mut site = Vec::new();
+    let mut switch = Vec::new();
+    let mut wan = None;
+    let mut backbone = None;
     let mut overrides = Vec::new();
     let mut faults = Vec::new();
     let mut workload = None;
@@ -475,6 +548,10 @@ pub fn parse(line: &str) -> Result<Scenario, ParseError> {
                 }
                 mem = Some((lat, bw));
             }
+            "site" => site = parse_indices(val)?,
+            "switch" => switch = parse_indices(val)?,
+            "wan" => wan = Some(parse_link_params("wan", val)?),
+            "bb" => backbone = Some(parse_link_params("bb", val)?),
             "ov" => {
                 let parts: Vec<&str> = val.split(':').collect();
                 let [pair, lat, bw] = parts.as_slice() else {
@@ -493,15 +570,48 @@ pub fn parse(line: &str) -> Result<Scenario, ParseError> {
             _ => return Err(bad(format!("unknown key {key:?}"))),
         }
     }
+    let speeds = speeds.ok_or_else(|| bad("missing sp="))?;
+    // The hierarchy declaration, when present, must cover exactly the
+    // nodes and keep switches nested inside sites — the same contract
+    // `hetsim::TopologyInfo::new` enforces with a panic.
+    if site.is_empty() && (!switch.is_empty() || wan.is_some() || backbone.is_some()) {
+        return Err(bad("switch=/wan=/bb= require a site= declaration"));
+    }
+    if !site.is_empty() {
+        if site.len() != speeds.len() {
+            return Err(bad(format!(
+                "site= covers {} nodes but sp= has {}",
+                site.len(),
+                speeds.len()
+            )));
+        }
+        if !switch.is_empty() && switch.len() != speeds.len() {
+            return Err(bad(format!(
+                "switch= covers {} nodes but sp= has {}",
+                switch.len(),
+                speeds.len()
+            )));
+        }
+        let mut owner = std::collections::HashMap::new();
+        for (&s, &sw) in site.iter().zip(if switch.is_empty() { &site } else { &switch }) {
+            if *owner.entry(sw).or_insert(s) != s {
+                return Err(bad(format!("switch {sw} spans two sites")));
+            }
+        }
+    }
     Ok(Scenario {
         seed: seed.ok_or_else(|| bad("missing seed="))?,
-        speeds: speeds.ok_or_else(|| bad("missing sp="))?,
+        speeds,
         base_lat: base_lat.ok_or_else(|| bad("missing lat="))?,
         base_bw: base_bw.ok_or_else(|| bad("missing bw="))?,
         overrides,
         contention: contention.ok_or_else(|| bad("missing cont="))?,
         ranks_per_node,
         mem,
+        site,
+        switch,
+        wan,
+        backbone,
         faults,
         workload: workload.ok_or_else(|| bad("missing w="))?,
     })
@@ -541,6 +651,27 @@ mod tests {
     }
 
     #[test]
+    fn hierarchical_lines_round_trip() {
+        let line = "v1 seed=0x7 sp=10,20,30,40,50,60 lat=0.0001 bw=100000000 cont=nic \
+                    site=0,0,0,1,1,1 switch=0,0,1,2,2,2 wan=0.05:1000000 \
+                    bb=0.001:50000000 w=coll:allgather:2048:0";
+        let sc = parse(line).unwrap();
+        assert!(sc.is_hierarchical());
+        assert_eq!(sc.site, vec![0, 0, 0, 1, 1, 1]);
+        assert_eq!(sc.switch, vec![0, 0, 1, 2, 2, 2]);
+        assert_eq!(sc.wan, Some((0.05, 1e6)));
+        assert_eq!(sc.backbone, Some((0.001, 5e7)));
+        assert_eq!(sc.to_string(), line);
+        assert_eq!(parse(&sc.to_string()).unwrap(), sc);
+        // One switch per site is the default for an omitted switch=.
+        let no_switch = parse(
+            "v1 seed=1 sp=1,2,3,4 lat=0.001 bw=1000000 cont=par site=0,0,1,1 w=ring:8:1",
+        )
+        .unwrap();
+        assert_eq!(no_switch.effective_switch(), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
     fn malformed_lines_are_typed_errors() {
         for bad_line in [
             "",
@@ -554,6 +685,12 @@ mod tests {
             "v1 seed=1 sp=1 lat=1 bw=1 cont=par rpn=0 w=ring:1:1",
             "v1 seed=1 sp=1 lat=1 bw=1 cont=par mem=0.001 w=ring:1:1",
             "v1 seed=1 sp=1 lat=1 bw=1 cont=par mem=0.001:0 w=ring:1:1",
+            // Hierarchy declarations must cover the nodes and nest.
+            "v1 seed=1 sp=1,2 lat=1 bw=1 cont=par site=0 w=ring:1:1",
+            "v1 seed=1 sp=1,2 lat=1 bw=1 cont=par site=0,1 switch=0 w=ring:1:1",
+            "v1 seed=1 sp=1,2 lat=1 bw=1 cont=par site=0,1 switch=0,0 w=ring:1:1",
+            "v1 seed=1 sp=1,2 lat=1 bw=1 cont=par wan=0.1:1000 w=ring:1:1",
+            "v1 seed=1 sp=1,2 lat=1 bw=1 cont=par site=0,1 wan=0.1:0 w=ring:1:1",
         ] {
             assert!(parse(bad_line).is_err(), "accepted {bad_line:?}");
         }

@@ -25,6 +25,15 @@ fn remap(id: NodeId, dropped: usize) -> NodeId {
 fn drop_node(sc: &Scenario, i: usize) -> Scenario {
     let mut out = sc.clone();
     out.speeds.remove(i);
+    if !out.site.is_empty() {
+        out.site.remove(i);
+    }
+    if !out.switch.is_empty() {
+        out.switch.remove(i);
+    }
+    // A site emptied by the drop may leave a single-site "hierarchy";
+    // that is fine — it behaves identically to a flat cluster, and the
+    // dedicated flatten candidate removes the declaration entirely.
     let n = out.speeds.len();
     out.overrides.retain(|o| o.a != i && o.b != i);
     for o in &mut out.overrides {
@@ -157,6 +166,22 @@ fn candidates(sc: &Scenario) -> Vec<Scenario> {
         let mut cand = sc.clone();
         cand.mem = None;
         out.push(cand);
+    }
+    if sc.is_hierarchical() {
+        // Flatten the hierarchy entirely (every pair back on the base
+        // link), and — cheaper — drop just the switch split within sites.
+        let mut cand = sc.clone();
+        cand.site.clear();
+        cand.switch.clear();
+        cand.wan = None;
+        cand.backbone = None;
+        out.push(cand);
+        if !sc.switch.is_empty() {
+            let mut cand = sc.clone();
+            cand.switch.clear();
+            cand.backbone = None;
+            out.push(cand);
+        }
     }
     out.extend(workload_shrinks(sc));
     out

@@ -3,7 +3,7 @@
 //! by `cargo test`. Lines starting with `#` are comments; each other
 //! line is one scenario in the `v1 seed=...` encoding.
 
-use simcheck::{check, generate, parse};
+use simcheck::{check, generate, generate_hierarchical, parse};
 use std::path::Path;
 
 #[test]
@@ -28,6 +28,16 @@ fn the_committed_corpus_holds_every_invariant() {
             let sc = parse(line).unwrap_or_else(|e| {
                 panic!("{}:{}: parse error: {e}", file.display(), lineno + 1)
             });
+            // The committed encoding is canonical: every line must
+            // re-encode byte-for-byte, so new scenario fields (placement,
+            // topology, ...) can never silently change the corpus format.
+            assert_eq!(
+                sc.to_string(),
+                line,
+                "{}:{}: line does not re-encode byte-identically",
+                file.display(),
+                lineno + 1
+            );
             if let Err(v) = check(&sc) {
                 panic!("{}:{}: {v}\n  scenario: {sc}", file.display(), lineno + 1);
             }
@@ -47,6 +57,18 @@ fn the_committed_corpus_holds_every_invariant() {
 fn a_fixed_seed_slice_of_the_fuzzer_passes() {
     for seed in 0..25 {
         let sc = generate(seed);
+        if let Err(v) = check(&sc) {
+            panic!("seed {seed}: {v}\n  scenario: {sc}");
+        }
+    }
+}
+
+/// The same smoke slice for the hierarchical batch: multi-site clusters
+/// through the hierarchy-aware auto-selection, parity and value checks.
+#[test]
+fn a_fixed_seed_slice_of_the_hierarchical_fuzzer_passes() {
+    for seed in 0..15 {
+        let sc = generate_hierarchical(seed);
         if let Err(v) = check(&sc) {
             panic!("seed {seed}: {v}\n  scenario: {sc}");
         }

@@ -10,7 +10,7 @@
 //! be carved out to `ParallelLinks`.
 
 use hetsim::ContentionModel;
-use mpisim::{ReduceOp, Universe};
+use mpisim::{ReduceOp, Universe, UniverseConfig};
 use proptest::prelude::*;
 use simcheck::{build_cluster, generate, placement, Scenario};
 
@@ -19,7 +19,10 @@ use simcheck::{build_cluster, generate, placement, Scenario};
 /// observed: the makespan bits, each rank's result (values as exact bit
 /// patterns, errors as their typed rendering) and the full Chrome trace.
 fn run_digest(sc: &Scenario) -> (u64, Vec<String>, String) {
-    let u = Universe::with_placement(build_cluster(sc), placement(sc)).with_tracing();
+    let u = Universe::with_config(
+        build_cluster(sc),
+        UniverseConfig::new().placement(placement(sc)).tracing(true),
+    );
     let n = sc.ranks();
     let report = u.run(move |proc| -> Result<Vec<u64>, String> {
         let world = proc.world();

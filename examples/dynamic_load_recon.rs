@@ -11,31 +11,28 @@
 //! cargo run --release --example dynamic_load_recon
 //! ```
 
-use hetsim::{ClusterBuilder, Link, LoadModel, Processor, Protocol, SimTime};
-use hmpi::HmpiRuntime;
+use hetsim::{Link, LoadModel, Processor, Protocol, SimTime, TopologyBuilder};
+use hmpi::{HmpiRuntime, RuntimeConfig};
 use perfmodel::{ModelBuilder, PerformanceModel};
-use std::sync::Arc;
 
 fn main() {
     // "bigiron" loses 90% of its capacity from t = 100 on (another user's
     // job arrives).
-    let cluster = Arc::new(
-        ClusterBuilder::new()
-            .node("host", 50.0)
-            .processor(
-                Processor::new("bigiron", 200.0).with_load(LoadModel::Step {
-                    start: SimTime::from_secs(100.0),
-                    end: SimTime::from_secs(1e9),
-                    fraction: 0.9,
-                }),
-            )
-            .node("steady", 100.0)
-            .node("backup", 90.0)
-            .all_to_all(Link::with_defaults(Protocol::Tcp))
-            .build(),
-    );
+    let topology = TopologyBuilder::new()
+        .node("host", 50.0)
+        .processor(
+            Processor::new("bigiron", 200.0).with_load(LoadModel::Step {
+                start: SimTime::from_secs(100.0),
+                end: SimTime::from_secs(1e9),
+                fraction: 0.9,
+            }),
+        )
+        .node("steady", 100.0)
+        .node("backup", 90.0)
+        .intra_switch(Link::with_defaults(Protocol::Tcp))
+        .build();
 
-    let runtime = HmpiRuntime::new(cluster);
+    let runtime = HmpiRuntime::from_topology(topology, RuntimeConfig::new());
     let report = runtime.run(|h| {
         let model = ModelBuilder::new("one-heavy-task")
             .processors(2)

@@ -9,11 +9,10 @@
 //! cargo run --example quickstart
 //! ```
 
-use hetsim::{ClusterBuilder, Link, Protocol};
-use hmpi::HmpiRuntime;
+use hetsim::{Link, Protocol, TopologyBuilder};
+use hmpi::{HmpiRuntime, RuntimeConfig};
 use mpisim::ReduceOp;
 use perfmodel::{CompiledModel, ParamValue};
-use std::sync::Arc;
 
 /// A tiny model in the paper's language: `p` processors with volumes from
 /// the `work` vector, a ring of communication, one bulk-synchronous step.
@@ -35,21 +34,22 @@ algorithm Ring(int p, int work[p], int bytes) {
 
 fn main() {
     // A 5-machine heterogeneous network: one fast, one slow, three medium.
-    let cluster = Arc::new(
-        ClusterBuilder::new()
-            .node("host", 50.0)
-            .node("bigiron", 200.0)
-            .node("ws1", 80.0)
-            .node("ws2", 80.0)
-            .node("old486", 5.0)
-            .all_to_all(Link::with_defaults(Protocol::Tcp))
-            .build(),
-    );
+    // Declared through the topology builder; a flat one-level topology is
+    // bit-identical to the classic flat cluster, and adding `.site()` /
+    // `.switch()` levels later needs no other change.
+    let topology = TopologyBuilder::new()
+        .node("host", 50.0)
+        .node("bigiron", 200.0)
+        .node("ws1", 80.0)
+        .node("ws2", 80.0)
+        .node("old486", 5.0)
+        .intra_switch(Link::with_defaults(Protocol::Tcp))
+        .build();
 
     // Compile the performance model once (the paper's "compiler" step).
     let compiled = CompiledModel::compile(MODEL).expect("model parses");
 
-    let runtime = HmpiRuntime::new(cluster);
+    let runtime = HmpiRuntime::from_topology(topology, RuntimeConfig::new());
     let report = runtime.run(|h| {
         // HMPI_Recon: measure actual speeds (here they equal base speeds).
         h.recon(10.0).expect("recon");
